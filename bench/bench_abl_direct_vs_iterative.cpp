@@ -1,0 +1,147 @@
+// Ablation: batched iterative vs batched direct solvers (paper §1).
+//
+// The paper's thesis: inside a non-linear loop the iterative solver wins
+// because (a) it runs as ONE fused kernel with SLM locality while the
+// direct solve needs two kernels with a dense workspace in between, and
+// (b) it can start from the previous solution, shortening the iteration.
+// This bench sweeps the initial-guess quality and prints where the
+// iterative solver's advantage over the dense-LU direct baseline comes
+// from; the tridiagonal case additionally compares against the Thomas
+// solver (cuThomasBatch-style, one lane per system).
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "solver/direct.hpp"
+
+using namespace bench;
+
+namespace {
+
+/// Measured direct dense-LU solve projected onto the device model.
+measured_solve measure_dense_lu(const perf::device_spec& device,
+                                const mat::batch_csr<double>& a,
+                                const mat::batch_dense<double>& b)
+{
+    measured_solve m;
+    m.measured_items = a.num_batch_items();
+    m.rows = a.rows();
+    mat::batch_dense<double> x(m.measured_items, m.rows, 1);
+    log::batch_log logger(m.measured_items);
+    xpu::queue q(device.make_policy());
+    solver::run_dense_lu(q, a, b, x, logger, {0, m.measured_items});
+    m.result.stats = q.stats();
+    m.result.config =
+        solver::choose_launch_config(device.make_policy(), m.rows);
+    m.constant_bytes_per_system =
+        static_cast<size_type>(a.nnz() + a.rows()) * sizeof(double);
+    m.mean_iterations = 1.0;
+    return m;
+}
+
+/// Iterative solve warm-started from a perturbed exact solution:
+/// guess = x_exact * (1 + noise).
+measured_solve measure_warm(const perf::device_spec& device,
+                            const mat::batch_csr<double>& a,
+                            const mat::batch_dense<double>& b,
+                            double guess_noise)
+{
+    const index_type items = a.num_batch_items();
+    const index_type rows = a.rows();
+    // Exact solutions via the direct baseline.
+    mat::batch_dense<double> x_exact(items, rows, 1);
+    {
+        log::batch_log logger(items);
+        xpu::queue q(device.make_policy());
+        solver::run_dense_lu(q, a, b, x_exact, logger, {0, items});
+    }
+    mat::batch_dense<double> x = x_exact;
+    rng gen(4242);
+    if (guess_noise >= 1.0) {
+        x.fill(0.0);  // cold start
+    } else {
+        for (double& v : x.values()) {
+            v *= 1.0 + guess_noise * gen.uniform(-1.0, 1.0);
+        }
+    }
+
+    measured_solve m;
+    m.measured_items = items;
+    m.rows = rows;
+    xpu::queue q(device.make_policy());
+    m.result = solver::solve<double>(q, a, b, x, pele_options());
+    m.mean_iterations = m.result.log.mean_iterations();
+    const solver::batch_matrix<double> variant = a;
+    const perf::solve_profile p =
+        make_profile<double>(m.result, variant, 1);
+    m.constant_bytes_per_system = p.constant_footprint_per_system;
+    return m;
+}
+
+}  // namespace
+
+int main()
+{
+    const index_type target = 1 << 17;
+    const perf::device_spec device = perf::pvc_1s();
+    const work::mechanism mech = work::mechanism_by_name("dodecane_lu");
+    const index_type items = measurement_batch(mech.num_unique);
+    const auto a = work::generate_mechanism_batch<double>(mech, items);
+    const auto b = work::mechanism_rhs<double>(items, mech.rows, 77);
+
+    std::printf("Ablation: batched iterative vs direct (paper §1), "
+                "%s (%dx%d), 2^17 systems, %s\n\n",
+                mech.name.c_str(), mech.rows, mech.rows,
+                device.name.c_str());
+
+    const measured_solve direct = measure_dense_lu(device, a, b);
+    std::printf("direct dense LU:   %10.3f ms  (2 kernels, dense %dx%d "
+                "workspace per system)\n",
+                projected_ms(device, direct, target), mech.rows,
+                mech.rows);
+
+    std::printf("\nBatchBicgstab+Jacobi vs initial-guess quality:\n");
+    std::printf("%16s | %12s | %12s | %10s\n", "guess error", "iters",
+                "time [ms]", "vs direct");
+    rule(62);
+    const double direct_ms = projected_ms(device, direct, target);
+    for (const double noise : {1.0, 0.5, 1e-1, 1e-2, 1e-3, 1e-4}) {
+        const measured_solve warm = measure_warm(device, a, b, noise);
+        const double ms = projected_ms(device, warm, target);
+        std::printf("%16s | %12.1f | %12.3f | %9.2fx\n",
+                    noise >= 1.0 ? "cold (zero)"
+                                 : std::to_string(noise).c_str(),
+                    warm.mean_iterations, ms, direct_ms / ms);
+    }
+
+    // Tridiagonal side-by-side: Thomas vs BatchCg.
+    std::printf("\ntridiagonal case (64x64 stencil): Thomas direct vs "
+                "BatchCg\n");
+    const index_type st_items = measurement_batch(64);
+    const auto tri = work::stencil_3pt<double>(st_items, 64, 42);
+    const auto tri_b = work::random_rhs<double>(st_items, 64, 7);
+    measured_solve thomas;
+    {
+        thomas.measured_items = st_items;
+        thomas.rows = 64;
+        mat::batch_dense<double> x(st_items, 64, 1);
+        log::batch_log logger(st_items);
+        xpu::queue q(device.make_policy());
+        solver::run_thomas(q, tri, tri_b, x, logger, {0, st_items});
+        thomas.result.stats = q.stats();
+        thomas.result.config =
+            solver::choose_launch_config(device.make_policy(), 64);
+        thomas.constant_bytes_per_system =
+            static_cast<size_type>(tri.nnz() + 64) * sizeof(double);
+    }
+    const measured_solve cg = measure(
+        device, solver::batch_matrix<double>(tri), tri_b,
+        stencil_options(solver::solver_type::cg));
+    std::printf("  Thomas: %8.3f ms   BatchCg (cold): %8.3f ms\n",
+                projected_ms(device, thomas, target),
+                projected_ms(device, cg, target));
+    std::printf("\n(the direct solve is guess-independent; the iterative "
+                "solve overtakes it once the outer loop provides a good "
+                "guess — the §1 argument)\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation: value-type precision (the precision axis of the multi-level
+// dispatch, §3.3/§3.4).
+//
+// Single precision halves every traffic stream and doubles the FP peak,
+// but the iteration count can grow when the tolerance approaches the
+// format's resolution — the reason the paper keeps precision a dispatch
+// axis rather than a fixed choice. The bench runs the PeleLM inputs in
+// fp64 and fp32 at tolerances inside and near the fp32 limit.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "solver/residual.hpp"
+
+using namespace bench;
+
+namespace {
+
+template <typename T>
+struct run_report {
+    double ms = 0.0;
+    double iters = 0.0;
+    index_type converged = 0;
+    index_type items = 0;
+    double worst_true_residual = 0.0;
+};
+
+template <typename T>
+run_report<T> run_precision(const perf::device_spec& device,
+                            const work::mechanism& mech, double tol,
+                            index_type target)
+{
+    const index_type items = measurement_batch(mech.num_unique);
+    const auto a_csr = work::generate_mechanism_batch<T>(mech, items);
+    const solver::batch_matrix<T> a = a_csr;
+    const auto b = work::mechanism_rhs<T>(items, mech.rows, 77);
+    mat::batch_dense<T> x(items, mech.rows, 1);
+
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::bicgstab;
+    opts.preconditioner = precond::type::jacobi;
+    opts.criterion = stop::relative(tol, 200);
+    xpu::queue q(device.make_policy());
+    const solver::solve_result result = solver::solve(q, a, b, x, opts);
+
+    perf::solve_profile profile =
+        batchlin::make_profile<T>(result, a, target);
+    run_report<T> rep;
+    rep.ms = perf::estimate_time(device, profile).total_seconds * 1e3;
+    rep.iters = result.log.mean_iterations();
+    rep.converged = result.log.num_converged();
+    rep.items = items;
+    // The solver monitors the recurrence residual; in fp32 that can pass
+    // a tolerance the TRUE residual cannot reach. Report the truth.
+    for (const double r : solver::relative_residual_norms(a, b, x)) {
+        rep.worst_true_residual = std::max(rep.worst_true_residual, r);
+    }
+    return rep;
+}
+
+}  // namespace
+
+int main()
+{
+    const index_type target = 1 << 17;
+    const perf::device_spec device = perf::pvc_1s();
+    std::printf("Ablation: fp64 vs fp32 batched solves "
+                "(BatchBicgstab+Jacobi, 2^17 matrices, %s)\n\n",
+                device.name.c_str());
+    for (const double tol : {1e-6, 1e-10}) {
+        std::printf("relative tolerance %.0e:\n", tol);
+        std::printf("%-12s | %11s %8s %11s | %11s %8s %11s | %8s\n",
+                    "input", "fp64 [ms]", "iters", "true res", "fp32 [ms]",
+                    "iters", "true res", "speedup");
+        rule(96);
+        for (const work::mechanism& mech : work::pele_mechanisms()) {
+            const auto d =
+                run_precision<double>(device, mech, tol, target);
+            const auto f = run_precision<float>(device, mech, tol, target);
+            std::printf(
+                "%-12s | %11.3f %8.1f %11.1e | %11.3f %8.1f %11.1e "
+                "| %7.2fx\n",
+                mech.name.c_str(), d.ms, d.iters, d.worst_true_residual,
+                f.ms, f.iters, f.worst_true_residual, d.ms / f.ms);
+        }
+        std::printf("\n");
+    }
+    std::printf(
+        "(fp32 halves the streaming traffic, but the transaction-granular\n"
+        " SLM gathers do not shrink with the element size, so the modeled\n"
+        " gain is modest. More important: at 1e-10 the fp32 recurrence\n"
+        " residual claims convergence while the TRUE residual stalls near\n"
+        " the fp32 resolution — precision must stay a dispatch axis.)\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: work-group vs sub-group reduction strategy (§3.2/§3.6).
+//
+// SYCL offers a work-group-level reduction primitive that stages lane
+// values through SLM; for small systems the sub-group (shuffle) path
+// avoids those SLM round-trips. CUDA only has the warp path. This bench
+// sweeps both strategies over matrix sizes and reports the SLM traffic
+// difference and the modeled runtime.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace bench;
+
+namespace {
+
+measured_solve measure_reduce(const perf::device_spec& device,
+                              const solver::batch_matrix<double>& a,
+                              const mat::batch_dense<double>& b,
+                              xpu::reduce_path path)
+{
+    solver::solve_options opts =
+        stencil_options(solver::solver_type::cg);
+    opts.reduction = path;
+    xpu::queue q(device.make_policy());
+    measured_solve m;
+    m.measured_items =
+        std::visit([](const auto& mm) { return mm.num_batch_items(); }, a);
+    m.rows = std::visit([](const auto& mm) { return mm.rows(); }, a);
+    mat::batch_dense<double> x(m.measured_items, m.rows, 1);
+    m.result = solver::solve(q, a, b, x, opts);
+    m.mean_iterations = m.result.log.mean_iterations();
+    const perf::solve_profile p = make_profile<double>(m.result, a, 1);
+    m.constant_bytes_per_system = p.constant_footprint_per_system;
+    return m;
+}
+
+}  // namespace
+
+int main()
+{
+    const index_type target = 1 << 17;
+    const perf::device_spec device = perf::pvc_1s();
+    std::printf("Ablation: group vs sub-group reduction (paper §3.2), "
+                "BatchCg, 3pt stencil, 2^17 matrices, %s\n\n",
+                device.name.c_str());
+    std::printf("%6s | %12s %14s | %12s %14s | %s\n", "rows", "group[ms]",
+                "SLM GB", "subgrp[ms]", "SLM GB", "winner");
+    rule(80);
+    for (const index_type rows : {8, 16, 32, 64, 128, 256}) {
+        const index_type items = measurement_batch(64);
+        const solver::batch_matrix<double> a =
+            work::stencil_3pt<double>(items, rows, 42);
+        const auto b = work::random_rhs<double>(items, rows, 7);
+        const measured_solve grp =
+            measure_reduce(device, a, b, xpu::reduce_path::group);
+        const measured_solve sub =
+            measure_reduce(device, a, b, xpu::reduce_path::sub_group);
+        const double factor = static_cast<double>(target) / items;
+        const double g_ms = projected_ms(device, grp, target);
+        const double s_ms = projected_ms(device, sub, target);
+        std::printf("%6d | %12.3f %14.2f | %12.3f %14.2f | %s\n", rows,
+                    g_ms, grp.result.stats.slm_bytes * factor * 1e-9, s_ms,
+                    sub.result.stats.slm_bytes * factor * 1e-9,
+                    s_ms <= g_ms ? "sub-group" : "group");
+    }
+    std::printf("\n(sub-group shuffles avoid the SLM round-trips of the "
+                "group primitive — decisive for systems that fit one "
+                "sub-group, §3.2)\n");
+    return 0;
+}

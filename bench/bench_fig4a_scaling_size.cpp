@@ -1,0 +1,48 @@
+// Figure 4a reproduction: runtime of the SYCL batched solvers on one stack
+// of the PVC vs the matrix size, with the batch fixed at 2^17 3-point
+// stencil systems. The paper's claim: runtime increases (almost) linearly
+// with the matrix size for both BatchCg and BatchBicgstab.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace bench;
+
+int main()
+{
+    const index_type target_batch = 1 << 17;
+    const perf::device_spec device = perf::pvc_1s();
+    const index_type sizes[] = {16, 32, 48, 64, 96, 128, 192, 256};
+
+    std::printf("Figure 4a: scaling w.r.t. matrix size "
+                "(3pt stencil, 2^17 matrices, %s)\n\n",
+                device.name.c_str());
+    std::printf("%6s | %12s %10s %8s | %12s %10s %8s\n", "rows",
+                "BatchCg[ms]", "per-row", "iters", "BiCGSTAB[ms]",
+                "per-row", "iters");
+    rule(80);
+
+    for (const index_type rows : sizes) {
+        const index_type items = measurement_batch(64);
+        const solver::batch_matrix<double> a =
+            work::stencil_3pt<double>(items, rows, 42);
+        const auto b = work::random_rhs<double>(items, rows, 7);
+
+        const measured_solve cg =
+            measure(device, a, b, stencil_options(solver::solver_type::cg));
+        const measured_solve bicg = measure(
+            device, a, b, stencil_options(solver::solver_type::bicgstab));
+
+        const double cg_ms = projected_ms(device, cg, target_batch);
+        const double bicg_ms = projected_ms(device, bicg, target_batch);
+        std::printf("%6d | %12.3f %10.5f %8.1f | %12.3f %10.5f %8.1f%s\n",
+                    rows, cg_ms, cg_ms / rows, cg.mean_iterations, bicg_ms,
+                    bicg_ms / rows, bicg.mean_iterations,
+                    cg.converged_all && bicg.converged_all
+                        ? ""
+                        : "  [!unconverged]");
+    }
+    std::printf("\n(per-row column ~ constant indicates the paper's linear "
+                "scaling in the matrix size)\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 4b reproduction: runtime of the SYCL batched solvers on one stack
+// of the PVC vs the number of matrices, for a fixed 64x64 3-point stencil
+// problem. The paper's claim: once the GPU is saturated the runtime grows
+// linearly in the batch size (additional systems wait for resident ones).
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace bench;
+
+int main()
+{
+    const index_type rows = 64;
+    const perf::device_spec device = perf::pvc_1s();
+
+    const index_type items = measurement_batch(64);
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(items, rows, 42);
+    const auto b = work::random_rhs<double>(items, rows, 7);
+    const measured_solve cg =
+        measure(device, a, b, stencil_options(solver::solver_type::cg));
+    const measured_solve bicg = measure(
+        device, a, b, stencil_options(solver::solver_type::bicgstab));
+
+    std::printf("Figure 4b: scaling w.r.t. number of matrices "
+                "(3pt stencil 64x64, %s)\n\n",
+                device.name.c_str());
+    std::printf("%10s | %12s %12s | %12s %12s\n", "batch", "BatchCg[ms]",
+                "per-2^13", "BiCGSTAB[ms]", "per-2^13");
+    rule(70);
+    const double cg_base = projected_ms(device, cg, 1 << 13);
+    const double bicg_base = projected_ms(device, bicg, 1 << 13);
+    for (int p = 13; p <= 17; ++p) {
+        const index_type batch = 1 << p;
+        const double cg_ms = projected_ms(device, cg, batch);
+        const double bicg_ms = projected_ms(device, bicg, batch);
+        std::printf("%10d | %12.3f %12.3f | %12.3f %12.3f\n", batch, cg_ms,
+                    cg_ms / cg_base, bicg_ms, bicg_ms / bicg_base);
+    }
+    std::printf("\n(the per-2^13 column doubling with the batch size is the "
+                "paper's linear batch scaling)\n");
+    return 0;
+}

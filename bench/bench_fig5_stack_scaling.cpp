@@ -1,0 +1,56 @@
+// Figure 5 reproduction: implicit scaling across the two PVC stacks.
+//
+// The same 2^17-system stencil workload is projected on one stack (PVC-1S)
+// and on both stacks under the driver's implicit scaling (PVC-2S). The
+// paper reports 1.5x-2.0x speedup, on average 1.8x for BatchCg and 1.9x for
+// BatchBicgstab, growing with the matrix size.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace bench;
+
+int main()
+{
+    const index_type target_batch = 1 << 17;
+    const perf::device_spec one = perf::pvc_1s();
+    const perf::device_spec two = perf::pvc_2s();
+    const index_type sizes[] = {16, 32, 64, 128, 256};
+
+    std::printf("Figure 5: implicit scaling on 1 vs 2 stacks of the PVC "
+                "(3pt stencil, 2^17 matrices)\n\n");
+    std::printf("%6s | %10s %10s %8s | %10s %10s %8s\n", "rows", "CG 1S",
+                "CG 2S", "speedup", "BiCG 1S", "BiCG 2S", "speedup");
+    rule(78);
+
+    double cg_speedup_sum = 0.0;
+    double bicg_speedup_sum = 0.0;
+    int count = 0;
+    for (const index_type rows : sizes) {
+        const index_type items = measurement_batch(64);
+        const solver::batch_matrix<double> a =
+            work::stencil_3pt<double>(items, rows, 42);
+        const auto b = work::random_rhs<double>(items, rows, 7);
+        // The kernels are identical on 1 and 2 stacks (the driver splits
+        // the batch transparently): measure once, project on both devices.
+        const measured_solve cg =
+            measure(one, a, b, stencil_options(solver::solver_type::cg));
+        const measured_solve bicg = measure(
+            one, a, b, stencil_options(solver::solver_type::bicgstab));
+
+        const double cg1 = projected_ms(one, cg, target_batch);
+        const double cg2 = projected_ms(two, cg, target_batch);
+        const double bi1 = projected_ms(one, bicg, target_batch);
+        const double bi2 = projected_ms(two, bicg, target_batch);
+        std::printf("%6d | %10.3f %10.3f %7.2fx | %10.3f %10.3f %7.2fx\n",
+                    rows, cg1, cg2, cg1 / cg2, bi1, bi2, bi1 / bi2);
+        cg_speedup_sum += cg1 / cg2;
+        bicg_speedup_sum += bi1 / bi2;
+        ++count;
+    }
+    rule(78);
+    std::printf("average speedup: BatchCg %.2fx, BatchBicgstab %.2fx "
+                "(paper: 1.8x / 1.9x, range 1.5x-2.0x)\n",
+                cg_speedup_sum / count, bicg_speedup_sum / count);
+    return 0;
+}

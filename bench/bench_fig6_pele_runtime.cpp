@@ -1,0 +1,64 @@
+// Figure 6 reproduction: BatchBicgstab runtime on the PeleLM inputs.
+//
+// For each of the five mechanisms (Table 4) and batch sizes 2^13..2^17,
+// prints the modeled runtime on the NVIDIA A100 and H100 (CUDA execution
+// model) and on one/two stacks of the Intel PVC (SYCL execution model).
+// All inputs use BatchCsr storage and the scalar Jacobi preconditioner
+// (§4.1); the chemistry systems are non-SPD so only BatchBicgstab applies
+// (§4.3). The paper's claim: the PVC-2S outperforms both NVIDIA GPUs for
+// all inputs and batch sizes.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace bench;
+
+int main()
+{
+    const perf::device_spec devices[] = {perf::a100(), perf::h100(),
+                                         perf::pvc_1s(), perf::pvc_2s()};
+
+    std::printf("Figure 6: runtime [ms] of BatchBicgstab(+scalar Jacobi) "
+                "on the PeleLM inputs\n\n");
+    for (const work::mechanism& mech : work::pele_mechanisms()) {
+        const index_type items = measurement_batch(mech.num_unique);
+        const solver::batch_matrix<double> a =
+            work::generate_mechanism_batch<double>(mech, items);
+        const auto b = work::mechanism_rhs<double>(items, mech.rows, 77);
+
+        // One measurement per distinct execution policy: the CUDA-model
+        // kernels differ (warp-32, no group reduction, different SLM
+        // budget), the two PVC variants share kernels.
+        const measured_solve on_a100 =
+            measure(devices[0], a, b, pele_options());
+        const measured_solve on_h100 =
+            measure(devices[1], a, b, pele_options());
+        const measured_solve on_pvc =
+            measure(devices[2], a, b, pele_options());
+        const measured_solve* per_device[] = {&on_a100, &on_h100, &on_pvc,
+                                              &on_pvc};
+
+        std::printf("(%s)  matrix size: %d x %d, nnz %d, mean iters %.1f\n",
+                    mech.name.c_str(), mech.rows, mech.rows, mech.nnz,
+                    on_pvc.mean_iterations);
+        std::printf("%10s |", "batch");
+        for (const auto& d : devices) {
+            std::printf(" %10s", d.name.c_str());
+        }
+        std::printf("\n");
+        rule(58);
+        for (int p = 13; p <= 17; ++p) {
+            const index_type batch = 1 << p;
+            std::printf("%10d |", batch);
+            for (int d = 0; d < 4; ++d) {
+                std::printf(" %10.3f",
+                            projected_ms(devices[d], *per_device[d], batch));
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    std::printf("(paper: PVC-2S fastest for all inputs and batch sizes; "
+                "runtimes scale linearly in the batch)\n");
+    return 0;
+}

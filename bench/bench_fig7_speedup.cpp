@@ -1,0 +1,80 @@
+// Figure 7 reproduction: normalized speedup on the PeleLM inputs with
+// 2^17 matrices, baseline = A100 runtime.
+//
+// The paper reports averages across the five inputs: PVC-1S 1.7x vs A100
+// and 1.3x vs H100; PVC-2S 3.1x vs A100 and 2.4x vs H100; gri12 is the one
+// case where PVC-1S does not clearly beat the NVIDIA GPUs.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace bench;
+
+int main()
+{
+    const index_type target_batch = 1 << 17;
+    const perf::device_spec devices[] = {perf::a100(), perf::h100(),
+                                         perf::pvc_1s(), perf::pvc_2s()};
+
+    std::printf("Figure 7: normalized speedup vs A100 "
+                "(PeleLM inputs, 2^17 matrices, BatchBicgstab+Jacobi)\n\n");
+    std::printf("%-12s |", "input");
+    for (const auto& d : devices) {
+        std::printf(" %8s", d.name.c_str());
+    }
+    std::printf("\n");
+    rule(52);
+
+    double sum_speedup[4] = {0, 0, 0, 0};
+    double h100_ms_sum = 0.0;
+    double pvc1_ms_sum = 0.0;
+    double pvc2_ms_sum = 0.0;
+    double speedup_vs_h100_1s = 0.0;
+    double speedup_vs_h100_2s = 0.0;
+    int count = 0;
+    for (const work::mechanism& mech : work::pele_mechanisms()) {
+        const index_type items = measurement_batch(mech.num_unique);
+        const solver::batch_matrix<double> a =
+            work::generate_mechanism_batch<double>(mech, items);
+        const auto b = work::mechanism_rhs<double>(items, mech.rows, 77);
+
+        const measured_solve on_a100 =
+            measure(devices[0], a, b, pele_options());
+        const measured_solve on_h100 =
+            measure(devices[1], a, b, pele_options());
+        const measured_solve on_pvc =
+            measure(devices[2], a, b, pele_options());
+        const measured_solve* per_device[] = {&on_a100, &on_h100, &on_pvc,
+                                              &on_pvc};
+
+        double ms[4];
+        for (int d = 0; d < 4; ++d) {
+            ms[d] = projected_ms(devices[d], *per_device[d], target_batch);
+        }
+        std::printf("%-12s |", mech.name.c_str());
+        for (int d = 0; d < 4; ++d) {
+            std::printf(" %7.2fx", ms[0] / ms[d]);
+            sum_speedup[d] += ms[0] / ms[d];
+        }
+        std::printf("\n");
+        h100_ms_sum += ms[1];
+        pvc1_ms_sum += ms[2];
+        pvc2_ms_sum += ms[3];
+        speedup_vs_h100_1s += ms[1] / ms[2];
+        speedup_vs_h100_2s += ms[1] / ms[3];
+        ++count;
+    }
+    rule(52);
+    std::printf("%-12s |", "average");
+    for (int d = 0; d < 4; ++d) {
+        std::printf(" %7.2fx", sum_speedup[d] / count);
+    }
+    std::printf("\n\n");
+    std::printf("average vs H100:  PVC-1S %.2fx (paper 1.3x),  "
+                "PVC-2S %.2fx (paper 2.4x)\n",
+                speedup_vs_h100_1s / count, speedup_vs_h100_2s / count);
+    std::printf("average vs A100:  PVC-1S %.2fx (paper 1.7x),  "
+                "PVC-2S %.2fx (paper 3.1x)\n",
+                sum_speedup[2] / count, sum_speedup[3] / count);
+    return 0;
+}

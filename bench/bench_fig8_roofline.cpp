@@ -1,0 +1,64 @@
+// Figure 8 reproduction: roofline analysis and memory metrics of
+// BatchBicgstab for the dodecane_lu input with 2^17 matrices on one stack
+// of the PVC.
+//
+// The paper's Advisor findings this bench reproduces in shape:
+//  * ~50% XVE threading occupancy (SLM footprint limits resident groups),
+//  * the majority of memory-transaction time spent on SLM requests (~65%),
+//  * SLM traffic far exceeding L3 and HBM traffic (~3 TB through SLM),
+//  * constant operands (matrices + rhs) served from the L3,
+//  * the kernel sitting under the L3/SLM bandwidth region of the roofline,
+//    not reaching the SLM bandwidth roof.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace bench;
+
+int main()
+{
+    const index_type target_batch = 1 << 17;
+    const perf::device_spec device = perf::pvc_1s();
+    const work::mechanism mech = work::mechanism_by_name("dodecane_lu");
+
+    const index_type items = measurement_batch(mech.num_unique);
+    const solver::batch_matrix<double> a =
+        work::generate_mechanism_batch<double>(mech, items);
+    const auto b = work::mechanism_rhs<double>(items, mech.rows, 77);
+    const measured_solve m = measure(device, a, b, pele_options());
+
+    perf::solve_profile profile;
+    const double factor =
+        static_cast<double>(target_batch) / m.measured_items;
+    profile.totals = perf::scale_counters(m.result.stats, factor);
+    profile.num_systems = target_batch;
+    profile.work_group_size = m.result.config.work_group_size;
+    profile.thread_utilization =
+        solver::thread_utilization(m.result.config, m.rows);
+    profile.constant_footprint_per_system = m.constant_bytes_per_system;
+    profile.fp64 = true;
+
+    std::printf("Figure 8: roofline analysis of BatchBicgstab, "
+                "dodecane_lu, 2^17 matrices, %s\n\n",
+                device.name.c_str());
+    const perf::roofline_report report =
+        perf::analyze_roofline(device, profile);
+    perf::print_roofline(std::cout, device, report);
+
+    const perf::time_breakdown t = perf::estimate_time(device, profile);
+    std::printf("\nsolver kernel: %d work-groups of %d items "
+                "(sub-group %d, %s reduction), SLM footprint %lld B/group\n",
+                profile.num_systems, profile.work_group_size,
+                m.result.config.sub_group_size,
+                xpu::to_string(m.result.config.reduction).c_str(),
+                static_cast<long long>(
+                    m.result.stats.slm_footprint_bytes));
+    std::printf("groups in flight: %d, projected runtime %.3f ms\n",
+                t.groups_in_flight, t.total_seconds * 1e3);
+    std::printf("\npaper reference: ~50%% XVE occupancy, ~65%% of memory "
+                "time on SLM, SLM >> L3/HBM traffic,\n"
+                "                 performance on the L3 roof and below the "
+                "SLM bandwidth roof\n");
+    return 0;
+}

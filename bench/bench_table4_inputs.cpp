@@ -1,0 +1,43 @@
+// Table 4 reproduction: the input-data reference.
+//
+// Prints the generated workload statistics next to the paper's values and
+// fails (non-zero exit) if any generated quantity deviates from Table 4.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.hpp"
+#include "matrix/properties.hpp"
+
+using namespace bench;
+
+int main()
+{
+    std::printf("Table 4: reference for data inputs (generated vs paper)\n\n");
+    std::printf("%-12s | %10s | %12s | %12s | %8s | %8s\n", "input case",
+                "# unique", "matrix size", "# nnz/matrix", "sym?",
+                "dd?");
+    rule(78);
+    std::printf("%-12s | %10s | %12s | %12s | %8s | %8s\n", "3pt stencil",
+                "-", "n x n", "3 x n_rows", "yes", "yes");
+
+    bool ok = true;
+    for (const work::mechanism& mech : work::pele_mechanisms()) {
+        const auto a = work::generate_mechanism<double>(mech);
+        const auto stats = mat::analyze_pattern(a);
+        const bool sym = mat::is_symmetric(a, 0, 1e-12);
+        const bool dd = mat::is_diagonally_dominant(a, 0);
+        std::printf("%-12s | %10d | %5d x %-5d | %12d | %8s | %8s\n",
+                    mech.name.c_str(), a.num_batch_items(), stats.rows,
+                    stats.cols, stats.nnz, sym ? "yes" : "no",
+                    dd ? "yes" : "no");
+        ok = ok && a.num_batch_items() == mech.num_unique &&
+             stats.rows == mech.rows && stats.nnz == mech.nnz && !sym;
+    }
+    rule(78);
+    std::printf("paper Table 4:  drm19 67/22x22/438, gri12 73/33x33/978, "
+                "gri30 90/54x54/2560,\n                dodecane_lu "
+                "78/54x54/2332, isooctane 72/144x144/6135\n");
+    std::printf("generated stats %s the paper's Table 4\n",
+                ok ? "MATCH" : "DO NOT MATCH");
+    return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,63 @@
+// Table 5 reproduction: GPU specifications of the performance model.
+//
+// Prints the Table 5 rows (FP64 peak, HBM bandwidth, SLM size) for the
+// four modeled devices plus the additional model parameters (documented
+// calibration constants; see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace bench;
+
+int main()
+{
+    std::printf("Table 5: GPU specifications (paper rows + model "
+                "parameters)\n\n");
+    std::printf("%-28s", "");
+    for (const auto& d : perf::paper_devices()) {
+        std::printf(" | %10s", d.name.c_str());
+    }
+    std::printf("\n");
+    rule(80);
+
+    auto row_f = [](const char* label, auto getter) {
+        std::printf("%-28s", label);
+        for (const auto& d : perf::paper_devices()) {
+            std::printf(" | %10.6g", getter(d));
+        }
+        std::printf("\n");
+    };
+    std::printf("--- paper Table 5 rows\n");
+    row_f("FP64 Peak (TFLOPs)",
+          [](const perf::device_spec& d) { return d.fp64_peak_tflops; });
+    row_f("HBM BW Peak (TB/s)",
+          [](const perf::device_spec& d) { return d.hbm_bw_tbs; });
+    row_f("Shared Local Mem. (KB)", [](const perf::device_spec& d) {
+        return static_cast<double>(d.slm_per_core_bytes) / 1024.0;
+    });
+    std::printf("--- model parameters (calibration, see EXPERIMENTS.md)\n");
+    row_f("cores (SM / Xe-core)", [](const perf::device_spec& d) {
+        return static_cast<double>(d.num_cores);
+    });
+    row_f("stacks", [](const perf::device_spec& d) {
+        return static_cast<double>(d.num_stacks);
+    });
+    row_f("SLM BW per core (GB/s)",
+          [](const perf::device_spec& d) { return d.slm_bw_core_gbs; });
+    row_f("L2/L3 BW (TB/s)",
+          [](const perf::device_spec& d) { return d.l2_bw_tbs; });
+    row_f("L2/L3 size (MB)", [](const perf::device_spec& d) {
+        return static_cast<double>(d.l2_size_bytes) / (1024.0 * 1024.0);
+    });
+    row_f("kernel launch (us)",
+          [](const perf::device_spec& d) { return d.kernel_launch_us; });
+    row_f("model efficiency",
+          [](const perf::device_spec& d) { return d.efficiency; });
+
+    std::printf("\nprogramming model:          ");
+    for (const auto& d : perf::paper_devices()) {
+        std::printf(" | %10s", xpu::to_string(d.model).c_str());
+    }
+    std::printf("\n");
+    return 0;
+}

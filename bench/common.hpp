@@ -1,0 +1,121 @@
+// Shared infrastructure of the benchmark harness.
+//
+// Every figure bench follows the same recipe: run the real batched solver
+// kernels through the execution-model simulator at a *measurement* batch
+// size (large enough to be statistically converged — the systems are
+// near-identical replicas), then project the instrumented counters to the
+// paper's full batch sizes (up to 2^17) with the device performance model.
+// Counters scale linearly in the batch size because batch entries are
+// independent; this keeps the harness runnable on a laptop while modeling
+// the paper's full problem sizes. See DESIGN.md §1 and EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "batchlin/batchlin.hpp"
+
+namespace bench {
+
+using namespace batchlin;
+
+/// One measured solve: the result plus everything needed to project it.
+struct measured_solve {
+    solver::solve_result result;
+    index_type measured_items = 0;
+    index_type rows = 0;
+    size_type constant_bytes_per_system = 0;
+    bool converged_all = false;
+    double mean_iterations = 0.0;
+};
+
+/// Runs `opts` on `a`/`b` under the device's execution policy and returns
+/// the measurement record. The matrix is passed as the variant so format
+/// dispatch stays on the public path.
+inline measured_solve measure(const perf::device_spec& device,
+                              const solver::batch_matrix<double>& a,
+                              const mat::batch_dense<double>& b,
+                              const solver::solve_options& opts)
+{
+    measured_solve m;
+    m.measured_items =
+        std::visit([](const auto& mm) { return mm.num_batch_items(); }, a);
+    m.rows = std::visit([](const auto& mm) { return mm.rows(); }, a);
+    mat::batch_dense<double> x(m.measured_items, m.rows, 1);
+    xpu::queue q(device.make_policy());
+    m.result = solver::solve(q, a, b, x, opts);
+    m.converged_all =
+        m.result.log.num_converged() == m.measured_items;
+    m.mean_iterations = m.result.log.mean_iterations();
+    const perf::solve_profile p = make_profile<double>(m.result, a, 1);
+    m.constant_bytes_per_system = p.constant_footprint_per_system;
+    return m;
+}
+
+/// Device-model runtime of the measured solve projected to `target` items.
+inline perf::time_breakdown project(const perf::device_spec& device,
+                                    const measured_solve& m,
+                                    index_type target)
+{
+    perf::solve_profile profile;
+    const double factor = static_cast<double>(target) /
+                          static_cast<double>(m.measured_items);
+    profile.totals = perf::scale_counters(m.result.stats, factor);
+    profile.num_systems = target;
+    profile.work_group_size = m.result.config.work_group_size;
+    profile.thread_utilization =
+        solver::thread_utilization(m.result.config, m.rows);
+    profile.constant_footprint_per_system = m.constant_bytes_per_system;
+    profile.fp64 = true;
+    return perf::estimate_time(device, profile);
+}
+
+inline double projected_ms(const perf::device_spec& device,
+                           const measured_solve& m, index_type target)
+{
+    return project(device, m, target).total_seconds * 1e3;
+}
+
+/// Measurement batch size: enough replicas of the unique set to make the
+/// per-system average stable, small enough to run quickly on a laptop.
+inline index_type measurement_batch(index_type num_unique)
+{
+    index_type items = num_unique;
+    while (items < 192) {
+        items += num_unique;
+    }
+    return items;
+}
+
+/// Prints a separator line sized to the table width.
+inline void rule(int width)
+{
+    for (int i = 0; i < width; ++i) {
+        std::putchar('-');
+    }
+    std::putchar('\n');
+}
+
+/// The paper's BiCGSTAB configuration for the PeleLM inputs (§4.1): scalar
+/// Jacobi preconditioner, BatchCsr storage.
+inline solver::solve_options pele_options()
+{
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::bicgstab;
+    opts.preconditioner = precond::type::jacobi;
+    opts.criterion = stop::relative(1e-8, 200);
+    return opts;
+}
+
+/// The paper's synthetic-scaling configuration (§4.2).
+inline solver::solve_options stencil_options(solver::solver_type s)
+{
+    solver::solve_options opts;
+    opts.solver = s;
+    opts.preconditioner = precond::type::none;
+    opts.criterion = stop::relative(1e-8, 300);
+    return opts;
+}
+
+}  // namespace bench

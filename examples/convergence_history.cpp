@@ -1,0 +1,84 @@
+// Per-system convergence monitoring in depth: record the full residual
+// trajectory of every system (the optional history of the batch logger)
+// and print the decay of the fastest, median, and slowest system for each
+// solver — the monitoring capability the paper names as a design goal
+// ("monitor the solver convergence for each system in the batch
+// individually", §3).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "batchlin/batchlin.hpp"
+
+using namespace batchlin;
+
+int main()
+{
+    const index_type items = 256;
+    const index_type rows = 64;
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(items, rows, 42);
+    const auto b = work::random_rhs<double>(items, rows, 7);
+
+    for (const auto kind :
+         {solver::solver_type::cg, solver::solver_type::bicgstab,
+          solver::solver_type::gmres}) {
+        solver::solve_options opts;
+        opts.solver = kind;
+        opts.preconditioner = precond::type::jacobi;
+        opts.criterion = stop::relative(1e-10, 200);
+        opts.gmres_restart = 30;
+        opts.record_history = true;
+
+        mat::batch_dense<double> x(items, rows, 1);
+        xpu::queue q(xpu::make_sycl_policy());
+        const auto result = solver::solve(q, a, b, x, opts);
+
+        // Rank systems by iteration count.
+        std::vector<index_type> order(items);
+        for (index_type i = 0; i < items; ++i) {
+            order[i] = i;
+        }
+        std::sort(order.begin(), order.end(),
+                  [&](index_type l, index_type r) {
+                      return result.log.iterations(l) <
+                             result.log.iterations(r);
+                  });
+        const index_type fastest = order.front();
+        const index_type median = order[items / 2];
+        const index_type slowest = order.back();
+
+        std::printf("%s: iterations %d (fastest) / %d (median) / %d "
+                    "(slowest), %d/%d converged\n",
+                    solver::to_string(kind).c_str(),
+                    result.log.iterations(fastest),
+                    result.log.iterations(median),
+                    result.log.iterations(slowest),
+                    result.log.num_converged(), items);
+        std::printf("%6s | %14s %14s %14s\n", "iter", "fastest", "median",
+                    "slowest");
+        const index_type show = result.log.iterations(slowest);
+        for (index_type it = 0; it < show; it += std::max(show / 8, 1)) {
+            auto cell = [&](index_type system) {
+                const double r = result.log.residual_at(system, it);
+                // Systems that already left the loop print "done".
+                return std::isnan(r) ? std::string("          done")
+                                     : [&] {
+                                           char buf[32];
+                                           std::snprintf(buf, sizeof(buf),
+                                                         "%14.3e", r);
+                                           return std::string(buf);
+                                       }();
+            };
+            std::printf("%6d | %s %s %s\n", it + 1, cell(fastest).c_str(),
+                        cell(median).c_str(), cell(slowest).c_str());
+        }
+        std::printf("\n");
+    }
+    std::printf("(each system leaves the fused kernel's loop as soon as "
+                "its own criterion is met — the trajectories end at "
+                "different iterations)\n");
+    return 0;
+}

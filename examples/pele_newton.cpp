@@ -1,0 +1,95 @@
+// PeleLM-style outer loop: BDF/Newton chemistry integration with batched
+// inner linear solves (the paper's motivating application, §1/§2).
+//
+// Each mesh cell carries a stiff reaction ODE; a BDF step requires solving
+// the non-linear system with Newton, and every Newton step solves one
+// linear system per cell — all cells sharing the Jacobian sparsity
+// pattern. This example demonstrates the two properties the paper argues
+// make batched *iterative* solvers the right tool here:
+//  1. warm starts: the previous Newton step's solution seeds the next
+//     solve, cutting iterations sharply;
+//  2. tunable accuracy: the linear tolerance follows the outer Newton
+//     residual instead of always solving to machine precision.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "batchlin/batchlin.hpp"
+
+using namespace batchlin;
+
+namespace {
+
+/// Simulated Newton update: A_i changes mildly between steps (gamma and
+/// the linearization point move), the rhs is the new Newton residual.
+void advance_systems(mat::batch_csr<double>& a, mat::batch_dense<double>& b,
+                     rng& gen, double step_scale)
+{
+    for (index_type item = 0; item < a.num_batch_items(); ++item) {
+        double* vals = a.item_values(item);
+        for (index_type k = 0; k < a.nnz(); ++k) {
+            vals[k] *= 1.0 + step_scale * gen.uniform(-0.05, 0.05);
+        }
+    }
+    for (double& v : b.values()) {
+        v *= step_scale;
+    }
+}
+
+}  // namespace
+
+int main()
+{
+    const work::mechanism mech = work::mechanism_by_name("dodecane_lu");
+    const index_type cells = 1024;  // mesh cells == batch entries
+    const index_type newton_steps = 6;
+
+    mat::batch_csr<double> a_csr =
+        work::generate_mechanism_batch<double>(mech, cells);
+    mat::batch_dense<double> b =
+        work::mechanism_rhs<double>(cells, mech.rows, 77);
+    mat::batch_dense<double> x(cells, mech.rows, 1);
+    rng gen(2026);
+
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::bicgstab;
+    opts.preconditioner = precond::type::jacobi;
+    batch_solver handle(perf::pvc_1s(), opts);
+
+    std::printf("PeleLM-style Newton loop: %d cells of %s (%dx%d, nnz %d)\n",
+                cells, mech.name.c_str(), mech.rows, mech.rows, mech.nnz);
+    std::printf("%6s | %10s | %12s | %12s | %14s\n", "step", "lin. tol",
+                "mean iters", "max iters", "worst rel.res");
+    for (int step = 0; step < newton_steps; ++step) {
+        // Tunable accuracy: the Newton residual contracts, so the linear
+        // tolerance tightens with it — early steps solve loosely (§2.1).
+        const double newton_residual = std::pow(10.0, -1.5 * step);
+        const double lin_tol =
+            std::max(1e-10, 1e-2 * newton_residual);
+        handle.options().criterion = stop::relative(lin_tol, 200);
+
+        // Warm start: x still holds the previous step's solution.
+        const solver::batch_matrix<double> a = a_csr;
+        const solver::solve_result result = handle.solve<double>(a, b, x);
+
+        const auto rel = solver::relative_residual_norms(a, b, x);
+        double worst = 0.0;
+        for (double r : rel) {
+            worst = std::max(worst, r);
+        }
+        std::printf("%6d | %10.1e | %12.1f | %12d | %14.3e%s\n", step,
+                    lin_tol, result.log.mean_iterations(),
+                    result.log.max_iterations(), worst,
+                    result.log.num_converged() == cells ? ""
+                                                        : "  [!]");
+
+        // Outer update: perturb the Jacobians and shrink the residual.
+        advance_systems(a_csr, b, gen, 0.3);
+    }
+
+    std::printf("\nlater steps start from the previous solution and a "
+                "looser-to-tighter tolerance schedule —\nthe iteration "
+                "counts show the warm-start benefit the paper motivates "
+                "batched iterative solvers with.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+// batchlin — batched sparse iterative solvers with a SYCL-like execution
+// model and an analytic GPU performance model.
+//
+// Umbrella header: includes the entire public API. Fine-grained headers
+// are available under the src/ module directories (util/, xpu/, matrix/,
+// blas/, precond/, stop/, log/, solver/, perfmodel/, workload/).
+#pragma once
+
+// Utilities
+#include "util/dense_lu.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+// Execution-model simulator (SYCL-like queues, work-groups, SLM)
+#include "xpu/arena.hpp"
+#include "xpu/counters.hpp"
+#include "xpu/group.hpp"
+#include "xpu/policy.hpp"
+#include "xpu/queue.hpp"
+#include "xpu/span.hpp"
+
+// Batched matrix formats
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_dense.hpp"
+#include "matrix/batch_ell.hpp"
+#include "matrix/conversions.hpp"
+#include "matrix/io.hpp"
+#include "matrix/operations.hpp"
+#include "matrix/properties.hpp"
+
+// Device-side building blocks
+#include "blas/device_blas.hpp"
+#include "blas/matrix_view.hpp"
+#include "blas/spmv.hpp"
+
+// Preconditioners
+#include "precond/block_jacobi.hpp"
+#include "precond/identity.hpp"
+#include "precond/ilu0.hpp"
+#include "precond/isai.hpp"
+#include "precond/jacobi.hpp"
+#include "precond/types.hpp"
+
+// Stopping criteria and logging
+#include "log/logger.hpp"
+#include "stop/criterion.hpp"
+
+// Solvers and dispatch
+#include "solver/dispatch.hpp"
+#include "solver/handle.hpp"
+#include "solver/launch.hpp"
+#include "solver/options.hpp"
+#include "solver/direct.hpp"
+#include "solver/residual.hpp"
+#include "solver/trsv.hpp"
+#include "solver/workspace.hpp"
+
+// Performance model and roofline analysis
+#include "perfmodel/cluster.hpp"
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/device_spec.hpp"
+#include "perfmodel/roofline.hpp"
+
+// Workload generators
+#include "workload/chemistry.hpp"
+#include "workload/replicate.hpp"
+#include "workload/stencil.hpp"

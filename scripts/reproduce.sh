@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Reproduces the full evaluation: build, test suite, every table/figure
+# bench, the ablations, and the examples — the analogue of the paper's
+# run-test-dpcpp.sh / run-test-cuda.sh reproducibility scripts.
+#
+# Usage: scripts/reproduce.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+RESULTS_DIR=${2:-results}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+
+mkdir -p "$RESULTS_DIR"
+
+echo "== configure & build"
+cmake -B "$BUILD_DIR" -G Ninja >/dev/null
+cmake --build "$BUILD_DIR"
+
+echo "== test suite"
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    | tee "$RESULTS_DIR/ctest.txt" | tail -3
+
+echo "== tables and figures"
+for bench in "$BUILD_DIR"/bench/*; do
+    name=$(basename "$bench")
+    echo "-- $name"
+    "$bench" | tee "$RESULTS_DIR/$name.txt" >/dev/null
+done
+
+echo "== examples"
+for example in quickstart pele_newton stencil_scaling explicit_scaling \
+               batched_from_files convergence_history; do
+    echo "-- $example"
+    "$BUILD_DIR/examples/$example" \
+        | tee "$RESULTS_DIR/example_$example.txt" >/dev/null
+done
+
+echo "== headline comparison (Figure 7)"
+grep -A3 "average vs" "$RESULTS_DIR/bench_fig7_speedup.txt" || true
+echo
+echo "results written to $RESULTS_DIR/"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Sweeps the CLI driver over every (input x device) pair and collects the
+# JSON records — a scripting example for regression tracking.
+#
+# Usage: scripts/sweep_devices.sh [build-dir] > sweep.jsonl
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BATCHSOLVE="$ROOT/$BUILD_DIR/tools/batchsolve"
+
+for input in drm19 gri12 gri30 dodecane_lu isooctane; do
+    for device in A100 H100 PVC-1S PVC-2S; do
+        "$BATCHSOLVE" --input "$input" --batch 268 --device "$device" \
+            --precond jacobi --verify --json
+    done
+done

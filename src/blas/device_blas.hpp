@@ -1,0 +1,140 @@
+// Device-side BLAS-1 building blocks (paper §3.2).
+//
+// These are the inlined device functions the batched solvers are composed
+// of: dot, norm, axpy-style updates, copies. Each executes within one
+// work-group (= one linear system) as a barrier-delimited phase and charges
+// its floating-point work and its per-operand memory traffic to the
+// work-group's counters, attributed to the operand's memory space. Sharing
+// these blocks across all solvers mirrors the paper's code-reuse argument.
+#pragma once
+
+#include "xpu/group.hpp"
+#include "xpu/span.hpp"
+
+namespace batchlin::blas {
+
+using xpu::dspan;
+using xpu::mem_space;
+
+namespace detail {
+
+/// Charges `n` element reads of `s` to the counters of `g`.
+template <typename T>
+void charge_read(xpu::group& g, const dspan<T>& s, index_type n)
+{
+    const double bytes = static_cast<double>(n) * sizeof(T);
+    switch (s.space) {
+    case mem_space::slm:
+        g.stats().slm_bytes += bytes;
+        break;
+    case mem_space::constant:
+        g.stats().constant_read_bytes += bytes;
+        break;
+    case mem_space::global:
+        g.stats().global_read_bytes += bytes;
+        break;
+    }
+}
+
+/// Charges `n` element writes of `s`; read-only space is promoted to global
+/// (a kernel writing a "constant" operand is outside the model).
+template <typename T>
+void charge_write(xpu::group& g, const dspan<T>& s, index_type n)
+{
+    const double bytes = static_cast<double>(n) * sizeof(T);
+    if (s.space == mem_space::slm) {
+        g.stats().slm_bytes += bytes;
+    } else {
+        g.stats().global_write_bytes += bytes;
+    }
+}
+
+}  // namespace detail
+
+/// x[i] = value for all i.
+template <typename T>
+void fill(xpu::group& g, dspan<T> x, T value)
+{
+    g.for_items(x.len, [&](index_type i) { x[i] = value; });
+    detail::charge_write(g, x, x.len);
+}
+
+/// dst = src (lengths must match; validated by the workspace planner).
+template <typename T>
+void copy(xpu::group& g, dspan<const T> src, dspan<T> dst)
+{
+    g.for_items(src.len, [&](index_type i) { dst[i] = src[i]; });
+    detail::charge_read(g, src, src.len);
+    detail::charge_write(g, dst, src.len);
+}
+
+/// x *= alpha.
+template <typename T>
+void scale(xpu::group& g, T alpha, dspan<T> x)
+{
+    g.for_items(x.len, [&](index_type i) { x[i] *= alpha; });
+    g.stats().flops += static_cast<double>(x.len);
+    detail::charge_read(g, x, x.len);
+    detail::charge_write(g, x, x.len);
+}
+
+/// y += alpha * x.
+template <typename T>
+void axpy(xpu::group& g, T alpha, dspan<const T> x, dspan<T> y)
+{
+    g.for_items(x.len, [&](index_type i) { y[i] += alpha * x[i]; });
+    g.stats().flops += 2.0 * x.len;
+    detail::charge_read(g, x, x.len);
+    detail::charge_read(g, dspan<const T>{y.data, y.len, y.space}, y.len);
+    detail::charge_write(g, y, y.len);
+}
+
+/// y = alpha * x + beta * y.
+template <typename T>
+void axpby(xpu::group& g, T alpha, dspan<const T> x, T beta, dspan<T> y)
+{
+    g.for_items(x.len,
+                [&](index_type i) { y[i] = alpha * x[i] + beta * y[i]; });
+    g.stats().flops += 3.0 * x.len;
+    detail::charge_read(g, x, x.len);
+    detail::charge_read(g, dspan<const T>{y.data, y.len, y.space}, y.len);
+    detail::charge_write(g, y, y.len);
+}
+
+/// out[i] = a[i] * b[i] — the scalar-Jacobi application.
+template <typename T>
+void elementwise_mult(xpu::group& g, dspan<const T> a, dspan<const T> b,
+                      dspan<T> out)
+{
+    g.for_items(a.len, [&](index_type i) { out[i] = a[i] * b[i]; });
+    g.stats().flops += static_cast<double>(a.len);
+    detail::charge_read(g, a, a.len);
+    detail::charge_read(g, b, b.len);
+    detail::charge_write(g, out, a.len);
+}
+
+/// Work-group dot product using the selected reduction strategy (§3.2).
+template <typename T>
+T dot(xpu::group& g, dspan<const T> x, dspan<const T> y,
+      xpu::reduce_path path)
+{
+    detail::charge_read(g, x, x.len);
+    detail::charge_read(g, y, y.len);
+    g.stats().flops += static_cast<double>(x.len);  // multiplies
+    return g.reduce_sum<T>(
+        x.len, [&](index_type i) { return x[i] * y[i]; }, path);
+}
+
+/// Euclidean norm via the same reduction machinery.
+template <typename T>
+T nrm2(xpu::group& g, dspan<const T> x, xpu::reduce_path path)
+{
+    detail::charge_read(g, x, x.len);
+    g.stats().flops += static_cast<double>(x.len);
+    const T sq = g.reduce_sum<T>(
+        x.len, [&](index_type i) { return x[i] * x[i]; }, path);
+    using std::sqrt;
+    return sqrt(sq);
+}
+
+}  // namespace batchlin::blas

@@ -1,0 +1,67 @@
+// Device-side views of one batch item of each matrix format.
+//
+// Solver kernels are templated on the view type (the Format axis of the
+// multi-level dispatch, §3.3), so the SpMV specialization is resolved at
+// compile time and the fused kernel contains no format branches (§3.4).
+#pragma once
+
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_dense.hpp"
+#include "matrix/batch_ell.hpp"
+#include "xpu/span.hpp"
+
+namespace batchlin::blas {
+
+/// One CSR batch item: shared pattern + this item's values. The values span
+/// carries its memory-space tag, so the same view type serves both the
+/// system matrix (constant, L3-cacheable) and SLM-resident ILU factors.
+template <typename T>
+struct csr_view {
+    index_type rows = 0;
+    index_type cols = 0;
+    index_type nnz = 0;
+    const index_type* row_ptrs = nullptr;
+    const index_type* col_idxs = nullptr;
+    xpu::dspan<const T> values;
+};
+
+/// One ELL batch item (column-major padded storage).
+template <typename T>
+struct ell_view {
+    index_type rows = 0;
+    index_type cols = 0;
+    index_type width = 0;
+    const index_type* col_idxs = nullptr;
+    xpu::dspan<const T> values;
+};
+
+/// One dense batch item (row-major).
+template <typename T>
+struct dense_view {
+    index_type rows = 0;
+    index_type cols = 0;
+    xpu::dspan<const T> values;
+};
+
+template <typename T>
+csr_view<T> item_view(const mat::batch_csr<T>& m, index_type batch)
+{
+    return {m.rows(), m.cols(), m.nnz(), m.row_ptrs().data(),
+            m.col_idxs().data(), m.item_span(batch)};
+}
+
+template <typename T>
+ell_view<T> item_view(const mat::batch_ell<T>& m, index_type batch)
+{
+    return {m.rows(), m.cols(), m.ell_width(), m.col_idxs().data(),
+            m.item_span(batch)};
+}
+
+template <typename T>
+dense_view<T> item_view(const mat::batch_dense<T>& m, index_type batch)
+{
+    return {m.rows(), m.cols(),
+            m.item_span(batch, xpu::mem_space::constant)};
+}
+
+}  // namespace batchlin::blas

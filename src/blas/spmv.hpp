@@ -1,0 +1,136 @@
+// Tuned batched SpMV device kernels, one per matrix format (paper §3.2).
+//
+//  * BatchCsr uses the sub-group-to-row mapping: a sub-group cooperates on
+//    one row and combines partials with sub-group (sub-warp) reductions —
+//    good for general patterns with row-length variation.
+//  * BatchEll maps one work-item to one row; the column-major padded layout
+//    makes the accesses coalesced and no inter-thread reduction is needed.
+//  * BatchDense maps one work-item to one row of the dense block.
+//
+// All kernels charge flops and per-space traffic: the shared pattern arrays
+// (row pointers / column indexes) are read-only and shared between ALL
+// work-groups, so they are charged as constant (L3-cacheable) traffic; the
+// value arrays carry their own space tag (constant for the system matrix,
+// SLM when applying SLM-resident preconditioner factors).
+#pragma once
+
+#include "blas/device_blas.hpp"
+#include "blas/matrix_view.hpp"
+#include "xpu/group.hpp"
+
+namespace batchlin::blas {
+
+/// Indexed gathers (x[col_idxs[k]]) are charged at memory-transaction
+/// granularity rather than element granularity: the lanes of a sub-group
+/// hit scattered addresses, so each access moves a whole SLM bank line /
+/// cache transaction. This is what Intel Advisor counts, and it is the
+/// reason the batched solvers are SLM-traffic-dominated in the paper's
+/// Fig. 8 (≈3 TB through SLM for dodecane_lu at 2^17).
+inline constexpr double gather_transaction_bytes = 32.0;
+
+namespace detail {
+
+/// Charges `count` gathered element reads of `s` at transaction size.
+template <typename T>
+void charge_gather(xpu::group& g, const dspan<T>& s, double count)
+{
+    const double bytes = count * gather_transaction_bytes;
+    switch (s.space) {
+    case mem_space::slm:
+        g.stats().slm_bytes += bytes;
+        break;
+    case mem_space::constant:
+        g.stats().constant_read_bytes += bytes;
+        break;
+    case mem_space::global:
+        g.stats().global_read_bytes += bytes;
+        break;
+    }
+}
+
+}  // namespace detail
+
+/// y = A x for one CSR batch item (sub-group-per-row mapping).
+template <typename T>
+void spmv(xpu::group& g, const csr_view<T>& a, dspan<const T> x, dspan<T> y)
+{
+    // Lane-occupancy of the sub-group-per-row mapping: every row is
+    // processed by a full sub-group, so rows shorter than the sub-group
+    // leave lanes idle (the inefficiency that motivates BatchEll's
+    // item-per-row mapping for few-nnz rows, §3.2). The idle lanes still
+    // issue the FMA slots, which the flop charge reflects.
+    const index_type sg = g.sub_group_size();
+    double issued_slots = 0.0;
+    g.for_items(a.rows, [&](index_type row) {
+        T sum{};
+        for (index_type k = a.row_ptrs[row]; k < a.row_ptrs[row + 1]; ++k) {
+            sum += a.values[k] * x[a.col_idxs[k]];
+        }
+        y[row] = sum;
+        issued_slots += round_up(a.row_ptrs[row + 1] - a.row_ptrs[row], sg);
+    });
+    g.stats().flops += 2.0 * issued_slots;
+    // Pattern traffic: row pointers + column indexes, shared by all groups.
+    g.stats().constant_read_bytes +=
+        static_cast<double>(a.rows + 1 + a.nnz) * sizeof(index_type);
+    detail::charge_read(g, a.values, a.nnz);
+    detail::charge_gather(g, x, a.nnz);  // gathered x reads, one per nnz
+    detail::charge_write(g, y, a.rows);
+    // Sub-group-per-row combines partials with shuffles: no SLM traffic,
+    // but one extra reduction step per row.
+    g.stats().flops += static_cast<double>(a.rows);
+}
+
+/// y = A x for one ELL batch item (work-item-per-row mapping; padded slots
+/// multiply by zero exactly as the hardware kernel does).
+template <typename T>
+void spmv(xpu::group& g, const ell_view<T>& a, dspan<const T> x, dspan<T> y)
+{
+    g.for_items(a.rows, [&](index_type row) {
+        T sum{};
+        for (index_type k = 0; k < a.width; ++k) {
+            const index_type col = a.col_idxs[k * a.rows + row];
+            if (col != mat::ell_padding) {
+                sum += a.values[k * a.rows + row] * x[col];
+            }
+        }
+        y[row] = sum;
+    });
+    const double stored = static_cast<double>(a.rows) * a.width;
+    g.stats().flops += 2.0 * stored;  // padding lanes still issue FMAs
+    g.stats().constant_read_bytes += stored * sizeof(index_type);
+    detail::charge_read(g, a.values, static_cast<index_type>(stored));
+    detail::charge_gather(g, x, stored);
+    detail::charge_write(g, y, a.rows);
+}
+
+/// y = A x for one dense batch item (work-item-per-row mapping).
+template <typename T>
+void spmv(xpu::group& g, const dense_view<T>& a, dspan<const T> x,
+          dspan<T> y)
+{
+    g.for_items(a.rows, [&](index_type row) {
+        T sum{};
+        for (index_type col = 0; col < a.cols; ++col) {
+            sum += a.values[row * a.cols + col] * x[col];
+        }
+        y[row] = sum;
+    });
+    const double entries = static_cast<double>(a.rows) * a.cols;
+    g.stats().flops += 2.0 * entries;
+    detail::charge_read(g, a.values, static_cast<index_type>(entries));
+    detail::charge_read(g, x, static_cast<index_type>(entries));
+    detail::charge_write(g, y, a.rows);
+}
+
+/// y = alpha * A x + beta * y, fused form used by the residual updates.
+template <typename View, typename T>
+void advanced_spmv(xpu::group& g, T alpha, const View& a, dspan<const T> x,
+                   T beta, dspan<T> y, dspan<T> scratch)
+{
+    spmv(g, a, x, scratch);
+    axpby(g, alpha, dspan<const T>{scratch.data, scratch.len, scratch.space},
+          beta, y);
+}
+
+}  // namespace batchlin::blas

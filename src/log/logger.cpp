@@ -1,0 +1,101 @@
+#include "log/logger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace batchlin::log {
+
+index_type batch_log::num_converged() const
+{
+    return static_cast<index_type>(
+        std::count(converged_.begin(), converged_.end(), 1));
+}
+
+index_type batch_log::min_iterations() const
+{
+    return iterations_.empty()
+               ? 0
+               : *std::min_element(iterations_.begin(), iterations_.end());
+}
+
+index_type batch_log::max_iterations() const
+{
+    return iterations_.empty()
+               ? 0
+               : *std::max_element(iterations_.begin(), iterations_.end());
+}
+
+double batch_log::mean_iterations() const
+{
+    if (iterations_.empty()) {
+        return 0.0;
+    }
+    const double total =
+        std::accumulate(iterations_.begin(), iterations_.end(), 0.0);
+    return total / static_cast<double>(iterations_.size());
+}
+
+void batch_log::enable_history(index_type max_iterations)
+{
+    history_stride_ = max_iterations;
+    history_.assign(static_cast<std::size_t>(num_systems()) *
+                        max_iterations,
+                    std::numeric_limits<double>::quiet_NaN());
+}
+
+double batch_log::residual_at(index_type batch, index_type iter) const
+{
+    if (history_stride_ == 0 || iter < 0 || iter >= history_stride_ ||
+        batch < 0 || batch >= num_systems()) {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+    return history_[static_cast<std::size_t>(batch) * history_stride_ +
+                    iter];
+}
+
+double batch_log::convergence_rate(index_type batch) const
+{
+    const index_type n =
+        history_stride_ > 0 && batch >= 0 && batch < num_systems()
+            ? std::min(iterations_[batch], history_stride_)
+            : 0;
+    if (n < 3) {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+    // Least-squares slope of log(residual) over the iteration index.
+    double sum_i = 0.0, sum_y = 0.0, sum_ii = 0.0, sum_iy = 0.0;
+    index_type count = 0;
+    for (index_type it = 0; it < n; ++it) {
+        const double r = residual_at(batch, it);
+        if (!(r > 0.0)) {
+            continue;  // skip zeros/NaNs; they would break the log fit
+        }
+        const double y = std::log(r);
+        sum_i += it;
+        sum_y += y;
+        sum_ii += static_cast<double>(it) * it;
+        sum_iy += it * y;
+        ++count;
+    }
+    if (count < 3) {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+    const double denom = count * sum_ii - sum_i * sum_i;
+    if (denom == 0.0) {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+    const double slope = (count * sum_iy - sum_i * sum_y) / denom;
+    return std::exp(slope);
+}
+
+double batch_log::max_residual_norm() const
+{
+    return residual_norms_.empty()
+               ? 0.0
+               : *std::max_element(residual_norms_.begin(),
+                                   residual_norms_.end());
+}
+
+}  // namespace batchlin::log

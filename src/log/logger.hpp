@@ -1,0 +1,102 @@
+// Per-system convergence logging (paper §3: "monitor the solver convergence
+// for each system in the batch individually").
+//
+// Each work-group records its own iteration count, final (implicit)
+// residual norm, and convergence flag; the host-side summary aggregates
+// them for reporting and for the benchmark tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace batchlin::log {
+
+/// Result record of one batch solve, indexed by batch entry.
+class batch_log {
+public:
+    batch_log() = default;
+    explicit batch_log(index_type num_systems)
+        : iterations_(num_systems, 0),
+          residual_norms_(num_systems, 0.0),
+          converged_(num_systems, 0)
+    {}
+
+    index_type num_systems() const
+    {
+        return static_cast<index_type>(iterations_.size());
+    }
+
+    /// Called by the work-group solving system `batch` when it exits.
+    void record(index_type batch, index_type iterations,
+                double residual_norm, bool converged)
+    {
+        iterations_[batch] = iterations;
+        residual_norms_[batch] = residual_norm;
+        converged_[batch] = converged ? 1 : 0;
+    }
+
+    index_type iterations(index_type batch) const
+    {
+        return iterations_[batch];
+    }
+    double residual_norm(index_type batch) const
+    {
+        return residual_norms_[batch];
+    }
+    bool converged(index_type batch) const
+    {
+        return converged_[batch] != 0;
+    }
+
+    const std::vector<index_type>& all_iterations() const
+    {
+        return iterations_;
+    }
+    const std::vector<double>& all_residual_norms() const
+    {
+        return residual_norms_;
+    }
+
+    index_type num_converged() const;
+    index_type min_iterations() const;
+    index_type max_iterations() const;
+    double mean_iterations() const;
+    double max_residual_norm() const;
+
+    /// Enables per-iteration residual recording (off by default: the
+    /// history costs num_systems x max_iters doubles).
+    void enable_history(index_type max_iterations);
+    bool history_enabled() const { return history_stride_ > 0; }
+
+    /// Called by the solver kernel after iteration `iter` (0-based) of
+    /// system `batch`; no-op unless history is enabled.
+    void record_iteration(index_type batch, index_type iter,
+                          double residual_norm)
+    {
+        if (history_stride_ > 0 && iter < history_stride_) {
+            history_[static_cast<std::size_t>(batch) * history_stride_ +
+                     iter] = residual_norm;
+        }
+    }
+
+    /// Residual norm of system `batch` after iteration `iter`, or NaN when
+    /// outside the recorded range.
+    double residual_at(index_type batch, index_type iter) const;
+
+    /// Geometric-mean per-iteration contraction factor of system `batch`
+    /// estimated from the recorded history (a least-squares fit of the
+    /// log-residual slope); NaN without history or with < 3 iterations.
+    /// Values < 1 indicate convergence; smaller is faster.
+    double convergence_rate(index_type batch) const;
+
+private:
+    std::vector<index_type> iterations_;
+    std::vector<double> residual_norms_;
+    std::vector<std::uint8_t> converged_;
+    index_type history_stride_ = 0;
+    std::vector<double> history_;
+};
+
+}  // namespace batchlin::log

@@ -1,0 +1,108 @@
+// BatchDense: batched dense matrices and multivectors (paper §3.1, Fig. 2).
+//
+// Stores `num_batch_items` row-major rows×cols blocks contiguously
+// (batch-major). Right-hand sides and solution vectors of the batched
+// solvers are BatchDense objects with one column, following Ginkgo's
+// convention.
+#pragma once
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "xpu/span.hpp"
+
+namespace batchlin::mat {
+
+template <typename T>
+class batch_dense {
+public:
+    using value_type = T;
+
+    batch_dense() = default;
+
+    /// Allocates storage for `num_batch_items` matrices of size rows×cols,
+    /// zero-initialized.
+    batch_dense(index_type num_batch_items, index_type rows, index_type cols)
+        : num_batch_(num_batch_items),
+          rows_(rows),
+          cols_(cols),
+          values_(static_cast<std::size_t>(num_batch_items) * rows * cols)
+    {
+        BATCHLIN_ENSURE_MSG(num_batch_items >= 0 && rows >= 0 && cols >= 0,
+                            "negative dimension");
+    }
+
+    index_type num_batch_items() const { return num_batch_; }
+    index_type rows() const { return rows_; }
+    index_type cols() const { return cols_; }
+    /// Entries of one batch item.
+    size_type item_size() const
+    {
+        return static_cast<size_type>(rows_) * cols_;
+    }
+
+    T& at(index_type batch, index_type row, index_type col)
+    {
+        return values_[item_offset(batch) + static_cast<size_type>(row) *
+                       cols_ + col];
+    }
+    const T& at(index_type batch, index_type row, index_type col) const
+    {
+        return values_[item_offset(batch) + static_cast<size_type>(row) *
+                       cols_ + col];
+    }
+
+    T* item_values(index_type batch)
+    {
+        return values_.data() + item_offset(batch);
+    }
+    const T* item_values(index_type batch) const
+    {
+        return values_.data() + item_offset(batch);
+    }
+
+    /// Tagged view of one item's values for device kernels.
+    xpu::dspan<T> item_span(index_type batch,
+                            xpu::mem_space space = xpu::mem_space::global)
+    {
+        return {item_values(batch), static_cast<index_type>(item_size()),
+                space};
+    }
+    xpu::dspan<const T> item_span(
+        index_type batch,
+        xpu::mem_space space = xpu::mem_space::global) const
+    {
+        return {item_values(batch), static_cast<index_type>(item_size()),
+                space};
+    }
+
+    std::vector<T>& values() { return values_; }
+    const std::vector<T>& values() const { return values_; }
+
+    void fill(T value)
+    {
+        std::fill(values_.begin(), values_.end(), value);
+    }
+
+    /// Total value storage in bytes (the BatchDense row of Fig. 2).
+    size_type storage_bytes() const
+    {
+        return static_cast<size_type>(values_.size()) * sizeof(T);
+    }
+
+private:
+    size_type item_offset(index_type batch) const
+    {
+        BATCHLIN_ENSURE_DIMS(batch >= 0 && batch < num_batch_,
+                             "batch index out of range");
+        return static_cast<size_type>(batch) * item_size();
+    }
+
+    index_type num_batch_ = 0;
+    index_type rows_ = 0;
+    index_type cols_ = 0;
+    std::vector<T> values_;
+};
+
+}  // namespace batchlin::mat

@@ -1,0 +1,134 @@
+// BatchEll: batched ELLPACK matrices with one shared pattern
+// (paper §3.1, Fig. 2).
+//
+// Rows are padded to a uniform width (max non-zeros per row), removing the
+// row-pointer array. Column indexes and values are stored column-major —
+// entry (row, k) of the padded layout lives at k*rows + row — so that
+// consecutive work-items (one per row, §3.2) access consecutive addresses:
+// the coalescing property the paper optimizes for.
+#pragma once
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "xpu/span.hpp"
+
+namespace batchlin::mat {
+
+/// Column index marking a padding slot of the ELL layout.
+inline constexpr index_type ell_padding = -1;
+
+template <typename T>
+class batch_ell {
+public:
+    using value_type = T;
+
+    batch_ell() = default;
+
+    /// Allocates a batch with the given padded width; pattern slots start as
+    /// padding and values as zero.
+    batch_ell(index_type num_batch_items, index_type rows, index_type cols,
+              index_type ell_width)
+        : num_batch_(num_batch_items),
+          rows_(rows),
+          cols_(cols),
+          width_(ell_width),
+          col_idxs_(static_cast<std::size_t>(rows) * ell_width, ell_padding),
+          values_(static_cast<std::size_t>(num_batch_items) * rows *
+                  ell_width)
+    {
+        BATCHLIN_ENSURE_MSG(
+            num_batch_items >= 0 && rows >= 0 && cols >= 0 && ell_width >= 0,
+            "negative dimension");
+    }
+
+    index_type num_batch_items() const { return num_batch_; }
+    index_type rows() const { return rows_; }
+    index_type cols() const { return cols_; }
+    /// Uniform (padded) number of stored entries per row.
+    index_type ell_width() const { return width_; }
+    /// Stored entries per item including padding.
+    size_type stored_per_item() const
+    {
+        return static_cast<size_type>(rows_) * width_;
+    }
+
+    /// Column-major linear index of padded slot (row, k).
+    size_type slot(index_type row, index_type k) const
+    {
+        BATCHLIN_ENSURE_DIMS(row >= 0 && row < rows_ && k >= 0 && k < width_,
+                             "ELL slot out of range");
+        return static_cast<size_type>(k) * rows_ + row;
+    }
+
+    index_type& col_at(index_type row, index_type k)
+    {
+        return col_idxs_[slot(row, k)];
+    }
+    index_type col_at(index_type row, index_type k) const
+    {
+        return col_idxs_[slot(row, k)];
+    }
+
+    T& val_at(index_type batch, index_type row, index_type k)
+    {
+        return values_[item_offset(batch) + slot(row, k)];
+    }
+    T val_at(index_type batch, index_type row, index_type k) const
+    {
+        return values_[item_offset(batch) + slot(row, k)];
+    }
+
+    const std::vector<index_type>& col_idxs() const { return col_idxs_; }
+    std::vector<index_type>& col_idxs() { return col_idxs_; }
+    const std::vector<T>& values() const { return values_; }
+    std::vector<T>& values() { return values_; }
+
+    T* item_values(index_type batch)
+    {
+        return values_.data() + item_offset(batch);
+    }
+    const T* item_values(index_type batch) const
+    {
+        return values_.data() + item_offset(batch);
+    }
+
+    xpu::dspan<const T> item_span(index_type batch) const
+    {
+        return {item_values(batch),
+                static_cast<index_type>(stored_per_item()),
+                xpu::mem_space::constant};
+    }
+
+    /// Throws on malformed patterns: out-of-range columns or values stored
+    /// in padding slots.
+    void validate() const;
+
+    /// Non-padding entries per item (the logical nnz).
+    index_type nnz() const;
+
+    /// Total storage in bytes including the shared pattern (Fig. 2).
+    size_type storage_bytes() const
+    {
+        return static_cast<size_type>(values_.size()) * sizeof(T) +
+               static_cast<size_type>(col_idxs_.size()) * sizeof(index_type);
+    }
+
+private:
+    size_type item_offset(index_type batch) const
+    {
+        BATCHLIN_ENSURE_DIMS(batch >= 0 && batch < num_batch_,
+                             "batch index out of range");
+        return static_cast<size_type>(batch) * stored_per_item();
+    }
+
+    index_type num_batch_ = 0;
+    index_type rows_ = 0;
+    index_type cols_ = 0;
+    index_type width_ = 0;
+    std::vector<index_type> col_idxs_;
+    std::vector<T> values_;
+};
+
+}  // namespace batchlin::mat

@@ -1,0 +1,162 @@
+#include "matrix/conversions.hpp"
+
+#include <algorithm>
+
+namespace batchlin::mat {
+
+template <typename T>
+batch_csr<T> to_csr(const batch_dense<T>& dense)
+{
+    const index_type rows = dense.rows();
+    const index_type cols = dense.cols();
+    const index_type items = dense.num_batch_items();
+    // A position belongs to the shared pattern when any item is non-zero
+    // there; this keeps round-trips exact even if a single item has an
+    // accidental zero at a pattern position.
+    std::vector<index_type> row_ptrs(rows + 1, 0);
+    std::vector<index_type> col_idxs;
+    for (index_type i = 0; i < rows; ++i) {
+        for (index_type j = 0; j < cols; ++j) {
+            bool any = false;
+            for (index_type b = 0; b < items && !any; ++b) {
+                any = dense.at(b, i, j) != T{0};
+            }
+            if (any) {
+                col_idxs.push_back(j);
+            }
+        }
+        row_ptrs[i + 1] = static_cast<index_type>(col_idxs.size());
+    }
+    batch_csr<T> csr(items, rows, cols, std::move(row_ptrs),
+                     std::move(col_idxs));
+    for (index_type b = 0; b < items; ++b) {
+        T* vals = csr.item_values(b);
+        for (index_type i = 0; i < rows; ++i) {
+            for (index_type k = csr.row_ptrs()[i]; k < csr.row_ptrs()[i + 1];
+                 ++k) {
+                vals[k] = dense.at(b, i, csr.col_idxs()[k]);
+            }
+        }
+    }
+    return csr;
+}
+
+template <typename T>
+batch_dense<T> to_dense(const batch_csr<T>& csr)
+{
+    batch_dense<T> dense(csr.num_batch_items(), csr.rows(), csr.cols());
+    for (index_type b = 0; b < csr.num_batch_items(); ++b) {
+        const T* vals = csr.item_values(b);
+        for (index_type i = 0; i < csr.rows(); ++i) {
+            for (index_type k = csr.row_ptrs()[i]; k < csr.row_ptrs()[i + 1];
+                 ++k) {
+                dense.at(b, i, csr.col_idxs()[k]) = vals[k];
+            }
+        }
+    }
+    return dense;
+}
+
+template <typename T>
+batch_ell<T> to_ell(const batch_csr<T>& csr)
+{
+    index_type width = 0;
+    for (index_type i = 0; i < csr.rows(); ++i) {
+        width = std::max(width, csr.row_ptrs()[i + 1] - csr.row_ptrs()[i]);
+    }
+    batch_ell<T> ell(csr.num_batch_items(), csr.rows(), csr.cols(), width);
+    for (index_type i = 0; i < csr.rows(); ++i) {
+        index_type k = 0;
+        for (index_type p = csr.row_ptrs()[i]; p < csr.row_ptrs()[i + 1];
+             ++p, ++k) {
+            ell.col_at(i, k) = csr.col_idxs()[p];
+        }
+    }
+    for (index_type b = 0; b < csr.num_batch_items(); ++b) {
+        const T* vals = csr.item_values(b);
+        for (index_type i = 0; i < csr.rows(); ++i) {
+            index_type k = 0;
+            for (index_type p = csr.row_ptrs()[i]; p < csr.row_ptrs()[i + 1];
+                 ++p, ++k) {
+                ell.val_at(b, i, k) = vals[p];
+            }
+        }
+    }
+    return ell;
+}
+
+template <typename T>
+batch_csr<T> to_csr(const batch_ell<T>& ell)
+{
+    std::vector<index_type> row_ptrs(ell.rows() + 1, 0);
+    std::vector<index_type> col_idxs;
+    for (index_type i = 0; i < ell.rows(); ++i) {
+        // Collect + sort the row's columns; ELL does not require sorted
+        // slots but CSR does.
+        std::vector<index_type> row_cols;
+        for (index_type k = 0; k < ell.ell_width(); ++k) {
+            if (ell.col_at(i, k) != ell_padding) {
+                row_cols.push_back(ell.col_at(i, k));
+            }
+        }
+        std::sort(row_cols.begin(), row_cols.end());
+        col_idxs.insert(col_idxs.end(), row_cols.begin(), row_cols.end());
+        row_ptrs[i + 1] = static_cast<index_type>(col_idxs.size());
+    }
+    batch_csr<T> csr(ell.num_batch_items(), ell.rows(), ell.cols(),
+                     std::move(row_ptrs), std::move(col_idxs));
+    for (index_type b = 0; b < ell.num_batch_items(); ++b) {
+        T* vals = csr.item_values(b);
+        for (index_type i = 0; i < ell.rows(); ++i) {
+            for (index_type k = 0; k < ell.ell_width(); ++k) {
+                const index_type col = ell.col_at(i, k);
+                if (col == ell_padding) {
+                    continue;
+                }
+                for (index_type p = csr.row_ptrs()[i];
+                     p < csr.row_ptrs()[i + 1]; ++p) {
+                    if (csr.col_idxs()[p] == col) {
+                        vals[p] = ell.val_at(b, i, k);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    return csr;
+}
+
+template <typename T>
+batch_dense<T> to_dense(const batch_ell<T>& ell)
+{
+    batch_dense<T> dense(ell.num_batch_items(), ell.rows(), ell.cols());
+    for (index_type b = 0; b < ell.num_batch_items(); ++b) {
+        for (index_type i = 0; i < ell.rows(); ++i) {
+            for (index_type k = 0; k < ell.ell_width(); ++k) {
+                if (ell.col_at(i, k) != ell_padding) {
+                    dense.at(b, i, ell.col_at(i, k)) = ell.val_at(b, i, k);
+                }
+            }
+        }
+    }
+    return dense;
+}
+
+template <typename T>
+batch_ell<T> to_ell(const batch_dense<T>& dense)
+{
+    return to_ell(to_csr(dense));
+}
+
+#define BATCHLIN_INSTANTIATE_CONVERSIONS(T)                     \
+    template batch_csr<T> to_csr(const batch_dense<T>&);       \
+    template batch_dense<T> to_dense(const batch_csr<T>&);     \
+    template batch_ell<T> to_ell(const batch_csr<T>&);         \
+    template batch_csr<T> to_csr(const batch_ell<T>&);         \
+    template batch_dense<T> to_dense(const batch_ell<T>&);     \
+    template batch_ell<T> to_ell(const batch_dense<T>&)
+
+BATCHLIN_INSTANTIATE_CONVERSIONS(float);
+BATCHLIN_INSTANTIATE_CONVERSIONS(double);
+
+}  // namespace batchlin::mat

@@ -1,0 +1,39 @@
+// Conversions between the batched matrix formats (paper §3.1).
+//
+// Conversions preserve the shared-pattern property: the pattern is derived
+// once (from item 0 for dense sources — the problem space guarantees all
+// items share it) and values are converted per item.
+#pragma once
+
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_dense.hpp"
+#include "matrix/batch_ell.hpp"
+
+namespace batchlin::mat {
+
+/// Dense -> CSR. The pattern is the set of positions that are non-zero in
+/// ANY batch item, keeping the shared-pattern invariant exact.
+template <typename T>
+batch_csr<T> to_csr(const batch_dense<T>& dense);
+
+/// CSR -> dense.
+template <typename T>
+batch_dense<T> to_dense(const batch_csr<T>& csr);
+
+/// CSR -> ELL; the width is the maximum row length of the shared pattern.
+template <typename T>
+batch_ell<T> to_ell(const batch_csr<T>& csr);
+
+/// ELL -> CSR (padding slots are dropped).
+template <typename T>
+batch_csr<T> to_csr(const batch_ell<T>& ell);
+
+/// ELL -> dense.
+template <typename T>
+batch_dense<T> to_dense(const batch_ell<T>& ell);
+
+/// Dense -> ELL (via the shared dense pattern).
+template <typename T>
+batch_ell<T> to_ell(const batch_dense<T>& dense);
+
+}  // namespace batchlin::mat

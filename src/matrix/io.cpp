@@ -1,0 +1,218 @@
+#include "matrix/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace batchlin::mat {
+
+namespace {
+
+/// Builds CSR arrays from coordinate triplets (sorted and deduplicated;
+/// duplicates sum, the MatrixMarket convention).
+template <typename T>
+batch_csr<T> from_coordinates(index_type rows, index_type cols,
+                              std::vector<std::tuple<index_type, index_type,
+                                                     T>> entries)
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) {
+                  return std::tie(std::get<0>(a), std::get<1>(a)) <
+                         std::tie(std::get<0>(b), std::get<1>(b));
+              });
+    std::vector<index_type> row_ptrs(rows + 1, 0);
+    std::vector<index_type> col_idxs;
+    std::vector<T> vals;
+    // Duplicate coordinates accumulate, the MatrixMarket convention.
+    index_type prev_i = -1;
+    index_type prev_j = -1;
+    for (const auto& [i, j, v] : entries) {
+        if (i == prev_i && j == prev_j) {
+            vals.back() += v;
+        } else {
+            col_idxs.push_back(j);
+            vals.push_back(v);
+            ++row_ptrs[i + 1];
+            prev_i = i;
+            prev_j = j;
+        }
+    }
+    for (index_type r = 0; r < rows; ++r) {
+        row_ptrs[r + 1] += row_ptrs[r];
+    }
+    batch_csr<T> result(1, rows, cols, std::move(row_ptrs),
+                        std::move(col_idxs));
+    std::copy(vals.begin(), vals.end(), result.item_values(0));
+    return result;
+}
+
+std::string next_content_line(std::istream& in)
+{
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%') {
+            return line;
+        }
+    }
+    return {};
+}
+
+}  // namespace
+
+template <typename T>
+batch_csr<T> read_matrix_market(std::istream& in)
+{
+    std::string header;
+    BATCHLIN_ENSURE_MSG(static_cast<bool>(std::getline(in, header)),
+                        "empty MatrixMarket stream");
+    std::istringstream hs(header);
+    std::string banner, object, format, field, symmetry;
+    hs >> banner >> object >> format >> field >> symmetry;
+    BATCHLIN_ENSURE_MSG(banner == "%%MatrixMarket" && object == "matrix",
+                        "not a MatrixMarket matrix header");
+    BATCHLIN_ENSURE_MSG(format == "coordinate",
+                        "only coordinate format is supported");
+    BATCHLIN_ENSURE_MSG(field == "real" || field == "integer",
+                        "only real/integer fields are supported");
+    const bool symmetric = symmetry == "symmetric";
+    BATCHLIN_ENSURE_MSG(symmetric || symmetry == "general",
+                        "only general/symmetric symmetry is supported");
+
+    std::istringstream sizes(next_content_line(in));
+    index_type rows = 0, cols = 0;
+    size_type count = 0;
+    sizes >> rows >> cols >> count;
+    BATCHLIN_ENSURE_MSG(rows > 0 && cols > 0, "invalid size line");
+
+    std::vector<std::tuple<index_type, index_type, T>> entries;
+    entries.reserve(static_cast<std::size_t>(symmetric ? 2 * count : count));
+    for (size_type e = 0; e < count; ++e) {
+        std::istringstream ls(next_content_line(in));
+        index_type i = 0, j = 0;
+        double v = 0.0;
+        ls >> i >> j >> v;
+        BATCHLIN_ENSURE_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                            "coordinate out of range");
+        entries.emplace_back(i - 1, j - 1, static_cast<T>(v));
+        if (symmetric && i != j) {
+            entries.emplace_back(j - 1, i - 1, static_cast<T>(v));
+        }
+    }
+    return from_coordinates(rows, cols, std::move(entries));
+}
+
+template <typename T>
+batch_csr<T> read_matrix_market_file(const std::string& path)
+{
+    std::ifstream in(path);
+    BATCHLIN_ENSURE_MSG(in.good(), "cannot open file: " + path);
+    return read_matrix_market<T>(in);
+}
+
+template <typename T>
+void write_matrix_market(std::ostream& out, const batch_csr<T>& matrix,
+                         index_type batch)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << matrix.rows() << " " << matrix.cols() << " " << matrix.nnz()
+        << "\n";
+    out << std::setprecision(17);
+    const T* vals = matrix.item_values(batch);
+    for (index_type i = 0; i < matrix.rows(); ++i) {
+        for (index_type k = matrix.row_ptrs()[i];
+             k < matrix.row_ptrs()[i + 1]; ++k) {
+            out << i + 1 << " " << matrix.col_idxs()[k] + 1 << " " << vals[k]
+                << "\n";
+        }
+    }
+}
+
+template <typename T>
+void write_batch(std::ostream& out, const batch_csr<T>& matrix)
+{
+    out << "%%BatchCsr " << matrix.num_batch_items() << " " << matrix.rows()
+        << " " << matrix.cols() << " " << matrix.nnz() << "\n";
+    for (index_type i = 0; i <= matrix.rows(); ++i) {
+        out << matrix.row_ptrs()[i] << (i == matrix.rows() ? "\n" : " ");
+    }
+    for (index_type k = 0; k < matrix.nnz(); ++k) {
+        out << matrix.col_idxs()[k] << (k + 1 == matrix.nnz() ? "\n" : " ");
+    }
+    out << std::setprecision(17);
+    for (index_type b = 0; b < matrix.num_batch_items(); ++b) {
+        const T* vals = matrix.item_values(b);
+        for (index_type k = 0; k < matrix.nnz(); ++k) {
+            out << vals[k] << (k + 1 == matrix.nnz() ? "\n" : " ");
+        }
+    }
+}
+
+template <typename T>
+void write_batch_file(const std::string& path, const batch_csr<T>& matrix)
+{
+    std::ofstream out(path);
+    BATCHLIN_ENSURE_MSG(out.good(), "cannot open file for write: " + path);
+    write_batch(out, matrix);
+}
+
+template <typename T>
+batch_csr<T> read_batch(std::istream& in)
+{
+    std::string header;
+    BATCHLIN_ENSURE_MSG(static_cast<bool>(std::getline(in, header)),
+                        "empty batch stream");
+    std::istringstream hs(header);
+    std::string banner;
+    index_type items = 0, rows = 0, cols = 0, nnz = 0;
+    hs >> banner >> items >> rows >> cols >> nnz;
+    BATCHLIN_ENSURE_MSG(banner == "%%BatchCsr", "not a BatchCsr header");
+    std::vector<index_type> row_ptrs(rows + 1);
+    for (auto& p : row_ptrs) {
+        in >> p;
+    }
+    std::vector<index_type> col_idxs(nnz);
+    for (auto& c : col_idxs) {
+        in >> c;
+    }
+    batch_csr<T> matrix(items, rows, cols, std::move(row_ptrs),
+                        std::move(col_idxs));
+    for (index_type b = 0; b < items; ++b) {
+        T* vals = matrix.item_values(b);
+        for (index_type k = 0; k < nnz; ++k) {
+            in >> vals[k];
+        }
+    }
+    BATCHLIN_ENSURE_MSG(!in.fail(), "truncated BatchCsr stream");
+    return matrix;
+}
+
+template <typename T>
+batch_csr<T> read_batch_file(const std::string& path)
+{
+    std::ifstream in(path);
+    BATCHLIN_ENSURE_MSG(in.good(), "cannot open file: " + path);
+    return read_batch<T>(in);
+}
+
+#define BATCHLIN_INSTANTIATE_IO(T)                                          \
+    template batch_csr<T> read_matrix_market<T>(std::istream&);             \
+    template batch_csr<T> read_matrix_market_file<T>(const std::string&);   \
+    template void write_matrix_market(std::ostream&, const batch_csr<T>&,   \
+                                      index_type);                          \
+    template void write_batch(std::ostream&, const batch_csr<T>&);          \
+    template void write_batch_file(const std::string&,                      \
+                                   const batch_csr<T>&);                    \
+    template batch_csr<T> read_batch<T>(std::istream&);                     \
+    template batch_csr<T> read_batch_file<T>(const std::string&)
+
+BATCHLIN_INSTANTIATE_IO(float);
+BATCHLIN_INSTANTIATE_IO(double);
+
+}  // namespace batchlin::mat

@@ -1,0 +1,40 @@
+// Matrix I/O.
+//
+// Two formats are supported:
+//  * MatrixMarket coordinate files for single matrices — the interchange
+//    format the PeleLM matrix sets are distributed in;
+//  * a batched container format ("%%BatchCsr") storing one shared pattern
+//    plus per-item values, mirroring the paper's batched-solver-from-files
+//    example which reads a batch from disk.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/batch_csr.hpp"
+
+namespace batchlin::mat {
+
+/// Reads a MatrixMarket coordinate file as a single-item batch. Supports
+/// `real`/`integer` fields with `general` or `symmetric` symmetry.
+template <typename T>
+batch_csr<T> read_matrix_market(std::istream& in);
+template <typename T>
+batch_csr<T> read_matrix_market_file(const std::string& path);
+
+/// Writes batch item `batch` in MatrixMarket coordinate/general form.
+template <typename T>
+void write_matrix_market(std::ostream& out, const batch_csr<T>& matrix,
+                         index_type batch = 0);
+
+/// Writes/reads the full batch (shared pattern once, then per-item values).
+template <typename T>
+void write_batch(std::ostream& out, const batch_csr<T>& matrix);
+template <typename T>
+void write_batch_file(const std::string& path, const batch_csr<T>& matrix);
+template <typename T>
+batch_csr<T> read_batch(std::istream& in);
+template <typename T>
+batch_csr<T> read_batch_file(const std::string& path);
+
+}  // namespace batchlin::mat

@@ -1,0 +1,121 @@
+#include "matrix/properties.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace batchlin::mat {
+
+template <typename T>
+pattern_stats analyze_pattern(const batch_csr<T>& matrix)
+{
+    pattern_stats stats;
+    stats.rows = matrix.rows();
+    stats.cols = matrix.cols();
+    stats.nnz = matrix.nnz();
+    stats.min_row_nnz = std::numeric_limits<index_type>::max();
+    const auto& row_ptrs = matrix.row_ptrs();
+    const auto& col_idxs = matrix.col_idxs();
+    bool full_diag = true;
+    for (index_type i = 0; i < matrix.rows(); ++i) {
+        const index_type len = row_ptrs[i + 1] - row_ptrs[i];
+        stats.min_row_nnz = std::min(stats.min_row_nnz, len);
+        stats.max_row_nnz = std::max(stats.max_row_nnz, len);
+        bool has_diag = false;
+        for (index_type k = row_ptrs[i]; k < row_ptrs[i + 1]; ++k) {
+            stats.bandwidth =
+                std::max(stats.bandwidth, std::abs(col_idxs[k] - i));
+            has_diag = has_diag || col_idxs[k] == i;
+        }
+        full_diag = full_diag && has_diag;
+    }
+    if (matrix.rows() == 0) {
+        stats.min_row_nnz = 0;
+    }
+    stats.avg_row_nnz = matrix.rows() > 0 ? static_cast<double>(stats.nnz) /
+                                                matrix.rows()
+                                          : 0.0;
+    stats.full_diagonal = full_diag && matrix.rows() > 0;
+
+    // Pattern symmetry: check that the transpose position exists for every
+    // entry (binary search within the target row).
+    stats.symmetric_pattern = true;
+    for (index_type i = 0; i < matrix.rows() && stats.symmetric_pattern;
+         ++i) {
+        for (index_type k = row_ptrs[i]; k < row_ptrs[i + 1]; ++k) {
+            const index_type j = col_idxs[k];
+            if (j >= matrix.rows()) {
+                stats.symmetric_pattern = false;
+                break;
+            }
+            const auto begin = col_idxs.begin() + row_ptrs[j];
+            const auto end = col_idxs.begin() + row_ptrs[j + 1];
+            if (!std::binary_search(begin, end, i)) {
+                stats.symmetric_pattern = false;
+                break;
+            }
+        }
+    }
+    return stats;
+}
+
+template <typename T>
+bool is_symmetric(const batch_csr<T>& matrix, index_type batch, T tol)
+{
+    for (index_type i = 0; i < matrix.rows(); ++i) {
+        for (index_type k = matrix.row_ptrs()[i];
+             k < matrix.row_ptrs()[i + 1]; ++k) {
+            const index_type j = matrix.col_idxs()[k];
+            const T a_ij = matrix.item_values(batch)[k];
+            const T a_ji = matrix.at(batch, j, i);
+            if (std::abs(a_ij - a_ji) > tol) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+template <typename T>
+bool is_diagonally_dominant(const batch_csr<T>& matrix, index_type batch)
+{
+    const T* vals = matrix.item_values(batch);
+    for (index_type i = 0; i < matrix.rows(); ++i) {
+        T diag{};
+        T off_sum{};
+        bool has_diag = false;
+        for (index_type k = matrix.row_ptrs()[i];
+             k < matrix.row_ptrs()[i + 1]; ++k) {
+            if (matrix.col_idxs()[k] == i) {
+                diag = std::abs(vals[k]);
+                has_diag = true;
+            } else {
+                off_sum += std::abs(vals[k]);
+            }
+        }
+        if (!has_diag || diag == T{0} || diag < off_sum) {
+            return false;
+        }
+    }
+    return true;
+}
+
+template <typename T>
+double row_imbalance(const batch_csr<T>& matrix)
+{
+    const pattern_stats stats = analyze_pattern(matrix);
+    return stats.avg_row_nnz > 0.0
+               ? static_cast<double>(stats.max_row_nnz) / stats.avg_row_nnz
+               : 1.0;
+}
+
+#define BATCHLIN_INSTANTIATE_PROPERTIES(T)                                 \
+    template pattern_stats analyze_pattern(const batch_csr<T>&);           \
+    template bool is_symmetric(const batch_csr<T>&, index_type, T);        \
+    template bool is_diagonally_dominant(const batch_csr<T>&, index_type); \
+    template double row_imbalance(const batch_csr<T>&)
+
+BATCHLIN_INSTANTIATE_PROPERTIES(float);
+BATCHLIN_INSTANTIATE_PROPERTIES(double);
+
+}  // namespace batchlin::mat

@@ -1,0 +1,45 @@
+// Structural and numerical properties of batched matrices.
+//
+// The paper lists the properties that drive format/solver selection (§3:
+// entry sizes, nnz, shared pattern, conditioning). These helpers back both
+// the dispatch heuristics and the workload-generator self-checks.
+#pragma once
+
+#include "matrix/batch_csr.hpp"
+
+namespace batchlin::mat {
+
+/// Summary of a shared sparsity pattern.
+struct pattern_stats {
+    index_type rows = 0;
+    index_type cols = 0;
+    index_type nnz = 0;
+    index_type min_row_nnz = 0;
+    index_type max_row_nnz = 0;
+    double avg_row_nnz = 0.0;
+    /// Maximum |col - row| over the pattern.
+    index_type bandwidth = 0;
+    /// True when the pattern contains every diagonal entry.
+    bool full_diagonal = false;
+    /// True when (i, j) in pattern implies (j, i) in pattern.
+    bool symmetric_pattern = false;
+};
+
+template <typename T>
+pattern_stats analyze_pattern(const batch_csr<T>& matrix);
+
+/// True when item `batch` is numerically symmetric to tolerance `tol`.
+template <typename T>
+bool is_symmetric(const batch_csr<T>& matrix, index_type batch, T tol);
+
+/// True when every row of item `batch` is (weakly) diagonally dominant and
+/// the diagonal entries are all non-zero.
+template <typename T>
+bool is_diagonally_dominant(const batch_csr<T>& matrix, index_type batch);
+
+/// Row-balance measure of the pattern: max_row_nnz / avg_row_nnz. Values
+/// near 1 indicate balanced rows where BatchEll wastes no padding (§3.1).
+template <typename T>
+double row_imbalance(const batch_csr<T>& matrix);
+
+}  // namespace batchlin::mat

@@ -1,0 +1,43 @@
+#include "perfmodel/cluster.hpp"
+
+#include "util/error.hpp"
+
+namespace batchlin::perf {
+
+cluster_spec aurora_node(index_type num_gpus)
+{
+    BATCHLIN_ENSURE_MSG(num_gpus >= 1 && num_gpus <= 6,
+                        "an Aurora node carries up to six PVC GPUs");
+    return {pvc_2s(), num_gpus, 50.0};
+}
+
+cluster_time estimate_cluster_time(const cluster_spec& cluster,
+                                   const solve_profile& whole_batch)
+{
+    BATCHLIN_ENSURE_MSG(cluster.num_devices >= 1,
+                        "cluster needs at least one device");
+    cluster_time result;
+    result.max_items_per_device =
+        ceil_div(whole_batch.num_systems, cluster.num_devices);
+
+    // The busiest rank's share of the batch; batch entries are
+    // independent, so its counters are the proportional slice.
+    solve_profile rank = whole_batch;
+    const double share = static_cast<double>(result.max_items_per_device) /
+                         whole_batch.num_systems;
+    rank.totals = scale_counters(whole_batch.totals, share);
+    rank.num_systems = result.max_items_per_device;
+
+    result.device_seconds =
+        estimate_time(cluster.device, rank).total_seconds;
+    result.overhead_seconds = cluster.distribution_overhead_us * 1e-6;
+    result.total_seconds = result.device_seconds + result.overhead_seconds;
+
+    const double single =
+        estimate_time(cluster.device, whole_batch).total_seconds;
+    result.speedup = single / result.total_seconds;
+    result.efficiency = result.speedup / cluster.num_devices;
+    return result;
+}
+
+}  // namespace batchlin::perf

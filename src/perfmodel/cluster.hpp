@@ -1,0 +1,48 @@
+// Multi-GPU batch distribution (paper §4.2).
+//
+// "The batched solvers ... suggest that we can easily scale to multiple
+// GPUs as distributing these batched matrices over the MPI ranks is
+// trivial and no additional communication is necessary." This module
+// models exactly that: the batch splits into near-equal contiguous chunks
+// (one per device/rank), each device solves its chunk independently, and
+// the node time is the slowest rank plus a fixed scatter/gather overhead.
+// The default node is a Sunspot/Aurora compute node: six PVC GPUs.
+#pragma once
+
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/device_spec.hpp"
+
+namespace batchlin::perf {
+
+/// A set of identical devices solving one batch cooperatively.
+struct cluster_spec {
+    device_spec device;
+    index_type num_devices = 1;
+    /// Per-solve cost of scattering the batch and gathering the solutions
+    /// across ranks (no solver communication is needed, §4.2).
+    double distribution_overhead_us = 50.0;
+};
+
+/// One Sunspot/Aurora node: six PVC GPUs (each modeled as PVC-2S).
+cluster_spec aurora_node(index_type num_gpus = 6);
+
+/// Result of a distributed estimate.
+struct cluster_time {
+    /// Items assigned to the busiest rank.
+    index_type max_items_per_device = 0;
+    /// Per-rank kernel time (the slowest rank; ranks are near-identical).
+    double device_seconds = 0.0;
+    double overhead_seconds = 0.0;
+    double total_seconds = 0.0;
+    /// Speedup vs a single device of the same type.
+    double speedup = 0.0;
+    /// Parallel efficiency = speedup / num_devices.
+    double efficiency = 0.0;
+};
+
+/// Distributes the profiled solve over the cluster: the busiest rank gets
+/// ceil(num_systems / num_devices) systems; counters scale accordingly.
+cluster_time estimate_cluster_time(const cluster_spec& cluster,
+                                   const solve_profile& whole_batch);
+
+}  // namespace batchlin::perf

@@ -1,0 +1,127 @@
+#include "perfmodel/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace batchlin::perf {
+
+xpu::counters scale_counters(const xpu::counters& c, double factor)
+{
+    xpu::counters scaled = c;
+    scaled.flops *= factor;
+    scaled.global_read_bytes *= factor;
+    scaled.global_write_bytes *= factor;
+    scaled.slm_bytes *= factor;
+    scaled.constant_read_bytes *= factor;
+    scaled.total_iterations *= factor;
+    scaled.groups_launched = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(c.groups_launched) * factor));
+    return scaled;
+}
+
+time_breakdown estimate_time(const device_spec& device,
+                             const solve_profile& profile)
+{
+    BATCHLIN_ENSURE_MSG(profile.num_systems > 0, "empty solve profile");
+    BATCHLIN_ENSURE_MSG(profile.work_group_size > 0,
+                        "missing launch configuration");
+    const xpu::counters& c = profile.totals;
+    time_breakdown t;
+
+    // --- Occupancy: how many work-groups stay resident per core. The SLM
+    // footprint is the limiter the paper identifies (§4.4); the thread-slot
+    // limit applies on top.
+    index_type groups_per_core_slm = device.max_groups_per_core;
+    if (c.slm_footprint_bytes > 0) {
+        groups_per_core_slm = static_cast<index_type>(
+            device.slm_per_core_bytes / c.slm_footprint_bytes);
+        groups_per_core_slm = std::max<index_type>(groups_per_core_slm, 1);
+    }
+    const index_type groups_per_core_threads = std::max<index_type>(
+        device.max_threads_per_core / profile.work_group_size, 1);
+    const index_type groups_per_core =
+        std::min({groups_per_core_slm, groups_per_core_threads,
+                  device.max_groups_per_core});
+    t.groups_in_flight = std::min<index_type>(
+        device.num_cores * groups_per_core, profile.num_systems);
+    t.occupancy =
+        std::min(1.0, static_cast<double>(t.groups_in_flight) *
+                          profile.work_group_size /
+                          (static_cast<double>(device.num_cores) *
+                           device.max_threads_per_core));
+
+    // --- Effective rates. The FP pipeline wastes the padded lanes of the
+    // round-up (§3.6) and idles when occupancy cannot cover latency.
+    const double peak_tflops =
+        profile.fp64 ? device.fp64_peak_tflops : device.fp32_peak_tflops;
+    const double latency_cover =
+        std::min(1.0, std::sqrt(t.occupancy) + 0.25);
+    const double flop_rate = peak_tflops * 1e12 * device.efficiency *
+                             profile.thread_utilization * latency_cover;
+    const double hbm_rate = device.hbm_bw_tbs * 1e12 * device.efficiency;
+    const double l2_rate = device.l2_bw_tbs * 1e12 * device.efficiency;
+    // SLM bandwidth is a per-core resource: only cores holding resident
+    // groups contribute, and a core needs ~2 groups in flight to hide the
+    // SLM access latency.
+    const double active_cores = std::min<double>(
+        device.num_cores, static_cast<double>(t.groups_in_flight));
+    const double slm_saturation =
+        std::min(1.0, static_cast<double>(groups_per_core) / 2.0 + 0.25);
+    const double slm_rate = device.slm_bw_core_gbs * 1e9 * active_cores *
+                            slm_saturation * device.efficiency;
+
+    // --- Constant-operand placement: the matrices and rhs of the resident
+    // systems cache in the last-level cache (§4.4). When the resident
+    // working set exceeds the cache, the overflow fraction streams from
+    // HBM — a fractional-residency model rather than a cliff.
+    const double resident_constant =
+        static_cast<double>(profile.constant_footprint_per_system) *
+        t.groups_in_flight;
+    const double cached_fraction =
+        resident_constant > 0.0
+            ? std::min(1.0, static_cast<double>(device.l2_size_bytes) /
+                                resident_constant)
+            : 1.0;
+    const double hbm_bytes = c.global_read_bytes + c.global_write_bytes +
+                             (1.0 - cached_fraction) * c.constant_read_bytes;
+    const double l2_bytes = cached_fraction * c.constant_read_bytes;
+
+    // --- Per-resource times; the kernel binds on the slowest.
+    t.flop_seconds = c.flops / flop_rate;
+    t.hbm_seconds = hbm_bytes / hbm_rate;
+    t.l2_seconds = l2_bytes / l2_rate;
+    t.slm_seconds = c.slm_bytes / slm_rate;
+    t.launch_seconds =
+        static_cast<double>(c.kernel_launches) * device.kernel_launch_us *
+        1e-6;
+
+    double kernel_seconds =
+        std::max({t.flop_seconds, t.hbm_seconds, t.l2_seconds,
+                  t.slm_seconds});
+    if (t.flop_seconds >= t.hbm_seconds &&
+        t.flop_seconds >= t.l2_seconds &&
+        t.flop_seconds >= t.slm_seconds) {
+        t.bound_by = "FLOP";
+    } else if (t.slm_seconds >= t.hbm_seconds &&
+               t.slm_seconds >= t.l2_seconds) {
+        t.bound_by = "SLM";
+    } else if (t.l2_seconds >= t.hbm_seconds) {
+        t.bound_by = "L3";
+    } else {
+        t.bound_by = "HBM";
+    }
+
+    // Multi-stack implicit scaling is slightly sub-linear (§4.2) and pays
+    // a fixed split overhead per launch that only small problems notice.
+    if (device.num_stacks > 1) {
+        kernel_seconds /= device.stack_scaling_efficiency;
+        t.launch_seconds += static_cast<double>(c.kernel_launches) *
+                            device.implicit_scaling_overhead_us * 1e-6;
+    }
+    t.total_seconds = t.launch_seconds + kernel_seconds;
+    return t;
+}
+
+}  // namespace batchlin::perf

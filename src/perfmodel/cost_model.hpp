@@ -1,0 +1,61 @@
+// Analytic kernel-time model.
+//
+// Converts the instrumented counters of a batched solve into an estimated
+// device runtime: a bounded-resource model where the launch pays a fixed
+// overhead and the kernel time is the maximum of the per-resource times
+// (FP pipeline, HBM, last-level cache, SLM), with occupancy derived from
+// the per-work-group SLM footprint exactly as the paper's Advisor analysis
+// describes (§4.4: SLM capacity per work-group limits how many groups an
+// Xe-core keeps in flight, trading occupancy for SLM locality).
+//
+// Counters measure the kernels actually executed by the simulator; they are
+// device-independent. Only the translation to seconds is modeled.
+#pragma once
+
+#include "perfmodel/device_spec.hpp"
+#include "xpu/counters.hpp"
+
+namespace batchlin::perf {
+
+/// Everything the model needs to know about one batched solve.
+struct solve_profile {
+    /// Aggregated counters of the fused kernel launch (whole batch).
+    xpu::counters totals;
+    index_type num_systems = 0;
+    index_type work_group_size = 0;
+    /// Rows / padded work-group size (launch round-up waste, §3.6).
+    double thread_utilization = 1.0;
+    /// Read-only bytes per system (matrix values + rhs): resident in the
+    /// last-level cache when the working set fits (§4.4).
+    size_type constant_footprint_per_system = 0;
+    /// True for double precision.
+    bool fp64 = true;
+};
+
+/// Per-resource time split of one estimate.
+struct time_breakdown {
+    double flop_seconds = 0.0;
+    double hbm_seconds = 0.0;
+    double l2_seconds = 0.0;
+    double slm_seconds = 0.0;
+    double launch_seconds = 0.0;
+    double total_seconds = 0.0;
+    /// Resident work-groups across the device.
+    index_type groups_in_flight = 0;
+    /// Fraction of the device's thread slots occupied (the "XVE Threading
+    /// Occupancy" of the paper's Advisor analysis).
+    double occupancy = 0.0;
+    /// Name of the binding resource ("FLOP", "HBM", "L3", "SLM").
+    const char* bound_by = "";
+};
+
+/// Scales the extensive counter fields (traffic, flops, iterations) by
+/// `factor`; launches and footprints are intensive and stay unchanged.
+/// Used to project a measurement batch onto the paper's 2^17 batch size.
+xpu::counters scale_counters(const xpu::counters& c, double factor);
+
+/// Estimates the runtime of the profiled solve on `device`.
+time_breakdown estimate_time(const device_spec& device,
+                             const solve_profile& profile);
+
+}  // namespace batchlin::perf

@@ -1,0 +1,72 @@
+// Device descriptions for the analytic performance model.
+//
+// The four devices of the paper's evaluation (Table 5): NVIDIA A100 and
+// H100 (CUDA programming model), and the Intel Data Center GPU Max 1550
+// used as one stack (PVC-1S) or two stacks (PVC-2S, implicit scaling mode).
+// Table 5 provides FP64 peak, HBM bandwidth and SLM capacity; core counts
+// and cache sizes come from the vendor architecture documents; the
+// bandwidth/efficiency knobs are calibration constants documented in
+// EXPERIMENTS.md (this reproduction has no GPU hardware, so device time is
+// modeled from the instrumented kernel counters).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+#include "xpu/policy.hpp"
+
+namespace batchlin::perf {
+
+/// Static description of one execution target.
+struct device_spec {
+    std::string name;
+    xpu::prog_model model = xpu::prog_model::sycl;
+    /// Streaming multiprocessors (NVIDIA) or Xe-cores (Intel), across all
+    /// counted stacks.
+    index_type num_cores = 0;
+    index_type num_stacks = 1;
+    /// Table 5 rows.
+    double fp64_peak_tflops = 0.0;
+    double hbm_bw_tbs = 0.0;
+    size_type slm_per_core_bytes = 0;
+    /// FP32 peak (2x FP64 on all four devices).
+    double fp32_peak_tflops = 0.0;
+    /// Per-core SLM (shared memory / L1) bandwidth.
+    double slm_bw_core_gbs = 0.0;
+    /// Last-level cache ("L3" in the paper's Intel Advisor terminology).
+    double l2_bw_tbs = 0.0;
+    size_type l2_size_bytes = 0;
+    /// Fixed cost of one kernel launch.
+    double kernel_launch_us = 0.0;
+    /// Scheduler limits per core.
+    index_type max_groups_per_core = 32;
+    index_type max_threads_per_core = 1024;
+    /// Fraction of peak the tuned batched kernels achieve on this device —
+    /// the calibration constant of the model.
+    double efficiency = 0.7;
+    /// Multi-stack implicit-scaling efficiency (paper §4.2: 1.8-1.9x on two
+    /// stacks rather than the ideal 2x).
+    double stack_scaling_efficiency = 1.0;
+    /// Fixed per-launch cost of the driver splitting a kernel across
+    /// stacks; visible on small problems only (paper Fig. 5: the speedup
+    /// of implicit scaling grows with the matrix size, 1.5x -> 2.0x).
+    double implicit_scaling_overhead_us = 0.0;
+
+    /// Execution policy matching this device's programming model.
+    xpu::exec_policy make_policy() const;
+};
+
+/// Table 5 devices.
+device_spec a100();
+device_spec h100();
+device_spec pvc_1s();
+device_spec pvc_2s();
+
+/// All four, in the paper's comparison order.
+std::vector<device_spec> paper_devices();
+
+/// Lookup by name ("A100", "H100", "PVC-1S", "PVC-2S"); throws on unknown.
+device_spec device_by_name(const std::string& name);
+
+}  // namespace batchlin::perf

@@ -1,0 +1,89 @@
+#include "perfmodel/roofline.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace batchlin::perf {
+
+roofline_report analyze_roofline(const device_spec& device,
+                                 const solve_profile& profile)
+{
+    const time_breakdown t = estimate_time(device, profile);
+    const xpu::counters& c = profile.totals;
+    roofline_report r;
+
+    // Traffic attribution mirrors the cost model: constants live in the
+    // last-level cache ("L3") to the fraction the resident set fits.
+    const double resident_constant =
+        static_cast<double>(profile.constant_footprint_per_system) *
+        t.groups_in_flight;
+    const double cached_fraction =
+        resident_constant > 0.0
+            ? std::min(1.0, static_cast<double>(device.l2_size_bytes) /
+                                resident_constant)
+            : 1.0;
+    const double hbm_bytes = c.global_read_bytes + c.global_write_bytes +
+                             (1.0 - cached_fraction) * c.constant_read_bytes;
+    const double l3_bytes = cached_fraction * c.constant_read_bytes;
+    const double slm_bytes = c.slm_bytes;
+    const double all_bytes = hbm_bytes + l3_bytes + slm_bytes;
+    const double all_seconds =
+        t.hbm_seconds + t.l2_seconds + t.slm_seconds;
+
+    auto fill = [&](traffic_share& s, const std::string& level,
+                    double bytes, double seconds) {
+        s.level = level;
+        s.bytes = bytes;
+        s.share_of_bytes = all_bytes > 0.0 ? bytes / all_bytes : 0.0;
+        s.seconds = seconds;
+        s.share_of_time = all_seconds > 0.0 ? seconds / all_seconds : 0.0;
+    };
+    fill(r.slm, "SLM", slm_bytes, t.slm_seconds);
+    fill(r.l3, "L3", l3_bytes, t.l2_seconds);
+    fill(r.hbm, "HBM", hbm_bytes, t.hbm_seconds);
+
+    r.ai_slm = slm_bytes > 0.0 ? c.flops / slm_bytes : 0.0;
+    r.ai_l3 = l3_bytes > 0.0 ? c.flops / l3_bytes : 0.0;
+    r.ai_hbm = hbm_bytes > 0.0 ? c.flops / hbm_bytes : 0.0;
+
+    r.achieved_gflops =
+        t.total_seconds > 0.0 ? c.flops / t.total_seconds * 1e-9 : 0.0;
+    const double peak_tflops =
+        profile.fp64 ? device.fp64_peak_tflops : device.fp32_peak_tflops;
+    r.compute_roof_gflops = peak_tflops * 1e3;
+    r.slm_roof_gflops = r.ai_slm * device.slm_bw_core_gbs *
+                        device.num_cores;  // GB/s x flop/byte = GFLOP/s
+    r.l3_roof_gflops = r.ai_l3 * device.l2_bw_tbs * 1e3;
+    r.hbm_roof_gflops = r.ai_hbm * device.hbm_bw_tbs * 1e3;
+
+    // Binding roof: the lowest ceiling above the achieved point.
+    r.binding_roof = t.bound_by;
+    r.threading_occupancy = t.occupancy;
+    return r;
+}
+
+void print_roofline(std::ostream& out, const device_spec& device,
+                    const roofline_report& r)
+{
+    auto gb = [](double bytes) { return bytes * 1e-9; };
+    out << "Roofline analysis on " << device.name << "\n";
+    out << "  achieved:        " << std::fixed << std::setprecision(1)
+        << r.achieved_gflops << " GFLOP/s (compute roof "
+        << r.compute_roof_gflops << " GFLOP/s)\n";
+    out << "  binding roof:    " << r.binding_roof << "\n";
+    out << "  XVE threading occupancy: " << std::setprecision(0)
+        << r.threading_occupancy * 100.0 << "%\n";
+    out << "  arithmetic intensity (flop/byte): SLM " << std::setprecision(3)
+        << r.ai_slm << ", L3 " << r.ai_l3 << ", HBM " << r.ai_hbm << "\n";
+    out << "  memory traffic breakdown:\n";
+    for (const traffic_share* s : {&r.slm, &r.l3, &r.hbm}) {
+        out << "    " << std::left << std::setw(4) << s->level << std::right
+            << std::setw(12) << std::setprecision(1) << gb(s->bytes)
+            << " GB  (" << std::setw(5) << std::setprecision(1)
+            << s->share_of_bytes * 100.0 << "% of bytes, " << std::setw(5)
+            << s->share_of_time * 100.0 << "% of transaction time)\n";
+    }
+}
+
+}  // namespace batchlin::perf

@@ -1,0 +1,55 @@
+// Roofline analysis (paper §4.4, Fig. 8).
+//
+// Reproduces the Intel-Advisor-style report for a batched solve: achieved
+// GFLOP/s against the compute and per-memory-level bandwidth roofs, plus
+// the memory-traffic breakdown across SLM / L3 / HBM that the paper uses to
+// show the solver is SLM-dominated (~65% of memory transactions, ~3 TB of
+// SLM traffic for the dodecane_lu case).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/device_spec.hpp"
+
+namespace batchlin::perf {
+
+/// One memory level's share of the traffic and of the transaction time.
+struct traffic_share {
+    std::string level;
+    double bytes = 0.0;
+    double share_of_bytes = 0.0;
+    double seconds = 0.0;
+    double share_of_time = 0.0;
+};
+
+struct roofline_report {
+    /// Arithmetic intensity against each traffic level (flop/byte).
+    double ai_slm = 0.0;
+    double ai_l3 = 0.0;
+    double ai_hbm = 0.0;
+    /// Achieved performance.
+    double achieved_gflops = 0.0;
+    /// Bandwidth-roof-implied ceilings at the achieved intensity.
+    double slm_roof_gflops = 0.0;
+    double l3_roof_gflops = 0.0;
+    double hbm_roof_gflops = 0.0;
+    double compute_roof_gflops = 0.0;
+    /// Which roof the kernel sits under.
+    std::string binding_roof;
+    /// SLM / L3 / HBM traffic rows (Fig. 8's right-hand panel).
+    traffic_share slm, l3, hbm;
+    /// Occupancy figures of the Advisor summary (§4.4).
+    double threading_occupancy = 0.0;
+};
+
+/// Builds the report for one profiled solve on `device`.
+roofline_report analyze_roofline(const device_spec& device,
+                                 const solve_profile& profile);
+
+/// Prints the report in the layout of Fig. 8.
+void print_roofline(std::ostream& out, const device_spec& device,
+                    const roofline_report& report);
+
+}  // namespace batchlin::perf

@@ -1,0 +1,36 @@
+// Identity preconditioner: the no-op baseline every solver accepts.
+#pragma once
+
+#include "blas/device_blas.hpp"
+#include "precond/types.hpp"
+
+namespace batchlin::precond {
+
+/// M = I. Needs no workspace and no generation work; apply is a copy.
+template <typename T>
+class identity {
+public:
+    static constexpr type kind = type::none;
+
+    static size_type workspace_elems(index_type /*rows*/, index_type /*nnz*/)
+    {
+        return 0;
+    }
+
+    struct applier {
+        void apply(xpu::group& g, xpu::dspan<const T> r,
+                   xpu::dspan<T> z) const
+        {
+            blas::copy(g, r, z);
+        }
+    };
+
+    template <typename View>
+    applier generate(xpu::group& /*g*/, const View& /*a*/,
+                     xpu::dspan<T> /*work*/) const
+    {
+        return {};
+    }
+};
+
+}  // namespace batchlin::precond

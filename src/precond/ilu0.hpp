@@ -1,0 +1,57 @@
+// BatchIlu: incomplete LU factorization with zero fill-in (ILU(0)).
+//
+// Generation factorizes each system in-place on the shared CSR pattern
+// (no fill, no pivoting); the factors live in the preconditioner workspace,
+// which the SLM planner places in local memory when it fits (§3.5).
+// Application solves L z' = r (unit lower) then U z = z' with the in-kernel
+// sparse triangular sweeps — the same building block as BatchTrsv.
+// Requires a sorted CSR pattern with a full diagonal.
+#pragma once
+
+#include <vector>
+
+#include "blas/device_blas.hpp"
+#include "blas/matrix_view.hpp"
+#include "matrix/batch_csr.hpp"
+#include "precond/types.hpp"
+
+namespace batchlin::precond {
+
+template <typename T>
+class ilu0 {
+public:
+    static constexpr type kind = type::ilu;
+
+    /// Precomputes the diagonal positions of the shared pattern; throws if
+    /// any diagonal entry is missing (ILU(0) breaks down without it).
+    explicit ilu0(const mat::batch_csr<T>& a);
+
+    /// Factors (nnz) plus the intermediate vector of the two-stage solve.
+    static size_type workspace_elems(index_type rows, index_type nnz)
+    {
+        return static_cast<size_type>(nnz) + rows;
+    }
+
+    struct applier {
+        index_type rows = 0;
+        index_type nnz = 0;
+        const index_type* row_ptrs = nullptr;
+        const index_type* col_idxs = nullptr;
+        const index_type* diag_pos = nullptr;
+        xpu::dspan<const T> factors;
+        xpu::dspan<T> temp;
+
+        void apply(xpu::group& g, xpu::dspan<const T> r,
+                   xpu::dspan<T> z) const;
+    };
+
+    /// Runs the in-pattern factorization of this work-group's system into
+    /// `work` and returns the applier bound to the factored values.
+    applier generate(xpu::group& g, const blas::csr_view<T>& a,
+                     xpu::dspan<T> work) const;
+
+private:
+    std::vector<index_type> diag_positions_;
+};
+
+}  // namespace batchlin::precond

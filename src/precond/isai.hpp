@@ -1,0 +1,63 @@
+// BatchIsai: incomplete sparse approximate inverse preconditioner.
+//
+// Computes M with the sparsity pattern of A such that each row of M·A
+// matches the corresponding row of the identity on the pattern positions:
+// for row i with pattern columns S_i,  sum_{s in S_i} M_is A_{s j} = d_ij
+// for all j in S_i. Each row yields a small dense system solved with LU.
+// Application is then a single SpMV with M — no triangular solves, which is
+// the attraction of ISAI on GPUs. Requires BatchCsr (paper Table 3).
+#pragma once
+
+#include <vector>
+
+#include "blas/matrix_view.hpp"
+#include "blas/spmv.hpp"
+#include "matrix/batch_csr.hpp"
+#include "precond/types.hpp"
+
+namespace batchlin::precond {
+
+template <typename T>
+class isai {
+public:
+    static constexpr type kind = type::isai;
+
+    /// Captures the shared pattern's per-row gather metadata: for each row,
+    /// the positions of the local dense system's entries within the CSR
+    /// values array (or -1 when A is zero there).
+    explicit isai(const mat::batch_csr<T>& a);
+
+    /// M values live in the workspace; applied as an SpMV.
+    static size_type workspace_elems(index_type /*rows*/, index_type nnz)
+    {
+        return nnz;
+    }
+
+    struct applier {
+        blas::csr_view<T> approx_inverse;
+
+        void apply(xpu::group& g, xpu::dspan<const T> r,
+                   xpu::dspan<T> z) const
+        {
+            blas::spmv(g, approx_inverse, r, z);
+        }
+    };
+
+    applier generate(xpu::group& g, const blas::csr_view<T>& a,
+                     xpu::dspan<T> work) const;
+
+    /// Largest per-row dense system order of the pattern (test/model hook).
+    index_type max_local_size() const { return max_local_size_; }
+
+private:
+    index_type rows_ = 0;
+    index_type nnz_ = 0;
+    index_type max_local_size_ = 0;
+    /// gather_pos_[row_ptrs[i]*?]: flattened s-by-s gather tables. For row i
+    /// with s = row length, table entries (j_local * s + s_local) hold the
+    /// position of A(col_{s_local}, col_{j_local}) or -1.
+    std::vector<index_type> gather_offsets_;
+    std::vector<index_type> gather_pos_;
+};
+
+}  // namespace batchlin::precond

@@ -1,0 +1,70 @@
+#include "precond/jacobi.hpp"
+
+#include "util/error.hpp"
+
+namespace batchlin::precond {
+
+template <typename T>
+jacobi<T>::jacobi(const mat::batch_csr<T>& a)
+    : diag_positions_(a.diagonal_positions())
+{
+    for (index_type i = 0; i < a.rows(); ++i) {
+        BATCHLIN_ENSURE_MSG(diag_positions_[i] >= 0,
+                            "scalar Jacobi requires every diagonal entry in "
+                            "the sparsity pattern");
+    }
+}
+
+template <typename T>
+typename jacobi<T>::applier jacobi<T>::generate(xpu::group& g,
+                                                const blas::csr_view<T>& a,
+                                                xpu::dspan<T> work) const
+{
+    const index_type* diag_pos = diag_positions_.data();
+    g.for_items(a.rows,
+                [&](index_type i) { work[i] = T{1} / a.values[diag_pos[i]]; });
+    g.stats().flops += static_cast<double>(a.rows);
+    blas::detail::charge_read(g, a.values, a.rows);
+    blas::detail::charge_write(g, work, a.rows);
+    return {work};
+}
+
+template <typename T>
+typename jacobi<T>::applier jacobi<T>::generate(xpu::group& g,
+                                                const blas::ell_view<T>& a,
+                                                xpu::dspan<T> work) const
+{
+    g.for_items(a.rows, [&](index_type i) {
+        T diag{1};
+        for (index_type k = 0; k < a.width; ++k) {
+            if (a.col_idxs[k * a.rows + i] == i) {
+                diag = a.values[k * a.rows + i];
+                break;
+            }
+        }
+        work[i] = T{1} / diag;
+    });
+    g.stats().flops += static_cast<double>(a.rows);
+    blas::detail::charge_read(g, a.values, a.rows);
+    blas::detail::charge_write(g, work, a.rows);
+    return {work};
+}
+
+template <typename T>
+typename jacobi<T>::applier jacobi<T>::generate(xpu::group& g,
+                                                const blas::dense_view<T>& a,
+                                                xpu::dspan<T> work) const
+{
+    g.for_items(a.rows, [&](index_type i) {
+        work[i] = T{1} / a.values[i * a.cols + i];
+    });
+    g.stats().flops += static_cast<double>(a.rows);
+    blas::detail::charge_read(g, a.values, a.rows);
+    blas::detail::charge_write(g, work, a.rows);
+    return {work};
+}
+
+template class jacobi<float>;
+template class jacobi<double>;
+
+}  // namespace batchlin::precond

@@ -1,0 +1,43 @@
+// Preconditioner type tags shared by the dispatch layer.
+#pragma once
+
+#include <string>
+
+namespace batchlin::precond {
+
+/// Runtime-selectable preconditioner kinds (paper Table 3).
+enum class type {
+    /// No preconditioning (M = I).
+    none,
+    /// Scalar Jacobi: M = diag(A)^{-1}.
+    jacobi,
+    /// Incomplete LU with zero fill-in, applied by two sparse
+    /// triangular solves.
+    ilu,
+    /// Incomplete sparse approximate inverse on the pattern of A,
+    /// applied as an SpMV (requires BatchCsr, Table 3).
+    isai,
+    /// Block-Jacobi: inverse of the block diagonal, applied as small
+    /// dense solves on vector segments (requires BatchCsr; library
+    /// extension beyond Table 3, a Ginkgo batched feature).
+    block_jacobi,
+};
+
+inline std::string to_string(type t)
+{
+    switch (t) {
+    case type::none:
+        return "none";
+    case type::jacobi:
+        return "jacobi";
+    case type::ilu:
+        return "ilu";
+    case type::isai:
+        return "isai";
+    case type::block_jacobi:
+        return "block-jacobi";
+    }
+    return "?";
+}
+
+}  // namespace batchlin::precond

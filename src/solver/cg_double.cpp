@@ -1,0 +1,8 @@
+#include "solver/cg_impl.hpp"
+#include "solver/instantiate.hpp"
+
+namespace batchlin::solver {
+
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_CG, double)
+
+}  // namespace batchlin::solver

@@ -1,0 +1,99 @@
+// BatchCg kernel (paper Algorithm 1 / §3.5).
+//
+// Standard preconditioned conjugate gradients, fused into a single batched
+// kernel: each work-group runs the whole iteration for its system, keeping
+// r, z, p, t and the copy of x in SLM by planner priority. Convergence is
+// monitored per system on the explicitly recomputed residual norm.
+#pragma once
+
+#include <cmath>
+
+#include "blas/device_blas.hpp"
+#include "blas/matrix_view.hpp"
+#include "blas/spmv.hpp"
+#include "solver/kernel_common.hpp"
+#include "solver/run_decl.hpp"
+
+namespace batchlin::solver {
+
+template <typename T, typename MatBatch, typename Precond>
+void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
+            const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+            const stop::criterion& crit, const slm_plan& plan,
+            const kernel_config& config, log::batch_log& logger,
+            xpu::batch_range range)
+{
+    spill_buffer<T> spill(plan, range.size());
+    mat::batch_dense<T>* x_out = &x;
+
+    q.run_batch(
+        range.size(), config.work_group_size, config.sub_group_size,
+        [&](xpu::group& g) {
+            const index_type batch = g.id();
+            const index_type local = batch - range.begin;
+            workspace_binder<T> bind(g, plan, spill.for_group(local));
+            // Plan order for CG: r, z, p, t, x, precond (§3.5).
+            xpu::dspan<T> r = bind.take("r");
+            xpu::dspan<T> z = bind.take("z");
+            xpu::dspan<T> p = bind.take("p");
+            xpu::dspan<T> t = bind.take("t");
+            xpu::dspan<T> x_loc = bind.take("x");
+            xpu::dspan<T> pc_work = bind.take_optional("precond");
+
+            const auto a_view = blas::item_view(a, batch);
+            const auto b_view = b.item_span(batch, xpu::mem_space::constant);
+            auto x_global = x_out->item_span(batch);
+
+            const auto pc = precond.generate(g, a_view, pc_work);
+
+            // x_loc starts from the caller's initial guess (paper §1: the
+            // initial-guess capability is the point of iterative solvers).
+            blas::copy<T>(g, x_global, x_loc);
+
+            // r = b - A x.
+            blas::spmv<T>(g, a_view, x_loc, r);
+            blas::axpby<T>(g, T{1}, b_view, T{-1}, r);
+
+            const T rhs_norm = blas::nrm2<T>(g, b_view, config.reduction);
+            T res_norm = blas::nrm2<T>(g, r, config.reduction);
+
+            pc.apply(g, r, z);
+            blas::copy<T>(g, z, p);
+            T rho = blas::dot<T>(g, r, z, config.reduction);
+
+            index_type iter = 0;
+            bool converged = stop::is_converged(crit, res_norm, rhs_norm);
+            while (!converged && iter < crit.max_iterations) {
+                blas::spmv<T>(g, a_view, p, t);
+                const T pt = blas::dot<T>(g, p, t, config.reduction);
+                if (pt == T{0}) {
+                    break;  // breakdown: direction annihilated
+                }
+                const T alpha = rho / pt;
+                blas::axpy<T>(g, alpha, p, x_loc);
+                blas::axpy<T>(g, -alpha, t, r);
+                res_norm = blas::nrm2<T>(g, r, config.reduction);
+                ++iter;
+                logger.record_iteration(batch, iter - 1,
+                                        static_cast<double>(res_norm));
+                converged = stop::is_converged(crit, res_norm, rhs_norm);
+                if (converged) {
+                    break;
+                }
+                pc.apply(g, r, z);
+                const T rho_new = blas::dot<T>(g, r, z, config.reduction);
+                if (rho == T{0}) {
+                    break;
+                }
+                const T beta = rho_new / rho;
+                blas::axpby<T>(g, T{1}, z, beta, p);
+                rho = rho_new;
+            }
+
+            blas::copy<T>(g, x_loc, x_global);
+            record_outcome(g, logger, batch, iter, res_norm, converged);
+        },
+        range.begin);
+}
+
+}  // namespace batchlin::solver

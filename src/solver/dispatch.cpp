@@ -1,0 +1,270 @@
+#include "solver/dispatch.hpp"
+
+#include "solver/instantiate.hpp"
+#include "solver/run_decl.hpp"
+#include "solver/trsv.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace batchlin::solver {
+
+// The kernels are explicitly instantiated in the per-solver translation
+// units; declare those instantiations so this file stays cheap to compile.
+#define BATCHLIN_EXTERN_CG(T, MatBatch, Precond) \
+    extern BATCHLIN_INSTANTIATE_CG(T, MatBatch, Precond)
+#define BATCHLIN_EXTERN_BICGSTAB(T, MatBatch, Precond) \
+    extern BATCHLIN_INSTANTIATE_BICGSTAB(T, MatBatch, Precond)
+#define BATCHLIN_EXTERN_GMRES(T, MatBatch, Precond) \
+    extern BATCHLIN_INSTANTIATE_GMRES(T, MatBatch, Precond)
+#define BATCHLIN_EXTERN_RICHARDSON(T, MatBatch, Precond) \
+    extern BATCHLIN_INSTANTIATE_RICHARDSON(T, MatBatch, Precond)
+
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_CG, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_CG, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_BICGSTAB, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_BICGSTAB, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_GMRES, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_GMRES, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_RICHARDSON, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_RICHARDSON, double)
+
+std::string to_string(matrix_format f)
+{
+    switch (f) {
+    case matrix_format::dense:
+        return "BatchDense";
+    case matrix_format::csr:
+        return "BatchCsr";
+    case matrix_format::ell:
+        return "BatchEll";
+    }
+    return "?";
+}
+
+namespace {
+
+/// nnz used for preconditioner-workspace sizing, per format.
+template <typename T>
+index_type pattern_nnz(const batch_matrix<T>& a)
+{
+    if (const auto* csr = std::get_if<mat::batch_csr<T>>(&a)) {
+        return csr->nnz();
+    }
+    if (const auto* ell = std::get_if<mat::batch_ell<T>>(&a)) {
+        return ell->rows() * ell->ell_width();
+    }
+    const auto& dense = std::get<mat::batch_dense<T>>(a);
+    return static_cast<index_type>(dense.item_size());
+}
+
+template <typename T>
+index_type rows_of(const batch_matrix<T>& a)
+{
+    return std::visit([](const auto& m) { return m.rows(); }, a);
+}
+
+template <typename T>
+index_type items_of(const batch_matrix<T>& a)
+{
+    return std::visit([](const auto& m) { return m.num_batch_items(); }, a);
+}
+
+template <typename T>
+size_type precond_workspace(precond::type p, index_type rows,
+                            index_type nnz, index_type block_size)
+{
+    switch (p) {
+    case precond::type::none:
+        return precond::identity<T>::workspace_elems(rows, nnz);
+    case precond::type::jacobi:
+        return precond::jacobi<T>::workspace_elems(rows, nnz);
+    case precond::type::ilu:
+        return precond::ilu0<T>::workspace_elems(rows, nnz);
+    case precond::type::isai:
+        return precond::isai<T>::workspace_elems(rows, nnz);
+    case precond::type::block_jacobi:
+        return precond::block_jacobi<T>::workspace_elems(rows, nnz,
+                                                         block_size);
+    }
+    return 0;
+}
+
+/// Level 3 of the dispatch: the solver axis, with format and
+/// preconditioner already resolved to concrete types.
+template <typename T, typename MatBatch, typename Precond>
+void dispatch_solver(xpu::queue& q, const MatBatch& a, const Precond& pc,
+                     const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+                     const solve_options& opts, const slm_plan& plan,
+                     const kernel_config& config, log::batch_log& logger,
+                     xpu::batch_range range)
+{
+    switch (opts.solver) {
+    case solver_type::cg:
+        run_cg<T, MatBatch, Precond>(q, a, pc, b, x, opts.criterion, plan,
+                                     config, logger, range);
+        return;
+    case solver_type::bicgstab:
+        run_bicgstab<T, MatBatch, Precond>(q, a, pc, b, x, opts.criterion,
+                                           plan, config, logger, range);
+        return;
+    case solver_type::gmres:
+        run_gmres<T, MatBatch, Precond>(q, a, pc, b, x, opts.criterion,
+                                        plan, config, opts.gmres_restart,
+                                        logger, range);
+        return;
+    case solver_type::richardson:
+        run_richardson<T, MatBatch, Precond>(
+            q, a, pc, b, x, opts.criterion, plan, config,
+            static_cast<T>(opts.richardson_relaxation), logger, range);
+        return;
+    case solver_type::trsv:
+        BATCHLIN_UNSUPPORTED("BatchTrsv is dispatched separately");
+    }
+}
+
+/// Level 2 of the dispatch: the preconditioner axis. The `if constexpr`
+/// guards keep illegal combinations (Table 3) from ever instantiating.
+template <typename T, typename MatBatch>
+void dispatch_precond(xpu::queue& q, const MatBatch& a,
+                      const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+                      const solve_options& opts, const slm_plan& plan,
+                      const kernel_config& config, log::batch_log& logger,
+                      xpu::batch_range range)
+{
+    constexpr bool is_csr =
+        std::is_same_v<MatBatch, mat::batch_csr<T>>;
+    switch (opts.preconditioner) {
+    case precond::type::none:
+        dispatch_solver<T>(q, a, precond::identity<T>{}, b, x, opts, plan,
+                           config, logger, range);
+        return;
+    case precond::type::jacobi:
+        if constexpr (is_csr) {
+            dispatch_solver<T>(q, a, precond::jacobi<T>(a), b, x, opts,
+                               plan, config, logger, range);
+        } else {
+            dispatch_solver<T>(q, a, precond::jacobi<T>{}, b, x, opts, plan,
+                               config, logger, range);
+        }
+        return;
+    case precond::type::ilu:
+        if constexpr (is_csr) {
+            dispatch_solver<T>(q, a, precond::ilu0<T>(a), b, x, opts, plan,
+                               config, logger, range);
+            return;
+        }
+        BATCHLIN_UNSUPPORTED("BatchIlu requires the BatchCsr format");
+    case precond::type::isai:
+        if constexpr (is_csr) {
+            dispatch_solver<T>(q, a, precond::isai<T>(a), b, x, opts, plan,
+                               config, logger, range);
+            return;
+        }
+        BATCHLIN_UNSUPPORTED("BatchIsai requires the BatchCsr format");
+    case precond::type::block_jacobi:
+        if constexpr (is_csr) {
+            dispatch_solver<T>(
+                q, a, precond::block_jacobi<T>(a, opts.block_jacobi_size),
+                b, x, opts, plan, config, logger, range);
+            return;
+        }
+        BATCHLIN_UNSUPPORTED(
+            "BatchBlockJacobi requires the BatchCsr format");
+    }
+}
+
+}  // namespace
+
+template <typename T>
+solve_result solve_range(xpu::queue& q, const batch_matrix<T>& a,
+                         const mat::batch_dense<T>& b,
+                         mat::batch_dense<T>& x, const solve_options& opts,
+                         xpu::batch_range range)
+{
+    opts.criterion.validate();
+    const index_type items = items_of(a);
+    const index_type rows = rows_of(a);
+    BATCHLIN_ENSURE_DIMS(b.num_batch_items() == items &&
+                             x.num_batch_items() == items,
+                         "batch sizes of A, b, x must match");
+    BATCHLIN_ENSURE_DIMS(b.rows() == rows && x.rows() == rows,
+                         "vector lengths must match the matrix order");
+    BATCHLIN_ENSURE_DIMS(b.cols() == 1 && x.cols() == 1,
+                         "batched solve expects single right-hand sides");
+    BATCHLIN_ENSURE_DIMS(range.begin >= 0 && range.end <= items &&
+                             range.begin <= range.end,
+                         "batch range out of bounds");
+
+    solve_result result;
+    result.log = log::batch_log(items);
+    if (opts.record_history) {
+        result.log.enable_history(opts.criterion.max_iterations);
+    }
+    const index_type nnz = pattern_nnz(a);
+    const xpu::reduce_path* reduction_override =
+        opts.reduction ? &*opts.reduction : nullptr;
+    result.config = choose_launch_config(q.policy(), rows,
+                                         opts.sub_group_size,
+                                         reduction_override);
+
+    if (opts.solver == solver_type::trsv) {
+        BATCHLIN_ENSURE_MSG(
+            std::holds_alternative<mat::batch_csr<T>>(a),
+            "BatchTrsv requires the BatchCsr format");
+        BATCHLIN_ENSURE_MSG(opts.preconditioner == precond::type::none,
+                            "BatchTrsv is a direct solve and takes no "
+                            "preconditioner");
+        result.plan =
+            plan_workspace(solver_type::trsv, rows, nnz, 0,
+                           q.policy().slm_bytes_per_group, sizeof(T),
+                           opts.gmres_restart, opts.slm);
+        wall_timer timer;
+        run_trsv<T>(q, std::get<mat::batch_csr<T>>(a), b, x,
+                    opts.trsv_triangle, result.plan, result.config,
+                    result.log, range);
+        result.wall_seconds = timer.seconds();
+        result.stats = q.last_launch_stats();
+        return result;
+    }
+
+    const size_type pc_elems =
+        precond_workspace<T>(opts.preconditioner, rows, nnz,
+                             opts.block_jacobi_size);
+    result.plan = plan_workspace(opts.solver, rows, nnz, pc_elems,
+                                 q.policy().slm_bytes_per_group, sizeof(T),
+                                 opts.gmres_restart, opts.slm);
+
+    wall_timer timer;
+    // Level 1 of the dispatch: the format axis.
+    std::visit(
+        [&](const auto& concrete) {
+            dispatch_precond<T>(q, concrete, b, x, opts, result.plan,
+                                result.config, result.log, range);
+        },
+        a);
+    result.wall_seconds = timer.seconds();
+    result.stats = q.last_launch_stats();
+    return result;
+}
+
+template <typename T>
+solve_result solve(xpu::queue& q, const batch_matrix<T>& a,
+                   const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+                   const solve_options& opts)
+{
+    return solve_range(q, a, b, x, opts, {0, items_of(a)});
+}
+
+#define BATCHLIN_INSTANTIATE_DISPATCH(T)                                    \
+    template solve_result solve<T>(xpu::queue&, const batch_matrix<T>&,     \
+                                   const mat::batch_dense<T>&,              \
+                                   mat::batch_dense<T>&,                    \
+                                   const solve_options&);                   \
+    template solve_result solve_range<T>(                                   \
+        xpu::queue&, const batch_matrix<T>&, const mat::batch_dense<T>&,    \
+        mat::batch_dense<T>&, const solve_options&, xpu::batch_range)
+
+BATCHLIN_INSTANTIATE_DISPATCH(float);
+BATCHLIN_INSTANTIATE_DISPATCH(double);
+
+}  // namespace batchlin::solver

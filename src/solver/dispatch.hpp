@@ -1,0 +1,33 @@
+// Multi-level dispatch mechanism (paper §3.3, Fig. 3).
+//
+// The runtime choices — matrix format, solver, preconditioner, stopping
+// criterion, precision, sub-group size, reduction path — funnel into one
+// fully templated kernel instantiation, so the fused solver kernel itself
+// contains no branches on any of these axes (§3.4). `solve` dispatches the
+// whole batch; `solve_range` dispatches a sub-range (explicit stack
+// scaling, §2.2).
+#pragma once
+
+#include "solver/options.hpp"
+#include "xpu/queue.hpp"
+
+namespace batchlin::solver {
+
+/// Solves A_i x_i = b_i for every batch item. `x` carries the initial
+/// guess on entry and the solution on return. Throws
+/// `unsupported_combination` for the combinations Table 3 excludes
+/// (e.g. BatchIsai on a non-CSR matrix).
+template <typename T>
+solve_result solve(xpu::queue& q, const batch_matrix<T>& a,
+                   const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+                   const solve_options& opts);
+
+/// Same, restricted to batch entries [range.begin, range.end) — the
+/// explicit scaling mode where the caller owns the stack partition.
+template <typename T>
+solve_result solve_range(xpu::queue& q, const batch_matrix<T>& a,
+                         const mat::batch_dense<T>& b,
+                         mat::batch_dense<T>& x, const solve_options& opts,
+                         xpu::batch_range range);
+
+}  // namespace batchlin::solver

@@ -1,0 +1,8 @@
+#include "solver/gmres_impl.hpp"
+#include "solver/instantiate.hpp"
+
+namespace batchlin::solver {
+
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_GMRES, float)
+
+}  // namespace batchlin::solver

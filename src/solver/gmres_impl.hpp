@@ -1,0 +1,175 @@
+// BatchGmres kernel: restarted GMRES(m) with left preconditioning.
+//
+// The Krylov basis dominates the workspace ((m+1) rows-vectors), so the
+// planner places the per-step scratch and the small Hessenberg system ahead
+// of it in priority. The least-squares problem is solved incrementally with
+// Givens rotations; the monitored quantity is the preconditioned residual
+// norm |g_{j+1}| (exact for the preconditioned system), and an explicit
+// residual is recomputed at each restart boundary.
+#pragma once
+
+#include <cmath>
+
+#include "blas/device_blas.hpp"
+#include "blas/matrix_view.hpp"
+#include "blas/spmv.hpp"
+#include "solver/kernel_common.hpp"
+#include "solver/run_decl.hpp"
+
+namespace batchlin::solver {
+
+template <typename T, typename MatBatch, typename Precond>
+void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
+               const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+               const stop::criterion& crit, const slm_plan& plan,
+               const kernel_config& config, index_type restart,
+               log::batch_log& logger, xpu::batch_range range)
+{
+    const index_type rows = a.rows();
+    const index_type m = restart;
+    spill_buffer<T> spill(plan, range.size());
+    mat::batch_dense<T>* x_out = &x;
+
+    q.run_batch(
+        range.size(), config.work_group_size, config.sub_group_size,
+        [&](xpu::group& g) {
+            const index_type batch = g.id();
+            const index_type local = batch - range.begin;
+            workspace_binder<T> bind(g, plan, spill.for_group(local));
+            // Plan order: w, hessenberg, givens, basis, x, y, precond.
+            xpu::dspan<T> w = bind.take("w");
+            xpu::dspan<T> hess = bind.take("hessenberg");  // (m+1) x m
+            xpu::dspan<T> givens = bind.take("givens");    // cs | sn | g
+            xpu::dspan<T> basis = bind.take("basis");      // (m+1) x rows
+            xpu::dspan<T> x_loc = bind.take("x");
+            xpu::dspan<T> y = bind.take("y");
+            xpu::dspan<T> pc_work = bind.take_optional("precond");
+
+            xpu::dspan<T> cs = givens.subspan(0, m + 1);
+            xpu::dspan<T> sn = givens.subspan(m + 1, m + 1);
+            xpu::dspan<T> gvec = givens.subspan(2 * (m + 1), m + 1);
+            auto h_at = [&](index_type i, index_type j) -> T& {
+                return hess[i * m + j];
+            };
+            auto basis_vec = [&](index_type j) {
+                return basis.subspan(j * rows, rows);
+            };
+
+            const auto a_view = blas::item_view(a, batch);
+            const auto b_view = b.item_span(batch, xpu::mem_space::constant);
+            auto x_global = x_out->item_span(batch);
+
+            const auto pc = precond.generate(g, a_view, pc_work);
+
+            blas::copy<T>(g, x_global, x_loc);
+            // Preconditioned rhs norm for the relative criterion: the
+            // monitored residual lives in the preconditioned space.
+            pc.apply(g, b_view, w);
+            const T rhs_norm = blas::nrm2<T>(g, w, config.reduction);
+
+            index_type iter = 0;
+            bool converged = false;
+            T res_norm{};
+            while (iter < crit.max_iterations && !converged) {
+                // Restart: z0 = M (b - A x).
+                xpu::dspan<T> v0 = basis_vec(0);
+                blas::spmv<T>(g, a_view, x_loc, w);
+                blas::axpby<T>(g, T{1}, b_view, T{-1}, w);
+                pc.apply(g, w, v0);
+                const T beta = blas::nrm2<T>(g, v0, config.reduction);
+                res_norm = beta;
+                if (stop::is_converged(crit, beta, rhs_norm)) {
+                    converged = true;
+                    break;
+                }
+                blas::scale<T>(g, T{1} / beta, v0);
+                g.for_items(m + 1, [&](index_type i) { gvec[i] = T{0}; });
+                gvec[0] = beta;
+
+                index_type j = 0;
+                for (; j < m && iter < crit.max_iterations; ++j) {
+                    // w = M A v_j (left preconditioning).
+                    xpu::dspan<T> vj = basis_vec(j);
+                    blas::spmv<T>(g, a_view, vj, w);
+                    xpu::dspan<T> vnext = basis_vec(j + 1);
+                    pc.apply(g, w, vnext);
+
+                    // Modified Gram-Schmidt against the basis so far.
+                    for (index_type i = 0; i <= j; ++i) {
+                        const T hij = blas::dot<T>(g, vnext, basis_vec(i),
+                                                   config.reduction);
+                        h_at(i, j) = hij;
+                        blas::axpy<T>(g, -hij, basis_vec(i), vnext);
+                    }
+                    const T hnext =
+                        blas::nrm2<T>(g, vnext, config.reduction);
+                    h_at(j + 1, j) = hnext;
+                    if (hnext != T{0}) {
+                        blas::scale<T>(g, T{1} / hnext, vnext);
+                    }
+
+                    // Apply the accumulated rotations to the new column,
+                    // then compute and apply this step's rotation.
+                    for (index_type i = 0; i < j; ++i) {
+                        const T tmp = cs[i] * h_at(i, j) +
+                                      sn[i] * h_at(i + 1, j);
+                        h_at(i + 1, j) = -sn[i] * h_at(i, j) +
+                                         cs[i] * h_at(i + 1, j);
+                        h_at(i, j) = tmp;
+                    }
+                    const T denom = std::sqrt(h_at(j, j) * h_at(j, j) +
+                                              h_at(j + 1, j) *
+                                                  h_at(j + 1, j));
+                    if (denom == T{0}) {
+                        cs[j] = T{1};
+                        sn[j] = T{0};
+                    } else {
+                        cs[j] = h_at(j, j) / denom;
+                        sn[j] = h_at(j + 1, j) / denom;
+                    }
+                    h_at(j, j) = cs[j] * h_at(j, j) +
+                                 sn[j] * h_at(j + 1, j);
+                    h_at(j + 1, j) = T{0};
+                    gvec[j + 1] = -sn[j] * gvec[j];
+                    gvec[j] = cs[j] * gvec[j];
+                    // Small dense updates: charge the Hessenberg traffic.
+                    g.stats().flops += 10.0 * (j + 2);
+                    blas::detail::charge_read(
+                        g, xpu::dspan<const T>{hess.data, hess.len,
+                                               hess.space},
+                        2 * (j + 2));
+                    g.barrier();
+
+                    ++iter;
+                    res_norm = std::abs(gvec[j + 1]);
+                    logger.record_iteration(batch, iter - 1,
+                                            static_cast<double>(res_norm));
+                    if (stop::is_converged(crit, res_norm, rhs_norm)) {
+                        ++j;
+                        converged = true;
+                        break;
+                    }
+                }
+
+                // Solve the upper-triangular system H y = g and update x.
+                for (index_type i = j - 1; i >= 0; --i) {
+                    T sum = gvec[i];
+                    for (index_type k = i + 1; k < j; ++k) {
+                        sum -= h_at(i, k) * y[k];
+                    }
+                    y[i] = sum / h_at(i, i);
+                    g.stats().flops += 2.0 * (j - i);
+                }
+                g.barrier();
+                for (index_type i = 0; i < j; ++i) {
+                    blas::axpy<T>(g, y[i], basis_vec(i), x_loc);
+                }
+            }
+
+            blas::copy<T>(g, x_loc, x_global);
+            record_outcome(g, logger, batch, iter, res_norm, converged);
+        },
+        range.begin);
+}
+
+}  // namespace batchlin::solver

@@ -1,0 +1,65 @@
+#include "solver/handle.hpp"
+
+#include "solver/launch.hpp"
+
+namespace batchlin {
+
+namespace {
+
+/// Read-only bytes one system contributes: matrix values plus rhs (the
+/// operands the paper observes being served from L3, §4.4).
+template <typename T>
+size_type constant_bytes_per_system(const solver::batch_matrix<T>& a)
+{
+    return std::visit(
+        [](const auto& m) -> size_type {
+            using M = std::decay_t<decltype(m)>;
+            size_type value_elems = 0;
+            if constexpr (std::is_same_v<M, mat::batch_csr<T>>) {
+                value_elems = m.nnz();
+            } else if constexpr (std::is_same_v<M, mat::batch_ell<T>>) {
+                value_elems = m.stored_per_item();
+            } else {
+                value_elems = m.item_size();
+            }
+            return (value_elems + m.rows()) *
+                   static_cast<size_type>(sizeof(T));
+        },
+        a);
+}
+
+}  // namespace
+
+template <typename T>
+perf::solve_profile make_profile(const solver::solve_result& result,
+                                 const solver::batch_matrix<T>& a,
+                                 index_type target_items)
+{
+    const index_type measured =
+        std::visit([](const auto& m) { return m.num_batch_items(); }, a);
+    const index_type rows =
+        std::visit([](const auto& m) { return m.rows(); }, a);
+    BATCHLIN_ENSURE_MSG(measured > 0, "empty measurement batch");
+    BATCHLIN_ENSURE_MSG(target_items > 0, "empty target batch");
+
+    perf::solve_profile profile;
+    const double factor =
+        static_cast<double>(target_items) / static_cast<double>(measured);
+    profile.totals = perf::scale_counters(result.stats, factor);
+    profile.num_systems = target_items;
+    profile.work_group_size = result.config.work_group_size;
+    profile.thread_utilization =
+        solver::thread_utilization(result.config, rows);
+    profile.constant_footprint_per_system = constant_bytes_per_system(a);
+    profile.fp64 = std::is_same_v<T, double>;
+    return profile;
+}
+
+template perf::solve_profile make_profile<float>(
+    const solver::solve_result&, const solver::batch_matrix<float>&,
+    index_type);
+template perf::solve_profile make_profile<double>(
+    const solver::solve_result&, const solver::batch_matrix<double>&,
+    index_type);
+
+}  // namespace batchlin

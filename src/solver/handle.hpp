@@ -1,0 +1,76 @@
+// batch_solver: the high-level public façade.
+//
+// Binds a target device (execution policy + performance model) to a solve
+// configuration, runs batched solves through the multi-level dispatch, and
+// projects the measured kernel counters onto the device performance model —
+// the workflow of the paper's evaluation: run the kernels, then read
+// runtime and roofline characteristics per device.
+#pragma once
+
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/device_spec.hpp"
+#include "perfmodel/roofline.hpp"
+#include "solver/dispatch.hpp"
+
+namespace batchlin {
+
+/// Builds the performance-model profile of a finished solve, projected from
+/// the measured batch to `target_items` systems (counters scale linearly in
+/// the batch size because the systems are independent and near-identical).
+template <typename T>
+perf::solve_profile make_profile(const solver::solve_result& result,
+                                 const solver::batch_matrix<T>& a,
+                                 index_type target_items);
+
+/// High-level solver handle bound to one device and one configuration.
+class batch_solver {
+public:
+    batch_solver(perf::device_spec device, solver::solve_options options)
+        : device_(std::move(device)),
+          queue_(device_.make_policy()),
+          options_(std::move(options))
+    {}
+
+    /// Runs one batched solve (x: initial guess in, solution out).
+    template <typename T>
+    solver::solve_result solve(const solver::batch_matrix<T>& a,
+                               const mat::batch_dense<T>& b,
+                               mat::batch_dense<T>& x)
+    {
+        return solver::solve<T>(queue_, a, b, x, options_);
+    }
+
+    /// Estimated runtime of `result` on this handle's device, projected to
+    /// `target_items` systems.
+    template <typename T>
+    perf::time_breakdown project(const solver::solve_result& result,
+                                 const solver::batch_matrix<T>& a,
+                                 index_type target_items) const
+    {
+        return perf::estimate_time(device_,
+                                   make_profile<T>(result, a, target_items));
+    }
+
+    /// Roofline report of `result` on this device (Fig. 8 reproduction).
+    template <typename T>
+    perf::roofline_report roofline(const solver::solve_result& result,
+                                   const solver::batch_matrix<T>& a,
+                                   index_type target_items) const
+    {
+        return perf::analyze_roofline(
+            device_, make_profile<T>(result, a, target_items));
+    }
+
+    const perf::device_spec& device() const { return device_; }
+    xpu::queue& queue() { return queue_; }
+    const xpu::queue& queue() const { return queue_; }
+    solver::solve_options& options() { return options_; }
+    const solver::solve_options& options() const { return options_; }
+
+private:
+    perf::device_spec device_;
+    xpu::queue queue_;
+    solver::solve_options options_;
+};
+
+}  // namespace batchlin

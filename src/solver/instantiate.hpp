@@ -1,0 +1,58 @@
+// Explicit-instantiation lists for the solver kernels.
+//
+// These enumerate the legal (format × preconditioner) combinations of
+// Table 3: Jacobi and the identity work with every format; BatchIlu and
+// BatchIsai require BatchCsr. Each solver × value-type pair instantiates in
+// its own translation unit to keep any single compile job small.
+#pragma once
+
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_dense.hpp"
+#include "matrix/batch_ell.hpp"
+#include "precond/block_jacobi.hpp"
+#include "precond/identity.hpp"
+#include "precond/ilu0.hpp"
+#include "precond/isai.hpp"
+#include "precond/jacobi.hpp"
+
+// Applies macro(T, MatBatch, Precond) to every legal combination.
+#define BATCHLIN_FOR_EACH_COMBO(macro, T)                                   \
+    macro(T, ::batchlin::mat::batch_csr<T>, ::batchlin::precond::identity<T>) \
+    macro(T, ::batchlin::mat::batch_csr<T>, ::batchlin::precond::jacobi<T>)   \
+    macro(T, ::batchlin::mat::batch_csr<T>, ::batchlin::precond::ilu0<T>)     \
+    macro(T, ::batchlin::mat::batch_csr<T>, ::batchlin::precond::isai<T>)     \
+    macro(T, ::batchlin::mat::batch_csr<T>,                                   \
+          ::batchlin::precond::block_jacobi<T>)                               \
+    macro(T, ::batchlin::mat::batch_ell<T>, ::batchlin::precond::identity<T>) \
+    macro(T, ::batchlin::mat::batch_ell<T>, ::batchlin::precond::jacobi<T>)   \
+    macro(T, ::batchlin::mat::batch_dense<T>,                                 \
+          ::batchlin::precond::identity<T>)                                   \
+    macro(T, ::batchlin::mat::batch_dense<T>, ::batchlin::precond::jacobi<T>)
+
+#define BATCHLIN_INSTANTIATE_CG(T, MatBatch, Precond)                       \
+    template void run_cg<T, MatBatch, Precond>(                             \
+        xpu::queue&, const MatBatch&, const Precond&,                       \
+        const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
+        const stop::criterion&, const slm_plan&, const kernel_config&,      \
+        log::batch_log&, xpu::batch_range);
+
+#define BATCHLIN_INSTANTIATE_BICGSTAB(T, MatBatch, Precond)                 \
+    template void run_bicgstab<T, MatBatch, Precond>(                       \
+        xpu::queue&, const MatBatch&, const Precond&,                       \
+        const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
+        const stop::criterion&, const slm_plan&, const kernel_config&,      \
+        log::batch_log&, xpu::batch_range);
+
+#define BATCHLIN_INSTANTIATE_RICHARDSON(T, MatBatch, Precond)              \
+    template void run_richardson<T, MatBatch, Precond>(                    \
+        xpu::queue&, const MatBatch&, const Precond&,                      \
+        const mat::batch_dense<T>&, mat::batch_dense<T>&,                  \
+        const stop::criterion&, const slm_plan&, const kernel_config&, T,  \
+        log::batch_log&, xpu::batch_range);
+
+#define BATCHLIN_INSTANTIATE_GMRES(T, MatBatch, Precond)                    \
+    template void run_gmres<T, MatBatch, Precond>(                          \
+        xpu::queue&, const MatBatch&, const Precond&,                       \
+        const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
+        const stop::criterion&, const slm_plan&, const kernel_config&,      \
+        index_type, log::batch_log&, xpu::batch_range);

@@ -1,0 +1,100 @@
+// Shared infrastructure of the fused batched solver kernels.
+//
+// Every solver follows the same shape (paper §3.2–§3.5): one launch, one
+// work-group per system, workspace vectors bound SLM-or-global according to
+// the planner, preconditioner generated in-kernel, per-system convergence
+// monitoring recorded to the logger. The binder below hands each kernel its
+// vectors in exactly the planner's priority order.
+#pragma once
+
+#include "log/logger.hpp"
+#include "matrix/batch_dense.hpp"
+#include "solver/launch.hpp"
+#include "solver/workspace.hpp"
+#include "stop/criterion.hpp"
+#include "xpu/group.hpp"
+#include "xpu/queue.hpp"
+
+namespace batchlin::solver {
+
+/// Binds the planner's entries to storage for one work-group: SLM entries
+/// are carved from the group's arena, spilled entries from this group's
+/// slice of the global backing array. Entries MUST be taken in plan order.
+template <typename T>
+class workspace_binder {
+public:
+    workspace_binder(xpu::group& g, const slm_plan& plan, T* group_backing)
+        : g_(g), plan_(plan), backing_(group_backing)
+    {}
+
+    /// Takes the next entry, which must be named `name` (kernels and the
+    /// planner's priority lists must agree exactly).
+    xpu::dspan<T> take(const char* name)
+    {
+        BATCHLIN_ENSURE_MSG(
+            next_ < static_cast<index_type>(plan_.entries.size()),
+            "kernel requested more workspace entries than planned");
+        const slm_plan::entry& e =
+            plan_.entries[static_cast<std::size_t>(next_)];
+        BATCHLIN_ENSURE_MSG(e.name == name,
+                            "workspace order mismatch: expected " + e.name);
+        ++next_;
+        const index_type elems = static_cast<index_type>(e.elems);
+        if (e.in_slm) {
+            return g_.slm().alloc<T>(elems);
+        }
+        xpu::dspan<T> span{backing_ + spill_offset_, elems,
+                           xpu::mem_space::global};
+        spill_offset_ += e.elems;
+        return span;
+    }
+
+    /// Takes the next entry when it is named `name`; returns an empty span
+    /// otherwise (used for the optional preconditioner workspace).
+    xpu::dspan<T> take_optional(const char* name)
+    {
+        if (next_ < static_cast<index_type>(plan_.entries.size()) &&
+            plan_.entries[static_cast<std::size_t>(next_)].name == name) {
+            return take(name);
+        }
+        return {};
+    }
+
+private:
+    xpu::group& g_;
+    const slm_plan& plan_;
+    T* backing_;
+    size_type spill_offset_ = 0;
+    index_type next_ = 0;
+};
+
+/// Host-side backing store for the spilled workspace of one launch: a
+/// contiguous slice of `plan.global_elems_per_group` per work-group.
+template <typename T>
+struct spill_buffer {
+    spill_buffer(const slm_plan& plan, index_type num_groups)
+        : per_group(plan.global_elems_per_group),
+          storage(static_cast<std::size_t>(per_group) * num_groups)
+    {}
+
+    T* for_group(index_type local_group)
+    {
+        return storage.data() +
+               static_cast<size_type>(local_group) * per_group;
+    }
+
+    size_type per_group;
+    std::vector<T> storage;
+};
+
+/// Records one system's outcome: logger entry plus iteration counter.
+template <typename T>
+void record_outcome(xpu::group& g, log::batch_log& logger, index_type batch,
+                    index_type iterations, T residual_norm, bool converged)
+{
+    logger.record(batch, iterations, static_cast<double>(residual_norm),
+                  converged);
+    g.stats().total_iterations += static_cast<double>(iterations);
+}
+
+}  // namespace batchlin::solver

@@ -1,0 +1,64 @@
+#include "solver/launch.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace batchlin::solver {
+
+kernel_config choose_launch_config(const xpu::exec_policy& policy,
+                                   index_type rows,
+                                   index_type sub_group_override,
+                                   const xpu::reduce_path* reduction_override)
+{
+    BATCHLIN_ENSURE_MSG(rows > 0, "empty system");
+    kernel_config config;
+
+    if (sub_group_override != 0) {
+        BATCHLIN_ENSURE_MSG(policy.supports_sub_group(sub_group_override),
+                            "requested sub-group size not supported");
+        config.sub_group_size = sub_group_override;
+    } else {
+        // §3.6: sub-group 16 for small matrices, 32 for large ones —
+        // provided the device offers the choice at all.
+        const index_type preferred =
+            rows <= policy.sub_group_switch_rows ? 16 : 32;
+        config.sub_group_size = policy.supports_sub_group(preferred)
+                                    ? preferred
+                                    : policy.allowed_sub_group_sizes.front();
+    }
+
+    // Work-group size: the number of rows when it is divisible by the
+    // sub-group size, otherwise the next round-up (§3.6), capped by the
+    // device maximum (work-items then grid-stride over rows).
+    config.work_group_size =
+        std::min(round_up(std::max(rows, config.sub_group_size),
+                          config.sub_group_size),
+                 policy.max_work_group_size);
+
+    if (reduction_override != nullptr) {
+        BATCHLIN_ENSURE_MSG(*reduction_override != xpu::reduce_path::group ||
+                                policy.has_group_reduction,
+                            "group reduction not available on this model");
+        config.reduction = *reduction_override;
+    } else if (!policy.has_group_reduction) {
+        // CUDA path: only warp-level reductions exist (§3.2).
+        config.reduction = xpu::reduce_path::sub_group;
+    } else {
+        config.reduction = rows <= policy.sub_group_reduce_rows
+                               ? xpu::reduce_path::sub_group
+                               : xpu::reduce_path::group;
+    }
+    return config;
+}
+
+double thread_utilization(const kernel_config& config, index_type rows)
+{
+    if (config.work_group_size <= 0) {
+        return 0.0;
+    }
+    const index_type active = std::min(rows, config.work_group_size);
+    return static_cast<double>(active) / config.work_group_size;
+}
+
+}  // namespace batchlin::solver

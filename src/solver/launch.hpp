@@ -1,0 +1,38 @@
+// Launch configuration selection (paper §3.6).
+//
+// The work-group size is chosen at runtime from the number of rows: the
+// smallest multiple of the sub-group size that covers the rows (capped by
+// the device maximum). The sub-group size is 16 for small matrices and 32
+// for large ones on the PVC (CUDA devices only have 32); the reduction
+// strategy switches from sub-group shuffles to the work-group primitive
+// once the system spans multiple sub-groups. All thresholds live in the
+// execution policy because they are device-specific tuning knobs.
+#pragma once
+
+#include "util/math.hpp"
+#include "xpu/policy.hpp"
+
+namespace batchlin::solver {
+
+/// Resolved launch parameters for one batched solver kernel.
+struct kernel_config {
+    index_type work_group_size = 0;
+    index_type sub_group_size = 0;
+    xpu::reduce_path reduction = xpu::reduce_path::group;
+};
+
+/// Applies the §3.6 heuristics. `sub_group_override` forces a sub-group
+/// size (0 = automatic); `reduction_override` similarly pins the reduction
+/// path for the ablation benchmarks.
+kernel_config choose_launch_config(const xpu::exec_policy& policy,
+                                   index_type rows,
+                                   index_type sub_group_override = 0,
+                                   const xpu::reduce_path* reduction_override =
+                                       nullptr);
+
+/// Fraction of scheduled work-items that map to matrix rows; < 1 when the
+/// round-up to the sub-group size pads the work-group (feeds the
+/// performance model's utilization term).
+double thread_utilization(const kernel_config& config, index_type rows);
+
+}  // namespace batchlin::solver

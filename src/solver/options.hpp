@@ -1,0 +1,82 @@
+// Public solve options and result types of the batched solver interface.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "log/logger.hpp"
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_dense.hpp"
+#include "matrix/batch_ell.hpp"
+#include "precond/types.hpp"
+#include "solver/launch.hpp"
+#include "solver/trsv.hpp"
+#include "solver/workspace.hpp"
+#include "stop/criterion.hpp"
+#include "xpu/counters.hpp"
+
+namespace batchlin::solver {
+
+/// Runtime choice of matrix format: a batch is exactly one of the three
+/// formats of Table 3; the dispatch layer funnels the variant into the
+/// format-templated kernels (§3.3).
+template <typename T>
+using batch_matrix = std::variant<mat::batch_dense<T>, mat::batch_csr<T>,
+                                  mat::batch_ell<T>>;
+
+enum class matrix_format { dense, csr, ell };
+
+template <typename T>
+matrix_format format_of(const batch_matrix<T>& a)
+{
+    if (std::holds_alternative<mat::batch_csr<T>>(a)) {
+        return matrix_format::csr;
+    }
+    if (std::holds_alternative<mat::batch_ell<T>>(a)) {
+        return matrix_format::ell;
+    }
+    return matrix_format::dense;
+}
+
+std::string to_string(matrix_format f);
+
+/// All runtime knobs of one batched solve. Every combination of the first
+/// four fields corresponds to a cell of Table 3; the remaining fields are
+/// the performance-tuning switches of §3.5–3.6 (auto by default).
+struct solve_options {
+    solver_type solver = solver_type::bicgstab;
+    precond::type preconditioner = precond::type::none;
+    stop::criterion criterion{};
+    /// Krylov basis length for BatchGmres.
+    index_type gmres_restart = 10;
+    /// Block size for the block-Jacobi preconditioner.
+    index_type block_jacobi_size = 4;
+    /// Relaxation factor for BatchRichardson.
+    double richardson_relaxation = 0.9;
+    /// SLM placement strategy (ablations may disable SLM).
+    slm_mode slm = slm_mode::priority;
+    /// Forced sub-group size; 0 selects by matrix size (§3.6).
+    index_type sub_group_size = 0;
+    /// Forced reduction strategy; unset selects by matrix size (§3.6).
+    std::optional<xpu::reduce_path> reduction{};
+    /// Triangle selection for BatchTrsv.
+    triangle trsv_triangle = triangle::automatic;
+    /// Record the per-iteration residual history of every system (costs
+    /// num_systems x max_iterations doubles; off by default).
+    bool record_history = false;
+};
+
+/// Outcome of one batched solve: per-system convergence data, the counters
+/// of the fused kernel launch, and the resolved execution configuration.
+struct solve_result {
+    log::batch_log log;
+    xpu::counters stats;
+    slm_plan plan;
+    kernel_config config;
+    /// Host wall-clock of the simulated launch (not a device time estimate;
+    /// see perfmodel for device projections).
+    double wall_seconds = 0.0;
+};
+
+}  // namespace batchlin::solver

@@ -1,0 +1,134 @@
+#include "solver/residual.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace batchlin::solver {
+
+namespace {
+
+template <typename T, typename MatBatch>
+void accumulate_residuals(const MatBatch& a, const mat::batch_dense<T>& b,
+                          const mat::batch_dense<T>& x,
+                          std::vector<double>& out);
+
+template <typename T>
+void accumulate_residuals(const mat::batch_csr<T>& a,
+                          const mat::batch_dense<T>& b,
+                          const mat::batch_dense<T>& x,
+                          std::vector<double>& out)
+{
+#pragma omp parallel for schedule(static)
+    for (index_type item = 0; item < a.num_batch_items(); ++item) {
+        const T* vals = a.item_values(item);
+        double sq = 0.0;
+        for (index_type i = 0; i < a.rows(); ++i) {
+            double r = static_cast<double>(b.at(item, i, 0));
+            for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1];
+                 ++k) {
+                r -= static_cast<double>(vals[k]) *
+                     static_cast<double>(x.at(item, a.col_idxs()[k], 0));
+            }
+            sq += r * r;
+        }
+        out[item] = std::sqrt(sq);
+    }
+}
+
+template <typename T>
+void accumulate_residuals(const mat::batch_ell<T>& a,
+                          const mat::batch_dense<T>& b,
+                          const mat::batch_dense<T>& x,
+                          std::vector<double>& out)
+{
+#pragma omp parallel for schedule(static)
+    for (index_type item = 0; item < a.num_batch_items(); ++item) {
+        double sq = 0.0;
+        for (index_type i = 0; i < a.rows(); ++i) {
+            double r = static_cast<double>(b.at(item, i, 0));
+            for (index_type k = 0; k < a.ell_width(); ++k) {
+                const index_type col = a.col_at(i, k);
+                if (col != mat::ell_padding) {
+                    r -= static_cast<double>(a.val_at(item, i, k)) *
+                         static_cast<double>(x.at(item, col, 0));
+                }
+            }
+            sq += r * r;
+        }
+        out[item] = std::sqrt(sq);
+    }
+}
+
+template <typename T>
+void accumulate_residuals(const mat::batch_dense<T>& a,
+                          const mat::batch_dense<T>& b,
+                          const mat::batch_dense<T>& x,
+                          std::vector<double>& out)
+{
+#pragma omp parallel for schedule(static)
+    for (index_type item = 0; item < a.num_batch_items(); ++item) {
+        double sq = 0.0;
+        for (index_type i = 0; i < a.rows(); ++i) {
+            double r = static_cast<double>(b.at(item, i, 0));
+            for (index_type j = 0; j < a.cols(); ++j) {
+                r -= static_cast<double>(a.at(item, i, j)) *
+                     static_cast<double>(x.at(item, j, 0));
+            }
+            sq += r * r;
+        }
+        out[item] = std::sqrt(sq);
+    }
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<double> residual_norms(const batch_matrix<T>& a,
+                                   const mat::batch_dense<T>& b,
+                                   const mat::batch_dense<T>& x)
+{
+    const index_type items =
+        std::visit([](const auto& m) { return m.num_batch_items(); }, a);
+    BATCHLIN_ENSURE_DIMS(b.num_batch_items() == items &&
+                             x.num_batch_items() == items,
+                         "batch sizes must match");
+    std::vector<double> out(items, 0.0);
+    std::visit([&](const auto& m) { accumulate_residuals(m, b, x, out); },
+               a);
+    return out;
+}
+
+template <typename T>
+std::vector<double> relative_residual_norms(const batch_matrix<T>& a,
+                                            const mat::batch_dense<T>& b,
+                                            const mat::batch_dense<T>& x)
+{
+    std::vector<double> res = residual_norms(a, b, x);
+    for (index_type item = 0;
+         item < static_cast<index_type>(res.size()); ++item) {
+        double bnorm = 0.0;
+        for (index_type i = 0; i < b.rows(); ++i) {
+            const double v = static_cast<double>(b.at(item, i, 0));
+            bnorm += v * v;
+        }
+        bnorm = std::sqrt(bnorm);
+        if (bnorm > 0.0) {
+            res[item] /= bnorm;
+        }
+    }
+    return res;
+}
+
+#define BATCHLIN_INSTANTIATE_RESIDUAL(T)                                   \
+    template std::vector<double> residual_norms<T>(                        \
+        const batch_matrix<T>&, const mat::batch_dense<T>&,                \
+        const mat::batch_dense<T>&);                                       \
+    template std::vector<double> relative_residual_norms<T>(               \
+        const batch_matrix<T>&, const mat::batch_dense<T>&,                \
+        const mat::batch_dense<T>&)
+
+BATCHLIN_INSTANTIATE_RESIDUAL(float);
+BATCHLIN_INSTANTIATE_RESIDUAL(double);
+
+}  // namespace batchlin::solver

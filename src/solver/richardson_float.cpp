@@ -1,0 +1,8 @@
+#include "solver/instantiate.hpp"
+#include "solver/richardson_impl.hpp"
+
+namespace batchlin::solver {
+
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_RICHARDSON, float)
+
+}  // namespace batchlin::solver

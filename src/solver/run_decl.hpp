@@ -1,0 +1,53 @@
+// Declarations of the fused batched solver kernels.
+//
+// Definitions live in the *_impl.hpp headers and are explicitly
+// instantiated (per value type, matrix format, and preconditioner — the
+// template axes of the multi-level dispatch, §3.3) in the per-solver
+// translation units, keeping the dispatch layer itself cheap to compile.
+#pragma once
+
+#include "log/logger.hpp"
+#include "matrix/batch_dense.hpp"
+#include "solver/launch.hpp"
+#include "solver/workspace.hpp"
+#include "stop/criterion.hpp"
+#include "xpu/queue.hpp"
+
+namespace batchlin::solver {
+
+/// Preconditioned conjugate gradients (Algorithm 1 of the paper) for the
+/// batch entries in `range`; one fused kernel launch.
+template <typename T, typename MatBatch, typename Precond>
+void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
+            const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+            const stop::criterion& crit, const slm_plan& plan,
+            const kernel_config& config, log::batch_log& logger,
+            xpu::batch_range range);
+
+/// Preconditioned BiCGSTAB — the solver used for the non-SPD PeleLM inputs.
+template <typename T, typename MatBatch, typename Precond>
+void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
+                  const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+                  const stop::criterion& crit, const slm_plan& plan,
+                  const kernel_config& config, log::batch_log& logger,
+                  xpu::batch_range range);
+
+/// Preconditioned Richardson iteration x += relaxation * M(b - A x)
+/// (library extension; the baseline/smoother of the solver hierarchy).
+template <typename T, typename MatBatch, typename Precond>
+void run_richardson(xpu::queue& q, const MatBatch& a,
+                    const Precond& precond, const mat::batch_dense<T>& b,
+                    mat::batch_dense<T>& x, const stop::criterion& crit,
+                    const slm_plan& plan, const kernel_config& config,
+                    T relaxation, log::batch_log& logger,
+                    xpu::batch_range range);
+
+/// Restarted GMRES(m) with left preconditioning; `restart` == m.
+template <typename T, typename MatBatch, typename Precond>
+void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
+               const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+               const stop::criterion& crit, const slm_plan& plan,
+               const kernel_config& config, index_type restart,
+               log::batch_log& logger, xpu::batch_range range);
+
+}  // namespace batchlin::solver

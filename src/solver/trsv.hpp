@@ -1,0 +1,38 @@
+// BatchTrsv: batched direct triangular solve (paper Table 3).
+//
+// For batches whose shared pattern is (upper or lower) triangular with a
+// full diagonal, the solve is a single exact substitution sweep — the one
+// batched "direct" building block the solver stack offers (it also backs
+// the ILU application). Requires BatchCsr.
+#pragma once
+
+#include "log/logger.hpp"
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_dense.hpp"
+#include "solver/launch.hpp"
+#include "solver/workspace.hpp"
+#include "xpu/queue.hpp"
+
+namespace batchlin::solver {
+
+enum class triangle {
+    /// Detect from the shared pattern; throws for non-triangular patterns.
+    automatic,
+    lower,
+    upper,
+};
+
+/// Inspects the shared pattern: returns lower/upper, throws when the
+/// pattern is neither triangular nor has a full diagonal.
+template <typename T>
+triangle detect_triangle(const mat::batch_csr<T>& a);
+
+/// Solves every system of `range` by exact substitution (one "iteration").
+template <typename T>
+void run_trsv(xpu::queue& q, const mat::batch_csr<T>& a,
+              const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+              triangle mode, const slm_plan& plan,
+              const kernel_config& config, log::batch_log& logger,
+              xpu::batch_range range);
+
+}  // namespace batchlin::solver

@@ -1,0 +1,10 @@
+#include "stop/criterion.hpp"
+
+namespace batchlin::stop {
+
+std::string to_string(tolerance_type type)
+{
+    return type == tolerance_type::absolute ? "absolute" : "relative";
+}
+
+}  // namespace batchlin::stop

@@ -1,0 +1,61 @@
+// Stopping criteria for the batched iterative solvers (paper Table 3).
+//
+// Two tolerance types are supported — absolute and relative (to the
+// right-hand-side norm) — combined with an iteration cap. Convergence is
+// monitored for each system in the batch individually: a work-group leaves
+// its solver loop as soon as its own system satisfies the criterion.
+#pragma once
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace batchlin::stop {
+
+enum class tolerance_type {
+    /// ||r|| <= tol.
+    absolute,
+    /// ||r|| <= tol * ||b||.
+    relative,
+};
+
+/// Runtime stopping configuration shared by all systems of a batch solve.
+struct criterion {
+    tolerance_type type = tolerance_type::relative;
+    double tolerance = 1e-10;
+    index_type max_iterations = 200;
+
+    /// Throws on non-positive tolerance or iteration budget.
+    void validate() const
+    {
+        BATCHLIN_ENSURE_MSG(tolerance > 0.0, "tolerance must be positive");
+        BATCHLIN_ENSURE_MSG(max_iterations > 0,
+                            "iteration budget must be positive");
+    }
+};
+
+/// Device-side convergence test; `rhs_norm` is ignored for absolute type.
+template <typename T>
+inline bool is_converged(const criterion& crit, T residual_norm, T rhs_norm)
+{
+    const double target =
+        crit.type == tolerance_type::absolute
+            ? crit.tolerance
+            : crit.tolerance * static_cast<double>(rhs_norm);
+    return static_cast<double>(residual_norm) <= target;
+}
+
+std::string to_string(tolerance_type type);
+
+/// Convenience factories.
+inline criterion absolute(double tol, index_type max_iters = 200)
+{
+    return {tolerance_type::absolute, tol, max_iters};
+}
+inline criterion relative(double tol, index_type max_iters = 200)
+{
+    return {tolerance_type::relative, tol, max_iters};
+}
+
+}  // namespace batchlin::stop

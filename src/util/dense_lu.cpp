@@ -1,0 +1,138 @@
+#include "util/dense_lu.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace batchlin {
+
+template <typename T>
+bool lu_factorize(index_type n, T* a, index_type* piv)
+{
+    for (index_type k = 0; k < n; ++k) {
+        // Partial pivoting: pick the largest magnitude entry in column k.
+        index_type p = k;
+        T best = std::abs(a[k * n + k]);
+        for (index_type i = k + 1; i < n; ++i) {
+            const T mag = std::abs(a[i * n + k]);
+            if (mag > best) {
+                best = mag;
+                p = i;
+            }
+        }
+        piv[k] = p;
+        if (best <= std::numeric_limits<T>::min()) {
+            return false;
+        }
+        if (p != k) {
+            for (index_type j = 0; j < n; ++j) {
+                std::swap(a[k * n + j], a[p * n + j]);
+            }
+        }
+        const T inv_pivot = T{1} / a[k * n + k];
+        for (index_type i = k + 1; i < n; ++i) {
+            const T factor = a[i * n + k] * inv_pivot;
+            a[i * n + k] = factor;
+            for (index_type j = k + 1; j < n; ++j) {
+                a[i * n + j] -= factor * a[k * n + j];
+            }
+        }
+    }
+    return true;
+}
+
+template <typename T>
+void lu_solve(index_type n, const T* a, const index_type* piv, T* x)
+{
+    // Apply the recorded row interchanges, then forward/backward substitute.
+    for (index_type k = 0; k < n; ++k) {
+        if (piv[k] != k) {
+            std::swap(x[k], x[piv[k]]);
+        }
+    }
+    for (index_type i = 1; i < n; ++i) {
+        T sum = x[i];
+        for (index_type j = 0; j < i; ++j) {
+            sum -= a[i * n + j] * x[j];
+        }
+        x[i] = sum;
+    }
+    for (index_type i = n - 1; i >= 0; --i) {
+        T sum = x[i];
+        for (index_type j = i + 1; j < n; ++j) {
+            sum -= a[i * n + j] * x[j];
+        }
+        x[i] = sum / a[i * n + i];
+    }
+}
+
+template <typename T>
+bool dense_solve(index_type n, std::vector<T> a, std::vector<T> b,
+                 std::vector<T>& x)
+{
+    BATCHLIN_ENSURE_DIMS(static_cast<size_type>(a.size()) ==
+                             static_cast<size_type>(n) * n,
+                         "matrix storage does not match order");
+    BATCHLIN_ENSURE_DIMS(static_cast<index_type>(b.size()) == n,
+                         "rhs length does not match order");
+    std::vector<index_type> piv(n);
+    if (!lu_factorize(n, a.data(), piv.data())) {
+        return false;
+    }
+    lu_solve(n, a.data(), piv.data(), b.data());
+    x = std::move(b);
+    return true;
+}
+
+template <typename T>
+double condition_number_inf(index_type n, const std::vector<T>& a)
+{
+    BATCHLIN_ENSURE_DIMS(static_cast<size_type>(a.size()) ==
+                             static_cast<size_type>(n) * n,
+                         "matrix storage does not match order");
+    std::vector<T> lu = a;
+    std::vector<index_type> piv(n);
+    if (!lu_factorize(n, lu.data(), piv.data())) {
+        return std::numeric_limits<double>::infinity();
+    }
+    double norm_a = 0.0;
+    double norm_inv = 0.0;
+    std::vector<T> col(n);
+    for (index_type i = 0; i < n; ++i) {
+        double row_sum = 0.0;
+        for (index_type j = 0; j < n; ++j) {
+            row_sum += std::abs(static_cast<double>(a[i * n + j]));
+        }
+        norm_a = std::max(norm_a, row_sum);
+    }
+    // Column-by-column explicit inverse; fine for the small orders we use.
+    std::vector<double> inv_row_sums(n, 0.0);
+    for (index_type j = 0; j < n; ++j) {
+        std::fill(col.begin(), col.end(), T{0});
+        col[j] = T{1};
+        lu_solve(n, lu.data(), piv.data(), col.data());
+        for (index_type i = 0; i < n; ++i) {
+            inv_row_sums[i] += std::abs(static_cast<double>(col[i]));
+        }
+    }
+    for (index_type i = 0; i < n; ++i) {
+        norm_inv = std::max(norm_inv, inv_row_sums[i]);
+    }
+    return norm_a * norm_inv;
+}
+
+#define BATCHLIN_INSTANTIATE_LU(T)                                          \
+    template bool lu_factorize<T>(index_type, T*, index_type*);             \
+    template void lu_solve<T>(index_type, const T*, const index_type*, T*); \
+    template bool dense_solve<T>(index_type, std::vector<T>,                \
+                                 std::vector<T>, std::vector<T>&);          \
+    template double condition_number_inf<T>(index_type,                     \
+                                            const std::vector<T>&)
+
+BATCHLIN_INSTANTIATE_LU(float);
+BATCHLIN_INSTANTIATE_LU(double);
+
+}  // namespace batchlin

@@ -1,0 +1,39 @@
+// Dense LU factorization with partial pivoting.
+//
+// This is the reference direct solver used by
+//  * the test suite (to validate iterative solutions against exact ones),
+//  * the BatchIsai preconditioner generation (per-row small dense solves),
+//  * the chemistry workload generator (conditioning checks).
+// Matrices are stored row-major.
+#pragma once
+
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace batchlin {
+
+/// In-place LU factorization with partial pivoting of an n-by-n row-major
+/// matrix. On return `a` holds L (unit diagonal, below) and U (on/above the
+/// diagonal) and `piv[i]` is the row swapped into position i at step i.
+/// Returns false when a pivot underflows (numerically singular matrix).
+template <typename T>
+bool lu_factorize(index_type n, T* a, index_type* piv);
+
+/// Solves L U x = P b given the output of lu_factorize; `x` holds b on entry
+/// and the solution on return.
+template <typename T>
+void lu_solve(index_type n, const T* a, const index_type* piv, T* x);
+
+/// Convenience wrapper: solves a (copy of a) dense system, returning false on
+/// singular input. `a` is row-major n*n, `b`/`x` length n.
+template <typename T>
+bool dense_solve(index_type n, std::vector<T> a, std::vector<T> b,
+                 std::vector<T>& x);
+
+/// Infinity-norm condition number estimate via explicit inverse (only used on
+/// the small systems of this problem space, n <= ~2000).
+template <typename T>
+double condition_number_inf(index_type n, const std::vector<T>& a);
+
+}  // namespace batchlin

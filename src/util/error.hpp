@@ -1,0 +1,74 @@
+// Error handling utilities for batchlin.
+//
+// All argument validation in the public API goes through BATCHLIN_ENSURE so
+// that failures carry the offending expression and source location. Device
+// kernels never throw; validation happens on the host before launch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace batchlin {
+
+/// Exception type thrown by all batchlin precondition violations.
+class error : public std::runtime_error {
+public:
+    error(const char* file, int line, const std::string& what)
+        : std::runtime_error(std::string(file) + ":" + std::to_string(line) +
+                             ": " + what)
+    {}
+};
+
+/// Exception thrown when two objects have incompatible dimensions.
+class dimension_mismatch : public error {
+    using error::error;
+};
+
+/// Exception thrown when an unsupported runtime combination is requested
+/// (e.g. BatchIsai on a non-CSR matrix, BatchCg on a non-SPD problem class).
+class unsupported_combination : public error {
+    using error::error;
+};
+
+namespace detail {
+
+template <typename Exception>
+[[noreturn]] void throw_with_message(const char* file, int line,
+                                     const char* expr, const std::string& msg)
+{
+    std::ostringstream os;
+    os << "check `" << expr << "` failed";
+    if (!msg.empty()) {
+        os << ": " << msg;
+    }
+    throw Exception(file, line, os.str());
+}
+
+}  // namespace detail
+
+}  // namespace batchlin
+
+#define BATCHLIN_ENSURE_MSG(cond, msg)                                      \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::batchlin::detail::throw_with_message<::batchlin::error>(      \
+                __FILE__, __LINE__, #cond, (msg));                          \
+        }                                                                   \
+    } while (false)
+
+#define BATCHLIN_ENSURE(cond) BATCHLIN_ENSURE_MSG(cond, "")
+
+#define BATCHLIN_ENSURE_DIMS(cond, msg)                                     \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::batchlin::detail::throw_with_message<                         \
+                ::batchlin::dimension_mismatch>(__FILE__, __LINE__, #cond,  \
+                                                (msg));                     \
+        }                                                                   \
+    } while (false)
+
+#define BATCHLIN_UNSUPPORTED(msg)                                           \
+    ::batchlin::detail::throw_with_message<                                 \
+        ::batchlin::unsupported_combination>(__FILE__, __LINE__,            \
+                                             "supported combination", (msg))

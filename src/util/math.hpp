@@ -1,0 +1,46 @@
+// Small integer and floating-point helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace batchlin {
+
+using index_type = std::int32_t;
+using size_type = std::int64_t;
+
+/// Integer ceiling division for non-negative operands.
+constexpr index_type ceil_div(index_type a, index_type b)
+{
+    return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b` (b > 0).
+constexpr index_type round_up(index_type a, index_type b)
+{
+    return ceil_div(a, b) * b;
+}
+
+/// Returns true when `a` and `b` agree to a relative tolerance scaled by
+/// `scale` (used for FP comparisons across reduction orders).
+template <typename T>
+bool close(T a, T b, T rel_tol, T scale = T{1})
+{
+    const T mag = std::max({std::abs(a), std::abs(b), scale});
+    return std::abs(a - b) <= rel_tol * mag;
+}
+
+/// Machine epsilon-derived default solver tolerance for a value type.
+template <typename T>
+constexpr T default_tolerance()
+{
+    if constexpr (std::is_same_v<T, float>) {
+        return 1e-5f;
+    } else {
+        return 1e-11;
+    }
+}
+
+}  // namespace batchlin

@@ -1,0 +1,34 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace batchlin {
+
+std::vector<index_type> rng::distinct_sorted(index_type lo, index_type hi,
+                                             index_type count)
+{
+    BATCHLIN_ENSURE_MSG(hi >= lo, "empty range");
+    const index_type range = hi - lo + 1;
+    BATCHLIN_ENSURE_MSG(count <= range, "more draws than range elements");
+    // Floyd's algorithm keeps memory proportional to `count` even for wide
+    // ranges, which matters when sampling sparsity positions of large rows.
+    std::vector<index_type> result;
+    result.reserve(count);
+    for (index_type j = range - count; j < range; ++j) {
+        const index_type t = uniform_int(0, j);
+        const index_type candidate = lo + t;
+        if (std::find(result.begin(), result.end(), candidate) !=
+            result.end()) {
+            result.push_back(lo + j);
+        } else {
+            result.push_back(candidate);
+        }
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+}  // namespace batchlin

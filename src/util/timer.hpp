@@ -1,0 +1,28 @@
+// Wall-clock timing helper for benchmarks and examples.
+#pragma once
+
+#include <chrono>
+
+namespace batchlin {
+
+/// Monotonic wall-clock timer; `seconds()` reports time since construction
+/// or the last `reset()`.
+class wall_timer {
+public:
+    wall_timer() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    double seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace batchlin

@@ -1,0 +1,80 @@
+#include "workload/replicate.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace batchlin::work {
+
+template <typename T>
+mat::batch_csr<T> replicate(const mat::batch_csr<T>& unique,
+                            index_type batch_size, double perturbation,
+                            std::uint64_t seed)
+{
+    BATCHLIN_ENSURE_MSG(unique.num_batch_items() > 0,
+                        "cannot replicate an empty batch");
+    BATCHLIN_ENSURE_MSG(batch_size >= 0, "negative batch size");
+    mat::batch_csr<T> out(batch_size, unique.rows(), unique.cols(),
+                          unique.row_ptrs(), unique.col_idxs());
+    rng gen(seed);
+    for (index_type b = 0; b < batch_size; ++b) {
+        const index_type src = b % unique.num_batch_items();
+        const T* from = unique.item_values(src);
+        T* to = out.item_values(b);
+        const T factor =
+            perturbation > 0.0
+                ? static_cast<T>(1.0 +
+                                 gen.uniform(-perturbation, perturbation))
+                : T{1};
+        for (index_type k = 0; k < unique.nnz(); ++k) {
+            to[k] = from[k] * factor;
+        }
+    }
+    return out;
+}
+
+template <typename T>
+mat::batch_csr<T> slice(const mat::batch_csr<T>& batch, index_type begin,
+                        index_type end)
+{
+    BATCHLIN_ENSURE_DIMS(begin >= 0 && begin <= end &&
+                             end <= batch.num_batch_items(),
+                         "slice range out of bounds");
+    mat::batch_csr<T> out(end - begin, batch.rows(), batch.cols(),
+                          batch.row_ptrs(), batch.col_idxs());
+    for (index_type b = begin; b < end; ++b) {
+        std::copy_n(batch.item_values(b), batch.nnz(),
+                    out.item_values(b - begin));
+    }
+    return out;
+}
+
+template <typename T>
+mat::batch_dense<T> slice(const mat::batch_dense<T>& batch,
+                          index_type begin, index_type end)
+{
+    BATCHLIN_ENSURE_DIMS(begin >= 0 && begin <= end &&
+                             end <= batch.num_batch_items(),
+                         "slice range out of bounds");
+    mat::batch_dense<T> out(end - begin, batch.rows(), batch.cols());
+    for (index_type b = begin; b < end; ++b) {
+        std::copy_n(batch.item_values(b), batch.item_size(),
+                    out.item_values(b - begin));
+    }
+    return out;
+}
+
+#define BATCHLIN_INSTANTIATE_REPLICATE(T)                                  \
+    template mat::batch_csr<T> replicate<T>(const mat::batch_csr<T>&,      \
+                                            index_type, double,            \
+                                            std::uint64_t);                \
+    template mat::batch_csr<T> slice<T>(const mat::batch_csr<T>&,          \
+                                        index_type, index_type);           \
+    template mat::batch_dense<T> slice<T>(const mat::batch_dense<T>&,      \
+                                          index_type, index_type)
+
+BATCHLIN_INSTANTIATE_REPLICATE(float);
+BATCHLIN_INSTANTIATE_REPLICATE(double);
+
+}  // namespace batchlin::work

@@ -1,0 +1,35 @@
+// Batch replication and slicing utilities.
+//
+// The paper extracts a handful of unique per-cell systems and replicates
+// them to emulate a full mesh (§4.1); `replicate` does exactly that, with
+// an optional small per-copy value perturbation so the copies are not
+// bitwise identical. `slice` extracts a contiguous sub-batch — the building
+// block of the explicit two-stack scaling mode (§2.2).
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_dense.hpp"
+
+namespace batchlin::work {
+
+/// Expands `unique` cyclically to `batch_size` items. Each copy's values
+/// are scaled by (1 + eps) with |eps| <= perturbation (0 = exact copies).
+template <typename T>
+mat::batch_csr<T> replicate(const mat::batch_csr<T>& unique,
+                            index_type batch_size,
+                            double perturbation = 0.0,
+                            std::uint64_t seed = 0);
+
+/// Copies batch items [begin, end) into a new batch (shared pattern kept).
+template <typename T>
+mat::batch_csr<T> slice(const mat::batch_csr<T>& batch, index_type begin,
+                        index_type end);
+
+/// Same for batched dense objects (vectors and dense matrices).
+template <typename T>
+mat::batch_dense<T> slice(const mat::batch_dense<T>& batch,
+                          index_type begin, index_type end);
+
+}  // namespace batchlin::work

@@ -1,0 +1,39 @@
+// Synthetic 3-point-stencil workload (paper §4.1/§4.2).
+//
+// Generates batches of symmetric positive definite tridiagonal systems
+// ([-1, 2, -1] plus a per-item diagonal perturbation that keeps the items
+// distinct and SPD). The matrix size and batch size scale freely, which is
+// what the paper's scaling study (Fig. 4/5) needs.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_dense.hpp"
+
+namespace batchlin::work {
+
+/// Batch of SPD 3-point-stencil matrices (rows x rows, 3*rows - 2 stored
+/// non-zeros; Table 4 quotes the interior-row count 3 x n_rows).
+template <typename T>
+mat::batch_csr<T> stencil_3pt(index_type num_items, index_type rows,
+                              std::uint64_t seed = 42);
+
+/// Banded SPD stencil batch of the given half-bandwidth (bandwidth 2 =
+/// the penta-diagonal systems of the paper's related work [9]): diagonal
+/// 2*bandwidth + shift, off-diagonals -1 within the band.
+template <typename T>
+mat::batch_csr<T> stencil_banded(index_type num_items, index_type rows,
+                                 index_type bandwidth,
+                                 std::uint64_t seed = 42);
+
+/// Uniform random right-hand sides in [0.5, 1.5).
+template <typename T>
+mat::batch_dense<T> random_rhs(index_type num_items, index_type rows,
+                               std::uint64_t seed = 7);
+
+/// Right-hand sides with known solution x* = 1: b_i = A_i * 1.
+template <typename T>
+mat::batch_dense<T> rhs_for_unit_solution(const mat::batch_csr<T>& a);
+
+}  // namespace batchlin::work

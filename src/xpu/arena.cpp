@@ -1,0 +1,12 @@
+#include "xpu/arena.hpp"
+
+namespace batchlin::xpu {
+
+slm_arena::slm_arena(size_type capacity_bytes)
+    : buffer_(static_cast<std::size_t>(capacity_bytes)),
+      capacity_(capacity_bytes)
+{
+    BATCHLIN_ENSURE_MSG(capacity_bytes >= 0, "negative SLM capacity");
+}
+
+}  // namespace batchlin::xpu

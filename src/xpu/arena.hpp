@@ -1,0 +1,64 @@
+// Shared-local-memory (SLM) arena.
+//
+// Each work-group owns one arena whose capacity equals the device's SLM
+// budget per work-group (128 KB per Xe-core on the PVC, §2.2). The solver's
+// SLM planner (§3.5) decides which vectors are placed here; allocation is a
+// bump pointer because the set of allocations is fixed for the lifetime of
+// one solver kernel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "xpu/span.hpp"
+
+namespace batchlin::xpu {
+
+/// Per-work-group bump allocator standing in for shared local memory.
+class slm_arena {
+public:
+    explicit slm_arena(size_type capacity_bytes);
+
+    /// Allocates `n` elements of T, aligned to alignof(T). Throws when the
+    /// request exceeds the remaining capacity — the planner must never let
+    /// this happen, so a throw here indicates a planner bug.
+    template <typename T>
+    dspan<T> alloc(index_type n)
+    {
+        const size_type offset = align_up(used_, alignof(T));
+        const size_type bytes = static_cast<size_type>(n) * sizeof(T);
+        BATCHLIN_ENSURE_MSG(offset + bytes <= capacity_,
+                            "SLM arena overflow: planner allocated beyond "
+                            "the device SLM budget");
+        used_ = offset + bytes;
+        if (used_ > high_water_) {
+            high_water_ = used_;
+        }
+        return {reinterpret_cast<T*>(buffer_.data() + offset), n,
+                mem_space::slm};
+    }
+
+    /// Releases all allocations (start of the next work-group's kernel).
+    void reset() { used_ = 0; }
+
+    size_type capacity() const { return capacity_; }
+    size_type used() const { return used_; }
+    /// Largest concurrent footprint seen since construction; this is the
+    /// per-work-group SLM requirement that limits occupancy.
+    size_type high_water() const { return high_water_; }
+
+private:
+    static size_type align_up(size_type value, size_type alignment)
+    {
+        return (value + alignment - 1) / alignment * alignment;
+    }
+
+    std::vector<std::byte> buffer_;
+    size_type capacity_;
+    size_type used_ = 0;
+    size_type high_water_ = 0;
+};
+
+}  // namespace batchlin::xpu

@@ -1,0 +1,67 @@
+// Hardware-event counters collected by the xpu execution-model simulator.
+//
+// Every device-side building block (BLAS-1 ops, SpMV, preconditioner
+// application, reductions) attributes its floating-point work and its memory
+// traffic to these counters, split by memory space. The performance model
+// (src/perfmodel) turns the per-solve totals into estimated device runtimes,
+// and the roofline analysis (Fig. 8 of the paper) is computed directly from
+// the traffic split.
+#pragma once
+
+#include <cstdint>
+
+#include "util/math.hpp"
+
+namespace batchlin::xpu {
+
+/// Accumulated execution statistics of one or more batched kernel launches.
+struct counters {
+    /// Floating point operations executed.
+    double flops = 0.0;
+    /// Bytes read from / written to mutable global memory.
+    double global_read_bytes = 0.0;
+    double global_write_bytes = 0.0;
+    /// Bytes moved through shared local memory (SLM).
+    double slm_bytes = 0.0;
+    /// Bytes read from read-only operands (system matrix values, rhs).
+    /// These are the candidates for last-level-cache residency that the
+    /// paper observes being served from L3 on the PVC.
+    double constant_read_bytes = 0.0;
+    /// Number of kernel launches (the paper fuses the whole solve into one).
+    std::int64_t kernel_launches = 0;
+    /// Number of work-groups executed across all launches.
+    std::int64_t groups_launched = 0;
+    /// Work-group barriers executed (group-level reductions cost these).
+    std::int64_t group_barriers = 0;
+    /// Solver iterations summed over all systems in the batch.
+    double total_iterations = 0.0;
+    /// Largest SLM footprint requested by any work-group (bytes). This is
+    /// what limits how many work-groups an Xe-core/SM can keep in flight.
+    size_type slm_footprint_bytes = 0;
+
+    counters& operator+=(const counters& other)
+    {
+        flops += other.flops;
+        global_read_bytes += other.global_read_bytes;
+        global_write_bytes += other.global_write_bytes;
+        slm_bytes += other.slm_bytes;
+        constant_read_bytes += other.constant_read_bytes;
+        kernel_launches += other.kernel_launches;
+        groups_launched += other.groups_launched;
+        group_barriers += other.group_barriers;
+        total_iterations += other.total_iterations;
+        if (other.slm_footprint_bytes > slm_footprint_bytes) {
+            slm_footprint_bytes = other.slm_footprint_bytes;
+        }
+        return *this;
+    }
+
+    /// Total bytes moved through any level of the memory hierarchy.
+    double total_bytes() const
+    {
+        return global_read_bytes + global_write_bytes + slm_bytes +
+               constant_read_bytes;
+    }
+};
+
+}  // namespace batchlin::xpu

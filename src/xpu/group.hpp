@@ -1,0 +1,144 @@
+// Work-group execution context.
+//
+// The paper maps one work-group to one linear system (§3.2) and writes every
+// solver as a single fused kernel over that work-group (§3.4). Our simulator
+// executes each work-group on one CPU thread; the kernel body is expressed as
+// a sequence of barrier-delimited data-parallel phases over the work-items
+// (`for_each_item`), which is the hierarchical-SPMD form CPU implementations
+// of SYCL lower ND-range kernels into. Collectives implement both reduction
+// strategies the paper discusses: the SYCL work-group reduction primitive
+// (SLM-based) and the sub-group shuffle path (§3.2, §3.6).
+#pragma once
+
+#include <cmath>
+
+#include "util/math.hpp"
+#include "xpu/arena.hpp"
+#include "xpu/counters.hpp"
+#include "xpu/policy.hpp"
+
+namespace batchlin::xpu {
+
+/// Execution context handed to a batched kernel body; models one SYCL
+/// work-group (= one CUDA thread block) solving one batch entry.
+class group {
+public:
+    group(index_type group_id, index_type group_size,
+          index_type sub_group_size, slm_arena& slm, counters& stats)
+        : id_(group_id),
+          size_(group_size),
+          sub_group_size_(sub_group_size),
+          slm_(slm),
+          stats_(stats)
+    {}
+
+    /// Index of this work-group within the ND-range (== batch entry index).
+    index_type id() const { return id_; }
+    /// Number of work-items in this work-group.
+    index_type size() const { return size_; }
+    index_type sub_group_size() const { return sub_group_size_; }
+    index_type num_sub_groups() const
+    {
+        return ceil_div(size_, sub_group_size_);
+    }
+
+    slm_arena& slm() { return slm_; }
+    counters& stats() { return stats_; }
+
+    /// Executes `f(item)` for every work-item of the group. A work-group
+    /// barrier is implied after the phase, matching the ND-range kernel this
+    /// lowers from.
+    template <typename F>
+    void for_each_item(F&& f)
+    {
+        for (index_type item = 0; item < size_; ++item) {
+            f(item);
+        }
+        barrier();
+    }
+
+    /// Executes `f(i)` for logical indices [0, n). When n exceeds the
+    /// work-group size the hardware kernel grid-strides; the simulator's
+    /// serial lane loop covers both cases. A barrier is implied after.
+    template <typename F>
+    void for_items(index_type n, F&& f)
+    {
+        for (index_type item = 0; item < n; ++item) {
+            f(item);
+        }
+        barrier();
+    }
+
+    /// Work-group barrier (local memory fence). Only counts the event; a
+    /// single simulator thread executes the group, so no synchronization is
+    /// needed for correctness.
+    void barrier() { ++stats_.group_barriers; }
+
+    /// Reduces `value_of(item)` for item in [0, n) to a single sum using the
+    /// selected strategy. Deterministic: lanes are combined per sub-group in
+    /// ascending order, then across sub-groups in ascending order — the same
+    /// order both hardware paths produce for our chunk sizes.
+    template <typename T, typename F>
+    T reduce_sum(index_type n, F&& value_of, reduce_path path)
+    {
+        T total{};
+        const index_type active_sub_groups = ceil_div(n, sub_group_size_);
+        for (index_type sg = 0; sg < active_sub_groups; ++sg) {
+            T partial{};
+            const index_type begin = sg * sub_group_size_;
+            const index_type end = begin + sub_group_size_ < n
+                                       ? begin + sub_group_size_
+                                       : n;
+            for (index_type item = begin; item < end; ++item) {
+                partial += value_of(item);
+            }
+            total += partial;
+        }
+        charge_reduction<T>(n, active_sub_groups, path);
+        return total;
+    }
+
+    /// Broadcasts a value computed by lane 0; free on both models (register
+    /// broadcast within a sub-group, SLM bounce across sub-groups).
+    template <typename T>
+    T broadcast(T value)
+    {
+        if (num_sub_groups() > 1) {
+            stats_.slm_bytes +=
+                static_cast<double>(num_sub_groups()) * sizeof(T);
+        }
+        return value;
+    }
+
+private:
+    /// Attributes the cost of one reduction to the counters.
+    template <typename T>
+    void charge_reduction(index_type n, index_type active_sub_groups,
+                          reduce_path path)
+    {
+        stats_.flops += static_cast<double>(n);
+        if (path == reduce_path::group) {
+            // The SYCL group primitive stages all lane values through SLM
+            // and runs a tree combine: one write and ~one read per lane.
+            stats_.slm_bytes += 2.0 * static_cast<double>(size_) * sizeof(T);
+            stats_.group_barriers += static_cast<std::int64_t>(
+                std::ceil(std::log2(static_cast<double>(size_))));
+        } else {
+            // Sub-group shuffles stay in registers; only the per-sub-group
+            // partials cross SLM, and only when there is more than one.
+            if (active_sub_groups > 1) {
+                stats_.slm_bytes +=
+                    2.0 * static_cast<double>(active_sub_groups) * sizeof(T);
+                stats_.group_barriers += 1;
+            }
+        }
+    }
+
+    index_type id_;
+    index_type size_;
+    index_type sub_group_size_;
+    slm_arena& slm_;
+    counters& stats_;
+};
+
+}  // namespace batchlin::xpu

@@ -1,0 +1,72 @@
+// Execution policy: which programming model the kernels are compiled for.
+//
+// The paper ports the same solver kernels between two programming models:
+//  * SYCL/DPC++ on Intel PVC — sub-group sizes 16 or 32, work-group-level
+//    reduction primitives, SLM allocated from the L1 (§2.3, §3.2).
+//  * CUDA on NVIDIA A100/H100 — warp size fixed at 32, only warp-level
+//    reductions available (§3.2).
+// exec_policy captures exactly those differences so the identical kernel
+// source takes the model-appropriate paths, mirroring how the authors
+// maintain one algorithm across backends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace batchlin::xpu {
+
+/// Programming model the kernels execute under.
+enum class prog_model {
+    sycl,
+    cuda,
+};
+
+/// Reduction strategy inside a work-group (paper §3.2 and §3.6).
+enum class reduce_path {
+    /// Whole-work-group reduction via the SYCL group primitive (SLM based).
+    group,
+    /// Sub-group (warp) shuffles, with a small SLM combine across sub-groups
+    /// only when the work-group spans more than one sub-group.
+    sub_group,
+};
+
+/// Describes the execution model the kernels are specialized for.
+struct exec_policy {
+    prog_model model = prog_model::sycl;
+    /// Sub-group sizes the device supports (PVC: {16, 32}; CUDA: {32}).
+    std::vector<index_type> allowed_sub_group_sizes{16, 32};
+    /// Whether the programming model offers an efficient work-group-level
+    /// reduction primitive (SYCL: yes; CUDA: no, §3.2).
+    bool has_group_reduction = true;
+    /// Number of GPU stacks the batch is spread across (PVC-2S: 2, §2.2).
+    index_type num_stacks = 1;
+    /// SLM budget one work-group may claim (bytes). The SLM planner fills
+    /// this greedily by vector priority (§3.5).
+    size_type slm_bytes_per_group = 128 * 1024;
+    /// Rows at or below this threshold select sub-group size 16 (PVC only);
+    /// larger matrices use 32. Determined experimentally per device (§3.6).
+    index_type sub_group_switch_rows = 64;
+    /// Rows at or below this threshold use the sub-group reduction path to
+    /// avoid SLM round-trips; larger systems use the group path (§3.2).
+    index_type sub_group_reduce_rows = 32;
+    /// Maximum work-group size the device can schedule.
+    index_type max_work_group_size = 1024;
+
+    /// True when `size` is one of the supported sub-group sizes.
+    bool supports_sub_group(index_type size) const;
+};
+
+/// Policy matching the paper's SYCL configuration on one or two PVC stacks.
+exec_policy make_sycl_policy(index_type num_stacks = 1,
+                             size_type slm_bytes_per_group = 128 * 1024);
+
+/// Policy matching the paper's CUDA configuration (A100/H100).
+exec_policy make_cuda_policy(size_type slm_bytes_per_group);
+
+/// Human-readable model name for logs and benchmark tables.
+std::string to_string(prog_model model);
+std::string to_string(reduce_path path);
+
+}  // namespace batchlin::xpu

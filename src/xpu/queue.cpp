@@ -1,0 +1,35 @@
+#include "xpu/queue.hpp"
+
+#include <chrono>
+
+namespace batchlin::xpu {
+
+double queue::now_seconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+batch_range stack_partition(index_type num_items, index_type num_stacks,
+                            index_type stack_id)
+{
+    BATCHLIN_ENSURE_MSG(num_stacks > 0, "need at least one stack");
+    BATCHLIN_ENSURE_MSG(stack_id >= 0 && stack_id < num_stacks,
+                        "stack id out of range");
+    const index_type base = num_items / num_stacks;
+    const index_type extra = num_items % num_stacks;
+    const index_type begin =
+        stack_id * base + (stack_id < extra ? stack_id : extra);
+    const index_type len = base + (stack_id < extra ? 1 : 0);
+    return {begin, begin + len};
+}
+
+queue make_stack_queue(const queue& parent)
+{
+    exec_policy policy = parent.policy();
+    policy.num_stacks = 1;
+    return queue(policy);
+}
+
+}  // namespace batchlin::xpu

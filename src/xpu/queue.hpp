@@ -1,0 +1,166 @@
+// Batched kernel launch queue.
+//
+// `queue::run_batch` is the simulator's equivalent of submitting one fused
+// ND-range kernel with `num_groups` work-groups (one per batch entry,
+// §3.2/§3.4). Work-groups execute concurrently across OpenMP threads; each
+// thread owns a private SLM arena sized to the device budget and a private
+// counter block, merged after the launch so results are independent of the
+// host thread count.
+#pragma once
+
+#include <omp.h>
+
+#include <atomic>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "xpu/arena.hpp"
+#include "xpu/counters.hpp"
+#include "xpu/group.hpp"
+#include "xpu/policy.hpp"
+
+namespace batchlin::xpu {
+
+/// Half-open range of batch entries assigned to one stack under explicit
+/// scaling (§2.2): entries [begin, end).
+struct batch_range {
+    index_type begin = 0;
+    index_type end = 0;
+
+    index_type size() const { return end - begin; }
+};
+
+/// Splits `num_items` across `num_stacks` stacks as the PVC driver does under
+/// implicit scaling: contiguous, near-equal chunks.
+batch_range stack_partition(index_type num_items, index_type num_stacks,
+                            index_type stack_id);
+
+/// Profiling record of one kernel launch — the simulator's analogue of a
+/// SYCL event with profiling info enabled.
+struct launch_record {
+    counters stats;
+    double wall_seconds = 0.0;
+    index_type num_groups = 0;
+    index_type work_group_size = 0;
+    index_type sub_group_size = 0;
+};
+
+/// In-order queue bound to one execution policy (device + programming model).
+class queue {
+public:
+    explicit queue(exec_policy policy) : policy_(std::move(policy)) {}
+
+    const exec_policy& policy() const { return policy_; }
+
+    /// Cumulative statistics of every launch since the last reset.
+    const counters& stats() const { return stats_; }
+    void reset_stats() { stats_ = counters{}; }
+
+    /// Launches one fused batched kernel: `body(group&)` runs once per
+    /// work-group, with work-group `g` solving batch entry `first_group +
+    /// g.id()`. This is the single-kernel strategy of §3.4 — exactly one
+    /// launch is charged regardless of batch size.
+    template <typename KernelBody>
+    void run_batch(index_type num_groups, index_type work_group_size,
+                   index_type sub_group_size, KernelBody&& body,
+                   index_type first_group = 0)
+    {
+        BATCHLIN_ENSURE_MSG(num_groups >= 0, "negative group count");
+        BATCHLIN_ENSURE_MSG(work_group_size > 0 &&
+                                work_group_size <= policy_.max_work_group_size,
+                            "work-group size outside device limits");
+        BATCHLIN_ENSURE_MSG(work_group_size % sub_group_size == 0,
+                            "SYCL requires the work-group size to be "
+                            "divisible by the sub-group size");
+        BATCHLIN_ENSURE_MSG(policy_.supports_sub_group(sub_group_size),
+                            "sub-group size not supported by this device");
+
+        counters launch_stats;
+        launch_stats.kernel_launches = 1;
+        launch_stats.groups_launched = num_groups;
+
+        const double start_seconds = now_seconds();
+        const int max_threads = omp_get_max_threads();
+        std::vector<counters> thread_stats(max_threads);
+        size_type slm_high_water = 0;
+        // Exceptions must not escape the parallel region (that would
+        // terminate); capture the first one and rethrow on the host side,
+        // like a device-side error reported at synchronization.
+        std::exception_ptr first_error = nullptr;
+        std::atomic<bool> failed{false};
+
+#pragma omp parallel reduction(max : slm_high_water)
+        {
+            const int tid = omp_get_thread_num();
+            slm_arena arena(policy_.slm_bytes_per_group);
+            counters& local = thread_stats[tid];
+#pragma omp for schedule(dynamic, 16)
+            for (index_type g = 0; g < num_groups; ++g) {
+                if (failed.load(std::memory_order_relaxed)) {
+                    continue;
+                }
+                arena.reset();
+                group ctx(first_group + g, work_group_size, sub_group_size,
+                          arena, local);
+                try {
+                    body(ctx);
+                } catch (...) {
+#pragma omp critical(batchlin_queue_error)
+                    {
+                        if (!first_error) {
+                            first_error = std::current_exception();
+                        }
+                    }
+                    failed.store(true, std::memory_order_relaxed);
+                }
+            }
+            slm_high_water = arena.high_water();
+        }
+        if (first_error) {
+            std::rethrow_exception(first_error);
+        }
+
+        for (const counters& local : thread_stats) {
+            launch_stats += local;
+        }
+        launch_stats.slm_footprint_bytes = slm_high_water;
+        stats_ += launch_stats;
+        last_launch_ = launch_stats;
+        if (profiling_) {
+            history_.push_back({launch_stats, now_seconds() - start_seconds,
+                                num_groups, work_group_size,
+                                sub_group_size});
+        }
+    }
+
+    /// Statistics of the most recent launch only.
+    const counters& last_launch_stats() const { return last_launch_; }
+
+    /// Event profiling: when enabled, every launch appends a record (the
+    /// SYCL `enable_profiling` property analogue). Off by default.
+    void enable_profiling(bool on = true) { profiling_ = on; }
+    bool profiling_enabled() const { return profiling_; }
+    const std::vector<launch_record>& launch_history() const
+    {
+        return history_;
+    }
+    void clear_launch_history() { history_.clear(); }
+
+private:
+    static double now_seconds();
+
+    exec_policy policy_;
+    counters stats_;
+    counters last_launch_;
+    bool profiling_ = false;
+    std::vector<launch_record> history_;
+};
+
+/// Builds a per-stack queue for explicit scaling: the same device policy
+/// restricted to a single stack. Counters start fresh.
+queue make_stack_queue(const queue& parent);
+
+}  // namespace batchlin::xpu

@@ -1,0 +1,57 @@
+// Memory-space-tagged spans used by device kernels.
+//
+// The SYCL port in the paper places each solver vector either in shared
+// local memory (SLM) or in global memory, chosen by the SLM planner
+// (paper §3.5). Device-side BLAS routines need to know where an operand
+// lives so that the traffic counters attribute bytes to the right level of
+// the hierarchy; dspan carries that tag alongside the pointer.
+#pragma once
+
+#include <cstddef>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace batchlin::xpu {
+
+/// Memory space an operand lives in, for traffic attribution.
+enum class mem_space {
+    /// Mutable global memory (HBM-backed).
+    global,
+    /// Shared local memory of the owning work-group.
+    slm,
+    /// Read-only global data (matrix values, rhs): L3-cacheable.
+    constant,
+};
+
+/// A pointer+length view tagged with the memory space of its storage.
+template <typename T>
+struct dspan {
+    T* data = nullptr;
+    index_type len = 0;
+    mem_space space = mem_space::global;
+
+    T& operator[](index_type i) const { return data[i]; }
+
+    bool empty() const { return len == 0; }
+
+    dspan subspan(index_type offset, index_type count) const
+    {
+        BATCHLIN_ENSURE_DIMS(offset >= 0 && count >= 0 &&
+                                 offset + count <= len,
+                             "subspan out of range");
+        return {data + offset, count, space};
+    }
+
+    /// Implicit view-of-const conversion.
+    operator dspan<const T>() const { return {data, len, space}; }
+};
+
+/// Bytes moved when every element of `s` is touched once.
+template <typename T>
+constexpr double bytes_of(const dspan<T>& s)
+{
+    return static_cast<double>(s.len) * sizeof(T);
+}
+
+}  // namespace batchlin::xpu

@@ -1,0 +1,231 @@
+// Tests for the block-Jacobi preconditioner, the banded direct solver,
+// and the banded stencil workload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/matrix_view.hpp"
+#include "matrix/conversions.hpp"
+#include "matrix/properties.hpp"
+#include "precond/block_jacobi.hpp"
+#include "precond/jacobi.hpp"
+#include "solver/direct.hpp"
+#include "solver/dispatch.hpp"
+#include "solver/residual.hpp"
+#include "util/error.hpp"
+#include "workload/chemistry.hpp"
+#include "workload/stencil.hpp"
+
+namespace bl = batchlin;
+using batchlin::index_type;
+namespace mat = batchlin::mat;
+namespace solver = batchlin::solver;
+namespace precond = batchlin::precond;
+namespace stop = batchlin::stop;
+namespace work = batchlin::work;
+namespace xpu = batchlin::xpu;
+
+TEST(BlockJacobi, PartitionCoversAllRows)
+{
+    const auto a = work::stencil_3pt<double>(1, 22, 3);
+    precond::block_jacobi<double> pc(a, 5);
+    EXPECT_EQ(pc.num_blocks(), 5);  // 5+5+5+5+2
+    EXPECT_EQ(pc.block_size(), 5);
+    EXPECT_EQ(pc.workspace_elems(), 4 * 25 + 4);
+}
+
+TEST(BlockJacobi, BlockSizeOneEqualsScalarJacobi)
+{
+    const auto a = work::generate_mechanism<double>(
+        work::mechanism_by_name("drm19"), 5);
+    xpu::counters stats;
+    xpu::slm_arena arena(1 << 20);
+    xpu::group g(0, 32, 16, arena, stats);
+
+    precond::block_jacobi<double> bj(a, 1);
+    std::vector<double> bj_work(bj.workspace_elems());
+    auto bj_app = bj.generate(
+        g, batchlin::blas::item_view(a, 2),
+        {bj_work.data(), static_cast<index_type>(bj_work.size()),
+         xpu::mem_space::global});
+
+    precond::jacobi<double> sj(a);
+    std::vector<double> sj_work(a.rows());
+    auto sj_app = sj.generate(
+        g, batchlin::blas::item_view(a, 2),
+        {sj_work.data(), static_cast<index_type>(sj_work.size()),
+         xpu::mem_space::global});
+
+    std::vector<double> r(a.rows());
+    for (index_type i = 0; i < a.rows(); ++i) {
+        r[i] = std::sin(0.4 * i) + 1.5;
+    }
+    std::vector<double> z_bj(a.rows()), z_sj(a.rows());
+    bj_app.apply(g, {r.data(), a.rows(), xpu::mem_space::global},
+                 {z_bj.data(), a.rows(), xpu::mem_space::global});
+    sj_app.apply(g, {r.data(), a.rows(), xpu::mem_space::global},
+                 {z_sj.data(), a.rows(), xpu::mem_space::global});
+    for (index_type i = 0; i < a.rows(); ++i) {
+        EXPECT_NEAR(z_bj[i], z_sj[i], 1e-13);
+    }
+}
+
+TEST(BlockJacobi, FullSizeBlockIsExactInverse)
+{
+    // One block covering the whole system: M == A^{-1}, so a single
+    // preconditioned Richardson step solves the system.
+    const auto a = work::generate_mechanism<double>(
+        work::mechanism_by_name("drm19"), 9);
+    const index_type n = a.rows();
+    xpu::counters stats;
+    xpu::slm_arena arena(1 << 22);
+    xpu::group g(0, 32, 16, arena, stats);
+    precond::block_jacobi<double> pc(a, n);
+    std::vector<double> work_buf(pc.workspace_elems());
+    auto app = pc.generate(
+        g, batchlin::blas::item_view(a, 0),
+        {work_buf.data(), static_cast<index_type>(work_buf.size()),
+         xpu::mem_space::global});
+    // r = A * z_true, apply must return z_true.
+    std::vector<double> z_true(n), r(n, 0.0), z(n);
+    for (index_type i = 0; i < n; ++i) {
+        z_true[i] = std::cos(0.2 * i);
+    }
+    for (index_type i = 0; i < n; ++i) {
+        for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1]; ++k) {
+            r[i] += a.item_values(0)[k] * z_true[a.col_idxs()[k]];
+        }
+    }
+    app.apply(g, {r.data(), n, xpu::mem_space::global},
+              {z.data(), n, xpu::mem_space::global});
+    for (index_type i = 0; i < n; ++i) {
+        EXPECT_NEAR(z[i], z_true[i], 1e-9);
+    }
+}
+
+TEST(BlockJacobi, AcceleratesBicgstabThroughDispatch)
+{
+    const auto mech = work::mechanism_by_name("gri30");
+    const auto a_csr = work::generate_mechanism_batch<double>(mech, 60);
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::mechanism_rhs<double>(60, mech.rows, 5);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::bicgstab;
+    opts.criterion = stop::relative(1e-10, 300);
+    xpu::queue q(xpu::make_sycl_policy());
+
+    auto iters_with = [&](precond::type p, index_type bs) {
+        mat::batch_dense<double> x(60, mech.rows, 1);
+        solver::solve_options o = opts;
+        o.preconditioner = p;
+        o.block_jacobi_size = bs;
+        const auto result = solver::solve(q, a, b, x, o);
+        EXPECT_EQ(result.log.num_converged(), 60);
+        const auto rel = solver::relative_residual_norms(a, b, x);
+        for (double r : rel) {
+            EXPECT_LE(r, 1e-8);
+        }
+        return result.log.mean_iterations();
+    };
+    const double none = iters_with(precond::type::none, 0);
+    const double scalar = iters_with(precond::type::jacobi, 0);
+    const double block8 = iters_with(precond::type::block_jacobi, 8);
+    // Stronger preconditioners need (weakly) fewer iterations.
+    EXPECT_LE(scalar, none + 0.5);
+    EXPECT_LE(block8, scalar + 0.5);
+}
+
+TEST(BlockJacobi, RejectsNonCsrAndBadBlocks)
+{
+    const auto a_csr = work::stencil_3pt<double>(4, 16, 1);
+    const auto b = work::random_rhs<double>(4, 16, 2);
+    mat::batch_dense<double> x(4, 16, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;
+    opts.preconditioner = precond::type::block_jacobi;
+    xpu::queue q(xpu::make_sycl_policy());
+    const solver::batch_matrix<double> a_ell = mat::to_ell(a_csr);
+    EXPECT_THROW(solver::solve(q, a_ell, b, x, opts),
+                 bl::unsupported_combination);
+    EXPECT_THROW(precond::block_jacobi<double>(a_csr, 0), bl::error);
+}
+
+TEST(Banded, StencilBandedHasExpectedPattern)
+{
+    const auto a = work::stencil_banded<double>(3, 30, 2);
+    const auto s = mat::analyze_pattern(a);
+    EXPECT_EQ(s.bandwidth, 2);
+    EXPECT_EQ(s.max_row_nnz, 5);  // penta-diagonal interior
+    EXPECT_TRUE(s.full_diagonal);
+    EXPECT_TRUE(s.symmetric_pattern);
+    for (index_type b = 0; b < 3; ++b) {
+        EXPECT_TRUE(mat::is_diagonally_dominant(a, b));
+        EXPECT_TRUE(mat::is_symmetric(a, b, 1e-14));
+    }
+}
+
+TEST(Banded, DirectSolverExactOnPentadiagonal)
+{
+    const index_type items = 10;
+    const index_type rows = 40;
+    const auto a = work::stencil_banded<double>(items, rows, 2, 7);
+    const auto b = work::random_rhs<double>(items, rows, 8);
+    mat::batch_dense<double> x(items, rows, 1);
+    bl::log::batch_log logger(items);
+    xpu::queue q(xpu::make_sycl_policy());
+    solver::run_banded(q, a, b, x, logger, {0, items}, 2);
+    EXPECT_EQ(logger.num_converged(), items);
+    EXPECT_EQ(q.stats().kernel_launches, 1);
+    const solver::batch_matrix<double> variant = a;
+    for (const double r : solver::residual_norms(variant, b, x)) {
+        EXPECT_LE(r, 1e-10);
+    }
+}
+
+TEST(Banded, MatchesThomasOnTridiagonal)
+{
+    const index_type items = 6;
+    const index_type rows = 25;
+    const auto a = work::stencil_3pt<double>(items, rows, 4);
+    const auto b = work::random_rhs<double>(items, rows, 5);
+    mat::batch_dense<double> x_banded(items, rows, 1);
+    mat::batch_dense<double> x_thomas(items, rows, 1);
+    bl::log::batch_log l1(items), l2(items);
+    xpu::queue q(xpu::make_sycl_policy());
+    solver::run_banded(q, a, b, x_banded, l1, {0, items}, 1);
+    solver::run_thomas(q, a, b, x_thomas, l2, {0, items});
+    for (std::size_t i = 0; i < x_banded.values().size(); ++i) {
+        EXPECT_NEAR(x_banded.values()[i], x_thomas.values()[i], 1e-11);
+    }
+}
+
+TEST(Banded, RejectsWidePatterns)
+{
+    const auto mech = work::mechanism_by_name("drm19");
+    const auto a = work::generate_mechanism<double>(mech);
+    const auto b =
+        work::mechanism_rhs<double>(a.num_batch_items(), a.rows(), 1);
+    mat::batch_dense<double> x(a.num_batch_items(), a.rows(), 1);
+    bl::log::batch_log logger(a.num_batch_items());
+    xpu::queue q(xpu::make_sycl_policy());
+    EXPECT_THROW(solver::run_banded(q, a, b, x, logger,
+                                    {0, a.num_batch_items()}, 2),
+                 bl::error);
+}
+
+TEST(Banded, IterativeSolversHandleBandedInputToo)
+{
+    const index_type items = 8;
+    const index_type rows = 60;
+    const auto a_csr = work::stencil_banded<double>(items, rows, 2, 9);
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::random_rhs<double>(items, rows, 10);
+    mat::batch_dense<double> x(items, rows, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;  // banded stencil is SPD
+    opts.preconditioner = precond::type::ilu;
+    opts.criterion = stop::relative(1e-10, 300);
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve(q, a, b, x, opts);
+    EXPECT_EQ(result.log.num_converged(), items);
+}

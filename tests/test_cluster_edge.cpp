@@ -1,0 +1,253 @@
+// Tests for the multi-GPU cluster model and an assortment of edge cases
+// across the stack: GMRES restart boundaries, exact initial guesses,
+// large grid-strided systems, spilled preconditioner workspaces, float
+// chemistry generation, and empty/degenerate launches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrix/conversions.hpp"
+#include "perfmodel/cluster.hpp"
+#include "solver/dispatch.hpp"
+#include "solver/residual.hpp"
+#include "util/error.hpp"
+#include "workload/chemistry.hpp"
+#include "workload/stencil.hpp"
+
+namespace bl = batchlin;
+using batchlin::index_type;
+namespace mat = batchlin::mat;
+namespace solver = batchlin::solver;
+namespace precond = batchlin::precond;
+namespace stop = batchlin::stop;
+namespace work = batchlin::work;
+namespace xpu = batchlin::xpu;
+namespace perf = batchlin::perf;
+
+namespace {
+
+perf::solve_profile demo_profile(index_type systems)
+{
+    perf::solve_profile p;
+    p.totals.flops = 1e9 * systems;
+    p.totals.slm_bytes = 1e9 * systems;
+    p.totals.global_read_bytes = 1e8 * systems;
+    p.totals.kernel_launches = 1;
+    p.totals.slm_footprint_bytes = 16 * 1024;
+    p.num_systems = systems;
+    p.work_group_size = 64;
+    p.thread_utilization = 1.0;
+    p.constant_footprint_per_system = 8192;
+    return p;
+}
+
+}  // namespace
+
+TEST(Cluster, AuroraNodeHasSixPvc2s)
+{
+    const perf::cluster_spec node = perf::aurora_node();
+    EXPECT_EQ(node.num_devices, 6);
+    EXPECT_EQ(node.device.name, "PVC-2S");
+    EXPECT_THROW(perf::aurora_node(7), bl::error);
+    EXPECT_THROW(perf::aurora_node(0), bl::error);
+}
+
+TEST(Cluster, SpeedupGrowsWithDevicesForLargeBatches)
+{
+    const perf::solve_profile p = demo_profile(1 << 17);
+    double prev_time = 1e30;
+    for (index_type gpus = 1; gpus <= 6; ++gpus) {
+        const perf::cluster_time t =
+            perf::estimate_cluster_time(perf::aurora_node(gpus), p);
+        EXPECT_LT(t.total_seconds, prev_time) << gpus << " gpus";
+        prev_time = t.total_seconds;
+        EXPECT_LE(t.speedup, gpus + 0.01);
+        EXPECT_EQ(t.max_items_per_device, bl::ceil_div(1 << 17, gpus));
+    }
+    // Large batch: near-linear efficiency at 6 GPUs.
+    const perf::cluster_time six =
+        perf::estimate_cluster_time(perf::aurora_node(6), p);
+    EXPECT_GT(six.efficiency, 0.8);
+}
+
+TEST(Cluster, OverheadFloorsTinyBatches)
+{
+    const perf::solve_profile p = demo_profile(64);
+    const perf::cluster_time six =
+        perf::estimate_cluster_time(perf::aurora_node(6), p);
+    // Distribution overhead dominates: efficiency collapses.
+    EXPECT_LT(six.efficiency, 0.5);
+}
+
+TEST(Cluster, SingleDeviceMatchesPlainEstimateUpToOverhead)
+{
+    const perf::solve_profile p = demo_profile(1 << 15);
+    const perf::cluster_spec one{perf::pvc_2s(), 1, 50.0};
+    const perf::cluster_time t = perf::estimate_cluster_time(one, p);
+    const double plain =
+        perf::estimate_time(perf::pvc_2s(), p).total_seconds;
+    EXPECT_NEAR(t.total_seconds, plain + 50e-6, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+
+TEST(EdgeCases, GmresCrossesRestartBoundaries)
+{
+    // Restart of 5 on a system needing ~30 iterations: multiple cycles.
+    const index_type items = 6;
+    const index_type rows = 80;
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(items, rows, 77);
+    const auto b = work::random_rhs<double>(items, rows, 78);
+    mat::batch_dense<double> x(items, rows, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::gmres;
+    opts.gmres_restart = 5;
+    opts.criterion = stop::relative(1e-9, 400);
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve(q, a, b, x, opts);
+    EXPECT_EQ(result.log.num_converged(), items);
+    EXPECT_GT(result.log.min_iterations(), 5);  // at least two cycles
+    const auto rel = solver::relative_residual_norms(a, b, x);
+    for (double r : rel) {
+        EXPECT_LE(r, 1e-7);
+    }
+}
+
+TEST(EdgeCases, ExactInitialGuessConvergesWithoutIterations)
+{
+    const index_type items = 5;
+    const index_type rows = 32;
+    const auto a_csr = work::stencil_3pt<double>(items, rows, 11);
+    const auto b = work::rhs_for_unit_solution(a_csr);
+    const solver::batch_matrix<double> a = a_csr;
+    for (const auto kind :
+         {solver::solver_type::cg, solver::solver_type::bicgstab,
+          solver::solver_type::gmres}) {
+        mat::batch_dense<double> x(items, rows, 1);
+        x.fill(1.0);  // the exact solution
+        solver::solve_options opts;
+        opts.solver = kind;
+        opts.criterion = stop::relative(1e-8, 100);
+        xpu::queue q(xpu::make_sycl_policy());
+        const auto result = solver::solve(q, a, b, x, opts);
+        EXPECT_EQ(result.log.num_converged(), items)
+            << solver::to_string(kind);
+        EXPECT_EQ(result.log.max_iterations(), 0)
+            << solver::to_string(kind);
+        for (const double v : x.values()) {
+            EXPECT_NEAR(v, 1.0, 1e-12);
+        }
+    }
+}
+
+TEST(EdgeCases, GridStridedSystemsBeyondMaxWorkGroup)
+{
+    // 1500 rows > max work-group 1024: items grid-stride over rows.
+    const index_type items = 3;
+    const index_type rows = 1500;
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(items, rows, 31);
+    const auto b = work::random_rhs<double>(items, rows, 32);
+    mat::batch_dense<double> x(items, rows, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;
+    opts.preconditioner = precond::type::jacobi;
+    opts.criterion = stop::relative(1e-9, 400);
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve(q, a, b, x, opts);
+    EXPECT_EQ(result.config.work_group_size, 1024);
+    EXPECT_EQ(result.log.num_converged(), items);
+    const auto rel = solver::relative_residual_norms(a, b, x);
+    for (double r : rel) {
+        EXPECT_LE(r, 1e-7);
+    }
+}
+
+TEST(EdgeCases, IluWorkspaceSpillsToGlobalAndStillWorks)
+{
+    // A tight SLM budget forces the ILU factors into global memory; the
+    // numerics must not change.
+    const auto mech = work::mechanism_by_name("gri30");
+    const auto a_csr = work::generate_mechanism_batch<double>(mech, 30);
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::mechanism_rhs<double>(30, mech.rows, 3);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::bicgstab;
+    opts.preconditioner = precond::type::ilu;
+    opts.criterion = stop::relative(1e-9, 200);
+
+    auto solve_with_budget = [&](bl::size_type budget) {
+        mat::batch_dense<double> x(30, mech.rows, 1);
+        xpu::exec_policy policy = xpu::make_sycl_policy();
+        policy.slm_bytes_per_group = budget;
+        xpu::queue q(policy);
+        const auto result = solver::solve(q, a, b, x, opts);
+        EXPECT_EQ(result.log.num_converged(), 30);
+        return x;
+    };
+    const auto x_big = solve_with_budget(512 * 1024);
+    const auto x_small = solve_with_budget(4 * 1024);  // factors spill
+    for (std::size_t i = 0; i < x_big.values().size(); ++i) {
+        EXPECT_DOUBLE_EQ(x_big.values()[i], x_small.values()[i]);
+    }
+}
+
+TEST(EdgeCases, FloatChemistryGenerationMatchesTable4)
+{
+    for (const auto& mech : work::pele_mechanisms()) {
+        const auto a = work::generate_mechanism<float>(mech);
+        EXPECT_EQ(a.nnz(), mech.nnz);
+        EXPECT_EQ(a.rows(), mech.rows);
+        EXPECT_EQ(a.num_batch_items(), mech.num_unique);
+    }
+}
+
+TEST(EdgeCases, EmptyRangeSolveIsANoOp)
+{
+    const auto a_csr = work::stencil_3pt<double>(4, 16, 1);
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::random_rhs<double>(4, 16, 2);
+    mat::batch_dense<double> x(4, 16, 1);
+    solver::solve_options opts;
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve_range(q, a, b, x, opts, {2, 2});
+    EXPECT_EQ(result.log.num_converged(), 0);
+    EXPECT_EQ(result.stats.groups_launched, 0);
+    for (const double v : x.values()) {
+        EXPECT_EQ(v, 0.0);
+    }
+}
+
+TEST(EdgeCases, SingleItemBatch)
+{
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(1, 24, 5);
+    const auto b = work::random_rhs<double>(1, 24, 6);
+    mat::batch_dense<double> x(1, 24, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve(q, a, b, x, opts);
+    EXPECT_EQ(result.log.num_converged(), 1);
+}
+
+TEST(EdgeCases, TinySystems)
+{
+    // 2x2 systems: smaller than any sub-group.
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(8, 2, 9);
+    const auto b = work::random_rhs<double>(8, 2, 10);
+    mat::batch_dense<double> x(8, 2, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::bicgstab;
+    opts.criterion = stop::relative(1e-12, 50);
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve(q, a, b, x, opts);
+    EXPECT_EQ(result.config.work_group_size, 16);
+    EXPECT_EQ(result.log.num_converged(), 8);
+    const auto rel = solver::relative_residual_norms(a, b, x);
+    for (double r : rel) {
+        EXPECT_LE(r, 1e-10);
+    }
+}

@@ -1,0 +1,123 @@
+// Single-precision sweep: every solver x preconditioner combination the
+// double suite exercises must also work in float (within fp32-appropriate
+// tolerances), and the dispatch must produce identical launch decisions —
+// precision is a pure value-type axis of the multi-level dispatch (§3.3).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "matrix/conversions.hpp"
+#include "solver/dispatch.hpp"
+#include "solver/residual.hpp"
+#include "workload/chemistry.hpp"
+#include "workload/replicate.hpp"
+#include "workload/stencil.hpp"
+
+namespace bl = batchlin;
+using batchlin::index_type;
+namespace mat = batchlin::mat;
+namespace solver = batchlin::solver;
+namespace precond = batchlin::precond;
+namespace stop = batchlin::stop;
+namespace work = batchlin::work;
+namespace xpu = batchlin::xpu;
+
+namespace {
+
+constexpr index_type kItems = 16;
+constexpr index_type kRows = 40;
+
+}  // namespace
+
+using float_combo = std::tuple<solver::solver_type, precond::type>;
+
+class FloatSweep : public ::testing::TestWithParam<float_combo> {};
+
+TEST_P(FloatSweep, SolvesInSinglePrecision)
+{
+    const auto [kind, pc] = GetParam();
+    const bool spd = kind == solver::solver_type::cg;
+    const mat::batch_csr<float> a_csr =
+        spd ? work::stencil_3pt<float>(kItems, kRows, 3)
+            : work::replicate(
+                  work::generate_mechanism<float>(
+                      work::mechanism_by_name("drm19"), 3),
+                  kItems, 1e-3f, 5);
+    const solver::batch_matrix<float> a = a_csr;
+    const index_type rows = a_csr.rows();
+    const auto b = work::random_rhs<float>(kItems, rows, 4);
+    mat::batch_dense<float> x(kItems, rows, 1);
+
+    solver::solve_options opts;
+    opts.solver = kind;
+    opts.preconditioner = pc;
+    opts.criterion = stop::relative(1e-5, 800);
+    opts.gmres_restart = 20;
+    opts.richardson_relaxation = 0.9;
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve(q, a, b, x, opts);
+    EXPECT_EQ(result.log.num_converged(), kItems);
+    const auto rel = solver::relative_residual_norms(a, b, x);
+    for (double r : rel) {
+        EXPECT_LE(r, 1e-3);
+    }
+}
+
+TEST_P(FloatSweep, LaunchDecisionsMatchDoublePrecision)
+{
+    const auto [kind, pc] = GetParam();
+    solver::solve_options opts;
+    opts.solver = kind;
+    opts.preconditioner = pc;
+    opts.criterion = stop::relative(1e-4, 100);
+    opts.gmres_restart = 10;
+    xpu::queue q(xpu::make_sycl_policy());
+
+    const auto af = work::stencil_3pt<float>(4, kRows, 3);
+    const auto bf = work::random_rhs<float>(4, kRows, 4);
+    mat::batch_dense<float> xf(4, kRows, 1);
+    const auto rf =
+        solver::solve<float>(q, af, bf, xf, opts);
+
+    const auto ad = work::stencil_3pt<double>(4, kRows, 3);
+    const auto bd = work::random_rhs<double>(4, kRows, 4);
+    mat::batch_dense<double> xd(4, kRows, 1);
+    const auto rd =
+        solver::solve<double>(q, ad, bd, xd, opts);
+
+    // The launch heuristics depend on the matrix size only (§3.6), not on
+    // the value type; only the SLM byte footprint differs (halved).
+    EXPECT_EQ(rf.config.work_group_size, rd.config.work_group_size);
+    EXPECT_EQ(rf.config.sub_group_size, rd.config.sub_group_size);
+    EXPECT_EQ(rf.config.reduction, rd.config.reduction);
+    EXPECT_EQ(rf.plan.entries.size(), rd.plan.entries.size());
+    if (rd.plan.slm_bytes > 0) {
+        EXPECT_EQ(rf.plan.slm_bytes * 2, rd.plan.slm_bytes);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, FloatSweep,
+    ::testing::Values(
+        float_combo{solver::solver_type::cg, precond::type::none},
+        float_combo{solver::solver_type::cg, precond::type::jacobi},
+        float_combo{solver::solver_type::cg, precond::type::ilu},
+        float_combo{solver::solver_type::bicgstab, precond::type::jacobi},
+        float_combo{solver::solver_type::bicgstab, precond::type::isai},
+        float_combo{solver::solver_type::bicgstab,
+                    precond::type::block_jacobi},
+        float_combo{solver::solver_type::gmres, precond::type::jacobi},
+        float_combo{solver::solver_type::gmres, precond::type::ilu},
+        float_combo{solver::solver_type::richardson,
+                    precond::type::jacobi}),
+    [](const ::testing::TestParamInfo<float_combo>& info) {
+        std::string name =
+            solver::to_string(std::get<0>(info.param)) + "_" +
+            precond::to_string(std::get<1>(info.param));
+        for (char& c : name) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return name;
+    });

@@ -1,0 +1,266 @@
+// Unit tests for the batched matrix formats, conversions, properties, I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_dense.hpp"
+#include "matrix/batch_ell.hpp"
+#include "matrix/conversions.hpp"
+#include "matrix/io.hpp"
+#include "matrix/properties.hpp"
+#include "util/error.hpp"
+#include "workload/stencil.hpp"
+
+namespace bl = batchlin;
+using namespace batchlin::mat;
+using bl::index_type;
+
+namespace {
+
+/// 3x3 test batch with pattern [[d,x,0],[x,d,x],[0,x,d]], 2 items.
+batch_csr<double> tridiag_batch()
+{
+    std::vector<index_type> row_ptrs{0, 2, 5, 7};
+    std::vector<index_type> col_idxs{0, 1, 0, 1, 2, 1, 2};
+    batch_csr<double> a(2, 3, 3, std::move(row_ptrs), std::move(col_idxs));
+    double v0[] = {2, -1, -1, 2, -1, -1, 2};
+    double v1[] = {4, -2, -2, 4, -2, -2, 4};
+    std::copy(std::begin(v0), std::end(v0), a.item_values(0));
+    std::copy(std::begin(v1), std::end(v1), a.item_values(1));
+    return a;
+}
+
+}  // namespace
+
+TEST(BatchDense, StorageAndAccess)
+{
+    batch_dense<double> m(3, 2, 4);
+    EXPECT_EQ(m.num_batch_items(), 3);
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.cols(), 4);
+    EXPECT_EQ(m.item_size(), 8);
+    m.at(2, 1, 3) = 7.5;
+    EXPECT_EQ(m.item_values(2)[1 * 4 + 3], 7.5);
+    EXPECT_EQ(m.storage_bytes(), 3 * 8 * 8);
+}
+
+TEST(BatchDense, OutOfRangeBatchThrows)
+{
+    batch_dense<double> m(2, 2, 2);
+    EXPECT_THROW(m.item_values(2), bl::dimension_mismatch);
+    EXPECT_THROW(m.item_values(-1), bl::dimension_mismatch);
+}
+
+TEST(BatchCsr, SharedPatternSingleCopy)
+{
+    const batch_csr<double> a = tridiag_batch();
+    EXPECT_EQ(a.nnz(), 7);
+    // Fig. 2: pattern stored once, values per item.
+    EXPECT_EQ(a.row_ptrs().size(), 4u);
+    EXPECT_EQ(a.col_idxs().size(), 7u);
+    EXPECT_EQ(a.values().size(), 14u);
+    EXPECT_EQ(a.storage_bytes(),
+              14 * 8 + static_cast<bl::size_type>(4 + 7) * 4);
+}
+
+TEST(BatchCsr, EntryLookup)
+{
+    const batch_csr<double> a = tridiag_batch();
+    EXPECT_EQ(a.at(0, 1, 0), -1.0);
+    EXPECT_EQ(a.at(1, 1, 2), -2.0);
+    EXPECT_EQ(a.at(0, 0, 2), 0.0);  // outside pattern
+}
+
+TEST(BatchCsr, ValidateRejectsMalformedPatterns)
+{
+    // Unsorted columns within a row.
+    EXPECT_THROW(batch_csr<double>(1, 2, 2, {0, 2, 3}, {1, 0, 0}),
+                 bl::error);
+    // Column out of range.
+    EXPECT_THROW(batch_csr<double>(1, 2, 2, {0, 1, 2}, {0, 5}), bl::error);
+    // Row-pointer length mismatch.
+    EXPECT_THROW(batch_csr<double>(1, 2, 2, {0, 1}, {0}),
+                 bl::dimension_mismatch);
+    // Duplicate column (not strictly increasing).
+    EXPECT_THROW(batch_csr<double>(1, 1, 2, {0, 2}, {1, 1}), bl::error);
+}
+
+TEST(BatchCsr, DiagonalPositions)
+{
+    const batch_csr<double> a = tridiag_batch();
+    const auto pos = a.diagonal_positions();
+    ASSERT_EQ(pos.size(), 3u);
+    EXPECT_EQ(a.col_idxs()[pos[0]], 0);
+    EXPECT_EQ(a.col_idxs()[pos[1]], 1);
+    EXPECT_EQ(a.col_idxs()[pos[2]], 2);
+}
+
+TEST(BatchCsr, MissingDiagonalReportedAsMinusOne)
+{
+    batch_csr<double> a(1, 2, 2, {0, 1, 2}, {1, 0});  // anti-diagonal
+    const auto pos = a.diagonal_positions();
+    EXPECT_EQ(pos[0], -1);
+    EXPECT_EQ(pos[1], -1);
+}
+
+TEST(BatchEll, ColumnMajorLayout)
+{
+    batch_ell<double> e(2, 3, 3, 2);
+    // Slot (row, k) lives at k*rows + row (coalesced layout, §3.1).
+    EXPECT_EQ(e.slot(1, 0), 1);
+    EXPECT_EQ(e.slot(1, 1), 4);
+    e.col_at(1, 1) = 2;
+    e.val_at(1, 1, 1) = 9.0;
+    EXPECT_EQ(e.col_idxs()[4], 2);
+    EXPECT_EQ(e.item_values(1)[4], 9.0);
+}
+
+TEST(BatchEll, ValidateRejectsValuesInPadding)
+{
+    batch_ell<double> e(1, 2, 2, 2);
+    e.col_at(0, 0) = 0;
+    e.val_at(0, 0, 0) = 1.0;
+    e.validate();  // padding slots hold zero: fine
+    e.val_at(0, 1, 1) = 3.0;  // slot (1,1) still padding
+    EXPECT_THROW(e.validate(), bl::error);
+}
+
+TEST(Conversions, CsrDenseRoundTrip)
+{
+    const batch_csr<double> a = tridiag_batch();
+    const batch_dense<double> d = to_dense(a);
+    EXPECT_EQ(d.at(0, 0, 0), 2.0);
+    EXPECT_EQ(d.at(0, 0, 2), 0.0);
+    EXPECT_EQ(d.at(1, 2, 1), -2.0);
+    const batch_csr<double> back = to_csr(d);
+    EXPECT_EQ(back.nnz(), a.nnz());
+    EXPECT_EQ(back.row_ptrs(), a.row_ptrs());
+    EXPECT_EQ(back.col_idxs(), a.col_idxs());
+    EXPECT_EQ(back.values(), a.values());
+}
+
+TEST(Conversions, CsrEllRoundTrip)
+{
+    const batch_csr<double> a = tridiag_batch();
+    const batch_ell<double> e = to_ell(a);
+    EXPECT_EQ(e.ell_width(), 3);  // middle row has 3 entries
+    EXPECT_EQ(e.nnz(), a.nnz());
+    e.validate();
+    const batch_csr<double> back = to_csr(e);
+    EXPECT_EQ(back.row_ptrs(), a.row_ptrs());
+    EXPECT_EQ(back.col_idxs(), a.col_idxs());
+    EXPECT_EQ(back.values(), a.values());
+}
+
+TEST(Conversions, DenseToEllDirect)
+{
+    const batch_csr<double> a = tridiag_batch();
+    const batch_ell<double> e = to_ell(to_dense(a));
+    EXPECT_EQ(e.nnz(), a.nnz());
+}
+
+TEST(Conversions, PatternIsUnionAcrossItems)
+{
+    // Item 0 has a zero where item 1 is non-zero: the shared pattern must
+    // still contain the position (shared-pattern invariant).
+    batch_dense<double> d(2, 2, 2);
+    d.at(0, 0, 0) = 1.0;
+    d.at(1, 0, 0) = 2.0;
+    d.at(1, 0, 1) = 3.0;  // only item 1 non-zero here
+    d.at(0, 1, 1) = 4.0;
+    d.at(1, 1, 1) = 5.0;
+    const batch_csr<double> csr = to_csr(d);
+    EXPECT_EQ(csr.nnz(), 3);
+    EXPECT_EQ(csr.at(0, 0, 1), 0.0);
+    EXPECT_EQ(csr.at(1, 0, 1), 3.0);
+}
+
+TEST(Properties, PatternStatsOfStencil)
+{
+    const auto a = batchlin::work::stencil_3pt<double>(2, 64);
+    const pattern_stats s = analyze_pattern(a);
+    EXPECT_EQ(s.rows, 64);
+    EXPECT_EQ(s.nnz, 3 * 64 - 2);
+    EXPECT_EQ(s.min_row_nnz, 2);
+    EXPECT_EQ(s.max_row_nnz, 3);
+    EXPECT_EQ(s.bandwidth, 1);
+    EXPECT_TRUE(s.full_diagonal);
+    EXPECT_TRUE(s.symmetric_pattern);
+}
+
+TEST(Properties, SymmetryAndDominance)
+{
+    const batch_csr<double> a = tridiag_batch();
+    EXPECT_TRUE(is_symmetric(a, 0, 1e-14));
+    EXPECT_TRUE(is_symmetric(a, 1, 1e-14));
+    EXPECT_TRUE(is_diagonally_dominant(a, 0));
+    batch_csr<double> b = tridiag_batch();
+    b.item_values(0)[1] = 5.0;  // breaks symmetry and dominance
+    EXPECT_FALSE(is_symmetric(b, 0, 1e-14));
+    EXPECT_FALSE(is_diagonally_dominant(b, 0));
+}
+
+TEST(Properties, RowImbalance)
+{
+    const batch_csr<double> a = tridiag_batch();
+    // max 3 vs avg 7/3.
+    EXPECT_NEAR(row_imbalance(a), 3.0 / (7.0 / 3.0), 1e-12);
+}
+
+TEST(Io, MatrixMarketRoundTrip)
+{
+    const batch_csr<double> a = tridiag_batch();
+    std::stringstream ss;
+    write_matrix_market(ss, a, 1);
+    const batch_csr<double> back = read_matrix_market<double>(ss);
+    EXPECT_EQ(back.rows(), 3);
+    EXPECT_EQ(back.nnz(), 7);
+    for (index_type k = 0; k < back.nnz(); ++k) {
+        EXPECT_EQ(back.item_values(0)[k], a.item_values(1)[k]);
+    }
+}
+
+TEST(Io, MatrixMarketSymmetricExpansion)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+       << "% comment line\n"
+       << "2 2 2\n"
+       << "1 1 4.0\n"
+       << "2 1 -1.0\n";
+    const batch_csr<double> m = read_matrix_market<double>(ss);
+    EXPECT_EQ(m.nnz(), 3);
+    EXPECT_EQ(m.at(0, 0, 1), -1.0);
+    EXPECT_EQ(m.at(0, 1, 0), -1.0);
+    EXPECT_EQ(m.at(0, 0, 0), 4.0);
+}
+
+TEST(Io, MatrixMarketRejectsGarbage)
+{
+    std::stringstream ss("not a matrix\n1 1 1\n");
+    EXPECT_THROW(read_matrix_market<double>(ss), bl::error);
+}
+
+TEST(Io, BatchRoundTrip)
+{
+    const batch_csr<double> a = tridiag_batch();
+    std::stringstream ss;
+    write_batch(ss, a);
+    const batch_csr<double> back = read_batch<double>(ss);
+    EXPECT_EQ(back.num_batch_items(), 2);
+    EXPECT_EQ(back.row_ptrs(), a.row_ptrs());
+    EXPECT_EQ(back.col_idxs(), a.col_idxs());
+    EXPECT_EQ(back.values(), a.values());
+}
+
+TEST(Io, BatchRejectsTruncatedStream)
+{
+    const batch_csr<double> a = tridiag_batch();
+    std::stringstream ss;
+    write_batch(ss, a);
+    std::string text = ss.str();
+    text.resize(text.size() / 2);
+    std::stringstream truncated(text);
+    EXPECT_THROW(read_batch<double>(truncated), bl::error);
+}

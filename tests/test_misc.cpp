@@ -1,0 +1,264 @@
+// Miscellaneous coverage: GMRES happy breakdown, roofline report
+// rendering, I/O failure paths, zero-group launches, broadcast costing,
+// and the workspace planner's alignment behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "matrix/io.hpp"
+#include "matrix/operations.hpp"
+#include "perfmodel/roofline.hpp"
+#include "solver/dispatch.hpp"
+#include "solver/handle.hpp"
+#include "solver/residual.hpp"
+#include "util/error.hpp"
+#include "workload/chemistry.hpp"
+#include "workload/stencil.hpp"
+#include "xpu/group.hpp"
+#include "xpu/queue.hpp"
+
+namespace bl = batchlin;
+using batchlin::index_type;
+namespace mat = batchlin::mat;
+namespace solver = batchlin::solver;
+namespace precond = batchlin::precond;
+namespace stop = batchlin::stop;
+namespace work = batchlin::work;
+namespace xpu = batchlin::xpu;
+namespace perf = batchlin::perf;
+
+TEST(GmresEdge, HappyBreakdownTerminatesCleanly)
+{
+    // Diagonal systems: GMRES produces the exact solution after the first
+    // Arnoldi step (h_{1,0} == 0, the "happy breakdown").
+    mat::batch_csr<double> a(3, 8, 8, [] {
+        std::vector<index_type> rp(9);
+        for (index_type i = 0; i <= 8; ++i) {
+            rp[i] = i;
+        }
+        return rp;
+    }(), {0, 1, 2, 3, 4, 5, 6, 7});
+    for (index_type b = 0; b < 3; ++b) {
+        for (index_type i = 0; i < 8; ++i) {
+            a.item_values(b)[i] = 2.0 + i + b;
+        }
+    }
+    const solver::batch_matrix<double> variant = a;
+    const auto rhs = work::random_rhs<double>(3, 8, 5);
+    mat::batch_dense<double> x(3, 8, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::gmres;
+    opts.preconditioner = precond::type::jacobi;  // makes M A == I exactly
+    opts.gmres_restart = 6;
+    opts.criterion = stop::relative(1e-12, 100);
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve(q, variant, rhs, x, opts);
+    EXPECT_EQ(result.log.num_converged(), 3);
+    EXPECT_LE(result.log.max_iterations(), 2);
+    for (const double r :
+         solver::relative_residual_norms(variant, rhs, x)) {
+        EXPECT_LE(r, 1e-11);
+    }
+}
+
+TEST(RooflinePrinter, RendersAllSections)
+{
+    const auto device = perf::pvc_1s();
+    perf::solve_profile p;
+    p.totals.flops = 1e12;
+    p.totals.slm_bytes = 5e12;
+    p.totals.constant_read_bytes = 1e12;
+    p.totals.kernel_launches = 1;
+    p.totals.slm_footprint_bytes = 8192;
+    p.num_systems = 1 << 15;
+    p.work_group_size = 64;
+    p.thread_utilization = 1.0;
+    p.constant_footprint_per_system = 20000;
+    const auto report = perf::analyze_roofline(device, p);
+    std::ostringstream os;
+    perf::print_roofline(os, device, report);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("Roofline analysis on PVC-1S"), std::string::npos);
+    EXPECT_NE(text.find("SLM"), std::string::npos);
+    EXPECT_NE(text.find("L3"), std::string::npos);
+    EXPECT_NE(text.find("HBM"), std::string::npos);
+    EXPECT_NE(text.find("occupancy"), std::string::npos);
+    EXPECT_NE(text.find("GFLOP/s"), std::string::npos);
+}
+
+TEST(IoFailures, MissingFilesAndBadHeaders)
+{
+    EXPECT_THROW(mat::read_batch_file<double>("/nonexistent/file.bcsr"),
+                 bl::error);
+    EXPECT_THROW(
+        mat::read_matrix_market_file<double>("/nonexistent/m.mtx"),
+        bl::error);
+    {
+        std::stringstream ss("%%MatrixMarket matrix array real general\n");
+        EXPECT_THROW(mat::read_matrix_market<double>(ss), bl::error);
+    }
+    {
+        std::stringstream ss(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n");
+        EXPECT_THROW(mat::read_matrix_market<double>(ss), bl::error);
+    }
+    {
+        std::stringstream ss(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n"
+            "5 1 1.0\n");  // coordinate out of range
+        EXPECT_THROW(mat::read_matrix_market<double>(ss), bl::error);
+    }
+    {
+        std::stringstream ss("%%WrongBanner 1 2 2 2\n");
+        EXPECT_THROW(mat::read_batch<double>(ss), bl::error);
+    }
+}
+
+TEST(IoFloat, BatchRoundTripInSinglePrecision)
+{
+    const auto a = work::stencil_3pt<float>(3, 10, 7);
+    std::stringstream ss;
+    mat::write_batch(ss, a);
+    const auto back = mat::read_batch<float>(ss);
+    EXPECT_EQ(back.values(), a.values());
+    EXPECT_EQ(back.col_idxs(), a.col_idxs());
+}
+
+TEST(QueueEdge, ZeroGroupsIsAValidLaunch)
+{
+    xpu::queue q(xpu::make_sycl_policy());
+    int calls = 0;
+    q.run_batch(0, 16, 16, [&](xpu::group&) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(q.stats().kernel_launches, 1);
+    EXPECT_EQ(q.stats().groups_launched, 0);
+}
+
+TEST(GroupEdge, BroadcastChargesOnlyAcrossSubGroups)
+{
+    xpu::counters stats;
+    xpu::slm_arena arena(1024);
+    {
+        xpu::group g(0, 16, 16, arena, stats);  // single sub-group
+        EXPECT_EQ(g.broadcast(3.5), 3.5);
+        EXPECT_DOUBLE_EQ(stats.slm_bytes, 0.0);
+    }
+    {
+        xpu::group g(0, 64, 16, arena, stats);  // four sub-groups
+        EXPECT_EQ(g.broadcast(2.5), 2.5);
+        EXPECT_DOUBLE_EQ(stats.slm_bytes, 4.0 * sizeof(double));
+    }
+}
+
+TEST(PlannerEdge, MixedAlignmentStaysWithinArena)
+{
+    // float workspace: byte sizes are 4-aligned; the arena must still
+    // satisfy every allocation within the planned budget.
+    const auto plan = solver::plan_workspace(
+        solver::solver_type::bicgstab, 33, 100, 33, 2048, sizeof(float));
+    xpu::slm_arena arena(2048);
+    for (const auto& e : plan.entries) {
+        if (e.in_slm) {
+            EXPECT_NO_THROW(
+                arena.alloc<float>(static_cast<index_type>(e.elems)));
+        }
+    }
+    EXPECT_LE(arena.used(), 2048);
+}
+
+TEST(ResidualNorms, MatchManualComputation)
+{
+    const auto a_csr = work::stencil_3pt<double>(2, 6, 3);
+    const solver::batch_matrix<double> a = a_csr;
+    auto b = work::random_rhs<double>(2, 6, 4);
+    mat::batch_dense<double> x(2, 6, 1);
+    x.fill(0.5);
+    const auto res = solver::residual_norms(a, b, x);
+    for (index_type item = 0; item < 2; ++item) {
+        double sq = 0.0;
+        for (index_type i = 0; i < 6; ++i) {
+            double r = b.at(item, i, 0);
+            for (index_type j = 0; j < 6; ++j) {
+                r -= a_csr.at(item, i, j) * 0.5;
+            }
+            sq += r * r;
+        }
+        EXPECT_NEAR(res[item], std::sqrt(sq), 1e-12);
+    }
+}
+
+TEST(HandleEdge, RooflineAndProjectionConsistent)
+{
+    using namespace batchlin;
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(64, 48, 21);
+    const auto b = work::random_rhs<double>(64, 48, 22);
+    mat::batch_dense<double> x(64, 48, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;
+    batch_solver handle(perf::pvc_1s(), opts);
+    const auto result = handle.solve<double>(a, b, x);
+    const auto t = handle.project<double>(result, a, 1 << 16);
+    const auto r = handle.roofline<double>(result, a, 1 << 16);
+    // Same profile behind both: achieved = flops / total time.
+    const double flops =
+        perf::scale_counters(result.stats, (1 << 16) / 64.0).flops;
+    EXPECT_NEAR(r.achieved_gflops, flops / t.total_seconds * 1e-9, 1e-6);
+}
+
+TEST(Transpose, PatternAndValuesCorrect)
+{
+    const auto a = work::stencil_3pt<double>(3, 12, 8);
+    const auto t = mat::transpose(a);
+    EXPECT_EQ(t.rows(), a.cols());
+    EXPECT_EQ(t.cols(), a.rows());
+    EXPECT_EQ(t.nnz(), a.nnz());
+    t.validate();
+    for (index_type item = 0; item < 3; ++item) {
+        for (index_type i = 0; i < 12; ++i) {
+            for (index_type j = 0; j < 12; ++j) {
+                EXPECT_EQ(t.at(item, j, i), a.at(item, i, j));
+            }
+        }
+    }
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity)
+{
+    // A non-symmetric pattern: rectangular-ish structure via chemistry.
+    const auto a = work::generate_mechanism<double>(
+        work::mechanism_by_name("drm19"), 17);
+    const auto tt = mat::transpose(mat::transpose(a));
+    EXPECT_EQ(tt.row_ptrs(), a.row_ptrs());
+    EXPECT_EQ(tt.col_idxs(), a.col_idxs());
+    EXPECT_EQ(tt.values(), a.values());
+}
+
+TEST(ConvergenceRate, StationarySolverHasStableContraction)
+{
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(4, 24, 31);
+    const auto b = work::random_rhs<double>(4, 24, 32);
+    mat::batch_dense<double> x(4, 24, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::richardson;
+    opts.preconditioner = precond::type::jacobi;
+    opts.richardson_relaxation = 1.0;
+    opts.criterion = stop::relative(1e-10, 500);
+    opts.record_history = true;
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve(q, a, b, x, opts);
+    for (index_type item = 0; item < 4; ++item) {
+        const double rate = result.log.convergence_rate(item);
+        EXPECT_GT(rate, 0.0);
+        EXPECT_LT(rate, 1.0);  // convergent
+    }
+}
+
+TEST(ConvergenceRate, NanWithoutHistory)
+{
+    bl::log::batch_log log(2);
+    log.record(0, 10, 1e-10, true);
+    EXPECT_TRUE(std::isnan(log.convergence_rate(0)));
+}

@@ -1,0 +1,248 @@
+// Tests for the device performance model: spec data (Table 5), counter
+// scaling, occupancy/SLM-footprint behaviour, monotonicity, and the
+// roofline report machinery (Fig. 8).
+#include <gtest/gtest.h>
+
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/device_spec.hpp"
+#include "perfmodel/roofline.hpp"
+#include "solver/dispatch.hpp"
+#include "solver/handle.hpp"
+#include "util/error.hpp"
+#include "workload/stencil.hpp"
+
+namespace bl = batchlin;
+using batchlin::index_type;
+namespace perf = batchlin::perf;
+namespace xpu = batchlin::xpu;
+
+TEST(DeviceSpec, Table5Values)
+{
+    const auto a100 = perf::a100();
+    EXPECT_DOUBLE_EQ(a100.fp64_peak_tflops, 9.7);
+    EXPECT_DOUBLE_EQ(a100.hbm_bw_tbs, 1.6);
+    EXPECT_EQ(a100.slm_per_core_bytes, 192 * 1024);
+
+    const auto h100 = perf::h100();
+    EXPECT_DOUBLE_EQ(h100.fp64_peak_tflops, 26.0);
+    EXPECT_DOUBLE_EQ(h100.hbm_bw_tbs, 2.0);
+    EXPECT_EQ(h100.slm_per_core_bytes, 228 * 1024);
+
+    const auto p1 = perf::pvc_1s();
+    EXPECT_DOUBLE_EQ(p1.fp64_peak_tflops, 22.9);
+    EXPECT_DOUBLE_EQ(p1.hbm_bw_tbs, 1.6);
+    EXPECT_EQ(p1.slm_per_core_bytes, 128 * 1024);
+
+    const auto p2 = perf::pvc_2s();
+    EXPECT_DOUBLE_EQ(p2.fp64_peak_tflops, 45.8);
+    EXPECT_DOUBLE_EQ(p2.hbm_bw_tbs, 3.2);
+    EXPECT_EQ(p2.num_cores, 2 * p1.num_cores);
+    EXPECT_EQ(p2.num_stacks, 2);
+}
+
+TEST(DeviceSpec, PoliciesMatchProgrammingModels)
+{
+    EXPECT_EQ(perf::a100().make_policy().model, xpu::prog_model::cuda);
+    EXPECT_FALSE(perf::h100().make_policy().has_group_reduction);
+    const auto pvc_policy = perf::pvc_2s().make_policy();
+    EXPECT_EQ(pvc_policy.model, xpu::prog_model::sycl);
+    EXPECT_EQ(pvc_policy.num_stacks, 2);
+    EXPECT_TRUE(pvc_policy.supports_sub_group(16));
+}
+
+TEST(DeviceSpec, LookupByName)
+{
+    EXPECT_EQ(perf::device_by_name("H100").name, "H100");
+    EXPECT_EQ(perf::paper_devices().size(), 4u);
+    EXPECT_THROW(perf::device_by_name("V100"), bl::error);
+}
+
+TEST(CostModel, ScaleCountersScalesExtensiveFieldsOnly)
+{
+    xpu::counters c;
+    c.flops = 100;
+    c.slm_bytes = 200;
+    c.constant_read_bytes = 40;
+    c.kernel_launches = 1;
+    c.slm_footprint_bytes = 4096;
+    c.groups_launched = 10;
+    const xpu::counters s = perf::scale_counters(c, 8.0);
+    EXPECT_DOUBLE_EQ(s.flops, 800.0);
+    EXPECT_DOUBLE_EQ(s.slm_bytes, 1600.0);
+    EXPECT_EQ(s.kernel_launches, 1);           // intensive
+    EXPECT_EQ(s.slm_footprint_bytes, 4096);    // intensive
+    EXPECT_EQ(s.groups_launched, 80);
+}
+
+namespace {
+
+perf::solve_profile simple_profile(double flops, double slm, double hbm,
+                                   bl::size_type footprint,
+                                   index_type systems = 1 << 14,
+                                   index_type wg = 64)
+{
+    perf::solve_profile p;
+    p.totals.flops = flops;
+    p.totals.slm_bytes = slm;
+    p.totals.global_read_bytes = hbm;
+    p.totals.kernel_launches = 1;
+    p.totals.slm_footprint_bytes = footprint;
+    p.num_systems = systems;
+    p.work_group_size = wg;
+    p.thread_utilization = 1.0;
+    p.constant_footprint_per_system = 4096;
+    return p;
+}
+
+}  // namespace
+
+TEST(CostModel, TimeScalesLinearlyWithWork)
+{
+    const auto d = perf::pvc_1s();
+    const auto t1 = perf::estimate_time(
+        d, simple_profile(1e12, 1e12, 1e11, 32 * 1024));
+    const auto t2 = perf::estimate_time(
+        d, simple_profile(2e12, 2e12, 2e11, 32 * 1024));
+    EXPECT_NEAR((t2.total_seconds - t1.launch_seconds * 0) /
+                    t1.total_seconds,
+                2.0, 0.05);
+}
+
+TEST(CostModel, SlmFootprintLimitsOccupancy)
+{
+    const auto d = perf::pvc_1s();  // 128 KB SLM per core
+    const auto small = perf::estimate_time(
+        d, simple_profile(1e10, 1e12, 1e10, 16 * 1024));
+    const auto large = perf::estimate_time(
+        d, simple_profile(1e10, 1e12, 1e10, 120 * 1024));
+    // A 120 KB footprint allows one group per core: fewer groups in
+    // flight, lower occupancy, slower SLM-bound execution (§4.4).
+    EXPECT_GT(small.groups_in_flight, large.groups_in_flight);
+    EXPECT_LE(large.groups_in_flight, d.num_cores);
+    EXPECT_GT(large.total_seconds, small.total_seconds);
+}
+
+TEST(CostModel, IdentifiesBindingResource)
+{
+    const auto d = perf::pvc_1s();
+    EXPECT_STREQ(perf::estimate_time(
+                     d, simple_profile(1e14, 1e10, 1e9, 16 * 1024))
+                     .bound_by,
+                 "FLOP");
+    EXPECT_STREQ(perf::estimate_time(
+                     d, simple_profile(1e9, 1e13, 1e9, 16 * 1024))
+                     .bound_by,
+                 "SLM");
+    EXPECT_STREQ(perf::estimate_time(
+                     d, simple_profile(1e9, 1e9, 1e13, 16 * 1024))
+                     .bound_by,
+                 "HBM");
+}
+
+TEST(CostModel, TwoStacksFasterThanOne)
+{
+    const auto p = simple_profile(5e12, 5e12, 5e11, 32 * 1024, 1 << 17);
+    const double t1 =
+        perf::estimate_time(perf::pvc_1s(), p).total_seconds;
+    const double t2 =
+        perf::estimate_time(perf::pvc_2s(), p).total_seconds;
+    const double speedup = t1 / t2;
+    // §4.2: between 1.5x and 2.0x, typically 1.8-1.9x.
+    EXPECT_GT(speedup, 1.5);
+    EXPECT_LT(speedup, 2.0);
+}
+
+TEST(CostModel, LaunchOverheadDominatesTinyBatches)
+{
+    const auto d = perf::pvc_1s();
+    auto p = simple_profile(1e5, 1e5, 1e4, 16 * 1024, 4, 64);
+    const auto t = perf::estimate_time(d, p);
+    EXPECT_GT(t.launch_seconds / t.total_seconds, 0.5);
+}
+
+TEST(CostModel, RejectsEmptyProfiles)
+{
+    perf::solve_profile p;
+    EXPECT_THROW(perf::estimate_time(perf::pvc_1s(), p), bl::error);
+}
+
+TEST(Roofline, SharesSumToOne)
+{
+    const auto d = perf::pvc_1s();
+    const auto p = simple_profile(1e12, 3e12, 2e11, 32 * 1024);
+    const auto r = perf::analyze_roofline(d, p);
+    EXPECT_NEAR(r.slm.share_of_bytes + r.l3.share_of_bytes +
+                    r.hbm.share_of_bytes,
+                1.0, 1e-9);
+    EXPECT_NEAR(r.slm.share_of_time + r.l3.share_of_time +
+                    r.hbm.share_of_time,
+                1.0, 1e-9);
+    EXPECT_GT(r.slm.share_of_bytes, r.hbm.share_of_bytes);
+}
+
+TEST(Roofline, AchievedNeverExceedsComputeRoof)
+{
+    const auto d = perf::pvc_1s();
+    const auto r = perf::analyze_roofline(
+        d, simple_profile(1e13, 1e12, 1e11, 32 * 1024));
+    EXPECT_LE(r.achieved_gflops, r.compute_roof_gflops);
+    EXPECT_GT(r.achieved_gflops, 0.0);
+}
+
+TEST(Roofline, EndToEndFromRealSolve)
+{
+    // Full pipeline: run a real batched solve, project it, and check the
+    // Fig. 8 qualitative claims hold: SLM dominates the traffic and the
+    // constant operands (matrix + rhs) are L3-resident.
+    using namespace batchlin;
+    const index_type items = 256;
+    const auto a_csr = work::stencil_3pt<double>(items, 64, 3);
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::random_rhs<double>(items, 64, 4);
+    mat::batch_dense<double> x(items, 64, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::bicgstab;
+    opts.preconditioner = precond::type::jacobi;
+    batch_solver handle(perf::pvc_1s(), opts);
+    const auto result = handle.solve<double>(a, b, x);
+    const auto report = handle.roofline<double>(result, a, 1 << 17);
+    EXPECT_GT(report.slm.share_of_bytes, 0.5);
+    EXPECT_GT(report.l3.bytes, 0.0);
+    EXPECT_GT(report.threading_occupancy, 0.0);
+    EXPECT_LE(report.threading_occupancy, 1.0);
+}
+
+TEST(Handle, ProjectionScalesWithTargetBatch)
+{
+    using namespace batchlin;
+    const index_type items = 128;
+    const auto a_csr = work::stencil_3pt<double>(items, 32, 9);
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::random_rhs<double>(items, 32, 10);
+    mat::batch_dense<double> x(items, 32, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;
+    batch_solver handle(perf::pvc_1s(), opts);
+    const auto result = handle.solve<double>(a, b, x);
+    const auto t_small = handle.project<double>(result, a, 1 << 13);
+    const auto t_large = handle.project<double>(result, a, 1 << 17);
+    // 16x the systems ~ 16x the time once the device is saturated.
+    EXPECT_NEAR(t_large.total_seconds / t_small.total_seconds, 16.0, 3.0);
+}
+
+TEST(Handle, DevicesRankPlausibly)
+{
+    // The H100 must beat the A100 on the same profile (more of every
+    // resource); PVC-2S must beat PVC-1S.
+    const auto p = simple_profile(5e12, 5e12, 5e11, 24 * 1024, 1 << 17);
+    const double a100 =
+        perf::estimate_time(perf::a100(), p).total_seconds;
+    const double h100 =
+        perf::estimate_time(perf::h100(), p).total_seconds;
+    const double pvc1 =
+        perf::estimate_time(perf::pvc_1s(), p).total_seconds;
+    const double pvc2 =
+        perf::estimate_time(perf::pvc_2s(), p).total_seconds;
+    EXPECT_LT(h100, a100);
+    EXPECT_LT(pvc2, pvc1);
+}

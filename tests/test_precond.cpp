@@ -1,0 +1,282 @@
+// Unit tests for the preconditioners: identity, scalar Jacobi (all three
+// formats), ILU(0) factorization/application, and ISAI generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/matrix_view.hpp"
+#include "matrix/conversions.hpp"
+#include "precond/identity.hpp"
+#include "precond/ilu0.hpp"
+#include "precond/isai.hpp"
+#include "precond/jacobi.hpp"
+#include "util/dense_lu.hpp"
+#include "util/error.hpp"
+#include "workload/chemistry.hpp"
+#include "workload/stencil.hpp"
+#include "xpu/arena.hpp"
+#include "xpu/group.hpp"
+
+namespace bl = batchlin;
+using namespace batchlin::xpu;
+using batchlin::index_type;
+namespace mat = batchlin::mat;
+namespace blas = batchlin::blas;
+namespace precond = batchlin::precond;
+
+namespace {
+
+struct group_fixture {
+    counters stats;
+    slm_arena arena{1 << 22};
+    group g{0, 32, 16, arena, stats};
+
+    template <typename T>
+    dspan<T> global(std::vector<T>& v)
+    {
+        return {v.data(), static_cast<index_type>(v.size()),
+                mem_space::global};
+    }
+};
+
+}  // namespace
+
+TEST(Identity, ApplyIsCopy)
+{
+    group_fixture f;
+    precond::identity<double> pc;
+    const auto a = batchlin::work::stencil_3pt<double>(1, 8);
+    std::vector<double> r{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<double> z(8);
+    auto applier = pc.generate(f.g, blas::item_view(a, 0), {});
+    applier.apply(f.g, f.global(r), f.global(z));
+    EXPECT_EQ(z, r);
+    EXPECT_EQ(precond::identity<double>::workspace_elems(100, 500), 0);
+}
+
+TEST(Jacobi, CsrGenerateExtractsInverseDiagonal)
+{
+    group_fixture f;
+    const auto a = batchlin::work::stencil_3pt<double>(2, 10);
+    precond::jacobi<double> pc(a);
+    std::vector<double> work(10);
+    auto applier = pc.generate(f.g, blas::item_view(a, 1), f.global(work));
+    for (index_type i = 0; i < 10; ++i) {
+        EXPECT_NEAR(work[i], 1.0 / a.at(1, i, i), 1e-14);
+    }
+    std::vector<double> r(10, 2.0), z(10);
+    applier.apply(f.g, f.global(r), f.global(z));
+    for (index_type i = 0; i < 10; ++i) {
+        EXPECT_NEAR(z[i], 2.0 / a.at(1, i, i), 1e-14);
+    }
+}
+
+TEST(Jacobi, EllAndDenseAgreeWithCsr)
+{
+    group_fixture f;
+    const auto a = batchlin::work::generate_mechanism<double>(
+        batchlin::work::mechanism_by_name("drm19"), 5);
+    const auto e = mat::to_ell(a);
+    const auto d = mat::to_dense(a);
+    precond::jacobi<double> pc_csr(a);
+    precond::jacobi<double> pc_other;
+    std::vector<double> w_csr(a.rows()), w_ell(a.rows()), w_dense(a.rows());
+    pc_csr.generate(f.g, blas::item_view(a, 3), f.global(w_csr));
+    pc_other.generate(f.g, blas::item_view(e, 3), f.global(w_ell));
+    pc_other.generate(f.g, blas::item_view(d, 3), f.global(w_dense));
+    for (index_type i = 0; i < a.rows(); ++i) {
+        EXPECT_NEAR(w_csr[i], w_ell[i], 1e-14);
+        EXPECT_NEAR(w_csr[i], w_dense[i], 1e-14);
+    }
+}
+
+TEST(Jacobi, MissingDiagonalThrows)
+{
+    mat::batch_csr<double> a(1, 2, 2, {0, 1, 2}, {1, 0});
+    EXPECT_THROW(precond::jacobi<double>{a}, bl::error);
+}
+
+namespace {
+
+/// Multiplies the ILU0 factors (unit-lower L, upper U stored in one CSR
+/// value array) back together and returns the product as a dense matrix.
+std::vector<double> multiply_factors(const mat::batch_csr<double>& a,
+                                     const std::vector<double>& factors)
+{
+    const index_type n = a.rows();
+    std::vector<double> l(n * n, 0.0), u(n * n, 0.0), prod(n * n, 0.0);
+    for (index_type i = 0; i < n; ++i) {
+        l[i * n + i] = 1.0;
+        for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1]; ++k) {
+            const index_type j = a.col_idxs()[k];
+            if (j < i) {
+                l[i * n + j] = factors[k];
+            } else {
+                u[i * n + j] = factors[k];
+            }
+        }
+    }
+    for (index_type i = 0; i < n; ++i) {
+        for (index_type k = 0; k < n; ++k) {
+            for (index_type j = 0; j < n; ++j) {
+                prod[i * n + j] += l[i * n + k] * u[k * n + j];
+            }
+        }
+    }
+    return prod;
+}
+
+}  // namespace
+
+TEST(Ilu0, ExactOnTridiagonalPattern)
+{
+    // A tridiagonal pattern produces no fill, so ILU(0) == exact LU and
+    // L*U must reproduce A exactly.
+    group_fixture f;
+    const auto a = batchlin::work::stencil_3pt<double>(1, 12);
+    precond::ilu0<double> pc(a);
+    std::vector<double> work(a.nnz() + a.rows());
+    pc.generate(f.g, blas::item_view(a, 0), f.global(work));
+    const std::vector<double> factors(work.begin(), work.begin() + a.nnz());
+    const auto prod = multiply_factors(a, factors);
+    const auto dense = mat::to_dense(a);
+    for (index_type i = 0; i < 12; ++i) {
+        for (index_type j = 0; j < 12; ++j) {
+            EXPECT_NEAR(prod[i * 12 + j], dense.at(0, i, j), 1e-12)
+                << i << "," << j;
+        }
+    }
+}
+
+TEST(Ilu0, ApplySolvesLUExactlyOnNoFillPattern)
+{
+    group_fixture f;
+    const auto a = batchlin::work::stencil_3pt<double>(1, 16);
+    precond::ilu0<double> pc(a);
+    std::vector<double> work(a.nnz() + a.rows());
+    auto applier = pc.generate(f.g, blas::item_view(a, 0), f.global(work));
+    // For a no-fill pattern M = A, so apply(r) must solve A z = r.
+    std::vector<double> z_true(16);
+    for (index_type i = 0; i < 16; ++i) {
+        z_true[i] = std::cos(0.3 * i);
+    }
+    std::vector<double> r(16, 0.0);
+    for (index_type i = 0; i < 16; ++i) {
+        for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1]; ++k) {
+            r[i] += a.item_values(0)[k] * z_true[a.col_idxs()[k]];
+        }
+    }
+    std::vector<double> z(16);
+    applier.apply(f.g, f.global(r), f.global(z));
+    for (index_type i = 0; i < 16; ++i) {
+        EXPECT_NEAR(z[i], z_true[i], 1e-11);
+    }
+}
+
+TEST(Ilu0, MatchesDiagonalOnGeneralPattern)
+{
+    // On a general pattern ILU(0) is inexact, but the residual A - L*U must
+    // vanish ON the pattern positions (the defining ILU(0) property).
+    group_fixture f;
+    const auto a = batchlin::work::generate_mechanism<double>(
+        batchlin::work::mechanism_by_name("drm19"), 99);
+    precond::ilu0<double> pc(a);
+    std::vector<double> work(a.nnz() + a.rows());
+    pc.generate(f.g, blas::item_view(a, 0), f.global(work));
+    const std::vector<double> factors(work.begin(), work.begin() + a.nnz());
+    const auto prod = multiply_factors(a, factors);
+    const index_type n = a.rows();
+    for (index_type i = 0; i < n; ++i) {
+        for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1]; ++k) {
+            const index_type j = a.col_idxs()[k];
+            EXPECT_NEAR(prod[i * n + j], a.item_values(0)[k], 1e-9)
+                << "pattern position (" << i << "," << j << ")";
+        }
+    }
+}
+
+TEST(Ilu0, MissingDiagonalThrows)
+{
+    mat::batch_csr<double> a(1, 2, 2, {0, 1, 2}, {1, 0});
+    EXPECT_THROW(precond::ilu0<double>{a}, bl::error);
+}
+
+TEST(Isai, ExactInverseForDiagonalMatrix)
+{
+    group_fixture f;
+    mat::batch_csr<double> a(1, 4, 4, {0, 1, 2, 3, 4}, {0, 1, 2, 3});
+    for (index_type i = 0; i < 4; ++i) {
+        a.item_values(0)[i] = 2.0 * (i + 1);
+    }
+    precond::isai<double> pc(a);
+    std::vector<double> work(a.nnz());
+    auto applier = pc.generate(f.g, blas::item_view(a, 0), f.global(work));
+    for (index_type i = 0; i < 4; ++i) {
+        EXPECT_NEAR(work[i], 1.0 / (2.0 * (i + 1)), 1e-14);
+    }
+    std::vector<double> r{2, 4, 6, 8}, z(4);
+    applier.apply(f.g, f.global(r), f.global(z));
+    EXPECT_NEAR(z[0], 1.0, 1e-14);
+    EXPECT_NEAR(z[3], 1.0, 1e-14);
+}
+
+TEST(Isai, ResidualVanishesOnPattern)
+{
+    // Defining ISAI property: rows of (M A - I) are zero at the pattern
+    // positions of M's row.
+    group_fixture f;
+    const auto a = batchlin::work::generate_mechanism<double>(
+        batchlin::work::mechanism_by_name("drm19"), 7);
+    precond::isai<double> pc(a);
+    std::vector<double> work(a.nnz());
+    pc.generate(f.g, blas::item_view(a, 0), f.global(work));
+    const index_type n = a.rows();
+    // Dense M*A.
+    const auto ad = mat::to_dense(a);
+    std::vector<double> ma(n * n, 0.0);
+    for (index_type i = 0; i < n; ++i) {
+        for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1]; ++k) {
+            const index_type s = a.col_idxs()[k];
+            for (index_type j = 0; j < n; ++j) {
+                ma[i * n + j] += work[k] * ad.at(0, s, j);
+            }
+        }
+    }
+    for (index_type i = 0; i < n; ++i) {
+        for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1]; ++k) {
+            const index_type j = a.col_idxs()[k];
+            const double target = i == j ? 1.0 : 0.0;
+            EXPECT_NEAR(ma[i * n + j], target, 1e-8)
+                << "pattern position (" << i << "," << j << ")";
+        }
+    }
+}
+
+TEST(Isai, TracksMaxLocalSize)
+{
+    const auto a = batchlin::work::stencil_3pt<double>(1, 10);
+    precond::isai<double> pc(a);
+    EXPECT_EQ(pc.max_local_size(), 3);
+}
+
+TEST(Isai, RequiresSquareSystems)
+{
+    mat::batch_csr<double> a(1, 2, 3, {0, 1, 2}, {0, 1});
+    EXPECT_THROW(precond::isai<double>{a}, bl::error);
+}
+
+TEST(PrecondTypes, ToString)
+{
+    EXPECT_EQ(precond::to_string(precond::type::none), "none");
+    EXPECT_EQ(precond::to_string(precond::type::jacobi), "jacobi");
+    EXPECT_EQ(precond::to_string(precond::type::ilu), "ilu");
+    EXPECT_EQ(precond::to_string(precond::type::isai), "isai");
+}
+
+TEST(PrecondWorkspace, SizesMatchContract)
+{
+    EXPECT_EQ(precond::jacobi<double>::workspace_elems(50, 400), 50);
+    EXPECT_EQ(precond::ilu0<double>::workspace_elems(50, 400), 450);
+    EXPECT_EQ(precond::isai<double>::workspace_elems(50, 400), 400);
+}

@@ -1,0 +1,393 @@
+// Property-based suites: randomized sparsity patterns and values, swept
+// over seeds with parameterized gtest. These pin the library's invariants
+// rather than specific examples:
+//  * SpMV agrees across all three formats on any shared pattern;
+//  * format conversions round-trip losslessly;
+//  * every Krylov solver reaches the requested tolerance on random
+//    diagonally-dominant batches (verified against the true residual);
+//  * all dispatch paths produce equivalent solutions;
+//  * ILU(0) reproduces A on the pattern positions for any pattern;
+//  * counters are deterministic and respect the memory-space invariants;
+//  * equilibration normalizes row infinity-norms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "blas/matrix_view.hpp"
+#include "matrix/conversions.hpp"
+#include "matrix/operations.hpp"
+#include "matrix/properties.hpp"
+#include "precond/ilu0.hpp"
+#include "solver/dispatch.hpp"
+#include "solver/residual.hpp"
+#include "util/rng.hpp"
+#include "workload/stencil.hpp"
+
+namespace bl = batchlin;
+using batchlin::index_type;
+namespace mat = batchlin::mat;
+namespace solver = batchlin::solver;
+namespace precond = batchlin::precond;
+namespace stop = batchlin::stop;
+namespace work = batchlin::work;
+namespace xpu = batchlin::xpu;
+
+namespace {
+
+/// Random shared-pattern, diagonally-dominant, non-symmetric batch.
+mat::batch_csr<double> random_batch(std::uint64_t seed, index_type items,
+                                    index_type rows, double density)
+{
+    bl::rng gen(seed);
+    std::vector<index_type> row_ptrs(rows + 1, 0);
+    std::vector<index_type> col_idxs;
+    for (index_type i = 0; i < rows; ++i) {
+        std::set<index_type> cols{i};  // always keep the diagonal
+        const index_type extras = std::max<index_type>(
+            1, static_cast<index_type>(density * rows));
+        for (index_type e = 0; e < extras; ++e) {
+            cols.insert(gen.uniform_int(0, rows - 1));
+        }
+        for (index_type c : cols) {
+            col_idxs.push_back(c);
+        }
+        row_ptrs[i + 1] = static_cast<index_type>(col_idxs.size());
+    }
+    mat::batch_csr<double> a(items, rows, rows, std::move(row_ptrs),
+                             std::move(col_idxs));
+    for (index_type b = 0; b < items; ++b) {
+        double* vals = a.item_values(b);
+        for (index_type i = 0; i < rows; ++i) {
+            double off_sum = 0.0;
+            index_type diag_k = -1;
+            for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1];
+                 ++k) {
+                if (a.col_idxs()[k] == i) {
+                    diag_k = k;
+                    continue;
+                }
+                vals[k] = gen.uniform(-1.0, 1.0);
+                off_sum += std::abs(vals[k]);
+            }
+            vals[diag_k] = (1.2 + gen.uniform(0.0, 0.8)) * (off_sum + 0.5);
+        }
+    }
+    return a;
+}
+
+/// Random SPD batch with a symmetric shared pattern (for BatchCg).
+mat::batch_csr<double> random_spd_batch(std::uint64_t seed,
+                                        index_type items, index_type rows,
+                                        double density)
+{
+    bl::rng gen(seed);
+    // Build a symmetric pattern: sample (i, j) pairs and mirror them.
+    std::vector<std::set<index_type>> pattern(rows);
+    for (index_type i = 0; i < rows; ++i) {
+        pattern[i].insert(i);
+    }
+    const index_type extras = std::max<index_type>(
+        1, static_cast<index_type>(density * rows * rows / 2));
+    for (index_type e = 0; e < extras; ++e) {
+        const index_type i = gen.uniform_int(0, rows - 1);
+        const index_type j = gen.uniform_int(0, rows - 1);
+        pattern[i].insert(j);
+        pattern[j].insert(i);
+    }
+    std::vector<index_type> row_ptrs(rows + 1, 0);
+    std::vector<index_type> col_idxs;
+    for (index_type i = 0; i < rows; ++i) {
+        for (index_type c : pattern[i]) {
+            col_idxs.push_back(c);
+        }
+        row_ptrs[i + 1] = static_cast<index_type>(col_idxs.size());
+    }
+    mat::batch_csr<double> a(items, rows, rows, std::move(row_ptrs),
+                             std::move(col_idxs));
+    for (index_type b = 0; b < items; ++b) {
+        double* vals = a.item_values(b);
+        // Symmetric off-diagonal values, then lift the diagonal to strict
+        // dominance => SPD by Gershgorin.
+        for (index_type i = 0; i < rows; ++i) {
+            for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1];
+                 ++k) {
+                const index_type j = a.col_idxs()[k];
+                if (j > i) {
+                    vals[k] = gen.uniform(-1.0, 1.0);
+                }
+            }
+        }
+        for (index_type i = 0; i < rows; ++i) {
+            for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1];
+                 ++k) {
+                const index_type j = a.col_idxs()[k];
+                if (j < i) {
+                    vals[k] = a.at(b, j, i);
+                }
+            }
+        }
+        for (index_type i = 0; i < rows; ++i) {
+            double off_sum = 0.0;
+            index_type diag_k = -1;
+            for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1];
+                 ++k) {
+                if (a.col_idxs()[k] == i) {
+                    diag_k = k;
+                } else {
+                    off_sum += std::abs(vals[k]);
+                }
+            }
+            vals[diag_k] = off_sum + 0.5 + gen.uniform(0.0, 1.0);
+        }
+    }
+    return a;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+class RandomPattern : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPattern, SpmvAgreesAcrossFormats)
+{
+    const auto csr = random_batch(GetParam(), 5, 37, 0.25);
+    const auto x = work::random_rhs<double>(5, 37, GetParam() + 1);
+    xpu::queue q(xpu::make_sycl_policy());
+    mat::batch_dense<double> y_csr(5, 37, 1), y_ell(5, 37, 1),
+        y_dense(5, 37, 1);
+    mat::apply<double>(q, csr, x, y_csr);
+    mat::apply<double>(q, mat::to_ell(csr), x, y_ell);
+    mat::apply<double>(q, mat::to_dense(csr), x, y_dense);
+    for (std::size_t i = 0; i < y_csr.values().size(); ++i) {
+        EXPECT_NEAR(y_csr.values()[i], y_ell.values()[i], 1e-12);
+        EXPECT_NEAR(y_csr.values()[i], y_dense.values()[i], 1e-12);
+    }
+}
+
+TEST_P(RandomPattern, ConversionsRoundTripLosslessly)
+{
+    const auto csr = random_batch(GetParam(), 4, 29, 0.3);
+    const auto via_ell = mat::to_csr(mat::to_ell(csr));
+    EXPECT_EQ(via_ell.row_ptrs(), csr.row_ptrs());
+    EXPECT_EQ(via_ell.col_idxs(), csr.col_idxs());
+    EXPECT_EQ(via_ell.values(), csr.values());
+    const auto via_dense = mat::to_csr(mat::to_dense(csr));
+    // Random values are never exactly zero, so the pattern is preserved.
+    EXPECT_EQ(via_dense.row_ptrs(), csr.row_ptrs());
+    EXPECT_EQ(via_dense.values(), csr.values());
+}
+
+TEST_P(RandomPattern, Ilu0ReproducesAOnPattern)
+{
+    const auto a = random_batch(GetParam(), 2, 24, 0.35);
+    precond::ilu0<double> pc(a);
+    xpu::counters stats;
+    xpu::slm_arena arena(1 << 20);
+    xpu::group g(0, 32, 16, arena, stats);
+    std::vector<double> work_buf(a.nnz() + a.rows());
+    pc.generate(g, batchlin::blas::item_view(a, 1),
+                {work_buf.data(),
+                 static_cast<index_type>(work_buf.size()),
+                 xpu::mem_space::global});
+    // Rebuild L*U densely and compare on the pattern.
+    const index_type n = a.rows();
+    std::vector<double> l(n * n, 0.0), u(n * n, 0.0);
+    for (index_type i = 0; i < n; ++i) {
+        l[i * n + i] = 1.0;
+        for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1]; ++k) {
+            const index_type j = a.col_idxs()[k];
+            (j < i ? l : u)[i * n + j] = work_buf[k];
+        }
+    }
+    for (index_type i = 0; i < n; ++i) {
+        for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1]; ++k) {
+            const index_type j = a.col_idxs()[k];
+            double prod = 0.0;
+            for (index_type m = 0; m < n; ++m) {
+                prod += l[i * n + m] * u[m * n + j];
+            }
+            EXPECT_NEAR(prod, a.item_values(1)[k], 1e-9)
+                << "(" << i << "," << j << ")";
+        }
+    }
+}
+
+TEST_P(RandomPattern, EquilibrationNormalizesRows)
+{
+    auto a = random_batch(GetParam(), 3, 31, 0.3);
+    const auto s = mat::compute_equilibration(a);
+    mat::scale_system(a, s);
+    for (index_type item = 0; item < 3; ++item) {
+        for (index_type i = 0; i < a.rows(); ++i) {
+            double row_max = 0.0;
+            for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1];
+                 ++k) {
+                row_max =
+                    std::max(row_max, std::abs(a.item_values(item)[k]));
+            }
+            EXPECT_LE(row_max, 1.0 + 1e-12);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPattern,
+                         ::testing::Values(11u, 23u, 37u, 51u, 68u, 79u,
+                                           97u, 113u));
+
+// ---------------------------------------------------------------------
+using solve_param = std::tuple<std::uint64_t, solver::solver_type>;
+
+class RandomSolve : public ::testing::TestWithParam<solve_param> {};
+
+TEST_P(RandomSolve, ReachesToleranceOnRandomDominantBatches)
+{
+    const auto [seed, kind] = GetParam();
+    const index_type items = 10;
+    const index_type rows = 45;
+    // CG requires SPD input; the other solvers get the general batch.
+    const auto a_csr = kind == solver::solver_type::cg
+                           ? random_spd_batch(seed, items, rows, 0.25)
+                           : random_batch(seed, items, rows, 0.25);
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::random_rhs<double>(items, rows, seed + 5);
+    mat::batch_dense<double> x(items, rows, 1);
+
+    solver::solve_options opts;
+    opts.solver = kind;
+    opts.preconditioner = precond::type::jacobi;
+    opts.criterion = stop::relative(1e-9, 400);
+    opts.gmres_restart = 25;
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve(q, a, b, x, opts);
+    EXPECT_EQ(result.log.num_converged(), items);
+    const auto rel = solver::relative_residual_norms(a, b, x);
+    for (double r : rel) {
+        EXPECT_LE(r, 5e-8);
+    }
+}
+
+TEST_P(RandomSolve, AllDispatchPathsAgree)
+{
+    const auto [seed, kind] = GetParam();
+    const index_type items = 6;
+    const index_type rows = 26;
+    const auto csr = kind == solver::solver_type::cg
+                         ? random_spd_batch(seed, items, rows, 0.3)
+                         : random_batch(seed, items, rows, 0.3);
+    const auto b = work::random_rhs<double>(items, rows, seed + 9);
+
+    solver::solve_options opts;
+    opts.solver = kind;
+    opts.preconditioner = precond::type::jacobi;
+    opts.criterion = stop::relative(1e-11, 400);
+    opts.gmres_restart = 20;
+    xpu::queue q(xpu::make_sycl_policy());
+
+    auto run_on = [&](const solver::batch_matrix<double>& a) {
+        mat::batch_dense<double> x(items, rows, 1);
+        solver::solve(q, a, b, x, opts);
+        return x;
+    };
+    const auto x_csr = run_on(csr);
+    const auto x_ell = run_on(mat::to_ell(csr));
+    const auto x_dense = run_on(mat::to_dense(csr));
+    for (std::size_t i = 0; i < x_csr.values().size(); ++i) {
+        EXPECT_NEAR(x_csr.values()[i], x_ell.values()[i], 1e-7);
+        EXPECT_NEAR(x_csr.values()[i], x_dense.values()[i], 1e-7);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsTimesSolvers, RandomSolve,
+    ::testing::Combine(::testing::Values(7u, 19u, 42u, 88u),
+                       ::testing::Values(solver::solver_type::cg,
+                                         solver::solver_type::bicgstab,
+                                         solver::solver_type::gmres)),
+    [](const ::testing::TestParamInfo<solve_param>& info) {
+        return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+               solver::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Counter invariants.
+// ---------------------------------------------------------------------
+
+TEST(CounterInvariants, SolvesAreCounterDeterministic)
+{
+    const auto a_csr = random_batch(3, 20, 33, 0.25);
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::random_rhs<double>(20, 33, 4);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::bicgstab;
+    opts.preconditioner = precond::type::jacobi;
+    auto run = [&] {
+        mat::batch_dense<double> x(20, 33, 1);
+        xpu::queue q(xpu::make_sycl_policy());
+        return solver::solve(q, a, b, x, opts).stats;
+    };
+    const xpu::counters c1 = run();
+    const xpu::counters c2 = run();
+    EXPECT_DOUBLE_EQ(c1.flops, c2.flops);
+    EXPECT_DOUBLE_EQ(c1.slm_bytes, c2.slm_bytes);
+    EXPECT_DOUBLE_EQ(c1.constant_read_bytes, c2.constant_read_bytes);
+    EXPECT_DOUBLE_EQ(c1.total_iterations, c2.total_iterations);
+    EXPECT_EQ(c1.slm_footprint_bytes, c2.slm_footprint_bytes);
+}
+
+TEST(CounterInvariants, NoSlmTrafficWithoutSlmPlacement)
+{
+    // slm_mode::none + single-sub-group reduction => nothing touches SLM.
+    const auto a_csr = random_spd_batch(5, 8, 14, 0.2);  // CG needs SPD
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::random_rhs<double>(8, 14, 6);
+    mat::batch_dense<double> x(8, 14, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;
+    opts.preconditioner = precond::type::jacobi;
+    opts.slm = solver::slm_mode::none;
+    opts.sub_group_size = 16;
+    opts.reduction = xpu::reduce_path::sub_group;
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve(q, a, b, x, opts);
+    EXPECT_DOUBLE_EQ(result.stats.slm_bytes, 0.0);
+    EXPECT_EQ(result.stats.slm_footprint_bytes, 0);
+    EXPECT_EQ(result.log.num_converged(), 8);
+}
+
+TEST(CounterInvariants, CudaModelNeverUsesSubGroup16)
+{
+    const auto a_csr = random_batch(9, 6, 22, 0.3);
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::random_rhs<double>(6, 22, 2);
+    mat::batch_dense<double> x(6, 22, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::bicgstab;
+    xpu::queue q(xpu::make_cuda_policy(192 * 1024));
+    const auto result = solver::solve(q, a, b, x, opts);
+    EXPECT_EQ(result.config.sub_group_size, 32);
+    EXPECT_EQ(result.config.reduction, xpu::reduce_path::sub_group);
+    // Requesting sub-group 16 on the CUDA model must be rejected.
+    opts.sub_group_size = 16;
+    EXPECT_THROW(solver::solve(q, a, b, x, opts), bl::error);
+}
+
+TEST(CounterInvariants, SyclSmallSystemUsesLessSlmThanGroupPath)
+{
+    const auto a_csr = random_batch(13, 12, 16, 0.25);
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::random_rhs<double>(12, 16, 3);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;
+    opts.sub_group_size = 16;
+
+    auto slm_bytes_for = [&](xpu::reduce_path path) {
+        mat::batch_dense<double> x(12, 16, 1);
+        solver::solve_options o = opts;
+        o.reduction = path;
+        xpu::queue q(xpu::make_sycl_policy());
+        return solver::solve(q, a, b, x, o).stats.slm_bytes;
+    };
+    EXPECT_LT(slm_bytes_for(xpu::reduce_path::sub_group),
+              slm_bytes_for(xpu::reduce_path::group));
+}

@@ -1,0 +1,156 @@
+// Tests for the BatchRichardson extension solver and the queue's launch
+// profiling records.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/dispatch.hpp"
+#include "solver/residual.hpp"
+#include "util/error.hpp"
+#include "workload/chemistry.hpp"
+#include "workload/stencil.hpp"
+
+namespace bl = batchlin;
+using batchlin::index_type;
+namespace mat = batchlin::mat;
+namespace solver = batchlin::solver;
+namespace precond = batchlin::precond;
+namespace stop = batchlin::stop;
+namespace work = batchlin::work;
+namespace xpu = batchlin::xpu;
+
+TEST(Richardson, JacobiPreconditionedConvergesOnDominantSystems)
+{
+    const auto mech = work::mechanism_by_name("drm19");
+    const auto a_csr = work::generate_mechanism_batch<double>(mech, 67);
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::mechanism_rhs<double>(67, mech.rows, 9);
+    mat::batch_dense<double> x(67, mech.rows, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::richardson;
+    opts.preconditioner = precond::type::jacobi;
+    opts.richardson_relaxation = 0.9;
+    opts.criterion = stop::relative(1e-9, 500);
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve(q, a, b, x, opts);
+    EXPECT_EQ(result.log.num_converged(), 67);
+    EXPECT_EQ(result.stats.kernel_launches, 1);  // fused like the rest
+    for (const double r : solver::relative_residual_norms(a, b, x)) {
+        EXPECT_LE(r, 1e-7);
+    }
+}
+
+TEST(Richardson, NeedsMoreIterationsThanKrylovSolvers)
+{
+    const auto mech = work::mechanism_by_name("gri12");
+    const auto a_csr = work::generate_mechanism_batch<double>(mech, 73);
+    const solver::batch_matrix<double> a = a_csr;
+    const auto b = work::mechanism_rhs<double>(73, mech.rows, 3);
+    solver::solve_options opts;
+    opts.preconditioner = precond::type::jacobi;
+    opts.criterion = stop::relative(1e-9, 500);
+    xpu::queue q(xpu::make_sycl_policy());
+    auto iters = [&](solver::solver_type kind) {
+        mat::batch_dense<double> x(73, mech.rows, 1);
+        solver::solve_options o = opts;
+        o.solver = kind;
+        const auto result = solver::solve(q, a, b, x, o);
+        EXPECT_EQ(result.log.num_converged(), 73);
+        return result.log.mean_iterations();
+    };
+    EXPECT_GT(iters(solver::solver_type::richardson),
+              iters(solver::solver_type::bicgstab));
+}
+
+TEST(Richardson, ResidualHistoryDecaysGeometrically)
+{
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(4, 32, 13);
+    const auto b = work::random_rhs<double>(4, 32, 14);
+    mat::batch_dense<double> x(4, 32, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::richardson;
+    opts.preconditioner = precond::type::jacobi;
+    opts.richardson_relaxation = 1.0;  // classic Jacobi iteration
+    opts.criterion = stop::relative(1e-10, 400);
+    opts.record_history = true;
+    xpu::queue q(xpu::make_sycl_policy());
+    const auto result = solver::solve(q, a, b, x, opts);
+    EXPECT_EQ(result.log.num_converged(), 4);
+    // Stationary iteration: the contraction factor between consecutive
+    // residuals is (asymptotically) constant and < 1.
+    const index_type item = 0;
+    const index_type n = result.log.iterations(item);
+    ASSERT_GT(n, 6);
+    for (index_type it = 2; it + 1 < n; ++it) {
+        const double ratio = result.log.residual_at(item, it + 1) /
+                             result.log.residual_at(item, it);
+        EXPECT_LT(ratio, 1.0) << "iteration " << it;
+    }
+}
+
+TEST(Richardson, WorksWithEveryCompatibleFormatAndPrecond)
+{
+    const auto csr = work::stencil_3pt<double>(6, 24, 5);
+    const auto b = work::random_rhs<double>(6, 24, 6);
+    xpu::queue q(xpu::make_sycl_policy());
+    for (const auto pc :
+         {precond::type::none, precond::type::jacobi, precond::type::ilu,
+          precond::type::isai, precond::type::block_jacobi}) {
+        mat::batch_dense<double> x(6, 24, 1);
+        solver::solve_options opts;
+        opts.solver = solver::solver_type::richardson;
+        opts.preconditioner = pc;
+        opts.richardson_relaxation =
+            pc == precond::type::none ? 0.2 : 0.9;
+        opts.criterion = stop::relative(1e-8, 800);
+        const solver::batch_matrix<double> a = csr;
+        const auto result = solver::solve(q, a, b, x, opts);
+        EXPECT_EQ(result.log.num_converged(), 6)
+            << precond::to_string(pc);
+    }
+}
+
+TEST(Profiling, DisabledByDefault)
+{
+    xpu::queue q(xpu::make_sycl_policy());
+    q.run_batch(4, 16, 16, [](xpu::group&) {});
+    EXPECT_FALSE(q.profiling_enabled());
+    EXPECT_TRUE(q.launch_history().empty());
+}
+
+TEST(Profiling, RecordsEveryLaunch)
+{
+    xpu::queue q(xpu::make_sycl_policy());
+    q.enable_profiling();
+    q.run_batch(4, 16, 16, [](xpu::group& g) { g.stats().flops += 1; });
+    q.run_batch(8, 32, 16, [](xpu::group& g) { g.stats().flops += 2; });
+    ASSERT_EQ(q.launch_history().size(), 2u);
+    const auto& first = q.launch_history()[0];
+    const auto& second = q.launch_history()[1];
+    EXPECT_EQ(first.num_groups, 4);
+    EXPECT_EQ(first.work_group_size, 16);
+    EXPECT_DOUBLE_EQ(first.stats.flops, 4.0);
+    EXPECT_EQ(second.num_groups, 8);
+    EXPECT_EQ(second.work_group_size, 32);
+    EXPECT_DOUBLE_EQ(second.stats.flops, 16.0);
+    EXPECT_GE(first.wall_seconds, 0.0);
+    q.clear_launch_history();
+    EXPECT_TRUE(q.launch_history().empty());
+}
+
+TEST(Profiling, SolveThroughProfiledQueueShowsOneFusedLaunch)
+{
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(8, 20, 2);
+    const auto b = work::random_rhs<double>(8, 20, 3);
+    mat::batch_dense<double> x(8, 20, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;
+    opts.preconditioner = precond::type::jacobi;
+    xpu::queue q(xpu::make_sycl_policy());
+    q.enable_profiling();
+    solver::solve(q, a, b, x, opts);
+    ASSERT_EQ(q.launch_history().size(), 1u);  // §3.4: single fused kernel
+    EXPECT_EQ(q.launch_history()[0].num_groups, 8);
+}

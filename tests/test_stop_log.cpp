@@ -1,0 +1,76 @@
+// Unit tests for stopping criteria and the per-system convergence logger.
+#include <gtest/gtest.h>
+
+#include "log/logger.hpp"
+#include "stop/criterion.hpp"
+#include "util/error.hpp"
+
+namespace bl = batchlin;
+using namespace batchlin::stop;
+using batchlin::log::batch_log;
+
+TEST(Criterion, AbsoluteIgnoresRhsNorm)
+{
+    const criterion c = absolute(1e-6);
+    EXPECT_TRUE(is_converged(c, 1e-7, 1000.0));
+    EXPECT_TRUE(is_converged(c, 1e-6, 0.0));
+    EXPECT_FALSE(is_converged(c, 1e-5, 1000.0));
+}
+
+TEST(Criterion, RelativeScalesWithRhsNorm)
+{
+    const criterion c = relative(1e-6);
+    EXPECT_TRUE(is_converged(c, 1e-4, 1000.0));   // 1e-4 <= 1e-6 * 1e3
+    EXPECT_FALSE(is_converged(c, 1e-2, 1000.0));
+    EXPECT_FALSE(is_converged(c, 1e-7, 0.0));     // zero rhs: only r=0 passes
+    EXPECT_TRUE(is_converged(c, 0.0, 0.0));
+}
+
+TEST(Criterion, ValidateRejectsBadConfigs)
+{
+    criterion c = relative(0.0);
+    EXPECT_THROW(c.validate(), bl::error);
+    c = relative(1e-6, 0);
+    EXPECT_THROW(c.validate(), bl::error);
+    c = relative(1e-6, 10);
+    EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Criterion, FactoriesSetFields)
+{
+    const criterion a = absolute(1e-8, 50);
+    EXPECT_EQ(a.type, tolerance_type::absolute);
+    EXPECT_EQ(a.tolerance, 1e-8);
+    EXPECT_EQ(a.max_iterations, 50);
+    EXPECT_EQ(to_string(a.type), "absolute");
+    EXPECT_EQ(to_string(relative(1e-3).type), "relative");
+}
+
+TEST(Logger, RecordsPerSystem)
+{
+    batch_log log(4);
+    log.record(0, 10, 1e-11, true);
+    log.record(1, 200, 3e-4, false);
+    log.record(2, 15, 2e-12, true);
+    log.record(3, 12, 5e-12, true);
+    EXPECT_EQ(log.num_systems(), 4);
+    EXPECT_EQ(log.num_converged(), 3);
+    EXPECT_EQ(log.iterations(1), 200);
+    EXPECT_FALSE(log.converged(1));
+    EXPECT_TRUE(log.converged(2));
+    EXPECT_EQ(log.min_iterations(), 10);
+    EXPECT_EQ(log.max_iterations(), 200);
+    EXPECT_NEAR(log.mean_iterations(), (10 + 200 + 15 + 12) / 4.0, 1e-12);
+    EXPECT_EQ(log.max_residual_norm(), 3e-4);
+}
+
+TEST(Logger, EmptyLogIsWellDefined)
+{
+    batch_log log;
+    EXPECT_EQ(log.num_systems(), 0);
+    EXPECT_EQ(log.num_converged(), 0);
+    EXPECT_EQ(log.min_iterations(), 0);
+    EXPECT_EQ(log.max_iterations(), 0);
+    EXPECT_EQ(log.mean_iterations(), 0.0);
+    EXPECT_EQ(log.max_residual_norm(), 0.0);
+}

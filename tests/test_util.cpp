@@ -1,0 +1,185 @@
+// Unit tests for src/util: math helpers, RNG determinism, dense LU.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/dense_lu.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace bl = batchlin;
+
+TEST(Math, CeilDiv)
+{
+    EXPECT_EQ(bl::ceil_div(0, 16), 0);
+    EXPECT_EQ(bl::ceil_div(1, 16), 1);
+    EXPECT_EQ(bl::ceil_div(16, 16), 1);
+    EXPECT_EQ(bl::ceil_div(17, 16), 2);
+    EXPECT_EQ(bl::ceil_div(32, 16), 2);
+}
+
+TEST(Math, RoundUp)
+{
+    EXPECT_EQ(bl::round_up(0, 16), 0);
+    EXPECT_EQ(bl::round_up(22, 16), 32);   // drm19 rows on sub-group 16
+    EXPECT_EQ(bl::round_up(33, 16), 48);   // gri12
+    EXPECT_EQ(bl::round_up(54, 16), 64);   // gri30 / dodecane_lu
+    EXPECT_EQ(bl::round_up(144, 16), 144); // isooctane divides evenly
+    EXPECT_EQ(bl::round_up(33, 32), 64);
+}
+
+TEST(Math, Close)
+{
+    EXPECT_TRUE(bl::close(1.0, 1.0 + 1e-13, 1e-12));
+    EXPECT_FALSE(bl::close(1.0, 1.1, 1e-12));
+}
+
+TEST(Error, EnsureThrowsWithLocation)
+{
+    try {
+        BATCHLIN_ENSURE_MSG(false, "broken invariant");
+        FAIL() << "expected throw";
+    } catch (const bl::error& e) {
+        EXPECT_NE(std::string(e.what()).find("broken invariant"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("test_util.cpp"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, DimensionMismatchIsDistinctType)
+{
+    EXPECT_THROW(BATCHLIN_ENSURE_DIMS(false, "dims"),
+                 bl::dimension_mismatch);
+    EXPECT_THROW(BATCHLIN_UNSUPPORTED("combo"),
+                 bl::unsupported_combination);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    bl::rng a(123);
+    bl::rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    bl::rng a(1);
+    bl::rng b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16 && !any_diff; ++i) {
+        any_diff = a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0);
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, DistinctSortedProducesDistinctSortedValues)
+{
+    bl::rng gen(9);
+    const auto draw = gen.distinct_sorted(0, 99, 40);
+    ASSERT_EQ(draw.size(), 40u);
+    for (std::size_t i = 1; i < draw.size(); ++i) {
+        EXPECT_LT(draw[i - 1], draw[i]);
+    }
+    for (bl::index_type v : draw) {
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 99);
+    }
+}
+
+TEST(Rng, DistinctSortedFullRange)
+{
+    bl::rng gen(5);
+    const auto draw = gen.distinct_sorted(3, 7, 5);
+    const std::vector<bl::index_type> expect{3, 4, 5, 6, 7};
+    EXPECT_EQ(draw, expect);
+}
+
+TEST(Rng, DistinctSortedRejectsOversizedRequest)
+{
+    bl::rng gen(5);
+    EXPECT_THROW(gen.distinct_sorted(0, 3, 5), bl::error);
+}
+
+TEST(DenseLu, SolvesKnownSystem)
+{
+    // [[2,1],[1,3]] x = [3,5] -> x = [4/5, 7/5].
+    std::vector<double> a{2, 1, 1, 3};
+    std::vector<double> b{3, 5};
+    std::vector<double> x;
+    ASSERT_TRUE(bl::dense_solve<double>(2, a, b, x));
+    EXPECT_NEAR(x[0], 0.8, 1e-14);
+    EXPECT_NEAR(x[1], 1.4, 1e-14);
+}
+
+TEST(DenseLu, PivotingHandlesZeroLeadingEntry)
+{
+    std::vector<double> a{0, 1, 1, 0};
+    std::vector<double> b{2, 3};
+    std::vector<double> x;
+    ASSERT_TRUE(bl::dense_solve<double>(2, a, b, x));
+    EXPECT_NEAR(x[0], 3.0, 1e-14);
+    EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(DenseLu, DetectsSingularMatrix)
+{
+    std::vector<double> a{1, 2, 2, 4};
+    std::vector<double> b{1, 2};
+    std::vector<double> x;
+    EXPECT_FALSE(bl::dense_solve<double>(2, a, b, x));
+}
+
+TEST(DenseLu, RandomRoundTrip)
+{
+    const bl::index_type n = 24;
+    bl::rng gen(31);
+    std::vector<double> a(n * n);
+    for (auto& v : a) {
+        v = gen.uniform(-1.0, 1.0);
+    }
+    for (bl::index_type i = 0; i < n; ++i) {
+        a[i * n + i] += n;  // dominance avoids accidental singularity
+    }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) {
+        v = gen.uniform(-2.0, 2.0);
+    }
+    std::vector<double> b(n, 0.0);
+    for (bl::index_type i = 0; i < n; ++i) {
+        for (bl::index_type j = 0; j < n; ++j) {
+            b[i] += a[i * n + j] * x_true[j];
+        }
+    }
+    std::vector<double> x;
+    ASSERT_TRUE(bl::dense_solve<double>(n, a, b, x));
+    for (bl::index_type i = 0; i < n; ++i) {
+        EXPECT_NEAR(x[i], x_true[i], 1e-10);
+    }
+}
+
+TEST(DenseLu, ConditionNumberOfIdentityIsOne)
+{
+    std::vector<double> eye{1, 0, 0, 1};
+    EXPECT_NEAR(bl::condition_number_inf<double>(2, eye), 1.0, 1e-12);
+}
+
+TEST(DenseLu, ConditionNumberDetectsIllConditioning)
+{
+    std::vector<double> a{1, 1, 1, 1 + 1e-10};
+    EXPECT_GT(bl::condition_number_inf<double>(2, a), 1e9);
+}
+
+TEST(DenseLu, FloatInstantiationWorks)
+{
+    std::vector<float> a{4, 1, 1, 3};
+    std::vector<float> b{1, 2};
+    std::vector<float> x;
+    ASSERT_TRUE(bl::dense_solve<float>(2, a, b, x));
+    EXPECT_NEAR(x[0], 1.0f / 11.0f, 1e-6f);
+    EXPECT_NEAR(x[1], 7.0f / 11.0f, 1e-6f);
+}

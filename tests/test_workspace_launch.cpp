@@ -1,0 +1,192 @@
+// Tests for the SLM workspace planner (§3.5) and the launch-configuration
+// heuristics (§3.6).
+#include <gtest/gtest.h>
+
+#include "solver/launch.hpp"
+#include "solver/workspace.hpp"
+#include "util/error.hpp"
+#include "xpu/policy.hpp"
+
+namespace bl = batchlin;
+using batchlin::index_type;
+using batchlin::size_type;
+namespace solver = batchlin::solver;
+namespace xpu = batchlin::xpu;
+
+TEST(WorkspacePlan, CgPriorityOrderIsPaperOrder)
+{
+    const auto plan = solver::plan_workspace(
+        solver::solver_type::cg, 64, 190, 64, 128 * 1024, 8);
+    ASSERT_EQ(plan.entries.size(), 6u);
+    const char* expected[] = {"r", "z", "p", "t", "x", "precond"};
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(plan.entries[i].name, expected[i]);
+    }
+}
+
+TEST(WorkspacePlan, AllFitsInLargeBudget)
+{
+    const auto plan = solver::plan_workspace(
+        solver::solver_type::cg, 64, 190, 64, 128 * 1024, 8);
+    for (const auto& e : plan.entries) {
+        EXPECT_TRUE(e.in_slm) << e.name;
+    }
+    EXPECT_EQ(plan.global_elems_per_group, 0);
+    EXPECT_EQ(plan.slm_bytes, (5 * 64 + 64) * 8);
+}
+
+TEST(WorkspacePlan, GreedySpillRespectsPriority)
+{
+    // Budget for exactly three rows-vectors: r, z, p stay in SLM; t, x and
+    // the preconditioner workspace spill (§3.5 priority).
+    const index_type rows = 100;
+    const size_type budget = 3 * rows * 8;
+    const auto plan = solver::plan_workspace(
+        solver::solver_type::cg, rows, 300, rows, budget, 8);
+    EXPECT_TRUE(plan.in_slm("r"));
+    EXPECT_TRUE(plan.in_slm("z"));
+    EXPECT_TRUE(plan.in_slm("p"));
+    EXPECT_FALSE(plan.in_slm("t"));
+    EXPECT_FALSE(plan.in_slm("x"));
+    EXPECT_FALSE(plan.in_slm("precond"));
+    EXPECT_EQ(plan.global_elems_per_group, 3 * rows);
+    EXPECT_EQ(plan.slm_bytes, budget);
+}
+
+TEST(WorkspacePlan, GreedyTakesSmallerLaterEntryWhenItFits)
+{
+    // GMRES: the large basis spills but the small x/y after it still fit —
+    // greedy by priority, not a prefix cut.
+    const index_type rows = 64;
+    const index_type m = 10;
+    const size_type budget =
+        (rows + (m + 1) * m + 3 * (m + 1) + rows + m) * 8;  // no basis
+    const auto plan =
+        solver::plan_workspace(solver::solver_type::gmres, rows, 200, 0,
+                               budget, 8, m);
+    EXPECT_TRUE(plan.in_slm("w"));
+    EXPECT_TRUE(plan.in_slm("hessenberg"));
+    EXPECT_TRUE(plan.in_slm("givens"));
+    EXPECT_FALSE(plan.in_slm("basis"));
+    EXPECT_TRUE(plan.in_slm("x"));
+    EXPECT_TRUE(plan.in_slm("y"));
+}
+
+TEST(WorkspacePlan, NoneAndAllModes)
+{
+    const auto none = solver::plan_workspace(
+        solver::solver_type::bicgstab, 64, 190, 64, 128 * 1024, 8, 0,
+        solver::slm_mode::none);
+    for (const auto& e : none.entries) {
+        EXPECT_FALSE(e.in_slm);
+    }
+    EXPECT_EQ(none.slm_bytes, 0);
+
+    const auto all = solver::plan_workspace(
+        solver::solver_type::bicgstab, 2000, 6000, 2000, 1024, 8, 0,
+        solver::slm_mode::all);
+    for (const auto& e : all.entries) {
+        EXPECT_TRUE(e.in_slm);
+    }
+    EXPECT_GT(all.slm_bytes, 1024);  // exceeds budget by design (ablation)
+}
+
+TEST(WorkspacePlan, BicgstabHasNineVectors)
+{
+    const auto plan = solver::plan_workspace(
+        solver::solver_type::bicgstab, 10, 28, 0, 1 << 20, 8);
+    EXPECT_EQ(plan.entries.size(), 9u);  // no precond entry when elems == 0
+    EXPECT_EQ(plan.entries.front().name, "r");
+    EXPECT_EQ(plan.entries.back().name, "x");
+}
+
+TEST(WorkspacePlan, GmresRequiresRestart)
+{
+    EXPECT_THROW(solver::plan_workspace(solver::solver_type::gmres, 10, 28,
+                                        0, 1 << 20, 8, 0),
+                 bl::error);
+}
+
+TEST(WorkspacePlan, FindUnknownNameThrows)
+{
+    const auto plan = solver::plan_workspace(
+        solver::solver_type::trsv, 10, 28, 0, 1 << 20, 8);
+    EXPECT_THROW(plan.find("nonexistent"), bl::error);
+}
+
+TEST(LaunchConfig, SubGroupSwitchesAtThreshold)
+{
+    const auto policy = xpu::make_sycl_policy();  // switch at 64 rows
+    EXPECT_EQ(solver::choose_launch_config(policy, 22).sub_group_size, 16);
+    EXPECT_EQ(solver::choose_launch_config(policy, 64).sub_group_size, 16);
+    EXPECT_EQ(solver::choose_launch_config(policy, 65).sub_group_size, 32);
+    EXPECT_EQ(solver::choose_launch_config(policy, 144).sub_group_size, 32);
+}
+
+TEST(LaunchConfig, WorkGroupIsRowsRoundedUp)
+{
+    const auto policy = xpu::make_sycl_policy();
+    // §3.6: rows divisible by the sub-group size -> exactly rows.
+    EXPECT_EQ(solver::choose_launch_config(policy, 64).work_group_size, 64);
+    // Otherwise the next round-up.
+    EXPECT_EQ(solver::choose_launch_config(policy, 22).work_group_size, 32);
+    EXPECT_EQ(solver::choose_launch_config(policy, 33).work_group_size, 48);
+    EXPECT_EQ(solver::choose_launch_config(policy, 54).work_group_size, 64);
+    // Tiny systems still get a full sub-group.
+    EXPECT_EQ(solver::choose_launch_config(policy, 3).work_group_size, 16);
+    // Huge systems cap at the device maximum and grid-stride.
+    EXPECT_EQ(solver::choose_launch_config(policy, 2000).work_group_size,
+              policy.max_work_group_size);
+}
+
+TEST(LaunchConfig, ReductionPathByMatrixSize)
+{
+    const auto policy = xpu::make_sycl_policy();  // sub-group reduce <= 32
+    EXPECT_EQ(solver::choose_launch_config(policy, 22).reduction,
+              xpu::reduce_path::sub_group);
+    EXPECT_EQ(solver::choose_launch_config(policy, 64).reduction,
+              xpu::reduce_path::group);
+}
+
+TEST(LaunchConfig, CudaForcesWarp32AndSubGroupReduction)
+{
+    const auto policy = xpu::make_cuda_policy(192 * 1024);
+    const auto small = solver::choose_launch_config(policy, 22);
+    EXPECT_EQ(small.sub_group_size, 32);
+    EXPECT_EQ(small.reduction, xpu::reduce_path::sub_group);
+    const auto large = solver::choose_launch_config(policy, 144);
+    EXPECT_EQ(large.sub_group_size, 32);
+    EXPECT_EQ(large.reduction, xpu::reduce_path::sub_group);
+    EXPECT_EQ(large.work_group_size, 160);
+}
+
+TEST(LaunchConfig, OverridesRespected)
+{
+    const auto policy = xpu::make_sycl_policy();
+    const auto forced = solver::choose_launch_config(policy, 100, 16);
+    EXPECT_EQ(forced.sub_group_size, 16);
+    const xpu::reduce_path sub = xpu::reduce_path::sub_group;
+    EXPECT_EQ(solver::choose_launch_config(policy, 100, 0, &sub).reduction,
+              sub);
+    // Invalid override rejected.
+    EXPECT_THROW(solver::choose_launch_config(policy, 100, 8), bl::error);
+    const xpu::reduce_path grp = xpu::reduce_path::group;
+    const auto cuda = xpu::make_cuda_policy(1 << 20);
+    EXPECT_THROW(solver::choose_launch_config(cuda, 100, 0, &grp),
+                 bl::error);
+}
+
+TEST(LaunchConfig, ThreadUtilization)
+{
+    const auto policy = xpu::make_sycl_policy();
+    const auto c22 = solver::choose_launch_config(policy, 22);
+    EXPECT_NEAR(solver::thread_utilization(c22, 22), 22.0 / 32.0, 1e-12);
+    const auto c64 = solver::choose_launch_config(policy, 64);
+    EXPECT_DOUBLE_EQ(solver::thread_utilization(c64, 64), 1.0);
+}
+
+TEST(LaunchConfig, RejectsEmptySystems)
+{
+    EXPECT_THROW(solver::choose_launch_config(xpu::make_sycl_policy(), 0),
+                 bl::error);
+}

@@ -1,0 +1,345 @@
+// Unit tests for the SYCL-like execution-model simulator: policies, SLM
+#include <algorithm>
+// arena, group collectives and counters, queue launches, stack partitions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+#include "xpu/arena.hpp"
+#include "xpu/group.hpp"
+#include "xpu/policy.hpp"
+#include "xpu/queue.hpp"
+#include "solver/dispatch.hpp"
+#include "workload/stencil.hpp"
+
+namespace bl = batchlin;
+using namespace batchlin::xpu;
+using bl::index_type;
+
+TEST(Policy, SyclSupportsBothSubGroupSizes)
+{
+    const exec_policy p = make_sycl_policy();
+    EXPECT_TRUE(p.supports_sub_group(16));
+    EXPECT_TRUE(p.supports_sub_group(32));
+    EXPECT_FALSE(p.supports_sub_group(8));
+    EXPECT_TRUE(p.has_group_reduction);
+    EXPECT_EQ(p.model, prog_model::sycl);
+}
+
+TEST(Policy, CudaHasOnlyWarp32AndNoGroupReduction)
+{
+    const exec_policy p = make_cuda_policy(192 * 1024);
+    EXPECT_FALSE(p.supports_sub_group(16));
+    EXPECT_TRUE(p.supports_sub_group(32));
+    EXPECT_FALSE(p.has_group_reduction);
+    EXPECT_EQ(p.model, prog_model::cuda);
+}
+
+TEST(Policy, TwoStackSyclPolicy)
+{
+    EXPECT_EQ(make_sycl_policy(2).num_stacks, 2);
+    EXPECT_THROW(make_sycl_policy(3), bl::error);
+}
+
+TEST(Arena, BumpAllocationAndReset)
+{
+    slm_arena arena(1024);
+    auto a = arena.alloc<double>(16);
+    EXPECT_EQ(a.len, 16);
+    EXPECT_EQ(a.space, mem_space::slm);
+    EXPECT_EQ(arena.used(), 128);
+    auto b = arena.alloc<double>(32);
+    EXPECT_NE(a.data, b.data);
+    EXPECT_EQ(arena.used(), 128 + 256);
+    arena.reset();
+    EXPECT_EQ(arena.used(), 0);
+    EXPECT_EQ(arena.high_water(), 128 + 256);
+}
+
+TEST(Arena, OverflowThrows)
+{
+    slm_arena arena(64);
+    arena.alloc<double>(8);
+    EXPECT_THROW(arena.alloc<double>(1), bl::error);
+}
+
+TEST(Arena, AlignmentRespected)
+{
+    slm_arena arena(1024);
+    arena.alloc<char>(3);
+    auto d = arena.alloc<double>(1);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data) % alignof(double),
+              0u);
+}
+
+namespace {
+
+/// Runs `body` in a standalone single group for collective tests.
+template <typename Body>
+counters run_single_group(index_type group_size, index_type sub_group_size,
+                          Body&& body)
+{
+    counters stats;
+    slm_arena arena(1 << 20);
+    group g(0, group_size, sub_group_size, arena, stats);
+    body(g);
+    return stats;
+}
+
+}  // namespace
+
+TEST(Group, ForItemsCoversRangeAndBarriers)
+{
+    std::vector<int> hits(100, 0);
+    const counters stats =
+        run_single_group(32, 16, [&](group& g) {
+            g.for_items(100, [&](index_type i) { ++hits[i]; });
+        });
+    for (int h : hits) {
+        EXPECT_EQ(h, 1);
+    }
+    EXPECT_EQ(stats.group_barriers, 1);
+}
+
+TEST(Group, ReduceSumMatchesSerialSumGroupPath)
+{
+    std::vector<double> data(97);
+    std::iota(data.begin(), data.end(), 1.0);
+    const double expect = 97.0 * 98.0 / 2.0;
+    run_single_group(112, 16, [&](group& g) {
+        const double sum = g.reduce_sum<double>(
+            97, [&](index_type i) { return data[i]; },
+            reduce_path::group);
+        EXPECT_DOUBLE_EQ(sum, expect);
+    });
+}
+
+TEST(Group, ReduceSumMatchesSerialSumSubGroupPath)
+{
+    std::vector<double> data(97);
+    std::iota(data.begin(), data.end(), 1.0);
+    const double expect = 97.0 * 98.0 / 2.0;
+    run_single_group(112, 16, [&](group& g) {
+        const double sum = g.reduce_sum<double>(
+            97, [&](index_type i) { return data[i]; },
+            reduce_path::sub_group);
+        EXPECT_DOUBLE_EQ(sum, expect);
+    });
+}
+
+TEST(Group, GroupReductionChargesSlmTraffic)
+{
+    const counters stats = run_single_group(64, 16, [&](group& g) {
+        (void)g.reduce_sum<double>(
+            64, [](index_type) { return 1.0; }, reduce_path::group);
+    });
+    // Group path stages all work-group lanes through SLM.
+    EXPECT_DOUBLE_EQ(stats.slm_bytes, 2.0 * 64 * sizeof(double));
+}
+
+TEST(Group, SingleSubGroupReductionIsSlmFree)
+{
+    const counters stats = run_single_group(16, 16, [&](group& g) {
+        (void)g.reduce_sum<double>(
+            16, [](index_type) { return 1.0; }, reduce_path::sub_group);
+    });
+    // One sub-group covers the data: shuffles only, no SLM (§3.2).
+    EXPECT_DOUBLE_EQ(stats.slm_bytes, 0.0);
+}
+
+TEST(Group, MultiSubGroupReductionPaysOnlyPartialCombine)
+{
+    const counters stats = run_single_group(64, 16, [&](group& g) {
+        (void)g.reduce_sum<double>(
+            64, [](index_type) { return 1.0; }, reduce_path::sub_group);
+    });
+    // 4 sub-groups: only the 4 partials cross SLM.
+    EXPECT_DOUBLE_EQ(stats.slm_bytes, 2.0 * 4 * sizeof(double));
+    EXPECT_LT(stats.slm_bytes, 2.0 * 64 * sizeof(double));
+}
+
+TEST(Group, SubGroupCounts)
+{
+    run_single_group(48, 16, [&](group& g) {
+        EXPECT_EQ(g.size(), 48);
+        EXPECT_EQ(g.sub_group_size(), 16);
+        EXPECT_EQ(g.num_sub_groups(), 3);
+    });
+}
+
+TEST(Queue, RunBatchExecutesEveryGroupOnce)
+{
+    queue q(make_sycl_policy());
+    std::vector<int> visits(1000, 0);
+    q.run_batch(1000, 32, 16, [&](group& g) { ++visits[g.id()]; });
+    for (int v : visits) {
+        EXPECT_EQ(v, 1);
+    }
+    EXPECT_EQ(q.stats().kernel_launches, 1);
+    EXPECT_EQ(q.stats().groups_launched, 1000);
+}
+
+TEST(Queue, FirstGroupOffsetsIds)
+{
+    queue q(make_sycl_policy());
+    std::vector<bl::index_type> ids(10, -1);
+    q.run_batch(
+        10, 16, 16, [&](group& g) { ids[g.id() - 50] = g.id(); }, 50);
+    EXPECT_EQ(*std::min_element(ids.begin(), ids.end()), 50);
+    EXPECT_EQ(*std::max_element(ids.begin(), ids.end()), 59);
+}
+
+TEST(Queue, RejectsInvalidLaunchConfigurations)
+{
+    queue q(make_sycl_policy());
+    // Work-group size must be divisible by the sub-group size (SYCL rule).
+    EXPECT_THROW(q.run_batch(1, 40, 16, [](group&) {}), bl::error);
+    // Unsupported sub-group size.
+    EXPECT_THROW(q.run_batch(1, 32, 8, [](group&) {}), bl::error);
+    // Over the device maximum.
+    EXPECT_THROW(q.run_batch(1, 4096, 16, [](group&) {}), bl::error);
+}
+
+TEST(Queue, CountersAccumulateAcrossLaunchesAndReset)
+{
+    queue q(make_sycl_policy());
+    q.run_batch(4, 16, 16, [](group& g) { g.stats().flops += 10; });
+    q.run_batch(4, 16, 16, [](group& g) { g.stats().flops += 10; });
+    EXPECT_EQ(q.stats().kernel_launches, 2);
+    EXPECT_DOUBLE_EQ(q.stats().flops, 80.0);
+    EXPECT_DOUBLE_EQ(q.last_launch_stats().flops, 40.0);
+    q.reset_stats();
+    EXPECT_EQ(q.stats().kernel_launches, 0);
+}
+
+TEST(Queue, SlmFootprintTracksHighWater)
+{
+    queue q(make_sycl_policy());
+    q.run_batch(8, 16, 16,
+                [](group& g) { (void)g.slm().alloc<double>(100); });
+    EXPECT_EQ(q.last_launch_stats().slm_footprint_bytes,
+              static_cast<bl::size_type>(100 * sizeof(double)));
+}
+
+TEST(Queue, DeterministicCountersRegardlessOfSchedule)
+{
+    auto run = [] {
+        queue q(make_sycl_policy());
+        q.run_batch(333, 32, 16, [](group& g) {
+            g.stats().flops += static_cast<double>(g.id() % 7);
+            g.stats().slm_bytes += 8.0;
+        });
+        return q.stats();
+    };
+    const counters a = run();
+    const counters b = run();
+    EXPECT_DOUBLE_EQ(a.flops, b.flops);
+    EXPECT_DOUBLE_EQ(a.slm_bytes, b.slm_bytes);
+}
+
+TEST(StackPartition, SplitsEvenly)
+{
+    const batch_range r0 = stack_partition(100, 2, 0);
+    const batch_range r1 = stack_partition(100, 2, 1);
+    EXPECT_EQ(r0.begin, 0);
+    EXPECT_EQ(r0.end, 50);
+    EXPECT_EQ(r1.begin, 50);
+    EXPECT_EQ(r1.end, 100);
+}
+
+TEST(StackPartition, HandlesRemainder)
+{
+    const batch_range r0 = stack_partition(101, 2, 0);
+    const batch_range r1 = stack_partition(101, 2, 1);
+    EXPECT_EQ(r0.size(), 51);
+    EXPECT_EQ(r1.size(), 50);
+    EXPECT_EQ(r0.end, r1.begin);
+}
+
+TEST(StackPartition, RejectsBadIds)
+{
+    EXPECT_THROW(stack_partition(10, 2, 2), bl::error);
+    EXPECT_THROW(stack_partition(10, 0, 0), bl::error);
+}
+
+TEST(StackQueue, InheritsPolicyWithOneStack)
+{
+    queue parent(make_sycl_policy(2));
+    const queue child = make_stack_queue(parent);
+    EXPECT_EQ(child.policy().num_stacks, 1);
+    EXPECT_EQ(child.policy().model, prog_model::sycl);
+    EXPECT_EQ(child.stats().kernel_launches, 0);
+}
+
+TEST(Counters, PlusEqualsAggregates)
+{
+    counters a;
+    a.flops = 10;
+    a.slm_footprint_bytes = 100;
+    counters b;
+    b.flops = 5;
+    b.slm_footprint_bytes = 200;
+    b.kernel_launches = 1;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.flops, 15.0);
+    EXPECT_EQ(a.slm_footprint_bytes, 200);  // max, not sum
+    EXPECT_EQ(a.kernel_launches, 1);
+}
+
+TEST(Span, SubspanBoundsChecked)
+{
+    std::vector<double> buf(10);
+    dspan<double> s{buf.data(), 10, mem_space::global};
+    auto sub = s.subspan(2, 5);
+    EXPECT_EQ(sub.len, 5);
+    EXPECT_EQ(sub.data, buf.data() + 2);
+    EXPECT_THROW(s.subspan(8, 5), bl::dimension_mismatch);
+}
+
+TEST(Queue, KernelExceptionsSurfaceOnTheHost)
+{
+    // A throw inside a work-group must not terminate the process; the
+    // queue rethrows it after the launch, like a device error reported at
+    // synchronization.
+    queue q(make_sycl_policy());
+    EXPECT_THROW(q.run_batch(64, 16, 16,
+                             [](group& g) {
+                                 if (g.id() == 37) {
+                                     BATCHLIN_ENSURE_MSG(false,
+                                                         "device fault");
+                                 }
+                             }),
+                 bl::error);
+    // The queue stays usable afterwards.
+    int ok = 0;
+    q.run_batch(4, 16, 16, [&](group&) {
+#pragma omp atomic
+        ++ok;
+    });
+    EXPECT_EQ(ok, 4);
+}
+
+TEST(Queue, SingularIsaiSystemThrowsInsteadOfCrashing)
+{
+    // ISAI generation solves a small dense system per row; a singular one
+    // must surface as a host-side exception through the fused kernel.
+    namespace mat = batchlin::mat;
+    namespace solver = batchlin::solver;
+    namespace work = batchlin::work;
+    auto a = work::stencil_3pt<double>(4, 8, 3);
+    // Make item 2's rows 3 and 4 identical => the local ISAI system of
+    // those rows becomes singular.
+    for (index_type k = a.row_ptrs()[3]; k < a.row_ptrs()[4]; ++k) {
+        a.item_values(2)[k] = 0.0;
+    }
+    const solver::batch_matrix<double> variant = a;
+    const auto b = work::random_rhs<double>(4, 8, 4);
+    mat::batch_dense<double> x(4, 8, 1);
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;
+    opts.preconditioner = batchlin::precond::type::isai;
+    queue q(make_sycl_policy());
+    EXPECT_THROW(solver::solve(q, variant, b, x, opts), bl::error);
+}

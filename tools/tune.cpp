@@ -1,0 +1,149 @@
+// tune — determines the §3.6 launch-heuristic thresholds experimentally.
+//
+// The paper: "the thresholds between small and large matrix sizes are
+// different for different GPUs capabilities, these thresholds need to be
+// determined experimentally for each targeted device before using these
+// solvers". This tool sweeps the matrix size on a chosen device model,
+// measures both sub-group sizes and both reduction strategies at each
+// size, finds the crossovers, and prints the exec_policy settings to use.
+//
+// Usage: tune [--device PVC-1S] [--solver bicgstab] [--max-rows 256]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "batchlin/batchlin.hpp"
+
+using namespace batchlin;
+
+namespace {
+
+struct sweep_point {
+    index_type rows = 0;
+    double sg16_ms = 0.0;
+    double sg32_ms = 0.0;
+    double group_ms = 0.0;
+    double subgroup_ms = 0.0;
+};
+
+double measure_config(const perf::device_spec& device,
+                      solver::solver_type kind, index_type rows,
+                      index_type sub_group,
+                      std::optional<xpu::reduce_path> reduction,
+                      index_type target)
+{
+    const index_type items = 192;
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(items, rows, 42);
+    const auto b = work::random_rhs<double>(items, rows, 7);
+    mat::batch_dense<double> x(items, rows, 1);
+    solver::solve_options opts;
+    opts.solver = kind;
+    opts.preconditioner = precond::type::jacobi;
+    opts.criterion = stop::relative(1e-8, 300);
+    opts.sub_group_size = sub_group;
+    opts.reduction = reduction;
+    batch_solver handle(device, opts);
+    const auto result = handle.solve<double>(a, b, x);
+    return handle.project<double>(result, a, target).total_seconds * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+try {
+    std::string device_name = "PVC-1S";
+    std::string solver_name = "bicgstab";
+    index_type max_rows = 256;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--device" && i + 1 < argc) {
+            device_name = argv[++i];
+        } else if (arg == "--solver" && i + 1 < argc) {
+            solver_name = argv[++i];
+        } else if (arg == "--max-rows" && i + 1 < argc) {
+            max_rows = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--device D] [--solver cg|bicgstab] "
+                         "[--max-rows N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    const perf::device_spec device = perf::device_by_name(device_name);
+    const solver::solver_type kind = solver_name == "cg"
+                                         ? solver::solver_type::cg
+                                         : solver::solver_type::bicgstab;
+    const index_type target = 1 << 17;
+    const bool has_sg16 = device.make_policy().supports_sub_group(16);
+    const bool has_group = device.make_policy().has_group_reduction;
+
+    std::printf("tuning %s on %s (2^17-system projection, 3pt stencil)\n\n",
+                solver_name.c_str(), device_name.c_str());
+    std::printf("%6s |", "rows");
+    if (has_sg16) {
+        std::printf(" %10s %10s |", "sg16 [ms]", "sg32 [ms]");
+    }
+    if (has_group) {
+        std::printf(" %10s %11s", "group [ms]", "subgrp [ms]");
+    }
+    std::printf("\n");
+
+    std::vector<sweep_point> points;
+    for (index_type rows = 8; rows <= max_rows; rows *= 2) {
+        sweep_point p;
+        p.rows = rows;
+        if (has_sg16) {
+            p.sg16_ms = measure_config(device, kind, rows, 16, {}, target);
+            p.sg32_ms = measure_config(device, kind, rows, 32, {}, target);
+        }
+        if (has_group) {
+            p.group_ms = measure_config(device, kind, rows, 0,
+                                        xpu::reduce_path::group, target);
+            p.subgroup_ms = measure_config(
+                device, kind, rows, 0, xpu::reduce_path::sub_group, target);
+        }
+        points.push_back(p);
+        std::printf("%6d |", rows);
+        if (has_sg16) {
+            std::printf(" %10.3f %10.3f |", p.sg16_ms, p.sg32_ms);
+        }
+        if (has_group) {
+            std::printf(" %10.3f %11.3f", p.group_ms, p.subgroup_ms);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nrecommended exec_policy settings for %s:\n",
+                device_name.c_str());
+    if (has_sg16) {
+        // Largest size where sg16 still wins (within 1%).
+        index_type switch_rows = 0;
+        for (const sweep_point& p : points) {
+            if (p.sg16_ms <= p.sg32_ms * 1.01) {
+                switch_rows = p.rows;
+            }
+        }
+        std::printf("  sub_group_switch_rows = %d\n", switch_rows);
+    } else {
+        std::printf("  sub-group size fixed at 32 (CUDA model)\n");
+    }
+    if (has_group) {
+        index_type reduce_rows = 0;
+        for (const sweep_point& p : points) {
+            if (p.subgroup_ms <= p.group_ms * 1.01) {
+                reduce_rows = p.rows;
+            }
+        }
+        std::printf("  sub_group_reduce_rows = %d\n", reduce_rows);
+    } else {
+        std::printf("  reductions fixed to the warp path (CUDA model)\n");
+    }
+    return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "tune: %s\n", e.what());
+    return 2;
+}
