@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_direct_vs_iterative"
+  "../bench/bench_abl_direct_vs_iterative.pdb"
+  "CMakeFiles/bench_abl_direct_vs_iterative.dir/bench_abl_direct_vs_iterative.cpp.o"
+  "CMakeFiles/bench_abl_direct_vs_iterative.dir/bench_abl_direct_vs_iterative.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_direct_vs_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_abl_direct_vs_iterative.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_formats"
+  "../bench/bench_abl_formats.pdb"
+  "CMakeFiles/bench_abl_formats.dir/bench_abl_formats.cpp.o"
+  "CMakeFiles/bench_abl_formats.dir/bench_abl_formats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

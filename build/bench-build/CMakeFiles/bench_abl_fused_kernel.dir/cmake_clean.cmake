@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_fused_kernel"
+  "../bench/bench_abl_fused_kernel.pdb"
+  "CMakeFiles/bench_abl_fused_kernel.dir/bench_abl_fused_kernel.cpp.o"
+  "CMakeFiles/bench_abl_fused_kernel.dir/bench_abl_fused_kernel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_fused_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

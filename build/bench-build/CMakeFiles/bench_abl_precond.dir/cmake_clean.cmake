@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_precond"
+  "../bench/bench_abl_precond.pdb"
+  "CMakeFiles/bench_abl_precond.dir/bench_abl_precond.cpp.o"
+  "CMakeFiles/bench_abl_precond.dir/bench_abl_precond.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

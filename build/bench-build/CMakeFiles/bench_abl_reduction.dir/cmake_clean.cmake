@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_reduction"
+  "../bench/bench_abl_reduction.pdb"
+  "CMakeFiles/bench_abl_reduction.dir/bench_abl_reduction.cpp.o"
+  "CMakeFiles/bench_abl_reduction.dir/bench_abl_reduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

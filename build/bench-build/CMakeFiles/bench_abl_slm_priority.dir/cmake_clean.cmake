@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_slm_priority"
+  "../bench/bench_abl_slm_priority.pdb"
+  "CMakeFiles/bench_abl_slm_priority.dir/bench_abl_slm_priority.cpp.o"
+  "CMakeFiles/bench_abl_slm_priority.dir/bench_abl_slm_priority.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_slm_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

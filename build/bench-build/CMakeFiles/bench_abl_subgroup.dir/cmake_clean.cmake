@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_subgroup"
+  "../bench/bench_abl_subgroup.pdb"
+  "CMakeFiles/bench_abl_subgroup.dir/bench_abl_subgroup.cpp.o"
+  "CMakeFiles/bench_abl_subgroup.dir/bench_abl_subgroup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_subgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_occupancy"
+  "../bench/bench_ext_occupancy.pdb"
+  "CMakeFiles/bench_ext_occupancy.dir/bench_ext_occupancy.cpp.o"
+  "CMakeFiles/bench_ext_occupancy.dir/bench_ext_occupancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4b_scaling_batch"
+  "../bench/bench_fig4b_scaling_batch.pdb"
+  "CMakeFiles/bench_fig4b_scaling_batch.dir/bench_fig4b_scaling_batch.cpp.o"
+  "CMakeFiles/bench_fig4b_scaling_batch.dir/bench_fig4b_scaling_batch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_scaling_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

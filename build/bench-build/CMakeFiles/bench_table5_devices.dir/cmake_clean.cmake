@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_devices"
+  "../bench/bench_table5_devices.pdb"
+  "CMakeFiles/bench_table5_devices.dir/bench_table5_devices.cpp.o"
+  "CMakeFiles/bench_table5_devices.dir/bench_table5_devices.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

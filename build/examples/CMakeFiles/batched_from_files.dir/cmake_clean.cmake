@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batched_from_files.dir/batched_from_files.cpp.o"
+  "CMakeFiles/batched_from_files.dir/batched_from_files.cpp.o.d"
+  "batched_from_files"
+  "batched_from_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batched_from_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

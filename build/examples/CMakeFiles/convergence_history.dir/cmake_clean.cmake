@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_history.dir/convergence_history.cpp.o"
+  "CMakeFiles/convergence_history.dir/convergence_history.cpp.o.d"
+  "convergence_history"
+  "convergence_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explicit_scaling.dir/explicit_scaling.cpp.o"
+  "CMakeFiles/explicit_scaling.dir/explicit_scaling.cpp.o.d"
+  "explicit_scaling"
+  "explicit_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explicit_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pele_newton.dir/pele_newton.cpp.o"
+  "CMakeFiles/pele_newton.dir/pele_newton.cpp.o.d"
+  "pele_newton"
+  "pele_newton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pele_newton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

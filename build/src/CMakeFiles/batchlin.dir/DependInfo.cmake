@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/logger.cpp" "src/CMakeFiles/batchlin.dir/log/logger.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/log/logger.cpp.o.d"
+  "/root/repo/src/matrix/batch_csr.cpp" "src/CMakeFiles/batchlin.dir/matrix/batch_csr.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/matrix/batch_csr.cpp.o.d"
+  "/root/repo/src/matrix/batch_ell.cpp" "src/CMakeFiles/batchlin.dir/matrix/batch_ell.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/matrix/batch_ell.cpp.o.d"
+  "/root/repo/src/matrix/conversions.cpp" "src/CMakeFiles/batchlin.dir/matrix/conversions.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/matrix/conversions.cpp.o.d"
+  "/root/repo/src/matrix/io.cpp" "src/CMakeFiles/batchlin.dir/matrix/io.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/matrix/io.cpp.o.d"
+  "/root/repo/src/matrix/operations.cpp" "src/CMakeFiles/batchlin.dir/matrix/operations.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/matrix/operations.cpp.o.d"
+  "/root/repo/src/matrix/properties.cpp" "src/CMakeFiles/batchlin.dir/matrix/properties.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/matrix/properties.cpp.o.d"
+  "/root/repo/src/perfmodel/cluster.cpp" "src/CMakeFiles/batchlin.dir/perfmodel/cluster.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/perfmodel/cluster.cpp.o.d"
+  "/root/repo/src/perfmodel/cost_model.cpp" "src/CMakeFiles/batchlin.dir/perfmodel/cost_model.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/perfmodel/cost_model.cpp.o.d"
+  "/root/repo/src/perfmodel/device_spec.cpp" "src/CMakeFiles/batchlin.dir/perfmodel/device_spec.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/perfmodel/device_spec.cpp.o.d"
+  "/root/repo/src/perfmodel/roofline.cpp" "src/CMakeFiles/batchlin.dir/perfmodel/roofline.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/perfmodel/roofline.cpp.o.d"
+  "/root/repo/src/precond/block_jacobi.cpp" "src/CMakeFiles/batchlin.dir/precond/block_jacobi.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/precond/block_jacobi.cpp.o.d"
+  "/root/repo/src/precond/ilu0.cpp" "src/CMakeFiles/batchlin.dir/precond/ilu0.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/precond/ilu0.cpp.o.d"
+  "/root/repo/src/precond/isai.cpp" "src/CMakeFiles/batchlin.dir/precond/isai.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/precond/isai.cpp.o.d"
+  "/root/repo/src/precond/jacobi.cpp" "src/CMakeFiles/batchlin.dir/precond/jacobi.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/precond/jacobi.cpp.o.d"
+  "/root/repo/src/solver/bicgstab_double.cpp" "src/CMakeFiles/batchlin.dir/solver/bicgstab_double.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/bicgstab_double.cpp.o.d"
+  "/root/repo/src/solver/bicgstab_float.cpp" "src/CMakeFiles/batchlin.dir/solver/bicgstab_float.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/bicgstab_float.cpp.o.d"
+  "/root/repo/src/solver/cg_double.cpp" "src/CMakeFiles/batchlin.dir/solver/cg_double.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/cg_double.cpp.o.d"
+  "/root/repo/src/solver/cg_float.cpp" "src/CMakeFiles/batchlin.dir/solver/cg_float.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/cg_float.cpp.o.d"
+  "/root/repo/src/solver/direct.cpp" "src/CMakeFiles/batchlin.dir/solver/direct.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/direct.cpp.o.d"
+  "/root/repo/src/solver/dispatch.cpp" "src/CMakeFiles/batchlin.dir/solver/dispatch.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/dispatch.cpp.o.d"
+  "/root/repo/src/solver/gmres_double.cpp" "src/CMakeFiles/batchlin.dir/solver/gmres_double.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/gmres_double.cpp.o.d"
+  "/root/repo/src/solver/gmres_float.cpp" "src/CMakeFiles/batchlin.dir/solver/gmres_float.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/gmres_float.cpp.o.d"
+  "/root/repo/src/solver/handle.cpp" "src/CMakeFiles/batchlin.dir/solver/handle.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/handle.cpp.o.d"
+  "/root/repo/src/solver/launch.cpp" "src/CMakeFiles/batchlin.dir/solver/launch.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/launch.cpp.o.d"
+  "/root/repo/src/solver/residual.cpp" "src/CMakeFiles/batchlin.dir/solver/residual.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/residual.cpp.o.d"
+  "/root/repo/src/solver/richardson_double.cpp" "src/CMakeFiles/batchlin.dir/solver/richardson_double.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/richardson_double.cpp.o.d"
+  "/root/repo/src/solver/richardson_float.cpp" "src/CMakeFiles/batchlin.dir/solver/richardson_float.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/richardson_float.cpp.o.d"
+  "/root/repo/src/solver/trsv.cpp" "src/CMakeFiles/batchlin.dir/solver/trsv.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/trsv.cpp.o.d"
+  "/root/repo/src/solver/workspace.cpp" "src/CMakeFiles/batchlin.dir/solver/workspace.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/solver/workspace.cpp.o.d"
+  "/root/repo/src/stop/criterion.cpp" "src/CMakeFiles/batchlin.dir/stop/criterion.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/stop/criterion.cpp.o.d"
+  "/root/repo/src/util/dense_lu.cpp" "src/CMakeFiles/batchlin.dir/util/dense_lu.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/util/dense_lu.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/batchlin.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/util/rng.cpp.o.d"
+  "/root/repo/src/workload/chemistry.cpp" "src/CMakeFiles/batchlin.dir/workload/chemistry.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/workload/chemistry.cpp.o.d"
+  "/root/repo/src/workload/replicate.cpp" "src/CMakeFiles/batchlin.dir/workload/replicate.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/workload/replicate.cpp.o.d"
+  "/root/repo/src/workload/stencil.cpp" "src/CMakeFiles/batchlin.dir/workload/stencil.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/workload/stencil.cpp.o.d"
+  "/root/repo/src/xpu/arena.cpp" "src/CMakeFiles/batchlin.dir/xpu/arena.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/xpu/arena.cpp.o.d"
+  "/root/repo/src/xpu/policy.cpp" "src/CMakeFiles/batchlin.dir/xpu/policy.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/xpu/policy.cpp.o.d"
+  "/root/repo/src/xpu/queue.cpp" "src/CMakeFiles/batchlin.dir/xpu/queue.cpp.o" "gcc" "src/CMakeFiles/batchlin.dir/xpu/queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

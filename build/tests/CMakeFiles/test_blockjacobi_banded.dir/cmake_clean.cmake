@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blockjacobi_banded.dir/test_blockjacobi_banded.cpp.o"
+  "CMakeFiles/test_blockjacobi_banded.dir/test_blockjacobi_banded.cpp.o.d"
+  "test_blockjacobi_banded"
+  "test_blockjacobi_banded.pdb"
+  "test_blockjacobi_banded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blockjacobi_banded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

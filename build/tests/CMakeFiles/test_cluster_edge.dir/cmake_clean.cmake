@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_edge.dir/test_cluster_edge.cpp.o"
+  "CMakeFiles/test_cluster_edge.dir/test_cluster_edge.cpp.o.d"
+  "test_cluster_edge"
+  "test_cluster_edge.pdb"
+  "test_cluster_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

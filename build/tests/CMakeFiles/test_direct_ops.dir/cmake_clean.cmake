@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_direct_ops.dir/test_direct_ops.cpp.o"
+  "CMakeFiles/test_direct_ops.dir/test_direct_ops.cpp.o.d"
+  "test_direct_ops"
+  "test_direct_ops.pdb"
+  "test_direct_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_direct_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

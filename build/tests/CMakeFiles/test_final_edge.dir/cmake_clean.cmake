@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_final_edge.dir/test_final_edge.cpp.o"
+  "CMakeFiles/test_final_edge.dir/test_final_edge.cpp.o.d"
+  "test_final_edge"
+  "test_final_edge.pdb"
+  "test_final_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_final_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float_sweep.dir/test_float_sweep.cpp.o"
+  "CMakeFiles/test_float_sweep.dir/test_float_sweep.cpp.o.d"
+  "test_float_sweep"
+  "test_float_sweep.pdb"
+  "test_float_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

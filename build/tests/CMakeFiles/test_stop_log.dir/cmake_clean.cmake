@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stop_log.dir/test_stop_log.cpp.o"
+  "CMakeFiles/test_stop_log.dir/test_stop_log.cpp.o.d"
+  "test_stop_log"
+  "test_stop_log.pdb"
+  "test_stop_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stop_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workspace_launch.dir/test_workspace_launch.cpp.o"
+  "CMakeFiles/test_workspace_launch.dir/test_workspace_launch.cpp.o.d"
+  "test_workspace_launch"
+  "test_workspace_launch.pdb"
+  "test_workspace_launch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workspace_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xpu.dir/test_xpu.cpp.o"
+  "CMakeFiles/test_xpu.dir/test_xpu.cpp.o.d"
+  "test_xpu"
+  "test_xpu.pdb"
+  "test_xpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

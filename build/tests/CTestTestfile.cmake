@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_xpu[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/test_precond[1]_include.cmake")
+include("/root/repo/build/tests/test_stop_log[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_workspace_launch[1]_include.cmake")
+include("/root/repo/build/tests/test_direct_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_blockjacobi_banded[1]_include.cmake")
+include("/root/repo/build/tests/test_richardson_profiling[1]_include.cmake")
+include("/root/repo/build/tests/test_float_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_final_edge[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batchsolve.dir/batchsolve.cpp.o"
+  "CMakeFiles/batchsolve.dir/batchsolve.cpp.o.d"
+  "batchsolve"
+  "batchsolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batchsolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
