@@ -1,0 +1,247 @@
+// Host-throughput benchmark: wall-clock solves/sec of the simulator itself.
+//
+// The figure benches sweep hundreds of solves, and applications like the
+// PeleLM Newton loop (§4.1) re-solve the same batch structure over and over.
+// Both are limited by the *host* cost of one `solver::solve` round trip —
+// launch-resource setup, workspace binding, spill allocation — not by the
+// modeled device time. This bench pins that number: it runs a repeated-solve
+// sweep of small CG/BiCGSTAB/GMRES batches on one persistent queue (the
+// handle-style usage) and reports solves per wall-clock second.
+//
+// Usage:
+//   bench_host_throughput [--json FILE] [--min-time SECONDS]
+//                         [--baseline cg=X,bicgstab=Y,gmres=Z]
+// `--baseline` takes a previously recorded run (see
+// scripts/bench_host_baseline.env) and adds speedup factors to the output.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/timer.hpp"
+#include "workload/stencil.hpp"
+
+using namespace bench;
+
+namespace {
+
+/// One problem shape of the repeated-solve sweep: the small-batch,
+/// small-system end where host overhead is commensurable with kernel work.
+struct sweep_shape {
+    index_type items;
+    index_type rows;
+};
+
+constexpr sweep_shape kSweep[] = {{4, 8}, {8, 16}, {16, 32}};
+
+struct solver_case {
+    const char* name;
+    solver::solver_type type;
+};
+
+constexpr solver_case kSolvers[] = {
+    {"cg", solver::solver_type::cg},
+    {"bicgstab", solver::solver_type::bicgstab},
+    {"gmres", solver::solver_type::gmres},
+};
+
+struct throughput_result {
+    double solves_per_sec = 0.0;
+    double mean_iterations = 0.0;
+    long solves = 0;
+    double seconds = 0.0;
+};
+
+/// Repeats `solve` on one persistent queue until `min_time` has elapsed.
+/// The initial guess is reset to zero before every repeat so each solve
+/// performs identical work.
+throughput_result run_case(xpu::queue& q, solver::solver_type type,
+                           double min_time)
+{
+    solver::solve_options opts;
+    opts.solver = type;
+    opts.preconditioner = precond::type::jacobi;
+    opts.criterion = stop::relative(1e-6, 50);
+
+    throughput_result out;
+    double iter_sum = 0.0;
+    for (const sweep_shape& shape : kSweep) {
+        const solver::batch_matrix<double> a =
+            work::stencil_3pt<double>(shape.items, shape.rows, 3);
+        const auto b = work::random_rhs<double>(shape.items, shape.rows, 7);
+        mat::batch_dense<double> x(shape.items, shape.rows, 1);
+
+        // Warm up allocator, caches, and (post-PR) the queue's pools.
+        for (int i = 0; i < 10; ++i) {
+            x.fill(0.0);
+            (void)solver::solve(q, a, b, x, opts);
+        }
+
+        const double shape_time = min_time / std::size(kSweep);
+        long solves = 0;
+        wall_timer timer;
+        double elapsed = 0.0;
+        do {
+            for (int i = 0; i < 20; ++i) {
+                x.fill(0.0);
+                const auto result = solver::solve(q, a, b, x, opts);
+                iter_sum += result.log.mean_iterations();
+            }
+            solves += 20;
+            elapsed = timer.seconds();
+        } while (elapsed < shape_time);
+        out.solves += solves;
+        out.seconds += elapsed;
+    }
+    out.solves_per_sec = static_cast<double>(out.solves) / out.seconds;
+    out.mean_iterations = iter_sum / static_cast<double>(out.solves);
+    return out;
+}
+
+std::map<std::string, double> parse_baseline(const char* spec)
+{
+    // Format: name=value[,name=value...]
+    std::map<std::string, double> out;
+    std::string s(spec);
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        const std::size_t eq = s.find('=', pos);
+        if (eq == std::string::npos) {
+            break;
+        }
+        std::size_t comma = s.find(',', eq);
+        if (comma == std::string::npos) {
+            comma = s.size();
+        }
+        out[s.substr(pos, eq - pos)] =
+            std::atof(s.substr(eq + 1, comma - eq - 1).c_str());
+        pos = comma + 1;
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const char* json_path = nullptr;
+    double min_time = 0.9;
+    std::map<std::string, double> baseline;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--min-time") == 0 && i + 1 < argc) {
+            min_time = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+            baseline = parse_baseline(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json FILE] [--min-time SECONDS] "
+                         "[--baseline cg=X,bicgstab=Y,gmres=Z]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("Host throughput: repeated-solve sweep "
+                "(shapes:");
+    for (const sweep_shape& s : kSweep) {
+        std::printf(" %dx[%d rows]", s.items, s.rows);
+    }
+    std::printf("), scalar Jacobi, rtol 1e-6\n\n");
+    std::printf("%10s | %12s | %10s | %8s\n", "solver", "solves/sec",
+                "mean iters", "speedup");
+    rule(52);
+
+    xpu::queue q(xpu::make_sycl_policy());
+    std::map<std::string, throughput_result> results;
+    for (const solver_case& sc : kSolvers) {
+        results[sc.name] = run_case(q, sc.type, min_time);
+        const throughput_result& r = results[sc.name];
+        if (baseline.count(sc.name) && baseline[sc.name] > 0.0) {
+            std::printf("%10s | %12.1f | %10.1f | %7.2fx\n", sc.name,
+                        r.solves_per_sec, r.mean_iterations,
+                        r.solves_per_sec / baseline[sc.name]);
+        } else {
+            std::printf("%10s | %12.1f | %10.1f | %8s\n", sc.name,
+                        r.solves_per_sec, r.mean_iterations, "n/a");
+        }
+    }
+
+    // Sweep aggregate: every solver case runs for the same wall-time slice,
+    // so the sweep-level solves/sec is the mean of the per-solver rates —
+    // the same statistic the recorded baseline rates aggregate to.
+    double sweep_rate = 0.0;
+    double sweep_baseline = 0.0;
+    bool baseline_complete = true;
+    for (const solver_case& sc : kSolvers) {
+        sweep_rate += results[sc.name].solves_per_sec;
+        if (baseline.count(sc.name) && baseline[sc.name] > 0.0) {
+            sweep_baseline += baseline[sc.name];
+        } else {
+            baseline_complete = false;
+        }
+    }
+    sweep_rate /= static_cast<double>(std::size(kSolvers));
+    sweep_baseline /= static_cast<double>(std::size(kSolvers));
+    rule(52);
+    if (baseline_complete) {
+        std::printf("%10s | %12.1f | %10s | %7.2fx\n", "sweep", sweep_rate,
+                    "", sweep_rate / sweep_baseline);
+    } else {
+        std::printf("%10s | %12.1f | %10s | %8s\n", "sweep", sweep_rate, "",
+                    "n/a");
+    }
+
+    if (json_path != nullptr) {
+        std::FILE* f = std::fopen(json_path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", json_path);
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"host_throughput\",\n");
+        std::fprintf(f, "  \"sweep_shapes\": [");
+        bool first = true;
+        for (const sweep_shape& s : kSweep) {
+            std::fprintf(f, "%s{\"items\": %d, \"rows\": %d}",
+                         first ? "" : ", ", s.items, s.rows);
+            first = false;
+        }
+        std::fprintf(f, "],\n  \"results\": {\n");
+        std::size_t printed = 0;
+        for (const solver_case& sc : kSolvers) {
+            const throughput_result& r = results[sc.name];
+            std::fprintf(f, "    \"%s\": {\"solves_per_sec\": %.1f", sc.name,
+                         r.solves_per_sec);
+            std::fprintf(f, ", \"solves\": %ld, \"seconds\": %.3f",
+                         r.solves, r.seconds);
+            std::fprintf(f, ", \"mean_iterations\": %.2f",
+                         r.mean_iterations);
+            if (baseline.count(sc.name) && baseline[sc.name] > 0.0) {
+                std::fprintf(
+                    f, ", \"baseline_solves_per_sec\": %.1f, ",
+                    baseline[sc.name]);
+                std::fprintf(f, "\"speedup\": %.3f",
+                             r.solves_per_sec / baseline[sc.name]);
+            }
+            std::fprintf(f, "}%s\n",
+                         ++printed < std::size(kSolvers) ? "," : "");
+        }
+        std::fprintf(f, "  },\n");
+        std::fprintf(f, "  \"sweep\": {\"solves_per_sec\": %.1f",
+                     sweep_rate);
+        if (baseline_complete) {
+            std::fprintf(f,
+                         ", \"baseline_solves_per_sec\": %.1f, "
+                         "\"speedup\": %.3f",
+                         sweep_baseline, sweep_rate / sweep_baseline);
+        }
+        std::fprintf(f, "}\n}\n");
+        std::fclose(f);
+        std::printf("\nwrote %s\n", json_path);
+    }
+    return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the host-throughput benchmark and writes BENCH_host_throughput.json
+# at the repo root, comparing against the recorded pre-optimization baseline
+# (scripts/bench_host_baseline.env, measured on the seed revision of this
+# machine — re-record it with `bench_host_throughput --json` on a checkout
+# that predates the host-throughput engine).
+#
+# Usage: scripts/bench_host.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+
+# shellcheck source=bench_host_baseline.env
+source scripts/bench_host_baseline.env
+
+cmake -B "$BUILD_DIR" -S . -G Ninja >/dev/null
+cmake --build "$BUILD_DIR" --target bench_host_throughput
+
+"$BUILD_DIR/bench/bench_host_throughput" \
+  --min-time "${BENCH_MIN_TIME:-3}" \
+  --baseline "cg=${BASELINE_CG},bicgstab=${BASELINE_BICGSTAB},gmres=${BASELINE_GMRES}" \
+  --json BENCH_host_throughput.json

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds and tests the two verification configs:
+#  1. the default Release build (tier-1: what CI and users run), and
+#  2. a Debug + ASan/UBSan build (BATCHLIN_SANITIZE=ON), which also keeps
+#     assertions alive so the debug-only workspace-binder name checks run.
+# The sanitizer pass is what proves the pooled launch resources and the
+# reused spill backing leak- and UB-free across repeated solves.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+JOBS=${1:-$(nproc)}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+
+echo "== config 1/2: Release (build/)"
+cmake -B build -S . -G Ninja >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build -j "$JOBS" --output-on-failure | tail -3
+
+echo "== config 2/2: Debug + ASan/UBSan (build-sanitize/)"
+cmake -B build-sanitize -S . -G Ninja \
+  -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=ON >/dev/null
+cmake --build build-sanitize -j "$JOBS"
+ctest --test-dir build-sanitize -j "$JOBS" --output-on-failure | tail -3
+
+echo "== both configs clean"

@@ -25,7 +25,8 @@ void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
                   const kernel_config& config, log::batch_log& logger,
                   xpu::batch_range range)
 {
-    spill_buffer<T> spill(plan, range.size());
+    const bound_plan slots(plan);  // resolved once, host side (§3.5)
+    spill_buffer<T> spill(q, plan, range.size());
     mat::batch_dense<T>* x_out = &x;
 
     q.run_batch(
@@ -33,7 +34,7 @@ void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
         [&](xpu::group& g) {
             const index_type batch = g.id();
             const index_type local = batch - range.begin;
-            workspace_binder<T> bind(g, plan, spill.for_group(local));
+            workspace_binder<T> bind(g, slots, spill.for_group(local));
             // Plan order: r, p, v, s, t, p_hat, s_hat, r_hat, x, precond.
             xpu::dspan<T> r = bind.take("r");
             xpu::dspan<T> p = bind.take("p");

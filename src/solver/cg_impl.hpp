@@ -23,7 +23,8 @@ void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
             const kernel_config& config, log::batch_log& logger,
             xpu::batch_range range)
 {
-    spill_buffer<T> spill(plan, range.size());
+    const bound_plan slots(plan);  // resolved once, host side (§3.5)
+    spill_buffer<T> spill(q, plan, range.size());
     mat::batch_dense<T>* x_out = &x;
 
     q.run_batch(
@@ -31,7 +32,7 @@ void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
         [&](xpu::group& g) {
             const index_type batch = g.id();
             const index_type local = batch - range.begin;
-            workspace_binder<T> bind(g, plan, spill.for_group(local));
+            workspace_binder<T> bind(g, slots, spill.for_group(local));
             // Plan order for CG: r, z, p, t, x, precond (§3.5).
             xpu::dspan<T> r = bind.take("r");
             xpu::dspan<T> z = bind.take("z");

@@ -27,7 +27,8 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
 {
     const index_type rows = a.rows();
     const index_type m = restart;
-    spill_buffer<T> spill(plan, range.size());
+    const bound_plan slots(plan);  // resolved once, host side (§3.5)
+    spill_buffer<T> spill(q, plan, range.size());
     mat::batch_dense<T>* x_out = &x;
 
     q.run_batch(
@@ -35,7 +36,7 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
         [&](xpu::group& g) {
             const index_type batch = g.id();
             const index_type local = batch - range.begin;
-            workspace_binder<T> bind(g, plan, spill.for_group(local));
+            workspace_binder<T> bind(g, slots, spill.for_group(local));
             // Plan order: w, hessenberg, givens, basis, x, y, precond.
             xpu::dspan<T> w = bind.take("w");
             xpu::dspan<T> hess = bind.take("hessenberg");  // (m+1) x m

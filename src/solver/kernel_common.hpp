@@ -17,44 +17,43 @@
 
 namespace batchlin::solver {
 
-/// Binds the planner's entries to storage for one work-group: SLM entries
-/// are carved from the group's arena, spilled entries from this group's
-/// slice of the global backing array. Entries MUST be taken in plan order.
+/// Binds the resolved plan's slots to storage for one work-group: SLM
+/// slots are carved from the group's arena, spilled slots from this
+/// group's slice of the global backing array. Slots MUST be taken in plan
+/// order. Binding is index arithmetic only — the planner's names are
+/// verified against the kernel's take() order in debug builds and compiled
+/// away in release, so no work-group pays a string comparison.
 template <typename T>
 class workspace_binder {
 public:
-    workspace_binder(xpu::group& g, const slm_plan& plan, T* group_backing)
+    workspace_binder(xpu::group& g, const bound_plan& plan,
+                     T* group_backing)
         : g_(g), plan_(plan), backing_(group_backing)
     {}
 
-    /// Takes the next entry, which must be named `name` (kernels and the
-    /// planner's priority lists must agree exactly).
+    /// Takes the next slot, which must correspond to the planner entry
+    /// named `name` (kernels and the priority lists must agree exactly;
+    /// checked in debug builds).
     xpu::dspan<T> take(const char* name)
     {
         BATCHLIN_ENSURE_MSG(
-            next_ < static_cast<index_type>(plan_.entries.size()),
+            next_ < plan_.size(),
             "kernel requested more workspace entries than planned");
-        const slm_plan::entry& e =
-            plan_.entries[static_cast<std::size_t>(next_)];
-        BATCHLIN_ENSURE_MSG(e.name == name,
-                            "workspace order mismatch: expected " + e.name);
+        plan_.check_name(next_, name);
+        const bound_plan::slot& s = plan_[next_];
         ++next_;
-        const index_type elems = static_cast<index_type>(e.elems);
-        if (e.in_slm) {
-            return g_.slm().alloc<T>(elems);
+        if (s.in_slm) {
+            return g_.slm().alloc<T>(static_cast<index_type>(s.elems));
         }
-        xpu::dspan<T> span{backing_ + spill_offset_, elems,
-                           xpu::mem_space::global};
-        spill_offset_ += e.elems;
-        return span;
+        return {backing_ + s.spill_offset,
+                static_cast<index_type>(s.elems), xpu::mem_space::global};
     }
 
-    /// Takes the next entry when it is named `name`; returns an empty span
-    /// otherwise (used for the optional preconditioner workspace).
+    /// Takes the trailing optional slot (the preconditioner workspace)
+    /// when the plan has one; returns an empty span otherwise.
     xpu::dspan<T> take_optional(const char* name)
     {
-        if (next_ < static_cast<index_type>(plan_.entries.size()) &&
-            plan_.entries[static_cast<std::size_t>(next_)].name == name) {
+        if (next_ < plan_.size()) {
             return take(name);
         }
         return {};
@@ -62,29 +61,30 @@ public:
 
 private:
     xpu::group& g_;
-    const slm_plan& plan_;
+    const bound_plan& plan_;
     T* backing_;
-    size_type spill_offset_ = 0;
     index_type next_ = 0;
 };
 
-/// Host-side backing store for the spilled workspace of one launch: a
-/// contiguous slice of `plan.global_elems_per_group` per work-group.
+/// Spilled-workspace backing of one launch: a contiguous slice of
+/// `plan.global_elems_per_group` per work-group, carved from the queue's
+/// scratch pool so repeated solves reuse one allocation (the backing is
+/// zeroed per launch, exactly like the per-launch vector it replaces).
 template <typename T>
 struct spill_buffer {
-    spill_buffer(const slm_plan& plan, index_type num_groups)
+    spill_buffer(xpu::queue& q, const slm_plan& plan, index_type num_groups)
         : per_group(plan.global_elems_per_group),
-          storage(static_cast<std::size_t>(per_group) * num_groups)
+          data(reinterpret_cast<T*>(q.scratch().acquire(
+              per_group * static_cast<size_type>(num_groups) * sizeof(T))))
     {}
 
     T* for_group(index_type local_group)
     {
-        return storage.data() +
-               static_cast<size_type>(local_group) * per_group;
+        return data + static_cast<size_type>(local_group) * per_group;
     }
 
     size_type per_group;
-    std::vector<T> storage;
+    T* data;
 };
 
 /// Records one system's outcome: logger entry plus iteration counter.

@@ -27,7 +27,8 @@ void run_richardson(xpu::queue& q, const MatBatch& a,
                     T relaxation, log::batch_log& logger,
                     xpu::batch_range range)
 {
-    spill_buffer<T> spill(plan, range.size());
+    const bound_plan slots(plan);  // resolved once, host side (§3.5)
+    spill_buffer<T> spill(q, plan, range.size());
     mat::batch_dense<T>* x_out = &x;
 
     q.run_batch(
@@ -35,7 +36,7 @@ void run_richardson(xpu::queue& q, const MatBatch& a,
         [&](xpu::group& g) {
             const index_type batch = g.id();
             const index_type local = batch - range.begin;
-            workspace_binder<T> bind(g, plan, spill.for_group(local));
+            workspace_binder<T> bind(g, slots, spill.for_group(local));
             // Plan order: r, z, t, x, precond.
             xpu::dspan<T> r = bind.take("r");
             xpu::dspan<T> z = bind.take("z");

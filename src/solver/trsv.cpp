@@ -46,7 +46,8 @@ void run_trsv(xpu::queue& q, const mat::batch_csr<T>& a,
     const triangle tri =
         mode == triangle::automatic ? detect_triangle(a) : mode;
     const index_type rows = a.rows();
-    spill_buffer<T> spill(plan, range.size());
+    const bound_plan slots(plan);  // resolved once, host side (§3.5)
+    spill_buffer<T> spill(q, plan, range.size());
     mat::batch_dense<T>* x_out = &x;
 
     q.run_batch(
@@ -54,7 +55,7 @@ void run_trsv(xpu::queue& q, const mat::batch_csr<T>& a,
         [&, tri, rows](xpu::group& g) {
             const index_type batch = g.id();
             const index_type local = batch - range.begin;
-            workspace_binder<T> bind(g, plan, spill.for_group(local));
+            workspace_binder<T> bind(g, slots, spill.for_group(local));
             xpu::dspan<T> x_loc = bind.take("x");
 
             const auto a_view = blas::item_view(a, batch);

@@ -38,6 +38,25 @@ bool slm_plan::in_slm(const std::string& name) const
     return entries[find(name)].in_slm;
 }
 
+bound_plan::bound_plan(const slm_plan& plan)
+{
+    slots_.reserve(plan.entries.size());
+    size_type spill_offset = 0;
+    for (const slm_plan::entry& e : plan.entries) {
+        slot s;
+        s.elems = e.elems;
+        s.in_slm = e.in_slm;
+        s.spill_offset = spill_offset;
+        if (!e.in_slm) {
+            spill_offset += e.elems;
+        }
+        slots_.push_back(s);
+    }
+#ifndef NDEBUG
+    source_ = &plan;
+#endif
+}
+
 namespace {
 
 /// One named vector request in priority order.
@@ -94,16 +113,13 @@ std::vector<request> priority_list(solver_type solver, index_type rows,
 
 }  // namespace
 
-slm_plan plan_workspace(solver_type solver, index_type rows, index_type nnz,
-                        size_type precond_elems, size_type slm_budget,
-                        size_type value_size, index_type gmres_restart,
-                        slm_mode mode)
-{
-    BATCHLIN_ENSURE_MSG(rows >= 0 && nnz >= 0, "negative dimensions");
-    BATCHLIN_ENSURE_MSG(value_size > 0, "invalid value size");
-    BATCHLIN_ENSURE_MSG(solver != solver_type::gmres || gmres_restart > 0,
-                        "GMRES requires a positive restart length");
+namespace {
 
+slm_plan build_plan(solver_type solver, index_type rows,
+                    size_type precond_elems, size_type slm_budget,
+                    size_type value_size, index_type gmres_restart,
+                    slm_mode mode)
+{
     slm_plan plan;
     size_type used = 0;
     for (const request& req :
@@ -130,6 +146,46 @@ slm_plan plan_workspace(solver_type solver, index_type rows, index_type nnz,
     }
     plan.slm_bytes = used;
     return plan;
+}
+
+}  // namespace
+
+slm_plan plan_workspace(solver_type solver, index_type rows, index_type nnz,
+                        size_type precond_elems, size_type slm_budget,
+                        size_type value_size, index_type gmres_restart,
+                        slm_mode mode)
+{
+    BATCHLIN_ENSURE_MSG(rows >= 0 && nnz >= 0, "negative dimensions");
+    BATCHLIN_ENSURE_MSG(value_size > 0, "invalid value size");
+    BATCHLIN_ENSURE_MSG(solver != solver_type::gmres || gmres_restart > 0,
+                        "GMRES requires a positive restart length");
+
+    // Planning is pure in its arguments; repeated solves of one shape (the
+    // bench and figure sweeps) hit the same key every time, so memoize the
+    // most recent plan per thread and skip rebuilding the entry list.
+    struct memo_key {
+        solver_type solver;
+        index_type rows;
+        size_type precond_elems;
+        size_type slm_budget;
+        size_type value_size;
+        index_type gmres_restart;
+        slm_mode mode;
+
+        bool operator==(const memo_key&) const = default;
+    };
+    const memo_key key{solver,     rows,          precond_elems, slm_budget,
+                       value_size, gmres_restart, mode};
+    thread_local memo_key cached_key;
+    thread_local slm_plan cached_plan;
+    thread_local bool cached = false;
+    if (!cached || !(key == cached_key)) {
+        cached_plan = build_plan(solver, rows, precond_elems, slm_budget,
+                                 value_size, gmres_restart, mode);
+        cached_key = key;
+        cached = true;
+    }
+    return cached_plan;
 }
 
 }  // namespace batchlin::solver

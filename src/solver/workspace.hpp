@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "util/error.hpp"
 #include "util/math.hpp"
 
 namespace batchlin::solver {
@@ -58,6 +59,58 @@ struct slm_plan {
     index_type find(const std::string& name) const;
     /// Whether the named vector was placed in SLM.
     bool in_slm(const std::string& name) const;
+};
+
+/// Host-resolved form of an `slm_plan`: one integer slot per entry. The
+/// plan's named entries are resolved ONCE per launch on the host — slot
+/// order, element counts, SLM-vs-global placement, and the running spill
+/// offset — so the per-work-group workspace binding inside the fused
+/// kernels is pure index arithmetic with no string comparisons. Debug
+/// builds retain the name checks (the kernels' take() order must match the
+/// planner's priority list exactly); release builds compile them away.
+class bound_plan {
+public:
+    struct slot {
+        size_type elems = 0;
+        /// Element offset into the group's spill backing; only meaningful
+        /// when the slot spilled to global memory.
+        size_type spill_offset = 0;
+        bool in_slm = false;
+    };
+
+    /// Resolves `plan` into slots. The plan must outlive the bound_plan
+    /// (debug builds keep a reference for the name checks).
+    explicit bound_plan(const slm_plan& plan);
+
+    index_type size() const
+    {
+        return static_cast<index_type>(slots_.size());
+    }
+    const slot& operator[](index_type i) const
+    {
+        return slots_[static_cast<std::size_t>(i)];
+    }
+
+    /// Debug-only guard: entry `i` of the source plan must be named `name`.
+    void check_name(index_type i, const char* name) const
+    {
+#ifndef NDEBUG
+        BATCHLIN_ENSURE_MSG(source_->entries[static_cast<std::size_t>(i)]
+                                    .name == name,
+                            "workspace order mismatch: expected " +
+                                source_->entries[static_cast<std::size_t>(i)]
+                                    .name);
+#else
+        (void)i;
+        (void)name;
+#endif
+    }
+
+private:
+    std::vector<slot> slots_;
+#ifndef NDEBUG
+    const slm_plan* source_ = nullptr;
+#endif
 };
 
 /// Builds the placement for one solver configuration.

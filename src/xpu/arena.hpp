@@ -43,6 +43,16 @@ public:
     /// Releases all allocations (start of the next work-group's kernel).
     void reset() { used_ = 0; }
 
+    /// Prepares a pooled arena for the next kernel launch: releases all
+    /// allocations AND restarts the high-water tracking, so a reused arena
+    /// reports exactly the footprint a freshly constructed one would. The
+    /// queue calls this once per launch per thread.
+    void begin_launch()
+    {
+        used_ = 0;
+        high_water_ = 0;
+    }
+
     size_type capacity() const { return capacity_; }
     size_type used() const { return used_; }
     /// Largest concurrent footprint seen since construction; this is the

@@ -98,14 +98,16 @@ public:
         return total;
     }
 
-    /// Broadcasts a value computed by lane 0; free on both models (register
-    /// broadcast within a sub-group, SLM bounce across sub-groups).
+    /// Broadcasts a value computed by lane 0; a register broadcast within a
+    /// sub-group. Across sub-groups the value bounces through SLM, which
+    /// also costs the work-group barrier that makes the bounce visible.
     template <typename T>
     T broadcast(T value)
     {
         if (num_sub_groups() > 1) {
             stats_.slm_bytes +=
                 static_cast<double>(num_sub_groups()) * sizeof(T);
+            ++stats_.group_barriers;
         }
         return value;
     }

@@ -1,5 +1,6 @@
 #include "xpu/queue.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 namespace batchlin::xpu {
@@ -9,6 +10,31 @@ double queue::now_seconds()
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
+}
+
+std::byte* scratch_pool::acquire(size_type bytes)
+{
+    if (static_cast<size_type>(storage_.size()) < bytes) {
+        storage_.resize(static_cast<std::size_t>(bytes));
+    }
+    std::fill_n(storage_.data(), static_cast<std::size_t>(bytes),
+                std::byte{0});
+    return storage_.data();
+}
+
+void queue::prepare_launch(int num_threads)
+{
+    while (static_cast<int>(arena_pool_.size()) < num_threads) {
+        arena_pool_.emplace_back(policy_.slm_bytes_per_group);
+    }
+    if (static_cast<int>(thread_stats_.size()) < num_threads) {
+        thread_stats_.resize(static_cast<std::size_t>(num_threads));
+    }
+    // Zero only the blocks this launch merges; stale entries beyond
+    // `num_threads` (from a launch with more threads) are never read.
+    for (int t = 0; t < num_threads; ++t) {
+        thread_stats_[static_cast<std::size_t>(t)] = counters{};
+    }
 }
 
 batch_range stack_partition(index_type num_items, index_type num_stacks,

@@ -6,11 +6,19 @@
 // thread owns a private SLM arena sized to the device budget and a private
 // counter block, merged after the launch so results are independent of the
 // host thread count.
+//
+// Launch resources are pooled: the per-thread arenas, the per-thread
+// counter blocks, and the spill scratch backing all live on the queue and
+// are reused across launches, so a steady-state `run_batch` performs no
+// heap allocation. The paper's argument about amortizing per-launch
+// overhead (§3.4) applies to the simulator host just as it does to the
+// device runtime.
 #pragma once
 
 #include <omp.h>
 
 #include <atomic>
+#include <cstring>
 #include <exception>
 #include <utility>
 #include <vector>
@@ -48,6 +56,28 @@ struct launch_record {
     index_type sub_group_size = 0;
 };
 
+/// Grow-only scratch backing reused across the launches of one queue.
+/// The solvers carve the spilled (global-memory) workspace of each launch
+/// from here, keyed by the required byte size: the buffer grows when a
+/// launch needs more and is reused as-is otherwise, so repeated solves of
+/// the same shape stop paying a heap allocation per solve. Acquired blocks
+/// are zero-filled, matching the freshly value-initialized backing the
+/// solvers previously allocated per launch.
+class scratch_pool {
+public:
+    /// Returns a zeroed block of at least `bytes` bytes, aligned for any
+    /// fundamental type. Valid until the next `acquire` on this pool.
+    std::byte* acquire(size_type bytes);
+
+    size_type capacity() const
+    {
+        return static_cast<size_type>(storage_.size());
+    }
+
+private:
+    std::vector<std::byte> storage_;
+};
+
 /// In-order queue bound to one execution policy (device + programming model).
 class queue {
 public:
@@ -82,10 +112,33 @@ public:
         launch_stats.kernel_launches = 1;
         launch_stats.groups_launched = num_groups;
 
-        const double start_seconds = now_seconds();
+        // Event clocks are only read with profiling enabled (the SYCL
+        // `enable_profiling` property costs nothing when off).
+        const double start_seconds = profiling_ ? now_seconds() : 0.0;
         const int max_threads = omp_get_max_threads();
-        std::vector<counters> thread_stats(max_threads);
+        prepare_launch(max_threads);
         size_type slm_high_water = 0;
+
+        if (max_threads == 1) {
+            // Single-host-thread fast path: the fork/join of the parallel
+            // region costs more than a small launch's kernel work. Group
+            // order, counter accumulation, and error propagation are the
+            // ones the one-thread parallel region would produce.
+            slm_arena& arena = arena_pool_[0];
+            arena.begin_launch();
+            counters& local = thread_stats_[0];
+            for (index_type g = 0; g < num_groups; ++g) {
+                arena.reset();
+                group ctx(first_group + g, work_group_size, sub_group_size,
+                          arena, local);
+                body(ctx);
+            }
+            launch_stats += local;
+            finish_launch(launch_stats, arena.high_water(), start_seconds,
+                          num_groups, work_group_size, sub_group_size);
+            return;
+        }
+
         // Exceptions must not escape the parallel region (that would
         // terminate); capture the first one and rethrow on the host side,
         // like a device-side error reported at synchronization.
@@ -95,8 +148,9 @@ public:
 #pragma omp parallel reduction(max : slm_high_water)
         {
             const int tid = omp_get_thread_num();
-            slm_arena arena(policy_.slm_bytes_per_group);
-            counters& local = thread_stats[tid];
+            slm_arena& arena = arena_pool_[tid];
+            arena.begin_launch();
+            counters& local = thread_stats_[tid];
 #pragma omp for schedule(dynamic, 16)
             for (index_type g = 0; g < num_groups; ++g) {
                 if (failed.load(std::memory_order_relaxed)) {
@@ -123,17 +177,11 @@ public:
             std::rethrow_exception(first_error);
         }
 
-        for (const counters& local : thread_stats) {
-            launch_stats += local;
+        for (int t = 0; t < max_threads; ++t) {
+            launch_stats += thread_stats_[t];
         }
-        launch_stats.slm_footprint_bytes = slm_high_water;
-        stats_ += launch_stats;
-        last_launch_ = launch_stats;
-        if (profiling_) {
-            history_.push_back({launch_stats, now_seconds() - start_seconds,
-                                num_groups, work_group_size,
-                                sub_group_size});
-        }
+        finish_launch(launch_stats, slm_high_water, start_seconds,
+                      num_groups, work_group_size, sub_group_size);
     }
 
     /// Statistics of the most recent launch only.
@@ -149,14 +197,48 @@ public:
     }
     void clear_launch_history() { history_.clear(); }
 
+    /// Spill-workspace scratch reused across this queue's launches.
+    scratch_pool& scratch() { return scratch_; }
+
+    /// Per-thread launch resources currently pooled (for tests/telemetry).
+    index_type pooled_threads() const
+    {
+        return static_cast<index_type>(arena_pool_.size());
+    }
+
 private:
     static double now_seconds();
+
+    /// Ensures per-thread arenas and counter blocks exist for `num_threads`
+    /// threads and zeroes the counter blocks. Allocates only when the host
+    /// thread count grew past the pool size; steady state is alloc-free.
+    void prepare_launch(int num_threads);
+
+    /// Commits a finished launch: footprint, cumulative and last-launch
+    /// stats, and the profiling record when enabled.
+    void finish_launch(counters& launch_stats, size_type slm_high_water,
+                       double start_seconds, index_type num_groups,
+                       index_type work_group_size,
+                       index_type sub_group_size)
+    {
+        launch_stats.slm_footprint_bytes = slm_high_water;
+        stats_ += launch_stats;
+        last_launch_ = launch_stats;
+        if (profiling_) {
+            history_.push_back({launch_stats, now_seconds() - start_seconds,
+                                num_groups, work_group_size,
+                                sub_group_size});
+        }
+    }
 
     exec_policy policy_;
     counters stats_;
     counters last_launch_;
     bool profiling_ = false;
     std::vector<launch_record> history_;
+    std::vector<slm_arena> arena_pool_;
+    std::vector<counters> thread_stats_;
+    scratch_pool scratch_;
 };
 
 /// Builds a per-stack queue for explicit scaling: the same device policy

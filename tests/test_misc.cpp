@@ -143,11 +143,14 @@ TEST(GroupEdge, BroadcastChargesOnlyAcrossSubGroups)
         xpu::group g(0, 16, 16, arena, stats);  // single sub-group
         EXPECT_EQ(g.broadcast(3.5), 3.5);
         EXPECT_DOUBLE_EQ(stats.slm_bytes, 0.0);
+        EXPECT_EQ(stats.group_barriers, 0);
     }
     {
         xpu::group g(0, 64, 16, arena, stats);  // four sub-groups
         EXPECT_EQ(g.broadcast(2.5), 2.5);
         EXPECT_DOUBLE_EQ(stats.slm_bytes, 4.0 * sizeof(double));
+        // The SLM bounce needs a work-group barrier to become visible.
+        EXPECT_EQ(stats.group_barriers, 1);
     }
 }
 

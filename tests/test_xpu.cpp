@@ -239,6 +239,98 @@ TEST(Queue, DeterministicCountersRegardlessOfSchedule)
     EXPECT_DOUBLE_EQ(a.slm_bytes, b.slm_bytes);
 }
 
+namespace {
+
+/// Runs one batched BiCGSTAB solve under `num_threads` host threads and
+/// returns the solution values plus the cumulative queue counters.
+std::pair<std::vector<double>, counters> solve_with_threads(int num_threads)
+{
+    const int saved = omp_get_max_threads();
+    omp_set_num_threads(num_threads);
+    queue q(make_sycl_policy());
+    const bl::solver::batch_matrix<double> a(
+        bl::work::stencil_3pt<double>(24, 24, 5));
+    const auto b = bl::work::random_rhs<double>(24, 24, 11);
+    bl::mat::batch_dense<double> x(24, 24, 1);
+    x.fill(0.0);
+    bl::solver::solve_options opts;
+    opts.solver = bl::solver::solver_type::bicgstab;
+    opts.preconditioner = bl::precond::type::jacobi;
+    opts.criterion = bl::stop::relative(1e-8, 60);
+    (void)bl::solver::solve<double>(q, a, b, x, opts);
+    omp_set_num_threads(saved);
+    return {x.values(), q.stats()};
+}
+
+}  // namespace
+
+TEST(Queue, SolveBitIdenticalAcrossHostThreadCounts)
+{
+    // The per-thread arena pool and counter merge must keep results and
+    // cumulative counters independent of the host thread count: the serial
+    // fast path (1 thread) and the parallel region (here oversubscribed on
+    // purpose) have to agree bit for bit.
+    const auto [x1, c1] = solve_with_threads(1);
+    const auto [x4, c4] = solve_with_threads(4);
+    EXPECT_EQ(x1, x4);
+    EXPECT_EQ(c1.kernel_launches, c4.kernel_launches);
+    EXPECT_EQ(c1.groups_launched, c4.groups_launched);
+    EXPECT_EQ(c1.group_barriers, c4.group_barriers);
+    EXPECT_EQ(c1.slm_footprint_bytes, c4.slm_footprint_bytes);
+    EXPECT_DOUBLE_EQ(c1.flops, c4.flops);
+    EXPECT_DOUBLE_EQ(c1.slm_bytes, c4.slm_bytes);
+    EXPECT_DOUBLE_EQ(c1.global_read_bytes, c4.global_read_bytes);
+    EXPECT_DOUBLE_EQ(c1.global_write_bytes, c4.global_write_bytes);
+    EXPECT_DOUBLE_EQ(c1.constant_read_bytes, c4.constant_read_bytes);
+}
+
+TEST(Queue, RepeatedSolvesOnOneQueueAreBitIdentical)
+{
+    // Pooled arenas, pooled counter blocks, and the reused spill scratch
+    // must not leak state between solves: every repetition of the same
+    // solve reports the same launch counters.
+    queue q(make_sycl_policy());
+    const bl::solver::batch_matrix<double> a(
+        bl::work::stencil_3pt<double>(8, 16, 3));
+    const auto b = bl::work::random_rhs<double>(8, 16, 7);
+    bl::solver::solve_options opts;
+    opts.solver = bl::solver::solver_type::cg;
+    opts.preconditioner = bl::precond::type::jacobi;
+    opts.criterion = bl::stop::relative(1e-8, 50);
+
+    bl::mat::batch_dense<double> x(8, 16, 1);
+    x.fill(0.0);
+    (void)bl::solver::solve<double>(q, a, b, x, opts);
+    const counters first = q.last_launch_stats();
+    const std::vector<double> x_first = x.values();
+    for (int rep = 0; rep < 3; ++rep) {
+        x.fill(0.0);
+        (void)bl::solver::solve<double>(q, a, b, x, opts);
+        const counters& again = q.last_launch_stats();
+        EXPECT_DOUBLE_EQ(first.flops, again.flops);
+        EXPECT_DOUBLE_EQ(first.slm_bytes, again.slm_bytes);
+        EXPECT_EQ(first.group_barriers, again.group_barriers);
+        EXPECT_EQ(first.slm_footprint_bytes, again.slm_footprint_bytes);
+        EXPECT_EQ(x_first, x.values());
+    }
+    EXPECT_GE(q.pooled_threads(), 1);
+}
+
+TEST(Queue, PooledArenaFootprintResetsPerLaunch)
+{
+    // slm_footprint_bytes is a per-launch high water mark; a reused arena
+    // must not carry the previous launch's (larger) footprint forward.
+    queue q(make_sycl_policy());
+    q.run_batch(4, 16, 16,
+                [](group& g) { (void)g.slm().alloc<double>(512); });
+    EXPECT_EQ(q.last_launch_stats().slm_footprint_bytes,
+              static_cast<bl::size_type>(512 * sizeof(double)));
+    q.run_batch(4, 16, 16,
+                [](group& g) { (void)g.slm().alloc<double>(16); });
+    EXPECT_EQ(q.last_launch_stats().slm_footprint_bytes,
+              static_cast<bl::size_type>(16 * sizeof(double)));
+}
+
 TEST(StackPartition, SplitsEvenly)
 {
     const batch_range r0 = stack_partition(100, 2, 0);
