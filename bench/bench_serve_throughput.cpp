@@ -1,0 +1,267 @@
+// Serve-throughput benchmark: solves/sec of serve::solve_service under a
+// closed-loop traffic generator.
+//
+// The serving-layer claim mirrors the paper's device-side one (§3.4): many
+// small systems fused into one launch amortize per-launch overhead. This
+// bench measures it end to end through the service: N client threads each
+// submit one single-system request, wait for the reply, and immediately
+// submit the next (closed loop), sweeping the offered load (client count)
+// against two service configurations — `batch1` (max_batch 1, no window:
+// every request is its own launch) and `coalesced` (dynamic batching with
+// a real window). The headline number is the coalesced/batch1 speedup at
+// the highest offered load.
+//
+// Both modes run on an emulated device: the queue charges every launch the
+// fixed submission cost of the modeled PVC stack (device_spec
+// kernel_launch_us, 8 us) as wall time, because the simulator's native
+// launch path costs well under a microsecond — far below any real SYCL
+// runtime — and would under-state exactly the overhead that dynamic
+// batching exists to amortize. Pass --launch-latency-us 0 for the
+// pure-host numbers.
+//
+// Usage:
+//   bench_serve_throughput [--json FILE] [--min-time SECONDS]
+//                          [--launch-latency-us US]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "perfmodel/device_spec.hpp"
+#include "serve/service.hpp"
+#include "util/timer.hpp"
+#include "workload/stencil.hpp"
+
+using namespace bench;
+namespace serve = batchlin::serve;
+
+namespace {
+
+constexpr index_type kRows = 8;
+constexpr int kClients[] = {4, 16, 64};
+/// Outstanding requests per client (closed-loop window). A window above 1
+/// keeps the admission queue non-empty across reply round-trips, which is
+/// what lets the batcher see fusible work on a single-core host.
+constexpr int kWindow = 4;
+
+struct mode_spec {
+    const char* name;
+    index_type max_batch;
+    std::chrono::microseconds max_wait;
+};
+
+// batch1 disables coalescing entirely: a service that launches one kernel
+// per request, the single-shot baseline a caller without a batcher gets.
+// coalesced keeps max_batch below the top offered load so that, at high
+// load, a full batch is already queued when the leader scans and the
+// launch happens without waiting out the window — the standard sizing
+// rule for closed-loop dynamic batching.
+constexpr mode_spec kModes[] = {
+    {"batch1", 1, std::chrono::microseconds{0}},
+    {"coalesced", 32, std::chrono::microseconds{300}},
+};
+
+struct cell_result {
+    double solves_per_sec = 0.0;
+    double mean_batch = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    long requests = 0;
+};
+
+/// Closed-loop measurement of one (mode, clients) cell: each client owns
+/// one request's storage and re-submits as soon as its reply lands.
+cell_result run_cell(const mode_spec& mode, int clients, double min_time,
+                     double launch_latency_us)
+{
+    serve::service_config cfg;
+    cfg.workers = 2;
+    cfg.max_batch = mode.max_batch;
+    cfg.max_wait = mode.max_wait;
+    cfg.max_queue_systems = 4096;
+    xpu::exec_policy policy = xpu::make_sycl_policy();
+    policy.emulated_launch_us = launch_latency_us;
+    serve::solve_service service(policy, cfg);
+
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;
+    opts.preconditioner = precond::type::jacobi;
+    opts.criterion = stop::relative(1e-6, 100);
+
+    std::atomic<bool> running{true};
+    std::atomic<long> completed{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+            // Every client re-submits the same system; all clients share
+            // one sparsity pattern and option set, so the coalesced mode
+            // can fuse across clients.
+            const mat::batch_csr<double> a = work::stencil_3pt<double>(
+                1, kRows, 11 + static_cast<std::uint64_t>(c));
+            const auto b = work::random_rhs<double>(
+                1, kRows, 23 + static_cast<std::uint64_t>(c));
+            // Pre-build the window's request payloads once; each reply
+            // hands the storage back, so the steady-state loop recycles
+            // it instead of re-copying matrices on every submit.
+            std::vector<serve::solve_request<double>> pending;
+            pending.reserve(kWindow);
+            for (int w = 0; w < kWindow; ++w) {
+                serve::solve_request<double> req;
+                req.a = a;
+                req.b = b;
+                req.x = mat::batch_dense<double>(1, kRows, 1);
+                req.opts = opts;
+                pending.push_back(std::move(req));
+            }
+            std::vector<serve::solve_service::ticket<double>> window;
+            window.reserve(kWindow);
+            while (running.load(std::memory_order_relaxed)) {
+                for (auto& req : pending) {
+                    window.push_back(service.submit(std::move(req)));
+                }
+                pending.clear();
+                for (auto& ticket : window) {
+                    serve::solve_reply<double> reply = ticket.get();
+                    if (reply.status == serve::request_status::ok) {
+                        completed.fetch_add(1, std::memory_order_relaxed);
+                    }
+                    serve::solve_request<double> req;
+                    req.a = std::move(reply.a);
+                    req.b = std::move(reply.b);
+                    req.x = std::move(reply.x);
+                    req.x.fill(0.0);
+                    req.opts = opts;
+                    pending.push_back(std::move(req));
+                }
+                window.clear();
+            }
+        });
+    }
+
+    // Warm-up, then measure over a fresh counter interval.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const long warm = completed.load();
+    wall_timer timer;
+    std::this_thread::sleep_for(std::chrono::duration<double>(min_time));
+    const long measured = completed.load() - warm;
+    const double elapsed = timer.seconds();
+    running.store(false);
+    for (std::thread& t : pool) {
+        t.join();
+    }
+
+    const serve::service_stats s = service.stats();
+    cell_result out;
+    out.solves_per_sec = static_cast<double>(measured) / elapsed;
+    out.mean_batch = s.mean_batch_size;
+    out.p50_ms = s.p50_latency_seconds * 1e3;
+    out.p99_ms = s.p99_latency_seconds * 1e3;
+    out.requests = measured;
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const char* json_path = nullptr;
+    double min_time = 1.0;
+    // The modeled submission cost of one PVC stack (device_spec
+    // kernel_launch_us) is the emulated per-launch wall cost by default.
+    double launch_latency_us = perf::pvc_1s().kernel_launch_us;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--min-time") == 0 && i + 1 < argc) {
+            min_time = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--launch-latency-us") == 0 &&
+                   i + 1 < argc) {
+            launch_latency_us = std::atof(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json FILE] [--min-time SECONDS] "
+                         "[--launch-latency-us US]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("Serve throughput: closed-loop clients, 1 system of "
+                "%d rows per request,\nCG + scalar Jacobi rtol 1e-6, "
+                "2 workers, emulated launch cost %.1f us;\n"
+                "batch1 vs coalesced (32 / 300 us)\n\n",
+                kRows, launch_latency_us);
+    std::printf("%10s | %8s | %12s | %10s | %9s | %9s\n", "mode", "clients",
+                "solves/sec", "mean batch", "p50 ms", "p99 ms");
+    rule(72);
+
+    cell_result results[std::size(kModes)][std::size(kClients)];
+    for (std::size_t m = 0; m < std::size(kModes); ++m) {
+        for (std::size_t c = 0; c < std::size(kClients); ++c) {
+            results[m][c] =
+                run_cell(kModes[m], kClients[c], min_time, launch_latency_us);
+            const cell_result& r = results[m][c];
+            std::printf("%10s | %8d | %12.1f | %10.1f | %9.3f | %9.3f\n",
+                        kModes[m].name, kClients[c], r.solves_per_sec,
+                        r.mean_batch, r.p50_ms, r.p99_ms);
+        }
+    }
+
+    const std::size_t top = std::size(kClients) - 1;
+    const double speedup =
+        results[0][top].solves_per_sec > 0.0
+            ? results[1][top].solves_per_sec /
+                  results[0][top].solves_per_sec
+            : 0.0;
+    rule(72);
+    std::printf("coalesced vs batch1 at %d clients: %.2fx solves/sec\n",
+                kClients[top], speedup);
+
+    if (json_path != nullptr) {
+        std::FILE* f = std::fopen(json_path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", json_path);
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"serve_throughput\",\n");
+        std::fprintf(f,
+                     "  \"rows\": %d, \"workers\": 2, "
+                     "\"min_time_seconds\": %.2f,\n",
+                     kRows, min_time);
+        std::fprintf(f, "  \"emulated_launch_us\": %.2f,\n",
+                     launch_latency_us);
+        std::fprintf(f, "  \"cells\": [\n");
+        for (std::size_t m = 0; m < std::size(kModes); ++m) {
+            for (std::size_t c = 0; c < std::size(kClients); ++c) {
+                const cell_result& r = results[m][c];
+                std::fprintf(
+                    f,
+                    "    {\"mode\": \"%s\", \"max_batch\": %d, "
+                    "\"max_wait_us\": %ld, \"clients\": %d, "
+                    "\"solves_per_sec\": %.1f, \"mean_batch_size\": %.2f, "
+                    "\"p50_latency_ms\": %.3f, \"p99_latency_ms\": %.3f, "
+                    "\"requests\": %ld}%s\n",
+                    kModes[m].name, kModes[m].max_batch,
+                    static_cast<long>(kModes[m].max_wait.count()),
+                    kClients[c], r.solves_per_sec, r.mean_batch, r.p50_ms,
+                    r.p99_ms, r.requests,
+                    m + 1 == std::size(kModes) && c + 1 == std::size(kClients)
+                        ? ""
+                        : ",");
+            }
+        }
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f,
+                     "  \"speedup_coalesced_vs_batch1_at_%d_clients\": "
+                     "%.3f\n}\n",
+                     kClients[top], speedup);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path);
+    }
+    return 0;
+}

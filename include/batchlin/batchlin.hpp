@@ -48,6 +48,7 @@
 #include "stop/criterion.hpp"
 
 // Solvers and dispatch
+#include "solver/assemble.hpp"
 #include "solver/dispatch.hpp"
 #include "solver/handle.hpp"
 #include "solver/launch.hpp"
@@ -56,6 +57,10 @@
 #include "solver/residual.hpp"
 #include "solver/trsv.hpp"
 #include "solver/workspace.hpp"
+
+// Dynamic-batching solve service
+#include "serve/service.hpp"
+#include "serve/stats.hpp"
 
 // Performance model and roofline analysis
 #include "perfmodel/cluster.hpp"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the serve-throughput benchmark and writes BENCH_serve_throughput.json
+# at the repo root: closed-loop clients sweeping offered load against the
+# batch1 (no coalescing) and coalesced (dynamic batching) service configs.
+# The acceptance number is speedup_coalesced_vs_batch1 at the highest load.
+#
+# Usage: scripts/bench_serve.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+
+cmake -B "$BUILD_DIR" -S . -G Ninja >/dev/null
+cmake --build "$BUILD_DIR" --target bench_serve_throughput
+
+"$BUILD_DIR/bench/bench_serve_throughput" \
+  --min-time "${BENCH_MIN_TIME:-2}" \
+  --json BENCH_serve_throughput.json

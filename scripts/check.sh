@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Builds and tests the two verification configs:
-#  1. the default Release build (tier-1: what CI and users run), and
+# Builds and tests the three verification configs:
+#  1. the default Release build (tier-1: what CI and users run),
 #  2. a Debug + ASan/UBSan build (BATCHLIN_SANITIZE=ON), which also keeps
-#     assertions alive so the debug-only workspace-binder name checks run.
-# The sanitizer pass is what proves the pooled launch resources and the
-# reused spill backing leak- and UB-free across repeated solves.
+#     assertions alive so the debug-only workspace-binder name checks run,
+#     and
+#  3. a Debug + ThreadSanitizer build (BATCHLIN_SANITIZE=thread) running
+#     the serve:: tests, which exercise the service's submit/worker/reply
+#     handoffs from many host threads at once.
+# The sanitizer passes are what prove the pooled launch resources, the
+# reused spill backing, and the serving layer's locking race- and UB-free.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -13,15 +17,26 @@ JOBS=${1:-$(nproc)}
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$ROOT"
 
-echo "== config 1/2: Release (build/)"
+echo "== config 1/3: Release (build/)"
 cmake -B build -S . -G Ninja >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 2/2: Debug + ASan/UBSan (build-sanitize/)"
+echo "== config 2/3: Debug + ASan/UBSan (build-sanitize/)"
 cmake -B build-sanitize -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=ON >/dev/null
 cmake --build build-sanitize -j "$JOBS"
 ctest --test-dir build-sanitize -j "$JOBS" --output-on-failure | tail -3
 
-echo "== both configs clean"
+echo "== config 3/3: Debug + TSan, serve tests (build-tsan/)"
+cmake -B build-tsan -S . -G Ninja \
+  -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_serve
+# OMP_NUM_THREADS=1: libgomp is not TSan-instrumented, so its barriers
+# would report false positives. The serve-layer concurrency under test —
+# client threads vs worker threads vs stats readers — is plain std::thread
+# and stays fully exercised.
+OMP_NUM_THREADS=1 ctest --test-dir build-tsan -R '^(Serve|Assemble)\.' \
+  -j "$JOBS" --output-on-failure | tail -3
+
+echo "== all three configs clean"

@@ -1,0 +1,350 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace batchlin::serve {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+/// Exact compatibility check behind the hashed grouping key: equal
+/// options and a shared sparsity pattern. Makes hash collisions degrade
+/// batching, never correctness.
+template <typename T>
+bool bodies_compatible(const detail::typed_pending<T>& lhs,
+                       const detail::typed_pending<T>& rhs)
+{
+    return lhs.request.opts == rhs.request.opts &&
+           solver::can_coalesce(lhs.request.a, rhs.request.a);
+}
+
+bool entries_compatible(const detail::pending_entry& lhs,
+                        const detail::pending_entry& rhs)
+{
+    if (lhs.body.index() != rhs.body.index()) {
+        return false;
+    }
+    return std::visit(
+        [&](const auto& typed) {
+            using typed_type = std::decay_t<decltype(typed)>;
+            return bodies_compatible(typed,
+                                     std::get<typed_type>(rhs.body));
+        },
+        lhs.body);
+}
+
+}  // namespace
+
+std::string to_string(request_status status)
+{
+    switch (status) {
+    case request_status::ok:
+        return "ok";
+    case request_status::rejected:
+        return "rejected";
+    case request_status::expired:
+        return "expired";
+    case request_status::failed:
+        return "failed";
+    }
+    return "?";
+}
+
+double latency_window::quantile(double q) const
+{
+    if (samples_.empty()) {
+        return 0.0;
+    }
+    std::vector<double> sorted(samples_);
+    const std::size_t rank = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+    std::nth_element(sorted.begin(), sorted.begin() + rank, sorted.end());
+    return sorted[rank];
+}
+
+solve_service::solve_service(xpu::exec_policy policy, service_config config)
+    : config_(std::move(config)),
+      start_(std::chrono::steady_clock::now()),
+      latency_(config_.latency_window)
+{
+    BATCHLIN_ENSURE_MSG(config_.workers > 0,
+                        "service needs at least one worker");
+    BATCHLIN_ENSURE_MSG(config_.max_batch > 0,
+                        "max_batch must be positive");
+    BATCHLIN_ENSURE_MSG(config_.max_queue_systems > 0,
+                        "admission bound must be positive");
+    BATCHLIN_ENSURE_MSG(config_.max_wait.count() >= 0,
+                        "batching window cannot be negative");
+    batch_histogram_.assign(static_cast<std::size_t>(config_.max_batch) + 1,
+                            0);
+    for (int i = 0; i < config_.workers; ++i) {
+        worker_queues_.emplace_back(policy);
+        // A long-lived service must not accumulate unbounded profiling
+        // state even if an operator enables profiling for a while.
+        worker_queues_.back().set_launch_history_capacity(1024);
+    }
+    workers_.reserve(static_cast<std::size_t>(config_.workers));
+    for (int i = 0; i < config_.workers; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+solve_service::~solve_service() { stop(); }
+
+bool solve_service::accepting() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return accepting_;
+}
+
+void solve_service::drain()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_idle_.wait(lk,
+                  [&] { return queue_.empty() && in_flight_entries_ == 0; });
+}
+
+void solve_service::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        accepting_ = false;
+        stopping_ = true;
+    }
+    cv_work_.notify_all();
+    cv_space_.notify_all();
+    for (std::thread& worker : workers_) {
+        if (worker.joinable()) {
+            worker.join();
+        }
+    }
+}
+
+service_stats solve_service::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    service_stats s;
+    s.submitted_requests = submitted_requests_;
+    s.submitted_systems = submitted_systems_;
+    s.completed_requests = completed_requests_;
+    s.completed_systems = completed_systems_;
+    s.rejected_requests = rejected_requests_;
+    s.expired_requests = expired_requests_;
+    s.failed_requests = failed_requests_;
+    s.batches_launched = batches_launched_;
+    s.queue_depth_requests = queue_.size();
+    s.queue_depth_systems = static_cast<std::uint64_t>(queued_systems_);
+    s.batch_size_histogram = batch_histogram_;
+    s.p50_latency_seconds = latency_.quantile(0.50);
+    s.p99_latency_seconds = latency_.quantile(0.99);
+    s.uptime_seconds =
+        seconds_between(start_, std::chrono::steady_clock::now());
+    s.solves_per_sec =
+        s.uptime_seconds > 0.0
+            ? static_cast<double>(completed_systems_) / s.uptime_seconds
+            : 0.0;
+    s.mean_batch_size =
+        batches_launched_ > 0
+            ? static_cast<double>(batched_systems_sum_) /
+                  static_cast<double>(batches_launched_)
+            : 0.0;
+    return s;
+}
+
+detail::pending_entry solve_service::pop_entry_locked(std::size_t index)
+{
+    detail::pending_entry entry = std::move(
+        queue_[static_cast<std::deque<detail::pending_entry>::size_type>(
+            index)]);
+    queue_.erase(queue_.begin() +
+                 static_cast<std::deque<
+                     detail::pending_entry>::difference_type>(index));
+    queued_systems_ -= static_cast<size_type>(entry.items);
+    ++in_flight_entries_;
+    cv_space_.notify_all();
+    return entry;
+}
+
+void solve_service::worker_loop(int worker_id)
+{
+    xpu::queue& q = worker_queues_[static_cast<std::size_t>(worker_id)];
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        cv_work_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_) {
+                return;
+            }
+            continue;
+        }
+
+        std::vector<detail::pending_entry> batch;
+        batch.push_back(pop_entry_locked(0));
+        const auto now = std::chrono::steady_clock::now();
+        if (batch.front().deadline <= now) {
+            // Already dead on arrival at the worker: complete it without
+            // opening a batching window for it.
+            ++expired_requests_;
+            --in_flight_entries_;
+            detail::pending_entry dead = std::move(batch.front());
+            lk.unlock();
+            reply_without_solving(dead, request_status::expired);
+            lk.lock();
+            if (queue_.empty() && in_flight_entries_ == 0) {
+                cv_idle_.notify_all();
+            }
+            continue;
+        }
+
+        index_type total = batch.front().items;
+        const auto window_end = batch.front().enqueued + config_.max_wait;
+        for (;;) {
+            // Gather everything compatible that is already queued.
+            for (std::size_t i = 0;
+                 i < queue_.size() && total < config_.max_batch;) {
+                if (queue_[i].key == batch.front().key &&
+                    entries_compatible(batch.front(), queue_[i])) {
+                    batch.push_back(pop_entry_locked(i));
+                    total += batch.back().items;
+                } else {
+                    ++i;
+                }
+            }
+            if (total >= config_.max_batch || stopping_) {
+                break;
+            }
+            if (std::chrono::steady_clock::now() >= window_end) {
+                break;
+            }
+            // Hold the window open for companions; submit() notifies.
+            cv_work_.wait_until(lk, window_end);
+        }
+
+        const std::size_t popped = batch.size();
+        lk.unlock();
+        execute(q, std::move(batch));
+        lk.lock();
+        in_flight_entries_ -= popped;
+        if (queue_.empty() && in_flight_entries_ == 0) {
+            cv_idle_.notify_all();
+        }
+    }
+}
+
+void solve_service::execute(xpu::queue& q,
+                            std::vector<detail::pending_entry> batch)
+{
+    if (batch.front().body.index() == 0) {
+        execute_typed<double>(q, std::move(batch));
+    } else {
+        execute_typed<float>(q, std::move(batch));
+    }
+}
+
+template <typename T>
+void solve_service::execute_typed(xpu::queue& q,
+                                  std::vector<detail::pending_entry> batch)
+{
+    const auto launch_time = std::chrono::steady_clock::now();
+    std::vector<detail::pending_entry> live;
+    std::vector<detail::pending_entry> expired;
+    for (detail::pending_entry& entry : batch) {
+        (entry.deadline <= launch_time ? expired : live)
+            .push_back(std::move(entry));
+    }
+    for (detail::pending_entry& entry : expired) {
+        reply_without_solving(entry, request_status::expired);
+    }
+
+    std::uint64_t ok_requests = 0;
+    std::uint64_t ok_systems = 0;
+    std::uint64_t failed = 0;
+    index_type total = 0;
+    std::vector<double> latencies;
+    if (!live.empty()) {
+        std::vector<solver::assembly_part<T>> parts;
+        parts.reserve(live.size());
+        for (detail::pending_entry& entry : live) {
+            auto& typed = std::get<detail::typed_pending<T>>(entry.body);
+            parts.push_back({&typed.request.a, &typed.request.b,
+                             &typed.request.x});
+            total += entry.items;
+        }
+        solver::solve_options opts =
+            std::get<detail::typed_pending<T>>(live.front().body)
+                .request.opts;
+        if (config_.skip_spill_zeroing) {
+            opts.zero_spill = false;
+        }
+        try {
+            const solver::solve_result combined =
+                solver::solve_coalesced<T>(q, parts, opts);
+            const auto done = std::chrono::steady_clock::now();
+            index_type offset = 0;
+            for (detail::pending_entry& entry : live) {
+                auto& typed =
+                    std::get<detail::typed_pending<T>>(entry.body);
+                solve_reply<T> reply;
+                reply.status = request_status::ok;
+                reply.a = std::move(typed.request.a);
+                reply.b = std::move(typed.request.b);
+                reply.x = std::move(typed.request.x);
+                reply.log =
+                    solver::split_log(combined.log, offset, entry.items);
+                reply.fused_systems = total;
+                reply.queue_seconds =
+                    seconds_between(entry.enqueued, launch_time);
+                reply.solve_seconds = combined.wall_seconds;
+                offset += entry.items;
+                latencies.push_back(seconds_between(entry.enqueued, done));
+                typed.promise.set_value(std::move(reply));
+                ++ok_requests;
+                ok_systems += static_cast<std::uint64_t>(entry.items);
+            }
+        } catch (const std::exception& ex) {
+            for (detail::pending_entry& entry : live) {
+                auto& typed =
+                    std::get<detail::typed_pending<T>>(entry.body);
+                solve_reply<T> reply;
+                reply.status = request_status::failed;
+                reply.error = ex.what();
+                reply.a = std::move(typed.request.a);
+                reply.b = std::move(typed.request.b);
+                reply.x = std::move(typed.request.x);
+                typed.promise.set_value(std::move(reply));
+                ++failed;
+            }
+        }
+    }
+
+    std::lock_guard<std::mutex> lk(mu_);
+    expired_requests_ += static_cast<std::uint64_t>(expired.size());
+    completed_requests_ += ok_requests;
+    completed_systems_ += ok_systems;
+    failed_requests_ += failed;
+    if (ok_requests > 0) {
+        ++batches_launched_;
+        batched_systems_sum_ += static_cast<std::uint64_t>(total);
+        const std::size_t bucket =
+            total <= config_.max_batch ? static_cast<std::size_t>(total)
+                                       : 0;
+        ++batch_histogram_[bucket];
+        for (const double s : latencies) {
+            latency_.record(s);
+        }
+    }
+}
+
+template void solve_service::execute_typed<double>(
+    xpu::queue&, std::vector<detail::pending_entry>);
+template void solve_service::execute_typed<float>(
+    xpu::queue&, std::vector<detail::pending_entry>);
+
+}  // namespace batchlin::serve

@@ -1,0 +1,390 @@
+// serve::solve_service — a dynamic-batching solve service.
+//
+// The paper's throughput result (§3.4) comes from fusing many small
+// systems into one kernel launch. A caller with a *stream* of independent
+// requests cannot exploit that through single-shot `solve` calls, so this
+// subsystem does what an inference server's dynamic batcher does for
+// model requests: `submit` enqueues a request and returns a future;
+// worker threads coalesce compatible requests (same precision, format,
+// sparsity pattern, and solve options) into one fused launch under a
+// time/size window (`max_batch`, `max_wait`); results and per-system
+// convergence records are scattered back per request.
+//
+// Threading model: one mutex guards the admission queue and statistics;
+// each worker thread owns a private `xpu::queue`, so the pooled launch
+// resources (arenas, counter blocks, spill scratch) are never shared —
+// the contract `xpu::queue` documents and debug-asserts. Admission is
+// bounded: when `max_queue_systems` is reached, requests are rejected or
+// the submitter blocks, per `overflow_policy`. Per-request deadlines are
+// honored before launch: an expired request completes with
+// `request_status::expired` and is never solved. `stop` drains gracefully
+// (queued work is still solved; batching windows are cut short).
+//
+// Head-of-line note: the batcher is FIFO per worker — a leader holding
+// its window can delay queued requests of a different coalescing key by
+// up to `max_wait`; add workers to bound that.
+#pragma once
+
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "serve/stats.hpp"
+#include "solver/assemble.hpp"
+#include "solver/options.hpp"
+#include "util/error.hpp"
+#include "xpu/policy.hpp"
+#include "xpu/queue.hpp"
+
+namespace batchlin::serve {
+
+/// Terminal state of one request.
+enum class request_status {
+    /// Solved; `x`, `log`, and the timing fields are valid.
+    ok,
+    /// Refused by admission control; never queued.
+    rejected,
+    /// Deadline passed before the batch launched; never solved.
+    expired,
+    /// The batch solve threw; `error` carries the message.
+    failed,
+};
+
+std::string to_string(request_status status);
+
+/// One asynchronous solve request: A x = b per batch item, with `x`
+/// carrying the initial guess (and, in the reply, the solution). A
+/// request may itself hold a batch of systems; they stay contiguous in
+/// the fused launch.
+template <typename T>
+struct solve_request {
+    solver::batch_matrix<T> a;
+    mat::batch_dense<T> b;
+    mat::batch_dense<T> x;
+    solver::solve_options opts{};
+    /// Relative deadline measured from submit; zero means none.
+    std::chrono::microseconds deadline{0};
+};
+
+/// What the ticket resolves to. For non-ok statuses `x` returns the
+/// initial guess unchanged and `log` is empty.
+template <typename T>
+struct solve_reply {
+    request_status status = request_status::ok;
+    /// Failure message when status == failed.
+    std::string error;
+    /// The request's matrix and right-hand side, handed back so a
+    /// high-rate caller can recycle the storage for its next request
+    /// instead of rebuilding it (`a` is read-only during the solve).
+    solver::batch_matrix<T> a;
+    mat::batch_dense<T> b;
+    mat::batch_dense<T> x;
+    log::batch_log log;
+    /// Systems in the fused launch this request rode in.
+    index_type fused_systems = 0;
+    /// Submit-to-launch waiting time.
+    double queue_seconds = 0.0;
+    /// Wall time of the fused solve.
+    double solve_seconds = 0.0;
+};
+
+/// What to do with a submit that finds the bounded queue full.
+enum class overflow_policy {
+    /// Complete the ticket immediately with `request_status::rejected`.
+    reject,
+    /// Block the submitting thread until space frees up (or the service
+    /// stops accepting, which rejects).
+    block,
+};
+
+struct service_config {
+    /// Worker threads; each owns a private `xpu::queue`.
+    int workers = 2;
+    /// Most systems one fused launch may carry.
+    index_type max_batch = 64;
+    /// How long a batch leader waits for companions before launching.
+    std::chrono::microseconds max_wait{200};
+    /// Admission bound, counted in systems (a batched request counts its
+    /// batch size).
+    size_type max_queue_systems = 4096;
+    overflow_policy on_full = overflow_policy::reject;
+    /// Skip zero-filling the spill scratch on the hot path (the solver
+    /// kernels overwrite every spilled element before reading it; the
+    /// equivalence tests pin down that replies are bit-identical either
+    /// way).
+    bool skip_spill_zeroing = true;
+    /// Sliding-window size of the latency percentile estimator.
+    std::size_t latency_window = 8192;
+};
+
+namespace detail {
+
+/// Word-at-a-time FNV-1a variant: one xor-multiply per 64-bit value plus
+/// a final avalanche, not one per byte — `submit` hashes the full sparsity
+/// pattern on every request, so this sits on the serving hot path.
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v;
+    h *= 1099511628211ull;
+    h ^= h >> 32;
+    return h;
+}
+
+inline std::uint64_t hash_span(std::uint64_t h,
+                               const std::vector<index_type>& values)
+{
+    for (const index_type v : values) {
+        h ^= static_cast<std::uint64_t>(v);
+        h *= 1099511628211ull;
+    }
+    h ^= h >> 32;
+    return h;
+}
+
+/// Grouping key of the dynamic batcher: precision, format, dimensions,
+/// sparsity pattern, and the full option set. Two requests may share a
+/// fused launch only if their keys match; the batcher additionally
+/// verifies exact pattern/options equality before coalescing, so a hash
+/// collision degrades batching, never correctness.
+template <typename T>
+std::uint64_t coalesce_key(const solver::batch_matrix<T>& a,
+                           const solver::solve_options& opts)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    h = hash_mix(h, sizeof(T));
+    h = hash_mix(h, static_cast<std::uint64_t>(a.index()));
+    std::visit(
+        [&](const auto& m) {
+            using MatBatch = std::decay_t<decltype(m)>;
+            h = hash_mix(h, static_cast<std::uint64_t>(m.rows()));
+            h = hash_mix(h, static_cast<std::uint64_t>(m.cols()));
+            if constexpr (std::is_same_v<MatBatch, mat::batch_csr<T>>) {
+                h = hash_span(h, m.row_ptrs());
+                h = hash_span(h, m.col_idxs());
+            } else if constexpr (std::is_same_v<MatBatch,
+                                                mat::batch_ell<T>>) {
+                h = hash_mix(h, static_cast<std::uint64_t>(m.ell_width()));
+                h = hash_span(h, m.col_idxs());
+            }
+        },
+        a);
+    h = hash_mix(h, static_cast<std::uint64_t>(opts.solver));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts.preconditioner));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts.criterion.type));
+    h = hash_mix(h, std::bit_cast<std::uint64_t>(opts.criterion.tolerance));
+    h = hash_mix(h,
+                 static_cast<std::uint64_t>(opts.criterion.max_iterations));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts.gmres_restart));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts.block_jacobi_size));
+    h = hash_mix(h,
+                 std::bit_cast<std::uint64_t>(opts.richardson_relaxation));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts.slm));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts.sub_group_size));
+    h = hash_mix(h, opts.reduction
+                        ? static_cast<std::uint64_t>(*opts.reduction) + 1
+                        : 0);
+    h = hash_mix(h, static_cast<std::uint64_t>(opts.trsv_triangle));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts.zero_spill));
+    return h;
+}
+
+/// A queued request of one precision, with the promise its ticket waits
+/// on.
+template <typename T>
+struct typed_pending {
+    solve_request<T> request;
+    std::promise<solve_reply<T>> promise;
+};
+
+struct pending_entry {
+    std::uint64_t key = 0;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;
+    index_type items = 0;
+    std::variant<typed_pending<double>, typed_pending<float>> body;
+};
+
+}  // namespace detail
+
+/// The dynamic-batching solve service. See the file comment for the
+/// threading model and batching semantics.
+class solve_service {
+public:
+    template <typename T>
+    using ticket = std::future<solve_reply<T>>;
+
+    /// Spins up the worker pool; each worker owns an `xpu::queue` built
+    /// from `policy`.
+    explicit solve_service(xpu::exec_policy policy,
+                           service_config config = {});
+
+    /// Stops the service (graceful drain) if still running.
+    ~solve_service();
+
+    solve_service(const solve_service&) = delete;
+    solve_service& operator=(const solve_service&) = delete;
+
+    /// Enqueues a request and returns the ticket its reply resolves
+    /// through. Throws on malformed requests (dimension mismatches,
+    /// record_history); admission-control refusals do NOT throw — they
+    /// resolve the ticket with `request_status::rejected`.
+    template <typename T>
+    ticket<T> submit(solve_request<T> request)
+    {
+        BATCHLIN_ENSURE_MSG(!request.opts.record_history,
+                            "serve:: does not scatter per-iteration "
+                            "history; use a direct solve for that");
+        request.opts.criterion.validate();
+        const index_type items = std::visit(
+            [](const auto& m) { return m.num_batch_items(); }, request.a);
+        const index_type rows =
+            std::visit([](const auto& m) { return m.rows(); }, request.a);
+        BATCHLIN_ENSURE_MSG(items > 0, "empty solve request");
+        BATCHLIN_ENSURE_DIMS(request.b.num_batch_items() == items &&
+                                 request.x.num_batch_items() == items,
+                             "batch sizes of A, b, x must match");
+        BATCHLIN_ENSURE_DIMS(request.b.rows() == rows &&
+                                 request.x.rows() == rows &&
+                                 request.b.cols() == 1 &&
+                                 request.x.cols() == 1,
+                             "vector shapes must match the matrix order");
+
+        const auto now = std::chrono::steady_clock::now();
+        const auto deadline =
+            request.deadline.count() > 0
+                ? now + request.deadline
+                : std::chrono::steady_clock::time_point::max();
+        const std::uint64_t key =
+            detail::coalesce_key<T>(request.a, request.opts);
+
+        detail::typed_pending<T> typed{std::move(request), {}};
+        ticket<T> fut = typed.promise.get_future();
+
+        std::unique_lock<std::mutex> lk(mu_);
+        ++submitted_requests_;
+        submitted_systems_ += static_cast<std::uint64_t>(items);
+        if (!accepting_) {
+            ++rejected_requests_;
+            lk.unlock();
+            reply_without_solving(typed, request_status::rejected);
+            return fut;
+        }
+        if (queued_systems_ + static_cast<size_type>(items) >
+            config_.max_queue_systems) {
+            if (config_.on_full == overflow_policy::reject) {
+                ++rejected_requests_;
+                lk.unlock();
+                reply_without_solving(typed, request_status::rejected);
+                return fut;
+            }
+            cv_space_.wait(lk, [&] {
+                return !accepting_ ||
+                       queued_systems_ + static_cast<size_type>(items) <=
+                           config_.max_queue_systems;
+            });
+            if (!accepting_) {
+                ++rejected_requests_;
+                lk.unlock();
+                reply_without_solving(typed, request_status::rejected);
+                return fut;
+            }
+        }
+        queue_.push_back(detail::pending_entry{key, now, deadline, items,
+                                               std::move(typed)});
+        queued_systems_ += static_cast<size_type>(items);
+        // notify_all: idle workers must wake, and workers holding a
+        // batching window open must re-scan for the new arrival.
+        cv_work_.notify_all();
+        return fut;
+    }
+
+    /// Blocks until the queue is empty and no batch is in flight. The
+    /// service keeps accepting; with concurrent submitters this waits for
+    /// a momentary quiescent point, not a permanent one.
+    void drain();
+
+    /// Stops accepting, solves everything already queued (windows are cut
+    /// short), and joins the workers. Idempotent.
+    void stop();
+
+    bool accepting() const;
+
+    /// Point-in-time statistics snapshot.
+    service_stats stats() const;
+
+    const service_config& config() const { return config_; }
+
+private:
+    /// Completes a request without solving it (rejected / expired).
+    template <typename T>
+    static void reply_without_solving(detail::typed_pending<T>& typed,
+                                      request_status status)
+    {
+        solve_reply<T> reply;
+        reply.status = status;
+        reply.a = std::move(typed.request.a);
+        reply.b = std::move(typed.request.b);
+        reply.x = std::move(typed.request.x);
+        typed.promise.set_value(std::move(reply));
+    }
+
+    static void reply_without_solving(detail::pending_entry& entry,
+                                      request_status status)
+    {
+        std::visit([&](auto& typed) { reply_without_solving(typed, status); },
+                   entry.body);
+    }
+
+    void worker_loop(int worker_id);
+
+    /// Removes queue_[index] under the caller's lock: books it as
+    /// in-flight and frees its admission budget.
+    detail::pending_entry pop_entry_locked(std::size_t index);
+
+    void execute(xpu::queue& q,
+                 std::vector<detail::pending_entry> batch);
+
+    template <typename T>
+    void execute_typed(xpu::queue& q,
+                       std::vector<detail::pending_entry> batch);
+
+    service_config config_;
+    std::chrono::steady_clock::time_point start_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_space_;
+    std::condition_variable cv_idle_;
+    std::deque<detail::pending_entry> queue_;
+    size_type queued_systems_ = 0;
+    std::size_t in_flight_entries_ = 0;
+    bool accepting_ = true;
+    bool stopping_ = false;
+
+    std::uint64_t submitted_requests_ = 0;
+    std::uint64_t submitted_systems_ = 0;
+    std::uint64_t completed_requests_ = 0;
+    std::uint64_t completed_systems_ = 0;
+    std::uint64_t rejected_requests_ = 0;
+    std::uint64_t expired_requests_ = 0;
+    std::uint64_t failed_requests_ = 0;
+    std::uint64_t batches_launched_ = 0;
+    std::uint64_t batched_systems_sum_ = 0;
+    std::vector<std::uint64_t> batch_histogram_;
+    latency_window latency_;
+
+    /// One queue per worker (deque: xpu::queue is not movable in debug
+    /// builds). Constructed before, and outliving, the worker threads.
+    std::deque<xpu::queue> worker_queues_;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace batchlin::serve

@@ -1,0 +1,86 @@
+// Observability of the solve service: counters, batch-size histogram, and
+// latency percentiles, exposed as an immutable snapshot so operators can
+// poll a running service without perturbing it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace batchlin::serve {
+
+/// Point-in-time view of a `solve_service` (see `solve_service::stats`).
+/// All request counters are in requests; the `*_systems` counters are in
+/// linear systems (a request may carry a whole batch).
+struct service_stats {
+    /// Requests accepted into the queue since start.
+    std::uint64_t submitted_requests = 0;
+    std::uint64_t submitted_systems = 0;
+    /// Requests completed successfully (status ok).
+    std::uint64_t completed_requests = 0;
+    std::uint64_t completed_systems = 0;
+    /// Requests refused by admission control (bounded queue full or
+    /// service no longer accepting).
+    std::uint64_t rejected_requests = 0;
+    /// Requests whose deadline passed before their batch launched.
+    std::uint64_t expired_requests = 0;
+    /// Requests whose batch solve threw.
+    std::uint64_t failed_requests = 0;
+    /// Fused launches executed by the worker pool.
+    std::uint64_t batches_launched = 0;
+
+    /// Current admission queue depth.
+    std::uint64_t queue_depth_requests = 0;
+    std::uint64_t queue_depth_systems = 0;
+
+    /// batch_size_histogram[k] counts launches that fused k systems;
+    /// index 0 aggregates launches larger than the histogram (cannot
+    /// happen while `max_batch` bounds the batcher).
+    std::vector<std::uint64_t> batch_size_histogram;
+
+    /// Submit-to-reply latency percentiles over a sliding window of the
+    /// most recent completed requests; zero until the first completion.
+    double p50_latency_seconds = 0.0;
+    double p99_latency_seconds = 0.0;
+
+    /// Completed systems per wall-clock second since service start.
+    double solves_per_sec = 0.0;
+    /// Mean fused-launch size in systems; zero before the first launch.
+    double mean_batch_size = 0.0;
+    double uptime_seconds = 0.0;
+};
+
+/// Fixed-size sliding window of recent latency samples. Percentiles are
+/// computed on demand from an unordered copy; the ring itself is O(1) per
+/// sample so the service's completion path stays cheap.
+class latency_window {
+public:
+    explicit latency_window(std::size_t capacity = 8192)
+        : capacity_(capacity)
+    {
+        samples_.reserve(capacity_);
+    }
+
+    void record(double seconds)
+    {
+        if (samples_.size() < capacity_) {
+            samples_.push_back(seconds);
+            return;
+        }
+        samples_[next_] = seconds;
+        next_ = (next_ + 1) % capacity_;
+    }
+
+    /// quantile in [0, 1]; zero when no samples were recorded yet.
+    double quantile(double q) const;
+
+    std::size_t size() const { return samples_.size(); }
+
+private:
+    std::size_t capacity_;
+    std::size_t next_ = 0;
+    std::vector<double> samples_;
+};
+
+}  // namespace batchlin::serve

@@ -1,0 +1,181 @@
+#include "solver/assemble.hpp"
+
+#include <algorithm>
+#include <variant>
+
+#include "util/error.hpp"
+
+namespace batchlin::solver {
+
+namespace {
+
+template <typename T>
+bool same_pattern(const mat::batch_csr<T>& lhs, const mat::batch_csr<T>& rhs)
+{
+    return lhs.rows() == rhs.rows() && lhs.cols() == rhs.cols() &&
+           lhs.nnz() == rhs.nnz() && lhs.row_ptrs() == rhs.row_ptrs() &&
+           lhs.col_idxs() == rhs.col_idxs();
+}
+
+template <typename T>
+bool same_pattern(const mat::batch_ell<T>& lhs, const mat::batch_ell<T>& rhs)
+{
+    return lhs.rows() == rhs.rows() && lhs.cols() == rhs.cols() &&
+           lhs.ell_width() == rhs.ell_width() &&
+           lhs.col_idxs() == rhs.col_idxs();
+}
+
+template <typename T>
+bool same_pattern(const mat::batch_dense<T>& lhs,
+                  const mat::batch_dense<T>& rhs)
+{
+    return lhs.rows() == rhs.rows() && lhs.cols() == rhs.cols();
+}
+
+/// Copies the value blocks of every part's matrix into `combined`,
+/// batch-major; the shared pattern already lives in `combined`.
+template <typename T, typename MatBatch>
+void gather_values(const std::vector<assembly_part<T>>& parts,
+                   MatBatch& combined)
+{
+    auto out = combined.values().begin();
+    for (const assembly_part<T>& part : parts) {
+        const auto& values = std::get<MatBatch>(*part.a).values();
+        out = std::copy(values.begin(), values.end(), out);
+    }
+}
+
+template <typename T>
+batch_matrix<T> gather_matrix(const std::vector<assembly_part<T>>& parts,
+                              index_type total_items)
+{
+    return std::visit(
+        [&](const auto& leader) -> batch_matrix<T> {
+            using MatBatch = std::decay_t<decltype(leader)>;
+            if constexpr (std::is_same_v<MatBatch, mat::batch_csr<T>>) {
+                mat::batch_csr<T> combined(total_items, leader.rows(),
+                                           leader.cols(), leader.row_ptrs(),
+                                           leader.col_idxs());
+                gather_values(parts, combined);
+                return combined;
+            } else if constexpr (std::is_same_v<MatBatch,
+                                                mat::batch_ell<T>>) {
+                mat::batch_ell<T> combined(total_items, leader.rows(),
+                                           leader.cols(),
+                                           leader.ell_width());
+                combined.col_idxs() = leader.col_idxs();
+                gather_values(parts, combined);
+                return combined;
+            } else {
+                mat::batch_dense<T> combined(total_items, leader.rows(),
+                                             leader.cols());
+                gather_values(parts, combined);
+                return combined;
+            }
+        },
+        *parts.front().a);
+}
+
+}  // namespace
+
+template <typename T>
+bool can_coalesce(const batch_matrix<T>& lhs, const batch_matrix<T>& rhs)
+{
+    if (lhs.index() != rhs.index()) {
+        return false;
+    }
+    return std::visit(
+        [&](const auto& l) {
+            using MatBatch = std::decay_t<decltype(l)>;
+            return same_pattern(l, std::get<MatBatch>(rhs));
+        },
+        lhs);
+}
+
+log::batch_log split_log(const log::batch_log& combined, index_type offset,
+                         index_type items)
+{
+    BATCHLIN_ENSURE_DIMS(offset >= 0 && items >= 0 &&
+                             offset + items <= combined.num_systems(),
+                         "log slice out of range");
+    log::batch_log part(items);
+    for (index_type i = 0; i < items; ++i) {
+        part.record(i, combined.iterations(offset + i),
+                    combined.residual_norm(offset + i),
+                    combined.converged(offset + i));
+    }
+    return part;
+}
+
+template <typename T>
+solve_result solve_coalesced(xpu::queue& q,
+                             const std::vector<assembly_part<T>>& parts,
+                             const solve_options& opts)
+{
+    BATCHLIN_ENSURE_MSG(!parts.empty(), "nothing to solve");
+    BATCHLIN_ENSURE_MSG(!opts.record_history,
+                        "per-iteration history is not supported for "
+                        "coalesced solves");
+    index_type total_items = 0;
+    const index_type rows =
+        std::visit([](const auto& m) { return m.rows(); },
+                   *parts.front().a);
+    for (const assembly_part<T>& part : parts) {
+        BATCHLIN_ENSURE_MSG(part.a != nullptr && part.b != nullptr &&
+                                part.x != nullptr,
+                            "assembly part missing an operand");
+        BATCHLIN_ENSURE_MSG(can_coalesce(*parts.front().a, *part.a),
+                            "assembly parts do not share format, "
+                            "dimensions, and sparsity pattern");
+        const index_type items = part.items();
+        BATCHLIN_ENSURE_DIMS(part.b->num_batch_items() == items &&
+                                 part.x->num_batch_items() == items,
+                             "batch sizes of A, b, x must match");
+        BATCHLIN_ENSURE_DIMS(part.b->rows() == rows &&
+                                 part.x->rows() == rows &&
+                                 part.b->cols() == 1 && part.x->cols() == 1,
+                             "vector shapes must match the matrix order");
+        total_items += items;
+    }
+
+    if (parts.size() == 1) {
+        // One request already is a batch: no gather/scatter needed, and
+        // the result is trivially identical to a solo solve.
+        return solve(q, *parts.front().a, *parts.front().b,
+                     *parts.front().x, opts);
+    }
+
+    const batch_matrix<T> a = gather_matrix(parts, total_items);
+    mat::batch_dense<T> b(total_items, rows, 1);
+    mat::batch_dense<T> x(total_items, rows, 1);
+    auto b_out = b.values().begin();
+    auto x_out = x.values().begin();
+    for (const assembly_part<T>& part : parts) {
+        b_out = std::copy(part.b->values().begin(), part.b->values().end(),
+                          b_out);
+        x_out = std::copy(part.x->values().begin(), part.x->values().end(),
+                          x_out);
+    }
+
+    solve_result result = solve(q, a, b, x, opts);
+
+    auto x_in = x.values().begin();
+    for (const assembly_part<T>& part : parts) {
+        std::copy_n(x_in, part.x->values().size(),
+                    part.x->values().begin());
+        x_in += part.x->values().size();
+    }
+    return result;
+}
+
+#define BATCHLIN_INSTANTIATE_ASSEMBLE(T)                                    \
+    template bool can_coalesce<T>(const batch_matrix<T>&,                   \
+                                  const batch_matrix<T>&);                  \
+    template solve_result solve_coalesced<T>(                               \
+        xpu::queue&, const std::vector<assembly_part<T>>&,                  \
+        const solve_options&)
+
+BATCHLIN_INSTANTIATE_ASSEMBLE(float);
+BATCHLIN_INSTANTIATE_ASSEMBLE(double);
+
+}  // namespace batchlin::solver

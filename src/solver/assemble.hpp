@@ -1,0 +1,59 @@
+// Coalesced-batch assembly: the solver-side half of the serve:: dynamic
+// batcher.
+//
+// The paper's throughput argument (§3.4) is that many small systems fused
+// into one kernel launch amortize the per-launch overhead. A stream of
+// independent solve requests can only exploit that if someone gathers the
+// requests into one batch before it hits the device: `solve_coalesced`
+// takes N compatible requests (same pattern, same options), assembles one
+// combined batch, runs exactly one fused solve, and scatters each
+// request's solution and convergence record back. Because every system is
+// solved by its own work-group with a launch configuration that depends
+// only on the system shape, the per-request results are bit-identical to
+// solo `solve` calls (tests/test_serve.cpp asserts this).
+#pragma once
+
+#include <vector>
+
+#include "solver/dispatch.hpp"
+#include "solver/options.hpp"
+
+namespace batchlin::solver {
+
+/// One request's slice of a coalesced solve. `x` carries the initial
+/// guess on entry and the solution on return, exactly like `solve`.
+template <typename T>
+struct assembly_part {
+    const batch_matrix<T>* a = nullptr;
+    const mat::batch_dense<T>* b = nullptr;
+    mat::batch_dense<T>* x = nullptr;
+
+    index_type items() const
+    {
+        return std::visit(
+            [](const auto& m) { return m.num_batch_items(); }, *a);
+    }
+};
+
+/// Whether two batches may share one fused launch: same format, same
+/// dimensions, and the same sparsity pattern (BatchCsr row pointers and
+/// column indexes, BatchEll column indexes). Batch sizes may differ.
+template <typename T>
+bool can_coalesce(const batch_matrix<T>& lhs, const batch_matrix<T>& rhs);
+
+/// Solves all parts as one fused batch on `q` and scatters each part's
+/// solution back into its `x`. Part `i`'s systems occupy batch entries
+/// [offset_i, offset_i + items_i) of the combined result, with offsets in
+/// part order; use `split_log` to slice the combined log per part. The
+/// single-part case forwards to `solve` directly (no gather/scatter).
+template <typename T>
+solve_result solve_coalesced(xpu::queue& q,
+                             const std::vector<assembly_part<T>>& parts,
+                             const solve_options& opts);
+
+/// Extracts the per-system convergence records of one part from the
+/// combined log: entries [offset, offset + items) re-indexed from zero.
+log::batch_log split_log(const log::batch_log& combined, index_type offset,
+                         index_type items);
+
+}  // namespace batchlin::solver

@@ -218,6 +218,7 @@ solve_result solve_range(xpu::queue& q, const batch_matrix<T>& a,
             plan_workspace(solver_type::trsv, rows, nnz, 0,
                            q.policy().slm_bytes_per_group, sizeof(T),
                            opts.gmres_restart, opts.slm);
+        result.plan.zero_spill = opts.zero_spill;
         wall_timer timer;
         run_trsv<T>(q, std::get<mat::batch_csr<T>>(a), b, x,
                     opts.trsv_triangle, result.plan, result.config,
@@ -233,6 +234,7 @@ solve_result solve_range(xpu::queue& q, const batch_matrix<T>& a,
     result.plan = plan_workspace(opts.solver, rows, nnz, pc_elems,
                                  q.policy().slm_bytes_per_group, sizeof(T),
                                  opts.gmres_restart, opts.slm);
+    result.plan.zero_spill = opts.zero_spill;
 
     wall_timer timer;
     // Level 1 of the dispatch: the format axis.

@@ -68,14 +68,18 @@ private:
 
 /// Spilled-workspace backing of one launch: a contiguous slice of
 /// `plan.global_elems_per_group` per work-group, carved from the queue's
-/// scratch pool so repeated solves reuse one allocation (the backing is
-/// zeroed per launch, exactly like the per-launch vector it replaces).
+/// scratch pool so repeated solves reuse one allocation. By default the
+/// backing is zeroed per launch, exactly like the per-launch vector it
+/// replaces; `plan.zero_spill == false` (the serve:: hot path) skips the
+/// fill, which is safe because the kernels overwrite every spilled
+/// element before reading it.
 template <typename T>
 struct spill_buffer {
     spill_buffer(xpu::queue& q, const slm_plan& plan, index_type num_groups)
         : per_group(plan.global_elems_per_group),
           data(reinterpret_cast<T*>(q.scratch().acquire(
-              per_group * static_cast<size_type>(num_groups) * sizeof(T))))
+              per_group * static_cast<size_type>(num_groups) * sizeof(T),
+              plan.zero_spill)))
     {}
 
     T* for_group(index_type local_group)

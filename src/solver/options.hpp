@@ -65,6 +65,17 @@ struct solve_options {
     /// Record the per-iteration residual history of every system (costs
     /// num_systems x max_iterations doubles; off by default).
     bool record_history = false;
+    /// Zero-fill the spilled workspace backing before each launch. The
+    /// kernels overwrite every spilled element before reading it, so this
+    /// only costs time; it stays on by default for exact continuity with
+    /// the historical per-launch buffers. serve:: disables it on its hot
+    /// path (see service_config::skip_spill_zeroing).
+    bool zero_spill = true;
+
+    /// Exact member-wise comparison; the serve:: dynamic batcher only
+    /// coalesces requests whose options compare equal.
+    friend bool operator==(const solve_options&,
+                           const solve_options&) = default;
 };
 
 /// Outcome of one batched solve: per-system convergence data, the counters

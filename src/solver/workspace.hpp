@@ -54,6 +54,13 @@ struct slm_plan {
     size_type slm_bytes = 0;
     /// Elements (of the value type) spilled to global memory per group.
     size_type global_elems_per_group = 0;
+    /// Whether the spill backing is zero-filled before the launch. The
+    /// kernels write every spilled element before reading it, so the fill
+    /// is not needed for correctness; it stays on by default to mirror the
+    /// value-initialized per-launch buffer the scratch pool replaced.
+    /// `solve_options::zero_spill` propagates here (serve:: turns it off
+    /// on its hot path).
+    bool zero_spill = true;
 
     /// Index of a named entry; throws when absent.
     index_type find(const std::string& name) const;

@@ -26,6 +26,8 @@ struct criterion {
     double tolerance = 1e-10;
     index_type max_iterations = 200;
 
+    friend bool operator==(const criterion&, const criterion&) = default;
+
     /// Throws on non-positive tolerance or iteration budget.
     void validate() const
     {

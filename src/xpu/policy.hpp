@@ -53,6 +53,14 @@ struct exec_policy {
     index_type sub_group_reduce_rows = 32;
     /// Maximum work-group size the device can schedule.
     index_type max_work_group_size = 1024;
+    /// Wall-clock cost charged to every `run_batch`, emulating the fixed
+    /// submission overhead of a real device queue (the `kernel_launch_us`
+    /// of the analytic device model; 4-8 us on the paper's GPUs). The
+    /// simulator's native launch path costs well under a microsecond, so
+    /// without this knob host-side wall-clock studies under-state the
+    /// per-launch cost that batching amortizes (§3.4). Zero (the default)
+    /// disables emulation; figure benches and tests run with zero.
+    double emulated_launch_us = 0.0;
 
     /// True when `size` is one of the supported sub-group sizes.
     bool supports_sub_group(index_type size) const;

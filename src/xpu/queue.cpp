@@ -12,14 +12,65 @@ double queue::now_seconds()
         .count();
 }
 
-std::byte* scratch_pool::acquire(size_type bytes)
+void queue::emulate_launch_cost(double us)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::micro>(us));
+    while (std::chrono::steady_clock::now() < until) {
+    }
+}
+
+std::byte* scratch_pool::acquire(size_type bytes, bool zeroed)
 {
     if (static_cast<size_type>(storage_.size()) < bytes) {
+        // The grown tail is value-initialized by resize, so a non-zeroed
+        // acquisition still never hands out uninitialized memory.
         storage_.resize(static_cast<std::size_t>(bytes));
     }
-    std::fill_n(storage_.data(), static_cast<std::size_t>(bytes),
-                std::byte{0});
+    if (zeroed) {
+        std::fill_n(storage_.data(), static_cast<std::size_t>(bytes),
+                    std::byte{0});
+    }
     return storage_.data();
+}
+
+std::vector<launch_record> queue::launch_history() const
+{
+    std::vector<launch_record> ordered;
+    ordered.reserve(history_.size());
+    const std::size_t head = static_cast<std::size_t>(history_head_);
+    ordered.insert(ordered.end(), history_.begin() + head, history_.end());
+    ordered.insert(ordered.end(), history_.begin(),
+                   history_.begin() + head);
+    return ordered;
+}
+
+void queue::set_launch_history_capacity(size_type capacity)
+{
+    BATCHLIN_ENSURE_MSG(capacity > 0,
+                        "launch history capacity must be positive");
+    // Materialize in chronological order, keep the newest `capacity`.
+    std::vector<launch_record> ordered = launch_history();
+    if (static_cast<size_type>(ordered.size()) > capacity) {
+        ordered.erase(ordered.begin(),
+                      ordered.end() - static_cast<std::size_t>(capacity));
+    }
+    history_ = std::move(ordered);
+    history_head_ = 0;
+    history_capacity_ = capacity;
+}
+
+void queue::record_launch(launch_record record)
+{
+    if (static_cast<size_type>(history_.size()) < history_capacity_) {
+        history_.push_back(std::move(record));
+        return;
+    }
+    history_[static_cast<std::size_t>(history_head_)] = std::move(record);
+    history_head_ = (history_head_ + 1) % history_capacity_;
+    ++history_dropped_;
 }
 
 void queue::prepare_launch(int num_threads)

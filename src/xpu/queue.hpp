@@ -61,13 +61,19 @@ struct launch_record {
 /// from here, keyed by the required byte size: the buffer grows when a
 /// launch needs more and is reused as-is otherwise, so repeated solves of
 /// the same shape stop paying a heap allocation per solve. Acquired blocks
-/// are zero-filled, matching the freshly value-initialized backing the
-/// solvers previously allocated per launch.
+/// are zero-filled by default, matching the freshly value-initialized
+/// backing the solvers previously allocated per launch; callers that
+/// provably overwrite every element they read (the serve:: hot path) may
+/// opt out of the fill.
 class scratch_pool {
 public:
-    /// Returns a zeroed block of at least `bytes` bytes, aligned for any
-    /// fundamental type. Valid until the next `acquire` on this pool.
-    std::byte* acquire(size_type bytes);
+    /// Returns a block of at least `bytes` bytes, aligned for any
+    /// fundamental type. The block is zero-filled when `zeroed` is true
+    /// (the default); with `zeroed == false` it carries whatever the
+    /// previous acquisition left behind, which is only safe when the
+    /// caller writes every element before reading it. Valid until the
+    /// next `acquire` on this pool.
+    std::byte* acquire(size_type bytes, bool zeroed = true);
 
     size_type capacity() const
     {
@@ -79,6 +85,14 @@ private:
 };
 
 /// In-order queue bound to one execution policy (device + programming model).
+///
+/// Threading contract: a queue is NOT thread-safe. `run_batch` parallelizes
+/// internally, but the launch resources it pools (arenas, counter blocks,
+/// spill scratch, statistics) belong to one launch at a time, so two host
+/// threads must never call `run_batch` on the same queue concurrently —
+/// give each thread its own queue instead (`serve::solve_service` owns one
+/// queue per worker for exactly this reason). Debug builds detect and
+/// reject concurrent launches; release builds do not check.
 class queue {
 public:
     explicit queue(exec_policy policy) : policy_(std::move(policy)) {}
@@ -107,6 +121,18 @@ public:
                             "divisible by the sub-group size");
         BATCHLIN_ENSURE_MSG(policy_.supports_sub_group(sub_group_size),
                             "sub-group size not supported by this device");
+
+#ifndef NDEBUG
+        // Launch resources are owned by one launch at a time (see the
+        // class comment); catch concurrent or reentrant launches early.
+        BATCHLIN_ENSURE_MSG(!launch_active_.exchange(true),
+                            "concurrent run_batch calls on one xpu::queue "
+                            "are not allowed; use one queue per thread");
+        struct active_reset {
+            std::atomic<bool>* flag;
+            ~active_reset() { flag->store(false); }
+        } launch_guard{&launch_active_};
+#endif
 
         counters launch_stats;
         launch_stats.kernel_launches = 1;
@@ -188,14 +214,28 @@ public:
     const counters& last_launch_stats() const { return last_launch_; }
 
     /// Event profiling: when enabled, every launch appends a record (the
-    /// SYCL `enable_profiling` property analogue). Off by default.
+    /// SYCL `enable_profiling` property analogue). Off by default. The
+    /// history is a bounded ring: only the most recent
+    /// `launch_history_capacity()` records are kept, so a long-lived
+    /// profiled queue (a serve:: worker) has a fixed memory footprint.
     void enable_profiling(bool on = true) { profiling_ = on; }
     bool profiling_enabled() const { return profiling_; }
-    const std::vector<launch_record>& launch_history() const
+
+    /// Chronological snapshot (oldest first) of the retained records.
+    std::vector<launch_record> launch_history() const;
+    void clear_launch_history()
     {
-        return history_;
+        history_.clear();
+        history_head_ = 0;
+        history_dropped_ = 0;
     }
-    void clear_launch_history() { history_.clear(); }
+
+    /// Resizes the history ring; must be positive. Shrinking keeps the
+    /// most recent records. Default: 4096 records.
+    void set_launch_history_capacity(size_type capacity);
+    size_type launch_history_capacity() const { return history_capacity_; }
+    /// Launches recorded and since dropped because the ring was full.
+    size_type launch_history_dropped() const { return history_dropped_; }
 
     /// Spill-workspace scratch reused across this queue's launches.
     scratch_pool& scratch() { return scratch_; }
@@ -209,6 +249,12 @@ public:
 private:
     static double now_seconds();
 
+    /// Spins for `us` microseconds of wall time. A busy-wait, not a sleep:
+    /// a synchronous SYCL submit burns the submitting thread's CPU in the
+    /// runtime, and emulating it must do the same so the cost shows up in
+    /// end-to-end throughput measurements.
+    static void emulate_launch_cost(double us);
+
     /// Ensures per-thread arenas and counter blocks exist for `num_threads`
     /// threads and zeroes the counter blocks. Allocates only when the host
     /// thread count grew past the pool size; steady state is alloc-free.
@@ -221,24 +267,38 @@ private:
                        index_type work_group_size,
                        index_type sub_group_size)
     {
+        if (policy_.emulated_launch_us > 0.0) {
+            emulate_launch_cost(policy_.emulated_launch_us);
+        }
         launch_stats.slm_footprint_bytes = slm_high_water;
         stats_ += launch_stats;
         last_launch_ = launch_stats;
         if (profiling_) {
-            history_.push_back({launch_stats, now_seconds() - start_seconds,
-                                num_groups, work_group_size,
-                                sub_group_size});
+            record_launch({launch_stats, now_seconds() - start_seconds,
+                           num_groups, work_group_size, sub_group_size});
         }
     }
+
+    /// Appends to the history ring, overwriting the oldest record when
+    /// the ring is full.
+    void record_launch(launch_record record);
 
     exec_policy policy_;
     counters stats_;
     counters last_launch_;
     bool profiling_ = false;
+    /// Ring buffer of the most recent launches: chronological order is
+    /// [head, end) then [0, head) once the ring has wrapped.
     std::vector<launch_record> history_;
+    size_type history_capacity_ = 4096;
+    size_type history_head_ = 0;
+    size_type history_dropped_ = 0;
     std::vector<slm_arena> arena_pool_;
     std::vector<counters> thread_stats_;
     scratch_pool scratch_;
+#ifndef NDEBUG
+    std::atomic<bool> launch_active_{false};
+#endif
 };
 
 /// Builds a per-stack queue for explicit scaling: the same device policy

@@ -125,9 +125,12 @@ TEST(Profiling, RecordsEveryLaunch)
     q.enable_profiling();
     q.run_batch(4, 16, 16, [](xpu::group& g) { g.stats().flops += 1; });
     q.run_batch(8, 32, 16, [](xpu::group& g) { g.stats().flops += 2; });
-    ASSERT_EQ(q.launch_history().size(), 2u);
-    const auto& first = q.launch_history()[0];
-    const auto& second = q.launch_history()[1];
+    // launch_history() returns a snapshot copy (the queue stores a ring
+    // buffer internally), so take it once.
+    const auto history = q.launch_history();
+    ASSERT_EQ(history.size(), 2u);
+    const auto& first = history[0];
+    const auto& second = history[1];
     EXPECT_EQ(first.num_groups, 4);
     EXPECT_EQ(first.work_group_size, 16);
     EXPECT_DOUBLE_EQ(first.stats.flops, 4.0);

@@ -1,0 +1,434 @@
+// Tests for serve::solve_service and the coalesced-assembly path behind
+// it: bit-identical equivalence with solo solves across worker counts and
+// batching windows, deadline expiry, admission control (reject and block),
+// coalescing behavior, drain/stop semantics, and statistics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "batchlin/batchlin.hpp"
+
+namespace bl = batchlin;
+namespace mat = batchlin::mat;
+namespace solver = batchlin::solver;
+namespace serve = batchlin::serve;
+namespace work = batchlin::work;
+namespace stop = batchlin::stop;
+using bl::index_type;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+namespace {
+
+solver::solve_options cg_opts()
+{
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;
+    opts.preconditioner = bl::precond::type::jacobi;
+    opts.criterion = stop::relative(1e-8, 100);
+    return opts;
+}
+
+solver::solve_options bicgstab_opts()
+{
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::bicgstab;
+    opts.preconditioner = bl::precond::type::none;
+    opts.criterion = stop::relative(1e-7, 120);
+    return opts;
+}
+
+template <typename T>
+serve::solve_request<T> make_request(mat::batch_csr<T> a,
+                                     const solver::solve_options& opts,
+                                     std::uint64_t rhs_seed)
+{
+    serve::solve_request<T> req;
+    const index_type items = a.num_batch_items();
+    const index_type rows = a.rows();
+    req.b = work::random_rhs<T>(items, rows, rhs_seed);
+    req.x = mat::batch_dense<T>(items, rows, 1);
+    req.a = std::move(a);
+    req.opts = opts;
+    return req;
+}
+
+}  // namespace
+
+TEST(Assemble, CanCoalesceRequiresMatchingPattern)
+{
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(2, 16, 1);
+    const solver::batch_matrix<double> same_pattern =
+        work::stencil_3pt<double>(5, 16, 99);
+    const solver::batch_matrix<double> other_rows =
+        work::stencil_3pt<double>(2, 24, 1);
+    const solver::batch_matrix<double> other_pattern =
+        work::stencil_banded<double>(2, 16, 2, 1);
+    EXPECT_TRUE(solver::can_coalesce(a, same_pattern));
+    EXPECT_FALSE(solver::can_coalesce(a, other_rows));
+    EXPECT_FALSE(solver::can_coalesce(a, other_pattern));
+    EXPECT_FALSE(
+        solver::can_coalesce(a, solver::batch_matrix<double>(
+                                    mat::to_ell(std::get<mat::batch_csr<
+                                                    double>>(a)))));
+}
+
+TEST(Assemble, CoalescedSolveMatchesSoloSolveBitwise)
+{
+    // Three requests over one pattern, different values and sizes.
+    std::vector<mat::batch_csr<double>> as;
+    as.push_back(work::stencil_3pt<double>(3, 20, 11));
+    as.push_back(work::stencil_3pt<double>(1, 20, 12));
+    as.push_back(work::stencil_3pt<double>(4, 20, 13));
+    const auto opts = cg_opts();
+
+    std::vector<mat::batch_dense<double>> bs;
+    std::vector<mat::batch_dense<double>> solo_x;
+    std::vector<bl::log::batch_log> solo_logs;
+    for (std::size_t i = 0; i < as.size(); ++i) {
+        bs.push_back(work::random_rhs<double>(as[i].num_batch_items(), 20,
+                                              100 + i));
+        solo_x.emplace_back(as[i].num_batch_items(), 20, 1);
+        bl::xpu::queue q(bl::xpu::make_sycl_policy());
+        const solver::batch_matrix<double> a = as[i];
+        solo_logs.push_back(
+            solver::solve(q, a, bs[i], solo_x[i], opts).log);
+    }
+
+    std::vector<solver::batch_matrix<double>> variants(as.begin(),
+                                                       as.end());
+    std::vector<mat::batch_dense<double>> fused_x;
+    for (const auto& a : as) {
+        fused_x.emplace_back(a.num_batch_items(), 20, 1);
+    }
+    std::vector<solver::assembly_part<double>> parts;
+    for (std::size_t i = 0; i < as.size(); ++i) {
+        parts.push_back({&variants[i], &bs[i], &fused_x[i]});
+    }
+    bl::xpu::queue q(bl::xpu::make_sycl_policy());
+    const solver::solve_result combined =
+        solver::solve_coalesced<double>(q, parts, opts);
+    EXPECT_EQ(combined.log.num_systems(), 8);
+
+    index_type offset = 0;
+    for (std::size_t i = 0; i < as.size(); ++i) {
+        const index_type items = as[i].num_batch_items();
+        EXPECT_EQ(fused_x[i].values(), solo_x[i].values()) << "part " << i;
+        const bl::log::batch_log part =
+            solver::split_log(combined.log, offset, items);
+        EXPECT_EQ(part.all_iterations(), solo_logs[i].all_iterations());
+        EXPECT_EQ(part.all_residual_norms(),
+                  solo_logs[i].all_residual_norms());
+        offset += items;
+    }
+}
+
+TEST(Assemble, MixedPatternPartsAreRejected)
+{
+    const solver::batch_matrix<double> a =
+        work::stencil_3pt<double>(2, 16, 1);
+    const solver::batch_matrix<double> c =
+        work::stencil_3pt<double>(2, 24, 2);
+    const auto b16 = work::random_rhs<double>(2, 16, 3);
+    const auto b24 = work::random_rhs<double>(2, 24, 4);
+    mat::batch_dense<double> x16(2, 16, 1);
+    mat::batch_dense<double> x24(2, 24, 1);
+    std::vector<solver::assembly_part<double>> parts{{&a, &b16, &x16},
+                                                     {&c, &b24, &x24}};
+    bl::xpu::queue q(bl::xpu::make_sycl_policy());
+    EXPECT_THROW(solver::solve_coalesced<double>(q, parts, cg_opts()),
+                 bl::error);
+}
+
+// The tentpole correctness property: routing requests through the service
+// produces bit-identical solutions and identical convergence records to
+// solo solves, for every worker count, batching window, and spill-zeroing
+// mode. This also pins down that skipping the spill zero-fill (the serve
+// hot-path default) cannot change results.
+TEST(Serve, RepliesBitIdenticalToSoloSolvesAcrossConfigs)
+{
+    struct spec {
+        index_type items;
+        index_type rows;
+        solver::solve_options opts;
+        std::uint64_t seed;
+    };
+    std::vector<spec> specs;
+    specs.push_back({3, 24, cg_opts(), 21});
+    specs.push_back({1, 24, cg_opts(), 22});  // coalesces with the first
+    specs.push_back({2, 32, bicgstab_opts(), 23});
+    specs.push_back({2, 24, cg_opts(), 24});
+
+    // Reference: solo solves on a fresh queue each.
+    std::vector<mat::batch_dense<double>> want_x;
+    std::vector<bl::log::batch_log> want_log;
+    for (const spec& s : specs) {
+        auto a = work::stencil_3pt<double>(s.items, s.rows, s.seed);
+        const auto b =
+            work::random_rhs<double>(s.items, s.rows, s.seed + 1000);
+        mat::batch_dense<double> x(s.items, s.rows, 1);
+        bl::xpu::queue q(bl::xpu::make_sycl_policy());
+        const solver::batch_matrix<double> variant = a;
+        want_log.push_back(solver::solve(q, variant, b, x, s.opts).log);
+        want_x.push_back(std::move(x));
+    }
+
+    for (const int workers : {1, 3}) {
+        for (const long wait_us : {0L, 2000L}) {
+            for (const bool skip_zeroing : {true, false}) {
+                serve::service_config cfg;
+                cfg.workers = workers;
+                cfg.max_batch = 8;
+                cfg.max_wait = microseconds(wait_us);
+                cfg.skip_spill_zeroing = skip_zeroing;
+                serve::solve_service service(bl::xpu::make_sycl_policy(),
+                                             cfg);
+                std::vector<serve::solve_service::ticket<double>> tickets;
+                for (const spec& s : specs) {
+                    tickets.push_back(service.submit(make_request(
+                        work::stencil_3pt<double>(s.items, s.rows, s.seed),
+                        s.opts, s.seed + 1000)));
+                }
+                for (std::size_t i = 0; i < specs.size(); ++i) {
+                    serve::solve_reply<double> reply = tickets[i].get();
+                    ASSERT_EQ(reply.status, serve::request_status::ok)
+                        << reply.error;
+                    EXPECT_EQ(reply.x.values(), want_x[i].values())
+                        << "workers=" << workers << " wait=" << wait_us
+                        << " skip=" << skip_zeroing << " req=" << i;
+                    EXPECT_EQ(reply.log.all_iterations(),
+                              want_log[i].all_iterations());
+                    EXPECT_EQ(reply.log.all_residual_norms(),
+                              want_log[i].all_residual_norms());
+                    EXPECT_GE(reply.fused_systems, specs[i].items);
+                }
+            }
+        }
+    }
+}
+
+TEST(Serve, FloatRequestsAreServedAndKeptApartFromDouble)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_wait = milliseconds(50);
+    serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
+
+    solver::solve_options fopts;
+    fopts.solver = solver::solver_type::cg;
+    fopts.preconditioner = bl::precond::type::jacobi;
+    fopts.criterion = stop::relative(1e-4, 100);
+
+    auto fticket = service.submit(make_request(
+        work::stencil_3pt<float>(2, 16, 31), fopts, 77));
+    auto dticket = service.submit(
+        make_request(work::stencil_3pt<double>(2, 16, 31), cg_opts(), 77));
+    const auto freply = fticket.get();
+    const auto dreply = dticket.get();
+    ASSERT_EQ(freply.status, serve::request_status::ok) << freply.error;
+    ASSERT_EQ(dreply.status, serve::request_status::ok) << dreply.error;
+    // Different precisions never share a fused launch.
+    EXPECT_EQ(freply.fused_systems, 2);
+    EXPECT_EQ(dreply.fused_systems, 2);
+    EXPECT_EQ(freply.log.num_converged(), 2);
+    EXPECT_EQ(dreply.log.num_converged(), 2);
+}
+
+TEST(Serve, CompatibleRequestsCoalesceIntoOneLaunch)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 16;
+    cfg.max_wait = milliseconds(500);  // generous window: all 5 must fuse
+    serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
+
+    std::vector<serve::solve_service::ticket<double>> tickets;
+    for (int i = 0; i < 5; ++i) {
+        tickets.push_back(service.submit(
+            make_request(work::stencil_3pt<double>(1, 16, 41), cg_opts(),
+                         200 + static_cast<std::uint64_t>(i))));
+    }
+    for (auto& t : tickets) {
+        const auto reply = t.get();
+        ASSERT_EQ(reply.status, serve::request_status::ok) << reply.error;
+        EXPECT_EQ(reply.fused_systems, 5);
+    }
+    service.drain();
+    const serve::service_stats s = service.stats();
+    EXPECT_EQ(s.submitted_requests, 5u);
+    EXPECT_EQ(s.completed_requests, 5u);
+    EXPECT_EQ(s.completed_systems, 5u);
+    EXPECT_EQ(s.batches_launched, 1u);
+    ASSERT_GT(s.batch_size_histogram.size(), 5u);
+    EXPECT_EQ(s.batch_size_histogram[5], 1u);
+    EXPECT_DOUBLE_EQ(s.mean_batch_size, 5.0);
+    EXPECT_GT(s.p50_latency_seconds, 0.0);
+    EXPECT_GE(s.p99_latency_seconds, s.p50_latency_seconds);
+}
+
+TEST(Serve, ExpiredRequestsAreNeverSolved)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_wait = milliseconds(100);
+    serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
+
+    // A leader with a long window delays the doomed request past its
+    // deadline; the worker must expire it without solving.
+    auto leader = service.submit(
+        make_request(work::stencil_3pt<double>(1, 16, 51), cg_opts(), 301));
+    auto doomed_req = make_request(work::stencil_3pt<double>(1, 24, 52),
+                                   cg_opts(), 302);
+    doomed_req.deadline = microseconds(1);
+    std::this_thread::sleep_for(milliseconds(5));
+    auto doomed = service.submit(std::move(doomed_req));
+
+    const auto doomed_reply = doomed.get();
+    EXPECT_EQ(doomed_reply.status, serve::request_status::expired);
+    EXPECT_TRUE(doomed_reply.log.all_iterations().empty());
+    // The initial guess comes back untouched.
+    for (const double v : doomed_reply.x.values()) {
+        EXPECT_EQ(v, 0.0);
+    }
+    const auto leader_reply = leader.get();
+    EXPECT_EQ(leader_reply.status, serve::request_status::ok);
+    service.drain();
+    EXPECT_EQ(service.stats().expired_requests, 1u);
+}
+
+TEST(Serve, BoundedQueueRejectsWhenFull)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 1;
+    cfg.max_wait = milliseconds(0);
+    cfg.max_queue_systems = 2;
+    cfg.on_full = serve::overflow_policy::reject;
+    serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
+
+    // Keep submitting until admission control trips: the single worker
+    // cannot drain a fast submitter forever with a bound of 2 systems.
+    bool saw_rejection = false;
+    std::vector<serve::solve_service::ticket<double>> tickets;
+    for (int i = 0; i < 200 && !saw_rejection; ++i) {
+        tickets.push_back(service.submit(
+            make_request(work::stencil_3pt<double>(2, 48, 61), cg_opts(),
+                         400 + static_cast<std::uint64_t>(i))));
+        saw_rejection = service.stats().rejected_requests > 0;
+    }
+    std::uint64_t rejected = 0;
+    for (auto& t : tickets) {
+        const auto reply = t.get();
+        if (reply.status == serve::request_status::rejected) {
+            ++rejected;
+            EXPECT_TRUE(reply.log.all_iterations().empty());
+        } else {
+            EXPECT_EQ(reply.status, serve::request_status::ok);
+        }
+    }
+    EXPECT_TRUE(saw_rejection);
+    EXPECT_EQ(service.stats().rejected_requests, rejected);
+    // A too-large single request can never be admitted.
+    auto huge = service.submit(
+        make_request(work::stencil_3pt<double>(3, 16, 62), cg_opts(), 500));
+    EXPECT_EQ(huge.get().status, serve::request_status::rejected);
+}
+
+TEST(Serve, BlockPolicyWaitsForSpaceInsteadOfRejecting)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 1;
+    cfg.max_wait = milliseconds(0);
+    cfg.max_queue_systems = 1;
+    cfg.on_full = serve::overflow_policy::block;
+    serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
+
+    std::vector<serve::solve_service::ticket<double>> tickets;
+    for (int i = 0; i < 20; ++i) {
+        tickets.push_back(service.submit(
+            make_request(work::stencil_3pt<double>(1, 16, 71), cg_opts(),
+                         600 + static_cast<std::uint64_t>(i))));
+    }
+    for (auto& t : tickets) {
+        EXPECT_EQ(t.get().status, serve::request_status::ok);
+    }
+    // Replies are fulfilled before the stats commit; quiesce the workers
+    // so the counters below are final.
+    service.drain();
+    const serve::service_stats s = service.stats();
+    EXPECT_EQ(s.rejected_requests, 0u);
+    EXPECT_EQ(s.completed_requests, 20u);
+}
+
+TEST(Serve, StopDrainsQueuedWorkAndRejectsLateSubmits)
+{
+    serve::service_config cfg;
+    cfg.workers = 2;
+    cfg.max_wait = milliseconds(20);
+    serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
+
+    std::vector<serve::solve_service::ticket<double>> tickets;
+    for (int i = 0; i < 6; ++i) {
+        tickets.push_back(service.submit(
+            make_request(work::stencil_3pt<double>(1, 16, 81), cg_opts(),
+                         700 + static_cast<std::uint64_t>(i))));
+    }
+    service.stop();
+    EXPECT_FALSE(service.accepting());
+    // Everything admitted before stop() still gets solved.
+    for (auto& t : tickets) {
+        EXPECT_EQ(t.get().status, serve::request_status::ok);
+    }
+    auto late = service.submit(
+        make_request(work::stencil_3pt<double>(1, 16, 82), cg_opts(), 800));
+    EXPECT_EQ(late.get().status, serve::request_status::rejected);
+    service.stop();  // idempotent
+}
+
+TEST(Serve, MalformedRequestsThrowAtSubmit)
+{
+    serve::solve_service service(bl::xpu::make_sycl_policy(), {});
+    // Mismatched right-hand-side batch size.
+    serve::solve_request<double> bad;
+    bad.a = work::stencil_3pt<double>(2, 16, 91);
+    bad.b = work::random_rhs<double>(3, 16, 92);
+    bad.x = mat::batch_dense<double>(2, 16, 1);
+    bad.opts = cg_opts();
+    EXPECT_THROW(service.submit(std::move(bad)), bl::error);
+    // record_history cannot be scattered per request.
+    auto hist = make_request(work::stencil_3pt<double>(2, 16, 93),
+                             cg_opts(), 94);
+    hist.opts.record_history = true;
+    EXPECT_THROW(service.submit(std::move(hist)), bl::error);
+}
+
+TEST(Serve, StatsTrackSubmittedAndQueueDepth)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_wait = milliseconds(0);
+    serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
+    const auto idle = service.stats();
+    EXPECT_EQ(idle.submitted_requests, 0u);
+    EXPECT_EQ(idle.queue_depth_requests, 0u);
+    EXPECT_EQ(idle.solves_per_sec, 0.0);
+
+    auto t = service.submit(make_request(
+        work::stencil_3pt<double>(4, 16, 95), cg_opts(), 96));
+    ASSERT_EQ(t.get().status, serve::request_status::ok);
+    service.drain();
+    const auto after = service.stats();
+    EXPECT_EQ(after.submitted_requests, 1u);
+    EXPECT_EQ(after.submitted_systems, 4u);
+    EXPECT_EQ(after.completed_systems, 4u);
+    EXPECT_EQ(after.queue_depth_requests, 0u);
+    EXPECT_EQ(after.queue_depth_systems, 0u);
+    EXPECT_GT(after.solves_per_sec, 0.0);
+    EXPECT_GT(after.uptime_seconds, 0.0);
+}

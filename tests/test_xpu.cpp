@@ -3,6 +3,7 @@
 // arena, group collectives and counters, queue launches, stack partitions.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <numeric>
 #include <vector>
 
@@ -435,3 +436,78 @@ TEST(Queue, SingularIsaiSystemThrowsInsteadOfCrashing)
     queue q(make_sycl_policy());
     EXPECT_THROW(solver::solve(q, variant, b, x, opts), bl::error);
 }
+
+TEST(Queue, LaunchHistoryIsABoundedRing)
+{
+    queue q(make_sycl_policy());
+    q.enable_profiling();
+    q.set_launch_history_capacity(3);
+    EXPECT_EQ(q.launch_history_capacity(), 3);
+    for (index_type n = 1; n <= 5; ++n) {
+        q.run_batch(n, 16, 16, [](group&) {});
+    }
+    // Only the 3 most recent launches survive, oldest first.
+    const auto history = q.launch_history();
+    ASSERT_EQ(history.size(), 3u);
+    EXPECT_EQ(history[0].num_groups, 3);
+    EXPECT_EQ(history[1].num_groups, 4);
+    EXPECT_EQ(history[2].num_groups, 5);
+    EXPECT_EQ(q.launch_history_dropped(), 2);
+    // Shrinking keeps the newest records.
+    q.set_launch_history_capacity(2);
+    const auto shrunk = q.launch_history();
+    ASSERT_EQ(shrunk.size(), 2u);
+    EXPECT_EQ(shrunk[0].num_groups, 4);
+    EXPECT_EQ(shrunk[1].num_groups, 5);
+    q.clear_launch_history();
+    EXPECT_TRUE(q.launch_history().empty());
+    EXPECT_EQ(q.launch_history_dropped(), 0);
+    EXPECT_THROW(q.set_launch_history_capacity(0), bl::error);
+}
+
+TEST(Queue, ScratchPoolZeroFillIsOptional)
+{
+    queue q(make_sycl_policy());
+    std::byte* block = q.scratch().acquire(64);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(block[i], std::byte{0}) << i;
+    }
+    std::memset(block, 0xab, 64);
+    // Non-zeroed reacquisition of a fitting block keeps prior contents.
+    block = q.scratch().acquire(64, false);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(block[i], std::byte{0xab}) << i;
+    }
+    // Growth value-initializes the new tail even without the fill.
+    block = q.scratch().acquire(128, false);
+    for (int i = 64; i < 128; ++i) {
+        EXPECT_EQ(block[i], std::byte{0}) << i;
+    }
+    // A zeroed acquisition scrubs everything again.
+    block = q.scratch().acquire(128, true);
+    for (int i = 0; i < 128; ++i) {
+        EXPECT_EQ(block[i], std::byte{0}) << i;
+    }
+}
+
+#ifndef NDEBUG
+TEST(Queue, ConcurrentLaunchesOnOneQueueAreRejectedInDebug)
+{
+    // The queue documents that launch resources belong to one launch at a
+    // time; a reentrant run_batch is the deterministic way to trigger the
+    // debug-only guard.
+    queue q(make_sycl_policy());
+    EXPECT_THROW(q.run_batch(1, 16, 16,
+                             [&](group&) {
+                                 q.run_batch(1, 16, 16, [](group&) {});
+                             }),
+                 bl::error);
+    // The guard resets; the queue stays usable.
+    int ok = 0;
+    q.run_batch(2, 16, 16, [&](group&) {
+#pragma omp atomic
+        ++ok;
+    });
+    EXPECT_EQ(ok, 2);
+}
+#endif

@@ -41,6 +41,10 @@ struct cli_options {
     std::uint64_t seed = 42;
     bool verify = false;
     bool json = false;
+    bool serve = false;
+    int serve_workers = 2;
+    index_type serve_batch = 64;
+    long serve_wait_us = 200;
 };
 
 [[noreturn]] void usage(const char* argv0, int code)
@@ -64,7 +68,12 @@ struct cli_options {
         "  --block-size B  block-Jacobi block size        [4]\n"
         "  --seed S        workload seed                  [42]\n"
         "  --verify        compute and report true residuals\n"
-        "  --json          machine-readable output\n",
+        "  --json          machine-readable output\n"
+        "  --serve         route the batch through serve::solve_service\n"
+        "                  as one request per system (CSR only)\n"
+        "  --serve-workers N   worker threads                [2]\n"
+        "  --serve-batch N     max systems per fused launch  [64]\n"
+        "  --serve-wait-us N   batching window in usec       [200]\n",
         argv0);
     std::exit(code);
 }
@@ -115,6 +124,14 @@ cli_options parse(int argc, char** argv)
             o.verify = true;
         } else if (arg == "--json") {
             o.json = true;
+        } else if (arg == "--serve") {
+            o.serve = true;
+        } else if (arg == "--serve-workers") {
+            o.serve_workers = std::atoi(next());
+        } else if (arg == "--serve-batch") {
+            o.serve_batch = std::atoi(next());
+        } else if (arg == "--serve-wait-us") {
+            o.serve_wait_us = std::atol(next());
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0], 2);
@@ -163,6 +180,76 @@ precond::type parse_precond(const std::string& s)
     return {};
 }
 
+/// Routes the workload through serve::solve_service as one request per
+/// system and gathers the replies back into `x` and a combined log.
+/// Exercises the full submit/coalesce/scatter path; the dynamic batcher
+/// re-fuses the sliced systems because they share one sparsity pattern.
+log::batch_log solve_via_service(const cli_options& o,
+                                 const mat::batch_csr<double>& csr,
+                                 const mat::batch_dense<double>& b,
+                                 mat::batch_dense<double>& x,
+                                 const solver::solve_options& opts)
+{
+    const index_type items = csr.num_batch_items();
+    const index_type rows = csr.rows();
+
+    serve::service_config cfg;
+    cfg.workers = o.serve_workers;
+    cfg.max_batch = o.serve_batch;
+    cfg.max_wait = std::chrono::microseconds(o.serve_wait_us);
+    cfg.max_queue_systems =
+        std::max<size_type>(static_cast<size_type>(items), 1);
+    serve::solve_service service(perf::device_by_name(o.device).make_policy(),
+                                 cfg);
+
+    std::vector<serve::solve_service::ticket<double>> tickets;
+    tickets.reserve(static_cast<std::size_t>(items));
+    for (index_type i = 0; i < items; ++i) {
+        serve::solve_request<double> req;
+        mat::batch_csr<double> one(1, rows, rows, csr.row_ptrs(),
+                                   csr.col_idxs());
+        std::copy_n(csr.item_values(i), csr.nnz(), one.item_values(0));
+        req.a = std::move(one);
+        req.b = mat::batch_dense<double>(1, rows, 1);
+        std::copy_n(b.item_values(i), b.item_size(),
+                    req.b.item_values(0));
+        req.x = mat::batch_dense<double>(1, rows, 1);
+        req.opts = opts;
+        tickets.push_back(service.submit(std::move(req)));
+    }
+
+    log::batch_log log(items);
+    index_type max_fused = 0;
+    for (index_type i = 0; i < items; ++i) {
+        serve::solve_reply<double> reply =
+            tickets[static_cast<std::size_t>(i)].get();
+        BATCHLIN_ENSURE_MSG(reply.status == serve::request_status::ok,
+                            "serve request " + std::to_string(i) + " " +
+                                serve::to_string(reply.status) +
+                                (reply.error.empty() ? ""
+                                                     : ": " + reply.error));
+        std::copy_n(reply.x.item_values(0), reply.x.item_size(),
+                    x.item_values(i));
+        log.record(i, reply.log.iterations(0), reply.log.residual_norm(0),
+                   reply.log.converged(0));
+        max_fused = std::max(max_fused, reply.fused_systems);
+    }
+
+    const serve::service_stats s = service.stats();
+    if (!o.json) {
+        std::printf("serve:    %d workers, window %ld us, %llu launches, "
+                    "mean batch %.1f, max fused %d\n",
+                    cfg.workers, o.serve_wait_us,
+                    static_cast<unsigned long long>(s.batches_launched),
+                    s.mean_batch_size, max_fused);
+        std::printf("serve:    p50/p99 latency %.3f/%.3f ms, "
+                    "%.0f solves/sec\n",
+                    s.p50_latency_seconds * 1e3, s.p99_latency_seconds * 1e3,
+                    s.solves_per_sec);
+    }
+    return log;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -191,6 +278,41 @@ try {
                                 : stop::relative(o.tol, o.max_iters);
     opts.gmres_restart = o.restart;
     opts.block_jacobi_size = o.block_size;
+
+    if (o.serve) {
+        BATCHLIN_ENSURE_MSG(o.format == "csr",
+                            "--serve supports the csr format only");
+        const log::batch_log log = solve_via_service(o, csr, b, x, opts);
+        double worst = 0.0;
+        if (o.verify) {
+            for (const double r : solver::relative_residual_norms(a, b, x)) {
+                worst = std::max(worst, r);
+            }
+        }
+        if (o.json) {
+            std::printf(
+                "{\"input\":\"%s\",\"rows\":%d,\"batch\":%d,"
+                "\"solver\":\"%s\",\"precond\":\"%s\",\"mode\":\"serve\","
+                "\"converged\":%d,\"mean_iters\":%.2f,\"max_iters\":%d",
+                o.input.c_str(), rows, items, o.solver.c_str(),
+                o.precond.c_str(), log.num_converged(),
+                log.mean_iterations(), log.max_iterations());
+            if (o.verify) {
+                std::printf(",\"worst_true_rel_residual\":%.3e", worst);
+            }
+            std::printf("}\n");
+        } else {
+            std::printf("result:   %d/%d converged, iterations "
+                        "min/mean/max = %d/%.1f/%d\n",
+                        log.num_converged(), items, log.min_iterations(),
+                        log.mean_iterations(), log.max_iterations());
+            if (o.verify) {
+                std::printf("verify:   worst true relative residual %.3e\n",
+                            worst);
+            }
+        }
+        return log.num_converged() == items ? EXIT_SUCCESS : 1;
+    }
 
     batch_solver handle(perf::device_by_name(o.device), opts);
     const solver::solve_result result = handle.solve<double>(a, b, x);
