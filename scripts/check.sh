@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Builds and tests the three verification configs:
+# Builds and tests the four verification configs:
 #  1. the default Release build (tier-1: what CI and users run),
 #  2. a Debug + ASan/UBSan build (BATCHLIN_SANITIZE=ON), which also keeps
 #     assertions alive so the debug-only workspace-binder name checks run,
-#     and
 #  3. a Debug + ThreadSanitizer build (BATCHLIN_SANITIZE=thread) running
 #     the serve:: tests, which exercise the service's submit/worker/reply
-#     handoffs from many host threads at once.
+#     handoffs from many host threads at once, and
+#  4. a BATCHLIN_XPU_CHECK build running the kernel portability sanitizer:
+#     the fixture kernels must each trigger their diagnostic, and every
+#     shipped solver kernel must pass the full checker (shadow state,
+#     phase-hazard scan, shuffled lane-order adversary) clean.
 # The sanitizer passes are what prove the pooled launch resources, the
-# reused spill backing, and the serving layer's locking race- and UB-free.
+# reused spill backing, the serving layer's locking, and the solver
+# kernels' SPMD discipline race- and UB-free.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -17,18 +21,18 @@ JOBS=${1:-$(nproc)}
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$ROOT"
 
-echo "== config 1/3: Release (build/)"
+echo "== config 1/4: Release (build/)"
 cmake -B build -S . -G Ninja >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 2/3: Debug + ASan/UBSan (build-sanitize/)"
+echo "== config 2/4: Debug + ASan/UBSan (build-sanitize/)"
 cmake -B build-sanitize -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=ON >/dev/null
 cmake --build build-sanitize -j "$JOBS"
 ctest --test-dir build-sanitize -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 3/3: Debug + TSan, serve tests (build-tsan/)"
+echo "== config 3/4: Debug + TSan, serve tests (build-tsan/)"
 cmake -B build-tsan -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_serve
@@ -39,4 +43,13 @@ cmake --build build-tsan -j "$JOBS" --target test_serve
 OMP_NUM_THREADS=1 ctest --test-dir build-tsan -R '^(Serve|Assemble)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== all three configs clean"
+echo "== config 4/4: xpu::check kernel portability sanitizer (build-check/)"
+cmake -B build-check -S . -G Ninja \
+  -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_XPU_CHECK=ON >/dev/null
+cmake --build build-check -j "$JOBS"
+# The full suite runs instrumented (default check_level::none), then the
+# fixture + adversary suites exercise every diagnostic class and prove the
+# shipped kernels lane-order independent.
+ctest --test-dir build-check -j "$JOBS" --output-on-failure | tail -3
+
+echo "== all four configs clean"

@@ -85,7 +85,7 @@ void axpy(xpu::group& g, T alpha, dspan<const T> x, dspan<T> y)
     g.for_items(x.len, [&](index_type i) { y[i] += alpha * x[i]; });
     g.stats().flops += 2.0 * x.len;
     detail::charge_read(g, x, x.len);
-    detail::charge_read(g, dspan<const T>{y.data, y.len, y.space}, y.len);
+    detail::charge_read(g, y, y.len);
     detail::charge_write(g, y, y.len);
 }
 
@@ -97,7 +97,7 @@ void axpby(xpu::group& g, T alpha, dspan<const T> x, T beta, dspan<T> y)
                 [&](index_type i) { y[i] = alpha * x[i] + beta * y[i]; });
     g.stats().flops += 3.0 * x.len;
     detail::charge_read(g, x, x.len);
-    detail::charge_read(g, dspan<const T>{y.data, y.len, y.space}, y.len);
+    detail::charge_read(g, y, y.len);
     detail::charge_write(g, y, y.len);
 }
 

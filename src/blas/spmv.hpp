@@ -129,8 +129,9 @@ void advanced_spmv(xpu::group& g, T alpha, const View& a, dspan<const T> x,
                    T beta, dspan<T> y, dspan<T> scratch)
 {
     spmv(g, a, x, scratch);
-    axpby(g, alpha, dspan<const T>{scratch.data, scratch.len, scratch.space},
-          beta, y);
+    // Implicit view-of-const conversion (not a re-aggregation) so the
+    // sanitizer tag of an instrumented scratch span stays attached.
+    axpby<T>(g, alpha, scratch, beta, y);
 }
 
 }  // namespace batchlin::blas

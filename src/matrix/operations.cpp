@@ -55,7 +55,8 @@ void apply(xpu::queue& q, const any_batch<T>& a, const batch_dense<T>& x,
                                 x_in->item_span(g.id(),
                                                 xpu::mem_space::global),
                                 y_out->item_span(g.id()));
-                        });
+                        },
+                        0, "batch_spmv");
         },
         a);
 }
@@ -84,7 +85,8 @@ void advanced_apply(xpu::queue& q, T alpha, const any_batch<T>& a,
                                 x_in->item_span(g.id(),
                                                 xpu::mem_space::global),
                                 beta, y_out->item_span(g.id()), scratch);
-                        });
+                        },
+                        0, "batch_advanced_spmv");
         },
         a);
 }

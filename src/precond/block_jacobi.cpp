@@ -110,8 +110,9 @@ typename block_jacobi<T>::applier block_jacobi<T>::generate(
                               static_cast<index_type>(factor_elems_));
     blas::detail::charge_write(g, work,
                                static_cast<index_type>(factor_elems_));
-    return {this,
-            xpu::dspan<const T>{work.data, work.len, work.space}};
+    // Implicit view-of-const conversion keeps the sanitizer tag attached
+    // to the factor storage the applier references.
+    return {this, work};
 }
 
 template <typename T>

@@ -81,10 +81,9 @@ typename ilu0<T>::applier ilu0<T>::generate(xpu::group& g,
     } else {
         g.stats().global_read_bytes += touched * sizeof(T);
     }
-    return {a.rows,     a.nnz, a.row_ptrs,
-            a.col_idxs, diag_pos,
-            xpu::dspan<const T>{factors.data, factors.len, factors.space},
-            temp};
+    // Implicit view-of-const conversion keeps the sanitizer tag attached
+    // to the factor storage the applier dereferences.
+    return {a.rows, a.nnz, a.row_ptrs, a.col_idxs, diag_pos, factors, temp};
 }
 
 template <typename T>

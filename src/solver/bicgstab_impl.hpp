@@ -130,7 +130,7 @@ void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
             blas::copy<T>(g, x_loc, x_global);
             record_outcome(g, logger, batch, iter, res_norm, converged);
         },
-        range.begin);
+        range.begin, "batch_bicgstab");
 }
 
 }  // namespace batchlin::solver

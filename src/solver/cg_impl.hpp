@@ -94,7 +94,7 @@ void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
             blas::copy<T>(g, x_loc, x_global);
             record_outcome(g, logger, batch, iter, res_norm, converged);
         },
-        range.begin);
+        range.begin, "batch_cg");
 }
 
 }  // namespace batchlin::solver

@@ -87,7 +87,7 @@ void run_thomas(xpu::queue& q, const mat::batch_csr<T>& a,
                 static_cast<double>(rows) * sizeof(T);
             record_outcome(g, logger, batch, 1, T{0}, ok);
         },
-        range.begin);
+        range.begin, "batch_thomas");
 }
 
 template <typename T>
@@ -139,7 +139,7 @@ void run_dense_lu(xpu::queue& q, const mat::batch_csr<T>& a,
             g.stats().global_read_bytes += n * n * (n / 3.0) * sizeof(T);
             g.stats().global_write_bytes += n * n * (n / 3.0) * sizeof(T);
         },
-        range.begin);
+        range.begin, "batch_dense_lu_factorize");
 
     // Kernel 2: forward/backward substitution from the stored factors.
     q.run_batch(
@@ -172,7 +172,7 @@ void run_dense_lu(xpu::queue& q, const mat::batch_csr<T>& a,
                 static_cast<double>(rows) * sizeof(T);
             record_outcome(g, logger, batch, 1, T{0}, ok);
         },
-        range.begin);
+        range.begin, "batch_dense_lu_solve");
 }
 
 template <typename T>
@@ -262,7 +262,7 @@ void run_banded(xpu::queue& q, const mat::batch_csr<T>& a,
                 static_cast<double>(rows) * sizeof(T);
             record_outcome(g, logger, batch, 1, T{0}, ok);
         },
-        range.begin);
+        range.begin, "batch_banded");
 }
 
 #define BATCHLIN_INSTANTIATE_DIRECT(T)                                     \

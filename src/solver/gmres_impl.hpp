@@ -49,7 +49,9 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
             xpu::dspan<T> cs = givens.subspan(0, m + 1);
             xpu::dspan<T> sn = givens.subspan(m + 1, m + 1);
             xpu::dspan<T> gvec = givens.subspan(2 * (m + 1), m + 1);
-            auto h_at = [&](index_type i, index_type j) -> T& {
+            // decltype(auto): hess[...] is a plain T& in default builds
+            // and a recording proxy under BATCHLIN_XPU_CHECK.
+            auto h_at = [&](index_type i, index_type j) -> decltype(auto) {
                 return hess[i * m + j];
             };
             auto basis_vec = [&](index_type j) {
@@ -135,10 +137,7 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
                     gvec[j] = cs[j] * gvec[j];
                     // Small dense updates: charge the Hessenberg traffic.
                     g.stats().flops += 10.0 * (j + 2);
-                    blas::detail::charge_read(
-                        g, xpu::dspan<const T>{hess.data, hess.len,
-                                               hess.space},
-                        2 * (j + 2));
+                    blas::detail::charge_read(g, hess, 2 * (j + 2));
                     g.barrier();
 
                     ++iter;
@@ -170,7 +169,7 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
             blas::copy<T>(g, x_loc, x_global);
             record_outcome(g, logger, batch, iter, res_norm, converged);
         },
-        range.begin);
+        range.begin, "batch_gmres");
 }
 
 }  // namespace batchlin::solver

@@ -45,8 +45,21 @@ public:
         if (s.in_slm) {
             return g_.slm().alloc<T>(static_cast<index_type>(s.elems));
         }
-        return {backing_ + s.spill_offset,
-                static_cast<index_type>(s.elems), xpu::mem_space::global};
+        xpu::dspan<T> out{backing_ + s.spill_offset,
+                          static_cast<index_type>(s.elems),
+                          xpu::mem_space::global};
+#ifdef BATCHLIN_XPU_CHECK
+        // Spill slots are tracked like SLM allocations. A zero-filled
+        // backing starts defined; with zero_spill off (the serve:: hot
+        // path) every read-before-write is a real bug the skipped fill
+        // would otherwise hide.
+        if (xpu::check::group_checker* chk = g_.checker()) {
+            out.tag = chk->register_global_region(
+                s.elems * static_cast<size_type>(sizeof(T)),
+                plan_.zero_spill());
+        }
+#endif
+        return out;
     }
 
     /// Takes the trailing optional slot (the preconditioner workspace)

@@ -76,7 +76,7 @@ void run_richardson(xpu::queue& q, const MatBatch& a,
             blas::copy<T>(g, x_loc, x_global);
             record_outcome(g, logger, batch, iter, res_norm, converged);
         },
-        range.begin);
+        range.begin, "batch_richardson");
 }
 
 }  // namespace batchlin::solver

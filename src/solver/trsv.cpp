@@ -113,7 +113,7 @@ void run_trsv(xpu::queue& q, const mat::batch_csr<T>& a,
             // A direct sweep is exact: record one "iteration", converged.
             record_outcome(g, logger, batch, 1, T{0}, true);
         },
-        range.begin);
+        range.begin, "batch_trsv");
 }
 
 #define BATCHLIN_INSTANTIATE_TRSV(T)                                        \

@@ -97,6 +97,9 @@ public:
     {
         return slots_[static_cast<std::size_t>(i)];
     }
+    /// Whether the source plan's spill backing is zero-filled per launch;
+    /// the sanitizer treats non-zeroed spill slots as initially undefined.
+    bool zero_spill() const { return zero_spill_; }
 
     /// Debug-only guard: entry `i` of the source plan must be named `name`.
     void check_name(index_type i, const char* name) const
@@ -115,6 +118,7 @@ public:
 
 private:
     std::vector<slot> slots_;
+    bool zero_spill_ = true;
 #ifndef NDEBUG
     const slm_plan* source_ = nullptr;
 #endif

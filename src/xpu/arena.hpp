@@ -36,12 +36,32 @@ public:
         if (used_ > high_water_) {
             high_water_ = used_;
         }
-        return {reinterpret_cast<T*>(buffer_.data() + offset), n,
-                mem_space::slm};
+        dspan<T> out{reinterpret_cast<T*>(buffer_.data() + offset), n,
+                     mem_space::slm};
+#ifdef BATCHLIN_XPU_CHECK
+        if (checker_ != nullptr && checker_->active()) {
+            out.tag = checker_->register_slm_region(bytes);
+        }
+#endif
+        return out;
     }
 
     /// Releases all allocations (start of the next work-group's kernel).
-    void reset() { used_ = 0; }
+    void reset()
+    {
+        used_ = 0;
+#ifdef BATCHLIN_XPU_CHECK
+        if (checker_ != nullptr && checker_->active()) {
+            checker_->on_slm_reset();
+        }
+#endif
+    }
+
+#ifdef BATCHLIN_XPU_CHECK
+    /// Attaches the sanitizer for the coming launch (nullptr detaches);
+    /// subsequent allocations hand out tagged, shadow-tracked spans.
+    void set_checker(check::group_checker* checker) { checker_ = checker; }
+#endif
 
     /// Prepares a pooled arena for the next kernel launch: releases all
     /// allocations AND restarts the high-water tracking, so a reused arena
@@ -69,6 +89,9 @@ private:
     size_type capacity_;
     size_type used_ = 0;
     size_type high_water_ = 0;
+#ifdef BATCHLIN_XPU_CHECK
+    check::group_checker* checker_ = nullptr;
+#endif
 };
 
 }  // namespace batchlin::xpu

@@ -45,12 +45,26 @@ public:
     slm_arena& slm() { return slm_; }
     counters& stats() { return stats_; }
 
+#ifdef BATCHLIN_XPU_CHECK
+    /// Attaches the sanitizer: work-item loops route through its lane
+    /// scheduler, barriers and collectives report to it.
+    void set_checker(check::group_checker* checker) { checker_ = checker; }
+    check::group_checker* checker() const { return checker_; }
+#endif
+
     /// Executes `f(item)` for every work-item of the group. A work-group
     /// barrier is implied after the phase, matching the ND-range kernel this
     /// lowers from.
     template <typename F>
     void for_each_item(F&& f)
     {
+#ifdef BATCHLIN_XPU_CHECK
+        if (checker_ != nullptr) {
+            checker_->run_lane_loop(size_, size_, f);
+            barrier();
+            return;
+        }
+#endif
         for (index_type item = 0; item < size_; ++item) {
             f(item);
         }
@@ -63,6 +77,13 @@ public:
     template <typename F>
     void for_items(index_type n, F&& f)
     {
+#ifdef BATCHLIN_XPU_CHECK
+        if (checker_ != nullptr) {
+            checker_->run_lane_loop(size_, n, f);
+            barrier();
+            return;
+        }
+#endif
         for (index_type item = 0; item < n; ++item) {
             f(item);
         }
@@ -72,7 +93,15 @@ public:
     /// Work-group barrier (local memory fence). Only counts the event; a
     /// single simulator thread executes the group, so no synchronization is
     /// needed for correctness.
-    void barrier() { ++stats_.group_barriers; }
+    void barrier()
+    {
+#ifdef BATCHLIN_XPU_CHECK
+        if (checker_ != nullptr) {
+            checker_->on_barrier();
+        }
+#endif
+        ++stats_.group_barriers;
+    }
 
     /// Reduces `value_of(item)` for item in [0, n) to a single sum using the
     /// selected strategy. Deterministic: lanes are combined per sub-group in
@@ -81,6 +110,11 @@ public:
     template <typename T, typename F>
     T reduce_sum(index_type n, F&& value_of, reduce_path path)
     {
+#ifdef BATCHLIN_XPU_CHECK
+        if (checker_ != nullptr) {
+            checker_->begin_collective("group::reduce_sum()");
+        }
+#endif
         T total{};
         const index_type active_sub_groups = ceil_div(n, sub_group_size_);
         for (index_type sg = 0; sg < active_sub_groups; ++sg) {
@@ -90,10 +124,23 @@ public:
                                        ? begin + sub_group_size_
                                        : n;
             for (index_type item = begin; item < end; ++item) {
+#ifdef BATCHLIN_XPU_CHECK
+                // Each contribution is read by the hardware lane owning
+                // the item; the combine order itself stays ascending (both
+                // hardware reduction paths are order-deterministic here).
+                if (checker_ != nullptr) {
+                    checker_->set_lane(item % size_);
+                }
+#endif
                 partial += value_of(item);
             }
             total += partial;
         }
+#ifdef BATCHLIN_XPU_CHECK
+        if (checker_ != nullptr) {
+            checker_->end_collective();
+        }
+#endif
         charge_reduction<T>(n, active_sub_groups, path);
         return total;
     }
@@ -104,6 +151,11 @@ public:
     template <typename T>
     T broadcast(T value)
     {
+#ifdef BATCHLIN_XPU_CHECK
+        if (checker_ != nullptr) {
+            checker_->require_uniform("group::broadcast()");
+        }
+#endif
         if (num_sub_groups() > 1) {
             stats_.slm_bytes +=
                 static_cast<double>(num_sub_groups()) * sizeof(T);
@@ -141,6 +193,9 @@ private:
     index_type sub_group_size_;
     slm_arena& slm_;
     counters& stats_;
+#ifdef BATCHLIN_XPU_CHECK
+    check::group_checker* checker_ = nullptr;
+#endif
 };
 
 }  // namespace batchlin::xpu

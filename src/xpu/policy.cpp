@@ -51,4 +51,25 @@ std::string to_string(reduce_path path)
     return path == reduce_path::group ? "group" : "sub-group";
 }
 
+std::string to_string(check_level level)
+{
+    switch (level) {
+    case check_level::none: return "none";
+    case check_level::shadow: return "shadow";
+    case check_level::hazard: return "hazard";
+    case check_level::adversary: return "adversary";
+    }
+    return "unknown";
+}
+
+std::string to_string(lane_order order)
+{
+    switch (order) {
+    case lane_order::ascending: return "ascending";
+    case lane_order::reversed: return "reversed";
+    case lane_order::shuffled: return "shuffled";
+    }
+    return "unknown";
+}
+
 }  // namespace batchlin::xpu

@@ -23,6 +23,36 @@ enum class prog_model {
     cuda,
 };
 
+/// Runtime level of the opt-in kernel portability sanitizer (`xpu::check`).
+/// Effective only in builds configured with -DBATCHLIN_XPU_CHECK=ON; all
+/// other builds must leave the policy at `none` (run_batch rejects anything
+/// else, so the knob can never silently no-op). Levels are cumulative.
+enum class check_level {
+    /// Checking off: the default, and the only level unchecked builds run.
+    none,
+    /// Shadow SLM: reads of uninitialized SLM/spill memory, span indexing
+    /// out of bounds, use of an SLM allocation after `reset()`.
+    shadow,
+    /// + phase hazards: cross-lane write-write / read-write overlaps within
+    /// one barrier phase, and uniformity of barriers and collectives.
+    hazard,
+    /// + lane-order adversary: the per-phase lane loops execute in the
+    /// order selected by `exec_policy::lane_order`, so hidden lane-order
+    /// dependences are falsified by comparing against an ascending run.
+    adversary,
+};
+
+/// Order the checked mode executes each phase's lane loop in. On real
+/// hardware the lanes of a work-group run concurrently in an arbitrary
+/// interleaving; a portable kernel must produce bit-identical results for
+/// every order. `shuffled` draws a deterministic per-group, per-phase
+/// permutation from `exec_policy::lane_order_seed`.
+enum class lane_order {
+    ascending,
+    reversed,
+    shuffled,
+};
+
 /// Reduction strategy inside a work-group (paper §3.2 and §3.6).
 enum class reduce_path {
     /// Whole-work-group reduction via the SYCL group primitive (SLM based).
@@ -61,6 +91,16 @@ struct exec_policy {
     /// per-launch cost that batching amortizes (§3.4). Zero (the default)
     /// disables emulation; figure benches and tests run with zero.
     double emulated_launch_us = 0.0;
+    /// Sanitizer level kernels launched through this policy run at. Any
+    /// value other than `none` requires a BATCHLIN_XPU_CHECK=ON build;
+    /// unchecked builds reject it at launch instead of silently ignoring it.
+    batchlin::xpu::check_level check_level = batchlin::xpu::check_level::none;
+    /// Lane execution order applied at `check_level::adversary`.
+    batchlin::xpu::lane_order lane_order = batchlin::xpu::lane_order::ascending;
+    /// Seed for `lane_order::shuffled`; mixed with group id and phase index
+    /// so every phase of every group draws a distinct permutation while the
+    /// whole run stays reproducible.
+    unsigned lane_order_seed = 0x9e3779b9u;
 
     /// True when `size` is one of the supported sub-group sizes.
     bool supports_sub_group(index_type size) const;
@@ -76,5 +116,7 @@ exec_policy make_cuda_policy(size_type slm_bytes_per_group);
 /// Human-readable model name for logs and benchmark tables.
 std::string to_string(prog_model model);
 std::string to_string(reduce_path path);
+std::string to_string(check_level level);
+std::string to_string(lane_order order);
 
 }  // namespace batchlin::xpu

@@ -81,6 +81,11 @@ void queue::prepare_launch(int num_threads)
     if (static_cast<int>(thread_stats_.size()) < num_threads) {
         thread_stats_.resize(static_cast<std::size_t>(num_threads));
     }
+#ifdef BATCHLIN_XPU_CHECK
+    if (static_cast<int>(checker_pool_.size()) < num_threads) {
+        checker_pool_.resize(static_cast<std::size_t>(num_threads));
+    }
+#endif
     // Zero only the blocks this launch merges; stale entries beyond
     // `num_threads` (from a launch with more threads) are never read.
     for (int t = 0; t < num_threads; ++t) {

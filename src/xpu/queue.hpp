@@ -106,11 +106,13 @@ public:
     /// Launches one fused batched kernel: `body(group&)` runs once per
     /// work-group, with work-group `g` solving batch entry `first_group +
     /// g.id()`. This is the single-kernel strategy of §3.4 — exactly one
-    /// launch is charged regardless of batch size.
+    /// launch is charged regardless of batch size. `kernel_label` names the
+    /// kernel in sanitizer reports (xpu::check) and costs nothing otherwise.
     template <typename KernelBody>
     void run_batch(index_type num_groups, index_type work_group_size,
                    index_type sub_group_size, KernelBody&& body,
-                   index_type first_group = 0)
+                   index_type first_group = 0,
+                   const char* kernel_label = "kernel")
     {
         BATCHLIN_ENSURE_MSG(num_groups >= 0, "negative group count");
         BATCHLIN_ENSURE_MSG(work_group_size > 0 &&
@@ -121,6 +123,14 @@ public:
                             "divisible by the sub-group size");
         BATCHLIN_ENSURE_MSG(policy_.supports_sub_group(sub_group_size),
                             "sub-group size not supported by this device");
+#ifndef BATCHLIN_XPU_CHECK
+        // The sanitizer must never silently no-op: without the checked
+        // build, a non-none level is a configuration error, not a hint.
+        BATCHLIN_ENSURE_MSG(policy_.check_level == check_level::none,
+                            "exec_policy::check_level requires a build "
+                            "configured with -DBATCHLIN_XPU_CHECK=ON");
+        (void)kernel_label;
+#endif
 
 #ifndef NDEBUG
         // Launch resources are owned by one launch at a time (see the
@@ -153,11 +163,26 @@ public:
             slm_arena& arena = arena_pool_[0];
             arena.begin_launch();
             counters& local = thread_stats_[0];
+#ifdef BATCHLIN_XPU_CHECK
+            check::group_checker* chk =
+                attach_checker(0, arena, kernel_label);
+#endif
             for (index_type g = 0; g < num_groups; ++g) {
                 arena.reset();
                 group ctx(first_group + g, work_group_size, sub_group_size,
                           arena, local);
+#ifdef BATCHLIN_XPU_CHECK
+                if (chk != nullptr) {
+                    chk->begin_group(first_group + g, work_group_size);
+                    ctx.set_checker(chk);
+                }
+#endif
                 body(ctx);
+#ifdef BATCHLIN_XPU_CHECK
+                if (chk != nullptr) {
+                    chk->end_group();
+                }
+#endif
             }
             launch_stats += local;
             finish_launch(launch_stats, arena.high_water(), start_seconds,
@@ -177,6 +202,10 @@ public:
             slm_arena& arena = arena_pool_[tid];
             arena.begin_launch();
             counters& local = thread_stats_[tid];
+#ifdef BATCHLIN_XPU_CHECK
+            check::group_checker* chk =
+                attach_checker(tid, arena, kernel_label);
+#endif
 #pragma omp for schedule(dynamic, 16)
             for (index_type g = 0; g < num_groups; ++g) {
                 if (failed.load(std::memory_order_relaxed)) {
@@ -186,7 +215,18 @@ public:
                 group ctx(first_group + g, work_group_size, sub_group_size,
                           arena, local);
                 try {
+#ifdef BATCHLIN_XPU_CHECK
+                    if (chk != nullptr) {
+                        chk->begin_group(first_group + g, work_group_size);
+                        ctx.set_checker(chk);
+                    }
+#endif
                     body(ctx);
+#ifdef BATCHLIN_XPU_CHECK
+                    if (chk != nullptr) {
+                        chk->end_group();
+                    }
+#endif
                 } catch (...) {
 #pragma omp critical(batchlin_queue_error)
                     {
@@ -283,6 +323,25 @@ private:
     /// the ring is full.
     void record_launch(launch_record record);
 
+#ifdef BATCHLIN_XPU_CHECK
+    /// Binds thread `tid`'s pooled checker to the arena for this launch —
+    /// or detaches both when the policy runs unchecked — and returns it
+    /// for the per-group wiring.
+    check::group_checker* attach_checker(int tid, slm_arena& arena,
+                                         const char* kernel_label)
+    {
+        check::group_checker* chk = nullptr;
+        if (policy_.check_level != check_level::none) {
+            chk = &checker_pool_[static_cast<std::size_t>(tid)];
+            chk->configure(policy_.check_level, policy_.lane_order,
+                           policy_.lane_order_seed);
+            chk->begin_launch(kernel_label);
+        }
+        arena.set_checker(chk);
+        return chk;
+    }
+#endif
+
     exec_policy policy_;
     counters stats_;
     counters last_launch_;
@@ -296,6 +355,9 @@ private:
     std::vector<slm_arena> arena_pool_;
     std::vector<counters> thread_stats_;
     scratch_pool scratch_;
+#ifdef BATCHLIN_XPU_CHECK
+    std::vector<check::group_checker> checker_pool_;
+#endif
 #ifndef NDEBUG
     std::atomic<bool> launch_active_{false};
 #endif

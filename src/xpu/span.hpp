@@ -5,12 +5,21 @@
 // (paper §3.5). Device-side BLAS routines need to know where an operand
 // lives so that the traffic counters attribute bytes to the right level of
 // the hierarchy; dspan carries that tag alongside the pointer.
+//
+// In BATCHLIN_XPU_CHECK builds a dspan additionally carries an xpu::check
+// instrumentation tag, and operator[] returns a recording proxy instead of
+// a raw reference; see xpu/check.hpp. Default builds compile the plain
+// reference path with a debug-only bounds assertion.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 
 #include "util/error.hpp"
 #include "util/math.hpp"
+#ifdef BATCHLIN_XPU_CHECK
+#include "xpu/check.hpp"
+#endif
 
 namespace batchlin::xpu {
 
@@ -30,8 +39,35 @@ struct dspan {
     T* data = nullptr;
     index_type len = 0;
     mem_space space = mem_space::global;
+#ifdef BATCHLIN_XPU_CHECK
+    check::span_tag tag{};
+#endif
 
-    T& operator[](index_type i) const { return data[i]; }
+#ifdef BATCHLIN_XPU_CHECK
+    check::checked_ref<T> operator[](index_type i) const
+    {
+        if (tag.chk != nullptr) {
+            if (i < 0 || i >= len) {
+                tag.chk->fail_out_of_bounds(
+                    tag.region, tag.offset, i, len,
+                    static_cast<size_type>(sizeof(std::remove_cv_t<T>)));
+            }
+            return {data + i, tag.chk, tag.region,
+                    tag.offset +
+                        static_cast<size_type>(i) *
+                            static_cast<size_type>(
+                                sizeof(std::remove_cv_t<T>))};
+        }
+        assert(i >= 0 && i < len && "dspan index out of bounds");
+        return {data + i, nullptr, -1, 0};
+    }
+#else
+    T& operator[](index_type i) const
+    {
+        assert(i >= 0 && i < len && "dspan index out of bounds");
+        return data[i];
+    }
+#endif
 
     bool empty() const { return len == 0; }
 
@@ -40,11 +76,25 @@ struct dspan {
         BATCHLIN_ENSURE_DIMS(offset >= 0 && count >= 0 &&
                                  offset + count <= len,
                              "subspan out of range");
-        return {data + offset, count, space};
+        dspan out{data + offset, count, space};
+#ifdef BATCHLIN_XPU_CHECK
+        out.tag = {tag.chk, tag.region,
+                   tag.offset + static_cast<size_type>(offset) *
+                                    static_cast<size_type>(
+                                        sizeof(std::remove_cv_t<T>))};
+#endif
+        return out;
     }
 
     /// Implicit view-of-const conversion.
-    operator dspan<const T>() const { return {data, len, space}; }
+    operator dspan<const T>() const
+    {
+        dspan<const T> out{data, len, space};
+#ifdef BATCHLIN_XPU_CHECK
+        out.tag = tag;
+#endif
+        return out;
+    }
 };
 
 /// Bytes moved when every element of `s` is touched once.

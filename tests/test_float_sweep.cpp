@@ -110,10 +110,10 @@ INSTANTIATE_TEST_SUITE_P(
         float_combo{solver::solver_type::gmres, precond::type::ilu},
         float_combo{solver::solver_type::richardson,
                     precond::type::jacobi}),
-    [](const ::testing::TestParamInfo<float_combo>& info) {
+    [](const ::testing::TestParamInfo<float_combo>& tpi) {
         std::string name =
-            solver::to_string(std::get<0>(info.param)) + "_" +
-            precond::to_string(std::get<1>(info.param));
+            solver::to_string(std::get<0>(tpi.param)) + "_" +
+            precond::to_string(std::get<1>(tpi.param));
         for (char& c : name) {
             if (c == '-') {
                 c = '_';

@@ -304,9 +304,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(solver::solver_type::cg,
                                          solver::solver_type::bicgstab,
                                          solver::solver_type::gmres)),
-    [](const ::testing::TestParamInfo<solve_param>& info) {
-        return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
-               solver::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<solve_param>& tpi) {
+        return "seed" + std::to_string(std::get<0>(tpi.param)) + "_" +
+               solver::to_string(std::get<1>(tpi.param));
     });
 
 // ---------------------------------------------------------------------

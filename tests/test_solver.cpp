@@ -184,10 +184,10 @@ INSTANTIATE_TEST_SUITE_P(
               precond::type::jacobi},
         combo{solver::solver_type::gmres, solver::matrix_format::dense,
               precond::type::jacobi}),
-    [](const ::testing::TestParamInfo<combo>& info) {
-        return solver::to_string(std::get<0>(info.param)) + "_" +
-               solver::to_string(std::get<1>(info.param)) + "_" +
-               precond::to_string(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<combo>& tpi) {
+        return solver::to_string(std::get<0>(tpi.param)) + "_" +
+               solver::to_string(std::get<1>(tpi.param)) + "_" +
+               precond::to_string(std::get<2>(tpi.param));
     });
 
 // ---------------------------------------------------------------------
@@ -227,9 +227,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<index_type>(16, 32),
                        ::testing::Values(xpu::reduce_path::group,
                                          xpu::reduce_path::sub_group)),
-    [](const ::testing::TestParamInfo<launch_combo>& info) {
-        const bool grp = std::get<1>(info.param) == xpu::reduce_path::group;
-        return "sg" + std::to_string(std::get<0>(info.param)) +
+    [](const ::testing::TestParamInfo<launch_combo>& tpi) {
+        const bool grp = std::get<1>(tpi.param) == xpu::reduce_path::group;
+        return "sg" + std::to_string(std::get<0>(tpi.param)) +
                (grp ? "_group_reduce" : "_subgroup_reduce");
     });
 

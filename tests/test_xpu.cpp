@@ -3,6 +3,7 @@
 // arena, group collectives and counters, queue launches, stack partitions.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <numeric>
 #include <vector>
@@ -357,6 +358,49 @@ TEST(StackPartition, RejectsBadIds)
     EXPECT_THROW(stack_partition(10, 0, 0), bl::error);
 }
 
+TEST(StackPartition, ZeroItemsYieldEmptyValidRanges)
+{
+    for (index_type s = 0; s < 4; ++s) {
+        const batch_range r = stack_partition(0, 4, s);
+        EXPECT_EQ(r.begin, 0);
+        EXPECT_EQ(r.end, 0);
+        EXPECT_EQ(r.size(), 0);
+    }
+}
+
+TEST(StackPartition, MoreStacksThanItemsLeavesTrailingStacksEmpty)
+{
+    // 3 items over 8 stacks: the first three stacks get one item each,
+    // the rest are valid empty ranges; contiguity and coverage hold.
+    index_type covered = 0;
+    index_type prev_end = 0;
+    for (index_type s = 0; s < 8; ++s) {
+        const batch_range r = stack_partition(3, 8, s);
+        EXPECT_EQ(r.begin, prev_end);
+        EXPECT_GE(r.size(), 0);
+        EXPECT_EQ(r.size(), s < 3 ? 1 : 0);
+        covered += r.size();
+        prev_end = r.end;
+    }
+    EXPECT_EQ(covered, 3);
+    EXPECT_EQ(prev_end, 3);
+}
+
+TEST(StackPartition, RemainderSpreadsOverLeadingStacks)
+{
+    // 10 items over 4 stacks: 3, 3, 2, 2 — the PVC driver's near-equal
+    // contiguous chunks, remainder absorbed by the leading stacks.
+    const index_type expected[] = {3, 3, 2, 2};
+    index_type prev_end = 0;
+    for (index_type s = 0; s < 4; ++s) {
+        const batch_range r = stack_partition(10, 4, s);
+        EXPECT_EQ(r.size(), expected[s]) << "stack " << s;
+        EXPECT_EQ(r.begin, prev_end);
+        prev_end = r.end;
+    }
+    EXPECT_EQ(prev_end, 10);
+}
+
 TEST(StackQueue, InheritsPolicyWithOneStack)
 {
     queue parent(make_sycl_policy(2));
@@ -489,6 +533,33 @@ TEST(Queue, ScratchPoolZeroFillIsOptional)
         EXPECT_EQ(block[i], std::byte{0}) << i;
     }
 }
+
+TEST(Queue, ScratchPoolBlocksSuitAnyFundamentalAlignment)
+{
+    // The solvers carve typed workspace slots straight out of the scratch
+    // block, so it must be aligned for any fundamental type — including
+    // after odd-sized growth steps.
+    queue q(make_sycl_policy());
+    for (const bl::size_type bytes : {1, 63, 64, 129, 4097}) {
+        std::byte* block = q.scratch().acquire(bytes);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(block) %
+                      alignof(std::max_align_t),
+                  0u)
+            << "acquire(" << bytes << ")";
+    }
+}
+
+#ifndef BATCHLIN_XPU_CHECK
+TEST(Queue, CheckLevelRequiresCheckedBuild)
+{
+    // The sanitizer knob must never silently no-op: asking for a checked
+    // launch from an unchecked build is a configuration error.
+    exec_policy policy = make_sycl_policy();
+    policy.check_level = check_level::hazard;
+    queue q(policy);
+    EXPECT_THROW(q.run_batch(1, 16, 16, [](group&) {}), bl::error);
+}
+#endif
 
 #ifndef NDEBUG
 TEST(Queue, ConcurrentLaunchesOnOneQueueAreRejectedInDebug)
