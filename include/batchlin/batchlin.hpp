@@ -16,6 +16,7 @@
 // Execution-model simulator (SYCL-like queues, work-groups, SLM)
 #include "xpu/arena.hpp"
 #include "xpu/counters.hpp"
+#include "xpu/fault.hpp"
 #include "xpu/group.hpp"
 #include "xpu/policy.hpp"
 #include "xpu/queue.hpp"
@@ -54,6 +55,7 @@
 #include "solver/launch.hpp"
 #include "solver/options.hpp"
 #include "solver/direct.hpp"
+#include "solver/resilient.hpp"
 #include "solver/residual.hpp"
 #include "solver/trsv.hpp"
 #include "solver/workspace.hpp"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Builds and tests the four verification configs:
+# Builds and tests the five verification configs:
 #  1. the default Release build (tier-1: what CI and users run),
 #  2. a Debug + ASan/UBSan build (BATCHLIN_SANITIZE=ON), which also keeps
 #     assertions alive so the debug-only workspace-binder name checks run,
@@ -9,7 +9,12 @@
 #  4. a BATCHLIN_XPU_CHECK build running the kernel portability sanitizer:
 #     the fixture kernels must each trigger their diagnostic, and every
 #     shipped solver kernel must pass the full checker (shadow state,
-#     phase-hazard scan, shuffled lane-order adversary) clean.
+#     phase-hazard scan, shuffled lane-order adversary) clean, and
+#  5. the resilience soak under the checked build: the randomized fault
+#     schedules (launch failures, SLM alloc failures, NaN/bitflip
+#     poisoning) run against the instrumented kernels, proving the fault
+#     injector itself is race- and UB-free and that recovery paths hold
+#     up with the sanitizer watching.
 # The sanitizer passes are what prove the pooled launch resources, the
 # reused spill backing, the serving layer's locking, and the solver
 # kernels' SPMD discipline race- and UB-free.
@@ -21,18 +26,18 @@ JOBS=${1:-$(nproc)}
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$ROOT"
 
-echo "== config 1/4: Release (build/)"
+echo "== config 1/5: Release (build/)"
 cmake -B build -S . -G Ninja >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 2/4: Debug + ASan/UBSan (build-sanitize/)"
+echo "== config 2/5: Debug + ASan/UBSan (build-sanitize/)"
 cmake -B build-sanitize -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=ON >/dev/null
 cmake --build build-sanitize -j "$JOBS"
 ctest --test-dir build-sanitize -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 3/4: Debug + TSan, serve tests (build-tsan/)"
+echo "== config 3/5: Debug + TSan, serve tests (build-tsan/)"
 cmake -B build-tsan -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_serve
@@ -43,7 +48,7 @@ cmake --build build-tsan -j "$JOBS" --target test_serve
 OMP_NUM_THREADS=1 ctest --test-dir build-tsan -R '^(Serve|Assemble)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 4/4: xpu::check kernel portability sanitizer (build-check/)"
+echo "== config 4/5: xpu::check kernel portability sanitizer (build-check/)"
 cmake -B build-check -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_XPU_CHECK=ON >/dev/null
 cmake --build build-check -j "$JOBS"
@@ -52,4 +57,12 @@ cmake --build build-check -j "$JOBS"
 # shipped kernels lane-order independent.
 ctest --test-dir build-check -j "$JOBS" --output-on-failure | tail -3
 
-echo "== all four configs clean"
+echo "== config 5/5: resilience fault soak under the checked build"
+# Reuses build-check: the fault-injection fixtures, breakdown taxonomy
+# regressions, fallback-chain recovery, and the >= 1000-solve randomized
+# soak all run against the instrumented execution model.
+ctest --test-dir build-check \
+  -R '^(FaultPlan|FaultFixtures|BreakdownTaxonomy|ZeroRhs|Resilient|SingularSweep|FaultSoak|ServeResilience)\.' \
+  -j "$JOBS" --output-on-failure | tail -3
+
+echo "== all five configs clean"

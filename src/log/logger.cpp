@@ -7,10 +7,38 @@
 
 namespace batchlin::log {
 
+std::string to_string(solve_status status)
+{
+    switch (status) {
+    case solve_status::converged:
+        return "converged";
+    case solve_status::max_iterations:
+        return "max_iterations";
+    case solve_status::breakdown_rho:
+        return "breakdown_rho";
+    case solve_status::breakdown_omega:
+        return "breakdown_omega";
+    case solve_status::direction_annihilated:
+        return "direction_annihilated";
+    case solve_status::non_finite:
+        return "non_finite";
+    case solve_status::device_fault:
+        return "device_fault";
+    case solve_status::singular:
+        return "singular";
+    }
+    return "?";
+}
+
 index_type batch_log::num_converged() const
 {
+    return count_status(solve_status::converged);
+}
+
+index_type batch_log::count_status(solve_status status) const
+{
     return static_cast<index_type>(
-        std::count(converged_.begin(), converged_.end(), 1));
+        std::count(statuses_.begin(), statuses_.end(), status));
 }
 
 index_type batch_log::min_iterations() const

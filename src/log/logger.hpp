@@ -7,11 +7,46 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/math.hpp"
 
 namespace batchlin::log {
+
+/// Terminal state of one system's solve. Replaces the old converged bit:
+/// a system that did not converge now says *why*, so the resilience layer
+/// (`solver::solve_resilient`, serve:: retry) can pick the right remedy —
+/// breakdowns re-solve down the fallback chain, `device_fault` retries,
+/// `max_iterations` is an accuracy problem, not a fault.
+enum class solve_status : std::uint8_t {
+    /// The stop criterion was met (also: zero right-hand side, which is
+    /// defined as immediately converged with x = 0).
+    converged,
+    /// Iteration budget exhausted without meeting the criterion.
+    max_iterations,
+    /// Lanczos/Krylov scalar rho collapsed to zero (CG/BiCGSTAB serious
+    /// breakdown: the new residual is orthogonal to the shadow residual).
+    breakdown_rho,
+    /// BiCGSTAB stabilization scalar omega collapsed to zero; the update
+    /// cannot proceed.
+    breakdown_omega,
+    /// The search direction was annihilated by the operator (p'Ap == 0 in
+    /// CG: A is singular or indefinite along the current direction).
+    direction_annihilated,
+    /// A residual-norm recurrence produced NaN/Inf — workspace corruption
+    /// or hopeless conditioning.
+    non_finite,
+    /// The device runtime faulted (injected or real); the result buffer
+    /// for this system is not trustworthy.
+    device_fault,
+    /// Direct factorization hit a zero pivot: the matrix is singular to
+    /// working precision.
+    singular,
+};
+
+/// Human-readable status name for logs and error messages.
+std::string to_string(solve_status status);
 
 /// Result record of one batch solve, indexed by batch entry.
 class batch_log {
@@ -20,7 +55,7 @@ public:
     explicit batch_log(index_type num_systems)
         : iterations_(num_systems, 0),
           residual_norms_(num_systems, 0.0),
-          converged_(num_systems, 0)
+          statuses_(num_systems, solve_status::max_iterations)
     {}
 
     index_type num_systems() const
@@ -30,11 +65,11 @@ public:
 
     /// Called by the work-group solving system `batch` when it exits.
     void record(index_type batch, index_type iterations,
-                double residual_norm, bool converged)
+                double residual_norm, solve_status status)
     {
         iterations_[batch] = iterations;
         residual_norms_[batch] = residual_norm;
-        converged_[batch] = converged ? 1 : 0;
+        statuses_[batch] = status;
     }
 
     index_type iterations(index_type batch) const
@@ -45,9 +80,10 @@ public:
     {
         return residual_norms_[batch];
     }
+    solve_status status(index_type batch) const { return statuses_[batch]; }
     bool converged(index_type batch) const
     {
-        return converged_[batch] != 0;
+        return statuses_[batch] == solve_status::converged;
     }
 
     const std::vector<index_type>& all_iterations() const
@@ -58,8 +94,14 @@ public:
     {
         return residual_norms_;
     }
+    const std::vector<solve_status>& all_statuses() const
+    {
+        return statuses_;
+    }
 
     index_type num_converged() const;
+    /// Number of systems whose terminal state equals `status`.
+    index_type count_status(solve_status status) const;
     index_type min_iterations() const;
     index_type max_iterations() const;
     double mean_iterations() const;
@@ -94,7 +136,7 @@ public:
 private:
     std::vector<index_type> iterations_;
     std::vector<double> residual_norms_;
-    std::vector<std::uint8_t> converged_;
+    std::vector<solve_status> statuses_;
     index_type history_stride_ = 0;
     std::vector<double> history_;
 };

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "xpu/fault.hpp"
 
 namespace batchlin::serve {
 
@@ -139,6 +144,12 @@ service_stats solve_service::stats() const
     s.expired_requests = expired_requests_;
     s.failed_requests = failed_requests_;
     s.batches_launched = batches_launched_;
+    s.launch_faults = launch_faults_;
+    s.launch_retries = launch_retries_;
+    s.degraded_launches = degraded_launches_;
+    s.recovered_requests = recovered_requests_;
+    s.breaker_trips = breaker_trips_;
+    s.breaker_active = breaker_remaining_ > 0;
     s.queue_depth_requests = queue_.size();
     s.queue_depth_systems = static_cast<std::uint64_t>(queued_systems_);
     s.batch_size_histogram = batch_histogram_;
@@ -204,32 +215,45 @@ void solve_service::worker_loop(int worker_id)
         }
 
         index_type total = batch.front().items;
-        const auto window_end = batch.front().enqueued + config_.max_wait;
-        for (;;) {
-            // Gather everything compatible that is already queued.
-            for (std::size_t i = 0;
-                 i < queue_.size() && total < config_.max_batch;) {
-                if (queue_[i].key == batch.front().key &&
-                    entries_compatible(batch.front(), queue_[i])) {
-                    batch.push_back(pop_entry_locked(i));
-                    total += batch.back().items;
-                } else {
-                    ++i;
+        // A tripped breaker suspends coalescing: the leader launches solo,
+        // so a fault pattern tied to batch composition stops taking whole
+        // batches of unrelated requests down with it.
+        if (breaker_remaining_ == 0) {
+            const auto window_end =
+                batch.front().enqueued + config_.max_wait;
+            for (;;) {
+                // Gather everything compatible that is already queued.
+                for (std::size_t i = 0;
+                     i < queue_.size() && total < config_.max_batch;) {
+                    if (queue_[i].key == batch.front().key &&
+                        entries_compatible(batch.front(), queue_[i])) {
+                        batch.push_back(pop_entry_locked(i));
+                        total += batch.back().items;
+                    } else {
+                        ++i;
+                    }
                 }
+                if (total >= config_.max_batch || stopping_) {
+                    break;
+                }
+                if (std::chrono::steady_clock::now() >= window_end) {
+                    break;
+                }
+                // Hold the window open for companions; submit() notifies.
+                cv_work_.wait_until(lk, window_end);
             }
-            if (total >= config_.max_batch || stopping_) {
-                break;
-            }
-            if (std::chrono::steady_clock::now() >= window_end) {
-                break;
-            }
-            // Hold the window open for companions; submit() notifies.
-            cv_work_.wait_until(lk, window_end);
         }
 
         const std::size_t popped = batch.size();
         lk.unlock();
-        execute(q, std::move(batch));
+        try {
+            execute(q, std::move(batch));
+        } catch (...) {
+            // execute() fails tickets individually; anything that still
+            // escapes would terminate the worker thread (and with it the
+            // process). Swallow it — affected tickets resolve through
+            // their promises, or surface broken_promise if one was lost.
+        }
         lk.lock();
         in_flight_entries_ -= popped;
         if (queue_.empty() && in_flight_entries_ == 0) {
@@ -266,61 +290,166 @@ void solve_service::execute_typed(xpu::queue& q,
     std::uint64_t ok_requests = 0;
     std::uint64_t ok_systems = 0;
     std::uint64_t failed = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t recovered = 0;
+    bool degraded = false;
     index_type total = 0;
+    std::vector<index_type> launch_sizes;
     std::vector<double> latencies;
-    if (!live.empty()) {
-        std::vector<solver::assembly_part<T>> parts;
-        parts.reserve(live.size());
+
+    // Last-resort failure sweep: resolves every still-pending ticket with
+    // `failed`. Runs when an exception escapes the solve/scatter path, so
+    // a worker never dies with unresolved promises (std::terminate) and
+    // never double-sets an already-resolved one.
+    auto fail_remaining = [&](const std::string& what) {
         for (detail::pending_entry& entry : live) {
             auto& typed = std::get<detail::typed_pending<T>>(entry.body);
-            parts.push_back({&typed.request.a, &typed.request.b,
-                             &typed.request.x});
-            total += entry.items;
-        }
-        solver::solve_options opts =
-            std::get<detail::typed_pending<T>>(live.front().body)
-                .request.opts;
-        if (config_.skip_spill_zeroing) {
-            opts.zero_spill = false;
-        }
-        try {
-            const solver::solve_result combined =
-                solver::solve_coalesced<T>(q, parts, opts);
-            const auto done = std::chrono::steady_clock::now();
-            index_type offset = 0;
-            for (detail::pending_entry& entry : live) {
-                auto& typed =
-                    std::get<detail::typed_pending<T>>(entry.body);
-                solve_reply<T> reply;
-                reply.status = request_status::ok;
-                reply.a = std::move(typed.request.a);
-                reply.b = std::move(typed.request.b);
-                reply.x = std::move(typed.request.x);
-                reply.log =
-                    solver::split_log(combined.log, offset, entry.items);
-                reply.fused_systems = total;
-                reply.queue_seconds =
-                    seconds_between(entry.enqueued, launch_time);
-                reply.solve_seconds = combined.wall_seconds;
-                offset += entry.items;
-                latencies.push_back(seconds_between(entry.enqueued, done));
-                typed.promise.set_value(std::move(reply));
-                ++ok_requests;
-                ok_systems += static_cast<std::uint64_t>(entry.items);
-            }
-        } catch (const std::exception& ex) {
-            for (detail::pending_entry& entry : live) {
-                auto& typed =
-                    std::get<detail::typed_pending<T>>(entry.body);
-                solve_reply<T> reply;
-                reply.status = request_status::failed;
-                reply.error = ex.what();
-                reply.a = std::move(typed.request.a);
-                reply.b = std::move(typed.request.b);
-                reply.x = std::move(typed.request.x);
-                typed.promise.set_value(std::move(reply));
+            solve_reply<T> reply;
+            reply.status = request_status::failed;
+            reply.error = what;
+            reply.a = std::move(typed.request.a);
+            reply.b = std::move(typed.request.b);
+            reply.x = std::move(typed.request.x);
+            if (try_reply(typed, std::move(reply))) {
                 ++failed;
             }
+        }
+    };
+
+    if (!live.empty()) {
+        try {
+            std::vector<solver::assembly_part<T>> parts;
+            parts.reserve(live.size());
+            for (detail::pending_entry& entry : live) {
+                auto& typed =
+                    std::get<detail::typed_pending<T>>(entry.body);
+                parts.push_back({&typed.request.a, &typed.request.b,
+                                 &typed.request.x});
+                total += entry.items;
+            }
+            solver::solve_options opts =
+                std::get<detail::typed_pending<T>>(live.front().body)
+                    .request.opts;
+            if (config_.skip_spill_zeroing) {
+                opts.zero_spill = false;
+            }
+
+            // Solves `p`, retrying device faults with capped exponential
+            // backoff. Injected faults are keyed by the worker queue's
+            // launch counter, so every retry is a fresh launch. Other
+            // exceptions propagate to the failure sweep below.
+            std::string last_fault;
+            auto attempt_with_retries =
+                [&](const std::vector<solver::assembly_part<T>>& p,
+                    index_type& attempts)
+                -> std::optional<solver::solve_result> {
+                auto backoff = config_.retry_backoff;
+                for (index_type retry = 0;; ++retry) {
+                    ++attempts;
+                    try {
+                        return solver::solve_coalesced<T>(q, p, opts);
+                    } catch (const xpu::device_error& ex) {
+                        ++faults;
+                        last_fault = ex.what();
+                        if (retry >= config_.launch_retries) {
+                            return std::nullopt;
+                        }
+                        ++retries;
+                        if (backoff.count() > 0) {
+                            std::this_thread::sleep_for(backoff);
+                            backoff = std::min(
+                                backoff * 2, config_.max_retry_backoff);
+                        }
+                    }
+                }
+            };
+
+            index_type fused_attempts = 0;
+            std::optional<solver::solve_result> combined =
+                attempt_with_retries(parts, fused_attempts);
+            if (combined) {
+                const auto done = std::chrono::steady_clock::now();
+                launch_sizes.push_back(total);
+                index_type offset = 0;
+                for (detail::pending_entry& entry : live) {
+                    auto& typed =
+                        std::get<detail::typed_pending<T>>(entry.body);
+                    solve_reply<T> reply;
+                    reply.status = request_status::ok;
+                    reply.a = std::move(typed.request.a);
+                    reply.b = std::move(typed.request.b);
+                    reply.x = std::move(typed.request.x);
+                    reply.log = solver::split_log(combined->log, offset,
+                                                  entry.items);
+                    reply.fused_systems = total;
+                    reply.attempts = fused_attempts;
+                    reply.queue_seconds =
+                        seconds_between(entry.enqueued, launch_time);
+                    reply.solve_seconds = combined->wall_seconds;
+                    offset += entry.items;
+                    latencies.push_back(
+                        seconds_between(entry.enqueued, done));
+                    try_reply(typed, std::move(reply));
+                    ++ok_requests;
+                    ok_systems += static_cast<std::uint64_t>(entry.items);
+                    if (fused_attempts > 1) {
+                        ++recovered;
+                    }
+                }
+            } else {
+                // The fused launch keeps faulting: degrade to per-request
+                // solo solves so only the requests that genuinely cannot
+                // complete fail — the rest of the batch still resolves ok.
+                degraded = true;
+                for (detail::pending_entry& entry : live) {
+                    auto& typed =
+                        std::get<detail::typed_pending<T>>(entry.body);
+                    std::vector<solver::assembly_part<T>> solo;
+                    solo.push_back({&typed.request.a, &typed.request.b,
+                                    &typed.request.x});
+                    index_type attempts = fused_attempts;
+                    std::optional<solver::solve_result> result =
+                        attempt_with_retries(solo, attempts);
+                    const auto done = std::chrono::steady_clock::now();
+                    solve_reply<T> reply;
+                    reply.attempts = attempts;
+                    if (result) {
+                        reply.status = request_status::ok;
+                        reply.log = result->log;
+                        reply.fused_systems = entry.items;
+                        reply.queue_seconds =
+                            seconds_between(entry.enqueued, launch_time);
+                        reply.solve_seconds = result->wall_seconds;
+                        launch_sizes.push_back(entry.items);
+                        latencies.push_back(
+                            seconds_between(entry.enqueued, done));
+                    } else {
+                        reply.status = request_status::failed;
+                        reply.error =
+                            "device fault persisted through " +
+                            std::to_string(attempts) +
+                            " solve attempts: " + last_fault;
+                    }
+                    reply.a = std::move(typed.request.a);
+                    reply.b = std::move(typed.request.b);
+                    reply.x = std::move(typed.request.x);
+                    const bool ok = reply.status == request_status::ok;
+                    try_reply(typed, std::move(reply));
+                    if (ok) {
+                        ++ok_requests;
+                        ok_systems +=
+                            static_cast<std::uint64_t>(entry.items);
+                        ++recovered;
+                    } else {
+                        ++failed;
+                    }
+                }
+            }
+        } catch (const std::exception& ex) {
+            fail_remaining(ex.what());
+        } catch (...) {
+            fail_remaining("unknown error in batch execution");
         }
     }
 
@@ -329,15 +458,47 @@ void solve_service::execute_typed(xpu::queue& q,
     completed_requests_ += ok_requests;
     completed_systems_ += ok_systems;
     failed_requests_ += failed;
-    if (ok_requests > 0) {
+    launch_faults_ += faults;
+    launch_retries_ += retries;
+    recovered_requests_ += recovered;
+    if (degraded) {
+        ++degraded_launches_;
+    }
+    for (const index_type size : launch_sizes) {
         ++batches_launched_;
-        batched_systems_sum_ += static_cast<std::uint64_t>(total);
+        batched_systems_sum_ += static_cast<std::uint64_t>(size);
         const std::size_t bucket =
-            total <= config_.max_batch ? static_cast<std::size_t>(total)
-                                       : 0;
+            size <= config_.max_batch ? static_cast<std::size_t>(size) : 0;
         ++batch_histogram_[bucket];
-        for (const double s : latencies) {
-            latency_.record(s);
+    }
+    for (const double s : latencies) {
+        latency_.record(s);
+    }
+    if (!live.empty()) {
+        // Breaker bookkeeping: one observation per execution, faulted if
+        // any attempt faulted. During cooldown the window stays frozen;
+        // each solo execution counts the cooldown down toward resuming
+        // coalescing.
+        if (breaker_remaining_ > 0) {
+            --breaker_remaining_;
+        } else {
+            ++breaker_window_count_;
+            if (faults > 0) {
+                ++breaker_window_faulted_;
+            }
+            if (breaker_window_count_ >= config_.breaker_window &&
+                config_.breaker_window > 0) {
+                const double ratio =
+                    static_cast<double>(breaker_window_faulted_) /
+                    static_cast<double>(breaker_window_count_);
+                if (ratio >= config_.breaker_fault_ratio &&
+                    config_.breaker_cooldown > 0) {
+                    ++breaker_trips_;
+                    breaker_remaining_ = config_.breaker_cooldown;
+                }
+                breaker_window_count_ = 0;
+                breaker_window_faulted_ = 0;
+            }
         }
     }
 }

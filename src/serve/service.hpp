@@ -90,6 +90,10 @@ struct solve_reply {
     log::batch_log log;
     /// Systems in the fused launch this request rode in.
     index_type fused_systems = 0;
+    /// Solve attempts this request's data went through: 1 is the happy
+    /// path; more means launch faults were retried (and possibly the
+    /// batch degraded to solo solves) before this reply resolved.
+    index_type attempts = 1;
     /// Submit-to-launch waiting time.
     double queue_seconds = 0.0;
     /// Wall time of the fused solve.
@@ -123,6 +127,23 @@ struct service_config {
     bool skip_spill_zeroing = true;
     /// Sliding-window size of the latency percentile estimator.
     std::size_t latency_window = 8192;
+    /// Additional solve attempts after a `xpu::device_error` launch
+    /// failure before the batch degrades to per-request solo solves.
+    /// Injected faults are keyed by the worker queue's launch counter, so
+    /// a retry is a fresh launch and typically clears a transient fault.
+    index_type launch_retries = 2;
+    /// Backoff before the first retry; doubles per retry up to
+    /// `max_retry_backoff` (capped exponential backoff).
+    std::chrono::microseconds retry_backoff{50};
+    std::chrono::microseconds max_retry_backoff{1000};
+    /// Circuit breaker: when at least `breaker_window` fused launches
+    /// have completed and the faulted fraction among the last window
+    /// reaches this ratio, coalescing is suspended — workers solve
+    /// requests solo for `breaker_cooldown` launches, so one poisoned
+    /// tenant stops taking whole batches down with it.
+    double breaker_fault_ratio = 0.5;
+    std::uint32_t breaker_window = 16;
+    std::uint32_t breaker_cooldown = 32;
 };
 
 namespace detail {
@@ -343,6 +364,22 @@ private:
                    entry.body);
     }
 
+    /// Resolves a promise exactly once: a second set (e.g. the failure
+    /// sweep running after some replies already resolved) is a no-op
+    /// instead of a `std::future_error` escaping the worker thread.
+    /// Returns whether this call resolved the ticket.
+    template <typename T>
+    static bool try_reply(detail::typed_pending<T>& typed,
+                          solve_reply<T> reply)
+    {
+        try {
+            typed.promise.set_value(std::move(reply));
+            return true;
+        } catch (const std::future_error&) {
+            return false;  // already satisfied
+        }
+    }
+
     void worker_loop(int worker_id);
 
     /// Removes queue_[index] under the caller's lock: books it as
@@ -380,6 +417,19 @@ private:
     std::uint64_t batched_systems_sum_ = 0;
     std::vector<std::uint64_t> batch_histogram_;
     latency_window latency_;
+
+    // Resilience counters and circuit-breaker state (guarded by mu_).
+    std::uint64_t launch_faults_ = 0;
+    std::uint64_t launch_retries_ = 0;
+    std::uint64_t degraded_launches_ = 0;
+    std::uint64_t recovered_requests_ = 0;
+    std::uint64_t breaker_trips_ = 0;
+    /// Launches observed / faulted within the current breaker window.
+    std::uint32_t breaker_window_count_ = 0;
+    std::uint32_t breaker_window_faulted_ = 0;
+    /// Remaining launches of a tripped breaker's cooldown; > 0 suspends
+    /// coalescing (workers launch solo).
+    std::uint32_t breaker_remaining_ = 0;
 
     /// One queue per worker (deque: xpu::queue is not movable in debug
     /// builds). Constructed before, and outliving, the worker threads.

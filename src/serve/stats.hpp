@@ -30,6 +30,21 @@ struct service_stats {
     /// Fused launches executed by the worker pool.
     std::uint64_t batches_launched = 0;
 
+    /// `xpu::device_error` launch failures observed (one per failed
+    /// attempt, retries included).
+    std::uint64_t launch_faults = 0;
+    /// Retry attempts issued after a launch fault.
+    std::uint64_t launch_retries = 0;
+    /// Batches that exhausted their retries and degraded to per-request
+    /// solo solves.
+    std::uint64_t degraded_launches = 0;
+    /// Requests that completed ok only via retry or degradation.
+    std::uint64_t recovered_requests = 0;
+    /// Times the circuit breaker tripped (suspending coalescing).
+    std::uint64_t breaker_trips = 0;
+    /// Whether coalescing is currently suspended by the breaker.
+    bool breaker_active = false;
+
     /// Current admission queue depth.
     std::uint64_t queue_depth_requests = 0;
     std::uint64_t queue_depth_systems = 0;

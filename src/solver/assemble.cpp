@@ -102,7 +102,7 @@ log::batch_log split_log(const log::batch_log& combined, index_type offset,
     for (index_type i = 0; i < items; ++i) {
         part.record(i, combined.iterations(offset + i),
                     combined.residual_norm(offset + i),
-                    combined.converged(offset + i));
+                    combined.status(offset + i));
     }
     return part;
 }

@@ -69,12 +69,33 @@ void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
             T omega = T{1};
 
             index_type iter = 0;
-            bool converged = stop::is_converged(crit, res_norm, rhs_norm);
-            while (!converged && iter < crit.max_iterations) {
+            log::solve_status status = log::solve_status::max_iterations;
+            if (stop::zero_rhs_short_circuit(crit, rhs_norm)) {
+                // ||b|| == 0 under a relative tolerance: defined as solved
+                // by x = 0 exactly (see stop::zero_rhs_short_circuit).
+                blas::fill<T>(g, x_loc, T{0});
+                res_norm = T{0};
+                status = log::solve_status::converged;
+            } else if (stop::is_converged(crit, res_norm, rhs_norm)) {
+                status = log::solve_status::converged;
+            } else if (!is_finite(res_norm)) {
+                status = log::solve_status::non_finite;
+            }
+            while (status == log::solve_status::max_iterations &&
+                   iter < crit.max_iterations) {
                 const T rho_new =
                     blas::dot<T>(g, r_hat, r, config.reduction);
-                if (rho_new == T{0} || omega == T{0}) {
-                    break;  // shadow-residual or stabilization breakdown
+                // Stabilization breakdown is tested before the shadow
+                // residual: an exact omega == 0 also zeroes the next
+                // rho_new, and labeling that as breakdown_rho would
+                // misdirect the fallback chain.
+                if (omega == T{0}) {
+                    status = log::solve_status::breakdown_omega;
+                    break;
+                }
+                if (rho_new == T{0}) {
+                    status = log::solve_status::breakdown_rho;
+                    break;
                 }
                 const T beta = (rho_new / rho) * (alpha / omega);
                 // p = r + beta * (p - omega * v).
@@ -85,6 +106,7 @@ void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
                 blas::spmv<T>(g, a_view, p_hat, v);
                 const T rv = blas::dot<T>(g, r_hat, v, config.reduction);
                 if (rv == T{0}) {
+                    status = log::solve_status::direction_annihilated;
                     break;
                 }
                 alpha = rho_new / rv;
@@ -96,10 +118,15 @@ void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
                 ++iter;
                 logger.record_iteration(batch, iter - 1,
                                         static_cast<double>(s_norm));
+                if (!is_finite(s_norm)) {
+                    res_norm = s_norm;
+                    status = log::solve_status::non_finite;
+                    break;
+                }
                 if (stop::is_converged(crit, s_norm, rhs_norm)) {
                     blas::axpy<T>(g, alpha, p_hat, x_loc);
                     res_norm = s_norm;
-                    converged = true;
+                    status = log::solve_status::converged;
                     break;
                 }
 
@@ -109,6 +136,7 @@ void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
                 if (tt == T{0}) {
                     blas::axpy<T>(g, alpha, p_hat, x_loc);
                     res_norm = s_norm;
+                    status = log::solve_status::breakdown_omega;
                     break;
                 }
                 omega = blas::dot<T>(g, t, s, config.reduction) / tt;
@@ -124,11 +152,17 @@ void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
                 logger.record_iteration(batch, iter - 1,
                                         static_cast<double>(res_norm));
                 rho = rho_new;
-                converged = stop::is_converged(crit, res_norm, rhs_norm);
+                if (!is_finite(res_norm)) {
+                    status = log::solve_status::non_finite;
+                    break;
+                }
+                if (stop::is_converged(crit, res_norm, rhs_norm)) {
+                    status = log::solve_status::converged;
+                }
             }
 
             blas::copy<T>(g, x_loc, x_global);
-            record_outcome(g, logger, batch, iter, res_norm, converged);
+            record_outcome(g, logger, batch, iter, res_norm, status);
         },
         range.begin, "batch_bicgstab");
 }

@@ -63,12 +63,25 @@ void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
             T rho = blas::dot<T>(g, r, z, config.reduction);
 
             index_type iter = 0;
-            bool converged = stop::is_converged(crit, res_norm, rhs_norm);
-            while (!converged && iter < crit.max_iterations) {
+            log::solve_status status = log::solve_status::max_iterations;
+            if (stop::zero_rhs_short_circuit(crit, rhs_norm)) {
+                // ||b|| == 0 under a relative tolerance: defined as solved
+                // by x = 0 exactly (see stop::zero_rhs_short_circuit).
+                blas::fill<T>(g, x_loc, T{0});
+                res_norm = T{0};
+                status = log::solve_status::converged;
+            } else if (stop::is_converged(crit, res_norm, rhs_norm)) {
+                status = log::solve_status::converged;
+            } else if (!is_finite(res_norm)) {
+                status = log::solve_status::non_finite;
+            }
+            while (status == log::solve_status::max_iterations &&
+                   iter < crit.max_iterations) {
                 blas::spmv<T>(g, a_view, p, t);
                 const T pt = blas::dot<T>(g, p, t, config.reduction);
                 if (pt == T{0}) {
-                    break;  // breakdown: direction annihilated
+                    status = log::solve_status::direction_annihilated;
+                    break;
                 }
                 const T alpha = rho / pt;
                 blas::axpy<T>(g, alpha, p, x_loc);
@@ -77,13 +90,18 @@ void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
                 ++iter;
                 logger.record_iteration(batch, iter - 1,
                                         static_cast<double>(res_norm));
-                converged = stop::is_converged(crit, res_norm, rhs_norm);
-                if (converged) {
+                if (!is_finite(res_norm)) {
+                    status = log::solve_status::non_finite;
+                    break;
+                }
+                if (stop::is_converged(crit, res_norm, rhs_norm)) {
+                    status = log::solve_status::converged;
                     break;
                 }
                 pc.apply(g, r, z);
                 const T rho_new = blas::dot<T>(g, r, z, config.reduction);
                 if (rho == T{0}) {
+                    status = log::solve_status::breakdown_rho;
                     break;
                 }
                 const T beta = rho_new / rho;
@@ -92,7 +110,7 @@ void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
             }
 
             blas::copy<T>(g, x_loc, x_global);
-            record_outcome(g, logger, batch, iter, res_norm, converged);
+            record_outcome(g, logger, batch, iter, res_norm, status);
         },
         range.begin, "batch_cg");
 }

@@ -85,7 +85,9 @@ void run_thomas(xpu::queue& q, const mat::batch_csr<T>& a,
             g.stats().slm_bytes += 4.0 * rows * sizeof(T);
             g.stats().global_write_bytes +=
                 static_cast<double>(rows) * sizeof(T);
-            record_outcome(g, logger, batch, 1, T{0}, ok);
+            record_outcome(g, logger, batch, 1, T{0},
+                           ok ? log::solve_status::converged
+                              : log::solve_status::singular);
         },
         range.begin, "batch_thomas");
 }
@@ -170,7 +172,9 @@ void run_dense_lu(xpu::queue& q, const mat::batch_csr<T>& a,
             g.stats().slm_bytes += 4.0 * n * sizeof(T);
             g.stats().global_write_bytes +=
                 static_cast<double>(rows) * sizeof(T);
-            record_outcome(g, logger, batch, 1, T{0}, ok);
+            record_outcome(g, logger, batch, 1, T{0},
+                           ok ? log::solve_status::converged
+                              : log::solve_status::singular);
         },
         range.begin, "batch_dense_lu_solve");
 }
@@ -260,7 +264,9 @@ void run_banded(xpu::queue& q, const mat::batch_csr<T>& a,
                 3.0 * rows * band_cols * sizeof(T);  // fill + eliminate
             g.stats().global_write_bytes +=
                 static_cast<double>(rows) * sizeof(T);
-            record_outcome(g, logger, batch, 1, T{0}, ok);
+            record_outcome(g, logger, batch, 1, T{0},
+                           ok ? log::solve_status::converged
+                              : log::solve_status::singular);
         },
         range.begin, "batch_banded");
 }

@@ -71,9 +71,16 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
             const T rhs_norm = blas::nrm2<T>(g, w, config.reduction);
 
             index_type iter = 0;
-            bool converged = false;
+            log::solve_status status = log::solve_status::max_iterations;
             T res_norm{};
-            while (iter < crit.max_iterations && !converged) {
+            if (stop::zero_rhs_short_circuit(crit, rhs_norm)) {
+                // ||M b|| == 0 under a relative tolerance: defined as
+                // solved by x = 0 exactly (stop::zero_rhs_short_circuit).
+                blas::fill<T>(g, x_loc, T{0});
+                status = log::solve_status::converged;
+            }
+            while (status == log::solve_status::max_iterations &&
+                   iter < crit.max_iterations) {
                 // Restart: z0 = M (b - A x).
                 xpu::dspan<T> v0 = basis_vec(0);
                 blas::spmv<T>(g, a_view, x_loc, w);
@@ -81,8 +88,12 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
                 pc.apply(g, w, v0);
                 const T beta = blas::nrm2<T>(g, v0, config.reduction);
                 res_norm = beta;
+                if (!is_finite(beta)) {
+                    status = log::solve_status::non_finite;
+                    break;
+                }
                 if (stop::is_converged(crit, beta, rhs_norm)) {
-                    converged = true;
+                    status = log::solve_status::converged;
                     break;
                 }
                 blas::scale<T>(g, T{1} / beta, v0);
@@ -124,12 +135,18 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
                                               h_at(j + 1, j) *
                                                   h_at(j + 1, j));
                     if (denom == T{0}) {
-                        cs[j] = T{1};
-                        sn[j] = T{0};
-                    } else {
-                        cs[j] = h_at(j, j) / denom;
-                        sn[j] = h_at(j + 1, j) / denom;
+                        // The rotated Hessenberg column vanished: the
+                        // projected operator annihilated v_j (singular A
+                        // with an exhausted Krylov space). A unit rotation
+                        // here would zero |g_{j+1}| and fake convergence,
+                        // and the triangular solve would divide by the
+                        // zero diagonal — exit with the last restart's
+                        // iterate instead.
+                        status = log::solve_status::direction_annihilated;
+                        break;
                     }
+                    cs[j] = h_at(j, j) / denom;
+                    sn[j] = h_at(j + 1, j) / denom;
                     h_at(j, j) = cs[j] * h_at(j, j) +
                                  sn[j] * h_at(j + 1, j);
                     h_at(j + 1, j) = T{0};
@@ -144,11 +161,22 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
                     res_norm = std::abs(gvec[j + 1]);
                     logger.record_iteration(batch, iter - 1,
                                             static_cast<double>(res_norm));
-                    if (stop::is_converged(crit, res_norm, rhs_norm)) {
-                        ++j;
-                        converged = true;
+                    if (!is_finite(res_norm)) {
+                        status = log::solve_status::non_finite;
                         break;
                     }
+                    if (stop::is_converged(crit, res_norm, rhs_norm)) {
+                        ++j;
+                        status = log::solve_status::converged;
+                        break;
+                    }
+                }
+                if (status == log::solve_status::non_finite ||
+                    status == log::solve_status::direction_annihilated) {
+                    // The basis is corrupted or the projected operator is
+                    // singular; leave x at the last restart's iterate
+                    // instead of folding NaNs / dividing by zero.
+                    break;
                 }
 
                 // Solve the upper-triangular system H y = g and update x.
@@ -167,7 +195,7 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
             }
 
             blas::copy<T>(g, x_loc, x_global);
-            record_outcome(g, logger, batch, iter, res_norm, converged);
+            record_outcome(g, logger, batch, iter, res_norm, status);
         },
         range.begin, "batch_gmres");
 }

@@ -29,7 +29,15 @@ public:
     workspace_binder(xpu::group& g, const bound_plan& plan,
                      T* group_backing)
         : g_(g), plan_(plan), backing_(group_backing)
-    {}
+    {
+        // With a poison fault armed on this group, narrow the strike's
+        // spill target to this group's own backing slice — the default is
+        // no spill region, so a strike never touches another group's
+        // memory. Off the hot path: one branch when no fault is armed.
+        if (g_.fault_armed()) {
+            register_spill_region();
+        }
+    }
 
     /// Takes the next slot, which must correspond to the planner entry
     /// named `name` (kernels and the priority lists must agree exactly;
@@ -73,6 +81,22 @@ public:
     }
 
 private:
+    void register_spill_region()
+    {
+        size_type elems = 0;
+        for (index_type i = 0; i < plan_.size(); ++i) {
+            const bound_plan::slot& s = plan_[i];
+            if (!s.in_slm && s.spill_offset + s.elems > elems) {
+                elems = s.spill_offset + s.elems;
+            }
+        }
+        if (elems > 0) {
+            g_.note_global_region(
+                reinterpret_cast<std::byte*>(backing_),
+                elems * static_cast<size_type>(sizeof(T)));
+        }
+    }
+
     xpu::group& g_;
     const bound_plan& plan_;
     T* backing_;
@@ -107,10 +131,11 @@ struct spill_buffer {
 /// Records one system's outcome: logger entry plus iteration counter.
 template <typename T>
 void record_outcome(xpu::group& g, log::batch_log& logger, index_type batch,
-                    index_type iterations, T residual_norm, bool converged)
+                    index_type iterations, T residual_norm,
+                    log::solve_status status)
 {
     logger.record(batch, iterations, static_cast<double>(residual_norm),
-                  converged);
+                  status);
     g.stats().total_iterations += static_cast<double>(iterations);
 }
 

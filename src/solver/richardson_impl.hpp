@@ -58,8 +58,20 @@ void run_richardson(xpu::queue& q, const MatBatch& a,
             T res_norm = blas::nrm2<T>(g, r, config.reduction);
 
             index_type iter = 0;
-            bool converged = stop::is_converged(crit, res_norm, rhs_norm);
-            while (!converged && iter < crit.max_iterations) {
+            log::solve_status status = log::solve_status::max_iterations;
+            if (stop::zero_rhs_short_circuit(crit, rhs_norm)) {
+                // ||b|| == 0 under a relative tolerance: defined as solved
+                // by x = 0 exactly (see stop::zero_rhs_short_circuit).
+                blas::fill<T>(g, x_loc, T{0});
+                res_norm = T{0};
+                status = log::solve_status::converged;
+            } else if (stop::is_converged(crit, res_norm, rhs_norm)) {
+                status = log::solve_status::converged;
+            } else if (!is_finite(res_norm)) {
+                status = log::solve_status::non_finite;
+            }
+            while (status == log::solve_status::max_iterations &&
+                   iter < crit.max_iterations) {
                 pc.apply(g, r, z);
                 blas::axpy<T>(g, relaxation, z, x_loc);
                 // r -= omega * A z keeps the residual consistent without a
@@ -70,11 +82,17 @@ void run_richardson(xpu::queue& q, const MatBatch& a,
                 ++iter;
                 logger.record_iteration(batch, iter - 1,
                                         static_cast<double>(res_norm));
-                converged = stop::is_converged(crit, res_norm, rhs_norm);
+                if (!is_finite(res_norm)) {
+                    status = log::solve_status::non_finite;
+                    break;
+                }
+                if (stop::is_converged(crit, res_norm, rhs_norm)) {
+                    status = log::solve_status::converged;
+                }
             }
 
             blas::copy<T>(g, x_loc, x_global);
-            record_outcome(g, logger, batch, iter, res_norm, converged);
+            record_outcome(g, logger, batch, iter, res_norm, status);
         },
         range.begin, "batch_richardson");
 }

@@ -111,7 +111,8 @@ void run_trsv(xpu::queue& q, const mat::batch_csr<T>& a,
 
             blas::copy<T>(g, x_loc, x_global);
             // A direct sweep is exact: record one "iteration", converged.
-            record_outcome(g, logger, batch, 1, T{0}, true);
+            record_outcome(g, logger, batch, 1, T{0},
+                           log::solve_status::converged);
         },
         range.begin, "batch_trsv");
 }

@@ -48,6 +48,18 @@ inline bool is_converged(const criterion& crit, T residual_norm, T rhs_norm)
     return static_cast<double>(residual_norm) <= target;
 }
 
+/// True when the criterion defines the system as already solved: a
+/// relative tolerance against a zero right-hand side demands
+/// ||r|| <= tol * 0 = 0, which only x with A x = b = 0 satisfies — and
+/// x = 0 always does. Rather than iterating toward an unreachable positive
+/// target (the historic behaviour divided by a zero norm), the kernels
+/// short-circuit: write x = 0 and record `converged` with 0 iterations.
+template <typename T>
+inline bool zero_rhs_short_circuit(const criterion& crit, T rhs_norm)
+{
+    return crit.type == tolerance_type::relative && rhs_norm == T{0};
+}
+
 std::string to_string(tolerance_type type);
 
 /// Convenience factories.

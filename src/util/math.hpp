@@ -32,6 +32,15 @@ bool close(T a, T b, T rel_tol, T scale = T{1})
     return std::abs(a - b) <= rel_tol * mag;
 }
 
+/// True when `v` is neither NaN nor infinite. The solver kernels guard
+/// their residual-norm recurrences with this: one comparison per iteration
+/// that turns silent NaN propagation into a reported `non_finite` status.
+template <typename T>
+inline bool is_finite(T v)
+{
+    return std::isfinite(v);
+}
+
 /// Machine epsilon-derived default solver tolerance for a value type.
 template <typename T>
 constexpr T default_tolerance()

@@ -12,6 +12,7 @@
 
 #include "util/error.hpp"
 #include "util/math.hpp"
+#include "xpu/fault.hpp"
 #include "xpu/span.hpp"
 
 namespace batchlin::xpu {
@@ -27,6 +28,11 @@ public:
     template <typename T>
     dspan<T> alloc(index_type n)
     {
+        if (alloc_fail_countdown_ >= 0) {
+            // Disarmed (the default, -1) costs one load+compare; the
+            // countdown bookkeeping and the throw live out of line.
+            check_alloc_fault();
+        }
         const size_type offset = align_up(used_, alignof(T));
         const size_type bytes = static_cast<size_type>(n) * sizeof(T);
         BATCHLIN_ENSURE_MSG(offset + bytes <= capacity_,
@@ -71,7 +77,21 @@ public:
     {
         used_ = 0;
         high_water_ = 0;
+        alloc_fail_countdown_ = -1;
     }
+
+    /// Arms the fault injector: the `nth` (0-based) allocation after this
+    /// call throws `device_error`. Negative disarms. The queue arms the
+    /// arena only for the faulted group and disarms right after it.
+    void arm_alloc_failure(index_type nth) { alloc_fail_countdown_ = nth; }
+
+    /// Armed-countdown slow path of `alloc` (fault.cpp).
+    void check_alloc_fault();
+
+    /// Raw backing storage, for the fault injector's poison strikes (the
+    /// simulator analogue of a physical-memory fault, which does not go
+    /// through the allocation interface either).
+    std::byte* storage() { return buffer_.data(); }
 
     size_type capacity() const { return capacity_; }
     size_type used() const { return used_; }
@@ -89,6 +109,7 @@ private:
     size_type capacity_;
     size_type used_ = 0;
     size_type high_water_ = 0;
+    index_type alloc_fail_countdown_ = -1;
 #ifdef BATCHLIN_XPU_CHECK
     check::group_checker* checker_ = nullptr;
 #endif

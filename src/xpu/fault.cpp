@@ -1,0 +1,147 @@
+#include "xpu/fault.hpp"
+
+#include "xpu/group.hpp"
+
+namespace batchlin::xpu {
+
+void slm_arena::check_alloc_fault()
+{
+    if (alloc_fail_countdown_-- == 0) {
+        throw device_error(__FILE__, __LINE__,
+                           "injected fault: SLM allocation failed "
+                           "(xpu::fault_kind::alloc_fail)");
+    }
+}
+
+void group::fault_strike()
+{
+    ++fault_barriers_;
+    if (fault_barriers_ < fault_event_->phase) {
+        return;
+    }
+    std::byte* base = slm_.storage();
+    size_type bytes = slm_.used();
+    if (fault_event_->target == fault_target::spill &&
+        fault_spill_ != nullptr && fault_spill_bytes_ > 0) {
+        base = fault_spill_;
+        bytes = fault_spill_bytes_;
+    }
+    const fault_event ev = *fault_event_;
+    fault_event_ = nullptr;  // strike exactly once
+    if (base == nullptr || bytes < 8) {
+        return;  // nothing allocated yet: the fault lands in the void
+    }
+    // 8-byte aligned offset inside the region, chosen from the seed so
+    // reruns corrupt the identical spot.
+    const std::uint64_t pick =
+        fault_mix(fault_seed_, (static_cast<std::uint64_t>(id_) << 20) ^
+                                   static_cast<std::uint64_t>(ev.phase));
+    const size_type slots = bytes / 8;
+    std::byte* hit =
+        base + static_cast<size_type>(
+                   pick % static_cast<std::uint64_t>(slots)) *
+                   8;
+    if (ev.mode == poison_mode::nan) {
+        // 0xFF..FF is a (negative, quiet) NaN for float and double.
+        for (int i = 0; i < 8; ++i) {
+            hit[i] = std::byte{0xff};
+        }
+    } else {
+        hit[static_cast<size_type>(pick >> 32) % 8] ^=
+            std::byte{static_cast<unsigned char>(
+                1u << (static_cast<unsigned>(pick >> 40) % 8u))};
+    }
+}
+
+std::uint64_t fault_mix(std::uint64_t a, std::uint64_t b)
+{
+    // splitmix64-style avalanche over the xor of both inputs.
+    std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+fault_plan random_fault_plan(unsigned seed,
+                            const fault_schedule_config& config)
+{
+    BATCHLIN_ENSURE_MSG(config.fault_rate >= 0.0 &&
+                            config.fault_rate <= 1.0,
+                        "fault rate must be a probability");
+    BATCHLIN_ENSURE_MSG(config.num_groups > 0 && config.max_phase > 0,
+                        "fault schedule needs positive group and phase "
+                        "ranges");
+    fault_plan plan;
+    plan.seed = seed;
+    const auto threshold = static_cast<std::uint64_t>(
+        config.fault_rate * 18446744073709551615.0);
+    for (std::uint64_t launch = 0; launch < config.num_launches; ++launch) {
+        const std::uint64_t roll = fault_mix(seed, launch);
+        if (roll > threshold) {
+            continue;
+        }
+        fault_event ev;
+        ev.launch = launch;
+        // Independent draws so the kind does not correlate with the hit
+        // decision above.
+        const std::uint64_t pick = fault_mix(roll, 0x600dcafe);
+        switch (pick % 4) {
+        case 0:
+            ev.kind = fault_kind::launch_fail;
+            break;
+        case 1:
+            ev.kind = fault_kind::alloc_fail;
+            break;
+        case 2:
+            ev.kind = fault_kind::poison;
+            ev.mode = poison_mode::nan;
+            break;
+        default:
+            ev.kind = fault_kind::poison;
+            ev.mode = poison_mode::bitflip;
+            break;
+        }
+        ev.group = static_cast<index_type>(
+            fault_mix(pick, 1) % static_cast<std::uint64_t>(
+                                     config.num_groups));
+        if (ev.kind == fault_kind::alloc_fail) {
+            // Solver kernels bind a handful of workspace slots; failing
+            // one of the first few hits every kernel shape.
+            ev.phase = static_cast<index_type>(fault_mix(pick, 2) % 4);
+        } else {
+            ev.phase = 1 + static_cast<index_type>(
+                               fault_mix(pick, 2) %
+                               static_cast<std::uint64_t>(
+                                   config.max_phase));
+        }
+        ev.target = fault_mix(pick, 3) % 2 == 0 ? fault_target::slm
+                                                : fault_target::spill;
+        plan.events.push_back(ev);
+    }
+    return plan;
+}
+
+std::string to_string(fault_kind kind)
+{
+    switch (kind) {
+    case fault_kind::launch_fail:
+        return "launch_fail";
+    case fault_kind::alloc_fail:
+        return "alloc_fail";
+    case fault_kind::poison:
+        return "poison";
+    }
+    return "?";
+}
+
+std::string to_string(fault_target target)
+{
+    return target == fault_target::slm ? "slm" : "spill";
+}
+
+std::string to_string(poison_mode mode)
+{
+    return mode == poison_mode::nan ? "nan" : "bitflip";
+}
+
+}  // namespace batchlin::xpu

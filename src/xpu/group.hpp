@@ -45,6 +45,33 @@ public:
     slm_arena& slm() { return slm_; }
     counters& stats() { return stats_; }
 
+    /// Arms a scheduled poison fault for this group: `event` strikes at
+    /// the `event->phase`-th barrier this group executes. `spill` /
+    /// `spill_bytes` bound the launch-wide spilled workspace; the kernel's
+    /// binder narrows them to this group's slice via note_global_region.
+    /// Null disarms (the default state; one pointer test per barrier).
+    void arm_fault(const fault_event* event, std::byte* spill,
+                   size_type spill_bytes, unsigned seed)
+    {
+        fault_event_ = event;
+        fault_spill_ = spill;
+        fault_spill_bytes_ = spill_bytes;
+        fault_seed_ = seed;
+        fault_barriers_ = 0;
+    }
+
+    /// True while a poison fault is pending on this group; the workspace
+    /// binder uses it to gate spill-region bookkeeping off the hot path.
+    bool fault_armed() const { return fault_event_ != nullptr; }
+
+    /// Narrows the poison target to this group's own spilled workspace so
+    /// a strike never touches another group's memory (which would race).
+    void note_global_region(std::byte* base, size_type bytes)
+    {
+        fault_spill_ = base;
+        fault_spill_bytes_ = bytes;
+    }
+
 #ifdef BATCHLIN_XPU_CHECK
     /// Attaches the sanitizer: work-item loops route through its lane
     /// scheduler, barriers and collectives report to it.
@@ -100,6 +127,9 @@ public:
             checker_->on_barrier();
         }
 #endif
+        if (fault_event_ != nullptr) {
+            fault_strike();
+        }
         ++stats_.group_barriers;
     }
 
@@ -188,11 +218,22 @@ private:
         }
     }
 
+    /// Executes a pending poison fault once its barrier phase is reached:
+    /// corrupts a deterministically chosen spot of the target region and
+    /// disarms. Defined out of line (fault.cpp) so `barrier()` stays a
+    /// handful of instructions at every inlined call site.
+    void fault_strike();
+
     index_type id_;
     index_type size_;
     index_type sub_group_size_;
     slm_arena& slm_;
     counters& stats_;
+    const fault_event* fault_event_ = nullptr;
+    std::byte* fault_spill_ = nullptr;
+    size_type fault_spill_bytes_ = 0;
+    unsigned fault_seed_ = 0;
+    index_type fault_barriers_ = 0;
 #ifdef BATCHLIN_XPU_CHECK
     check::group_checker* checker_ = nullptr;
 #endif

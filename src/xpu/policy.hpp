@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/math.hpp"
+#include "xpu/fault.hpp"
 
 namespace batchlin::xpu {
 
@@ -101,6 +102,10 @@ struct exec_policy {
     /// so every phase of every group draws a distinct permutation while the
     /// whole run stays reproducible.
     unsigned lane_order_seed = 0x9e3779b9u;
+    /// Deterministic fault-injection schedule (empty: no faults, and the
+    /// queue pays exactly one empty() branch per launch). Events are keyed
+    /// by the queue's 0-based launch counter; see xpu/fault.hpp.
+    fault_plan faults{};
 
     /// True when `size` is one of the supported sub-group sizes.
     bool supports_sub_group(index_type size) const;

@@ -18,6 +18,7 @@
 #include <omp.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <exception>
 #include <utility>
@@ -132,6 +133,26 @@ public:
         (void)kernel_label;
 #endif
 
+        // Fault dispatch: the launch counter keys scheduled events, so it
+        // advances for every submission — including the ones that fail.
+        // An empty plan costs exactly this one branch.
+        const std::uint64_t launch_id = launches_submitted_++;
+        std::vector<const fault_event*> launch_faults;
+        if (!policy_.faults.empty()) {
+            for (const fault_event& ev : policy_.faults.events) {
+                if (ev.launch != launch_id) {
+                    continue;
+                }
+                if (ev.kind == fault_kind::launch_fail) {
+                    throw device_error(
+                        __FILE__, __LINE__,
+                        "injected fault: kernel launch rejected "
+                        "(xpu::fault_kind::launch_fail)");
+                }
+                launch_faults.push_back(&ev);
+            }
+        }
+
 #ifndef NDEBUG
         // Launch resources are owned by one launch at a time (see the
         // class comment); catch concurrent or reentrant launches early.
@@ -171,6 +192,10 @@ public:
                 arena.reset();
                 group ctx(first_group + g, work_group_size, sub_group_size,
                           arena, local);
+                if (!launch_faults.empty()) {
+                    arm_group_faults(launch_faults, first_group + g, arena,
+                                     ctx, policy_.faults.seed);
+                }
 #ifdef BATCHLIN_XPU_CHECK
                 if (chk != nullptr) {
                     chk->begin_group(first_group + g, work_group_size);
@@ -183,6 +208,9 @@ public:
                     chk->end_group();
                 }
 #endif
+                if (!launch_faults.empty()) {
+                    arena.arm_alloc_failure(-1);
+                }
             }
             launch_stats += local;
             finish_launch(launch_stats, arena.high_water(), start_seconds,
@@ -214,6 +242,10 @@ public:
                 arena.reset();
                 group ctx(first_group + g, work_group_size, sub_group_size,
                           arena, local);
+                if (!launch_faults.empty()) {
+                    arm_group_faults(launch_faults, first_group + g, arena,
+                                     ctx, policy_.faults.seed);
+                }
                 try {
 #ifdef BATCHLIN_XPU_CHECK
                     if (chk != nullptr) {
@@ -235,6 +267,9 @@ public:
                         }
                     }
                     failed.store(true, std::memory_order_relaxed);
+                }
+                if (!launch_faults.empty()) {
+                    arena.arm_alloc_failure(-1);
                 }
             }
             slm_high_water = arena.high_water();
@@ -280,6 +315,10 @@ public:
     /// Spill-workspace scratch reused across this queue's launches.
     scratch_pool& scratch() { return scratch_; }
 
+    /// 0-based count of `run_batch` calls submitted on this queue, failed
+    /// launches included — the key `fault_event::launch` matches against.
+    std::uint64_t launches_submitted() const { return launches_submitted_; }
+
     /// Per-thread launch resources currently pooled (for tests/telemetry).
     index_type pooled_threads() const
     {
@@ -287,6 +326,27 @@ public:
     }
 
 private:
+    /// Arms per-group fault state for the events scheduled on this launch:
+    /// alloc_fail trips the arena's allocation countdown, poison arms the
+    /// group context. Poison strikes are confined to the group's own memory
+    /// (its SLM arena, or the spill slice the workspace binder registers
+    /// via `group::note_global_region`), so concurrent groups never race.
+    static void arm_group_faults(
+        const std::vector<const fault_event*>& events,
+        index_type global_group, slm_arena& arena, group& ctx, unsigned seed)
+    {
+        for (const fault_event* ev : events) {
+            if (ev->group != global_group) {
+                continue;
+            }
+            if (ev->kind == fault_kind::alloc_fail) {
+                arena.arm_alloc_failure(ev->phase);
+            } else {
+                ctx.arm_fault(ev, nullptr, 0, seed);
+            }
+        }
+    }
+
     static double now_seconds();
 
     /// Spins for `us` microseconds of wall time. A busy-wait, not a sleep:
@@ -355,6 +415,7 @@ private:
     std::vector<slm_arena> arena_pool_;
     std::vector<counters> thread_stats_;
     scratch_pool scratch_;
+    std::uint64_t launches_submitted_ = 0;
 #ifdef BATCHLIN_XPU_CHECK
     std::vector<check::group_checker> checker_pool_;
 #endif

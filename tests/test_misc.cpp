@@ -262,6 +262,6 @@ TEST(ConvergenceRate, StationarySolverHasStableContraction)
 TEST(ConvergenceRate, NanWithoutHistory)
 {
     bl::log::batch_log log(2);
-    log.record(0, 10, 1e-10, true);
+    log.record(0, 10, 1e-10, batchlin::log::solve_status::converged);
     EXPECT_TRUE(std::isnan(log.convergence_rate(0)));
 }

@@ -432,3 +432,212 @@ TEST(Serve, StatsTrackSubmittedAndQueueDepth)
     EXPECT_GT(after.solves_per_sec, 0.0);
     EXPECT_GT(after.uptime_seconds, 0.0);
 }
+
+// ---------------------------------------------------------------------
+// Serve-layer resilience: structured failure of throwing solves, launch
+// fault retry with backoff, degradation to solo solves, and the circuit
+// breaker that suspends coalescing under a fault storm.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// A policy whose worker queue rejects the kernel launches listed in
+/// `faulted_launches` (0-based per-worker launch counter).
+bl::xpu::exec_policy faulted_policy(
+    const std::vector<std::uint64_t>& faulted_launches)
+{
+    bl::xpu::exec_policy policy = bl::xpu::make_sycl_policy();
+    for (const std::uint64_t launch : faulted_launches) {
+        policy.faults.events.push_back(
+            {bl::xpu::fault_kind::launch_fail, launch, 0, 1,
+             bl::xpu::fault_target::slm, bl::xpu::poison_mode::nan});
+    }
+    return policy;
+}
+
+}  // namespace
+
+TEST(ServeResilience, ThrowingSolveFailsTicketNotService)
+{
+    // ILU + ELL passes submit's shape validation but throws
+    // unsupported_combination inside the worker's solve: the ticket must
+    // resolve `failed` with the message, and the worker must survive to
+    // serve the next (healthy) request.
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_wait = milliseconds(0);
+    serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
+
+    serve::solve_request<double> poisoned;
+    poisoned.a = mat::to_ell(work::stencil_3pt<double>(2, 16, 61));
+    poisoned.b = work::random_rhs<double>(2, 16, 62);
+    poisoned.x = mat::batch_dense<double>(2, 16, 1);
+    poisoned.opts = cg_opts();
+    poisoned.opts.preconditioner = bl::precond::type::ilu;
+    auto doomed = service.submit(std::move(poisoned));
+
+    const auto failed_reply = doomed.get();
+    EXPECT_EQ(failed_reply.status, serve::request_status::failed);
+    EXPECT_NE(failed_reply.error.find("BatchIlu"), std::string::npos)
+        << failed_reply.error;
+    // The request's storage comes back even on failure.
+    EXPECT_EQ(failed_reply.b.num_batch_items(), 2);
+
+    auto healthy = service.submit(make_request(
+        work::stencil_3pt<double>(2, 16, 63), cg_opts(), 64));
+    const auto ok_reply = healthy.get();
+    ASSERT_EQ(ok_reply.status, serve::request_status::ok) << ok_reply.error;
+    EXPECT_EQ(ok_reply.attempts, 1);
+    EXPECT_EQ(ok_reply.log.num_converged(), 2);
+
+    service.drain();
+    const serve::service_stats s = service.stats();
+    EXPECT_EQ(s.failed_requests, 1u);
+    EXPECT_EQ(s.completed_requests, 1u);
+    // A thrown std::exception is not a device fault; no retry happened.
+    EXPECT_EQ(s.launch_faults, 0u);
+    EXPECT_EQ(s.launch_retries, 0u);
+}
+
+TEST(ServeResilience, TransientLaunchFaultIsRetriedToSuccess)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_wait = milliseconds(0);
+    cfg.launch_retries = 2;
+    cfg.retry_backoff = microseconds(1);
+    serve::solve_service service(faulted_policy({0}), cfg);
+
+    auto ticket = service.submit(make_request(
+        work::stencil_3pt<double>(3, 16, 71), cg_opts(), 72));
+    const auto reply = ticket.get();
+    ASSERT_EQ(reply.status, serve::request_status::ok) << reply.error;
+    EXPECT_EQ(reply.attempts, 2);
+    EXPECT_EQ(reply.log.num_converged(), 3);
+
+    service.drain();
+    const serve::service_stats s = service.stats();
+    EXPECT_EQ(s.launch_faults, 1u);
+    EXPECT_EQ(s.launch_retries, 1u);
+    EXPECT_EQ(s.recovered_requests, 1u);
+    EXPECT_EQ(s.degraded_launches, 0u);
+    EXPECT_EQ(s.failed_requests, 0u);
+    EXPECT_EQ(s.completed_requests, 1u);
+}
+
+TEST(ServeResilience, ExhaustedRetriesDegradeToSoloSolves)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    // max_batch 2 cuts the window short the moment both requests are in.
+    cfg.max_batch = 2;
+    cfg.max_wait = milliseconds(500);
+    cfg.launch_retries = 2;
+    cfg.retry_backoff = microseconds(1);
+    // Launches 0..2 (the fused attempt and both retries) fail; the solo
+    // re-solves land on later, clean launch ids.
+    serve::solve_service service(faulted_policy({0, 1, 2}), cfg);
+
+    auto t1 = service.submit(make_request(
+        work::stencil_3pt<double>(1, 16, 73), cg_opts(), 74));
+    auto t2 = service.submit(make_request(
+        work::stencil_3pt<double>(1, 16, 73), cg_opts(), 75));
+    const auto r1 = t1.get();
+    const auto r2 = t2.get();
+    ASSERT_EQ(r1.status, serve::request_status::ok) << r1.error;
+    ASSERT_EQ(r2.status, serve::request_status::ok) << r2.error;
+    EXPECT_GT(r1.attempts, 1);
+
+    service.drain();
+    const serve::service_stats s = service.stats();
+    EXPECT_EQ(s.launch_faults, 3u);
+    EXPECT_EQ(s.degraded_launches, 1u);
+    EXPECT_GE(s.recovered_requests, 1u);
+    EXPECT_EQ(s.failed_requests, 0u);
+    EXPECT_EQ(s.completed_requests, 2u);
+}
+
+TEST(ServeResilience, PersistentFaultFailsWithStructuredError)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_wait = milliseconds(0);
+    cfg.launch_retries = 1;
+    cfg.retry_backoff = microseconds(1);
+    std::vector<std::uint64_t> storm;
+    for (std::uint64_t launch = 0; launch < 10; ++launch) {
+        storm.push_back(launch);
+    }
+    serve::solve_service service(faulted_policy(storm), cfg);
+
+    auto ticket = service.submit(make_request(
+        work::stencil_3pt<double>(2, 16, 76), cg_opts(), 77));
+    const auto reply = ticket.get();
+    EXPECT_EQ(reply.status, serve::request_status::failed);
+    // Fused: attempts 1+1, then solo: 1+1 more — four in total, spelled
+    // out in the structured error message.
+    EXPECT_EQ(reply.attempts, 4);
+    EXPECT_NE(reply.error.find("device fault persisted through 4"),
+              std::string::npos)
+        << reply.error;
+    EXPECT_NE(reply.error.find("launch_fail"), std::string::npos)
+        << reply.error;
+
+    service.drain();
+    const serve::service_stats s = service.stats();
+    EXPECT_EQ(s.launch_faults, 4u);
+    EXPECT_EQ(s.launch_retries, 2u);
+    EXPECT_EQ(s.degraded_launches, 1u);
+    EXPECT_EQ(s.failed_requests, 1u);
+    EXPECT_EQ(s.recovered_requests, 0u);
+    EXPECT_EQ(s.completed_requests, 0u);
+}
+
+TEST(ServeResilience, FaultStormTripsTheBreakerAndSuspendsCoalescing)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    // Small enough to keep the storm phase fast, large enough that two
+    // compatible requests would reliably fuse were the breaker closed
+    // (max_batch 2 cuts the window short once both are queued).
+    cfg.max_batch = 2;
+    cfg.max_wait = milliseconds(100);
+    cfg.launch_retries = 0;
+    cfg.retry_backoff = microseconds(1);
+    cfg.breaker_window = 4;
+    cfg.breaker_fault_ratio = 0.5;
+    cfg.breaker_cooldown = 16;
+    // Every launch of the storm phase faults: each of the four requests
+    // burns its fused attempt and its solo re-solve (2 launches each).
+    std::vector<std::uint64_t> storm;
+    for (std::uint64_t launch = 0; launch < 8; ++launch) {
+        storm.push_back(launch);
+    }
+    serve::solve_service service(faulted_policy(storm), cfg);
+
+    for (int i = 0; i < 4; ++i) {
+        auto ticket = service.submit(make_request(
+            work::stencil_3pt<double>(1, 16, 81), cg_opts(),
+            82 + static_cast<std::uint64_t>(i)));
+        EXPECT_EQ(ticket.get().status, serve::request_status::failed);
+    }
+    service.drain();
+    const serve::service_stats tripped = service.stats();
+    EXPECT_EQ(tripped.breaker_trips, 1u);
+    EXPECT_TRUE(tripped.breaker_active);
+
+    // While the breaker is open, compatible requests are NOT coalesced:
+    // each gets its own (clean) launch even inside a generous window.
+    auto t1 = service.submit(make_request(
+        work::stencil_3pt<double>(1, 16, 83), cg_opts(), 84));
+    auto t2 = service.submit(make_request(
+        work::stencil_3pt<double>(1, 16, 83), cg_opts(), 85));
+    const auto r1 = t1.get();
+    const auto r2 = t2.get();
+    ASSERT_EQ(r1.status, serve::request_status::ok) << r1.error;
+    ASSERT_EQ(r2.status, serve::request_status::ok) << r2.error;
+    EXPECT_EQ(r1.fused_systems, 1);
+    EXPECT_EQ(r2.fused_systems, 1);
+    service.drain();
+    EXPECT_EQ(service.stats().breaker_trips, 1u);
+}

@@ -49,10 +49,10 @@ TEST(Criterion, FactoriesSetFields)
 TEST(Logger, RecordsPerSystem)
 {
     batch_log log(4);
-    log.record(0, 10, 1e-11, true);
-    log.record(1, 200, 3e-4, false);
-    log.record(2, 15, 2e-12, true);
-    log.record(3, 12, 5e-12, true);
+    log.record(0, 10, 1e-11, batchlin::log::solve_status::converged);
+    log.record(1, 200, 3e-4, batchlin::log::solve_status::max_iterations);
+    log.record(2, 15, 2e-12, batchlin::log::solve_status::converged);
+    log.record(3, 12, 5e-12, batchlin::log::solve_status::converged);
     EXPECT_EQ(log.num_systems(), 4);
     EXPECT_EQ(log.num_converged(), 3);
     EXPECT_EQ(log.iterations(1), 200);
@@ -73,4 +73,64 @@ TEST(Logger, EmptyLogIsWellDefined)
     EXPECT_EQ(log.max_iterations(), 0);
     EXPECT_EQ(log.mean_iterations(), 0.0);
     EXPECT_EQ(log.max_residual_norm(), 0.0);
+}
+
+TEST(Criterion, ZeroRhsShortCircuitOnlyUnderRelativeTolerance)
+{
+    EXPECT_TRUE(zero_rhs_short_circuit(relative(1e-8), 0.0));
+    EXPECT_FALSE(zero_rhs_short_circuit(relative(1e-8), 1e-300));
+    EXPECT_FALSE(zero_rhs_short_circuit(absolute(1e-8), 0.0));
+    EXPECT_TRUE(zero_rhs_short_circuit(relative(1e-8), 0.0f));
+}
+
+TEST(Logger, StatusTaxonomyIsRecordedAndCounted)
+{
+    using batchlin::log::solve_status;
+    batch_log log(8);
+    log.record(0, 5, 1e-12, solve_status::converged);
+    log.record(1, 50, 1e-3, solve_status::max_iterations);
+    log.record(2, 2, 0.5, solve_status::breakdown_rho);
+    log.record(3, 3, 0.5, solve_status::breakdown_omega);
+    log.record(4, 0, 0.7, solve_status::direction_annihilated);
+    log.record(5, 7, 0.0, solve_status::non_finite);
+    log.record(6, 0, 0.0, solve_status::device_fault);
+    log.record(7, 1, 0.0, solve_status::singular);
+    EXPECT_EQ(log.num_converged(), 1);
+    EXPECT_EQ(log.count_status(solve_status::converged), 1);
+    EXPECT_EQ(log.count_status(solve_status::max_iterations), 1);
+    EXPECT_EQ(log.count_status(solve_status::breakdown_rho), 1);
+    EXPECT_EQ(log.count_status(solve_status::breakdown_omega), 1);
+    EXPECT_EQ(log.count_status(solve_status::direction_annihilated), 1);
+    EXPECT_EQ(log.count_status(solve_status::non_finite), 1);
+    EXPECT_EQ(log.count_status(solve_status::device_fault), 1);
+    EXPECT_EQ(log.count_status(solve_status::singular), 1);
+    EXPECT_EQ(log.status(3), solve_status::breakdown_omega);
+    EXPECT_TRUE(log.converged(0));
+    EXPECT_FALSE(log.converged(6));
+    EXPECT_EQ(log.all_statuses().size(), 8u);
+}
+
+TEST(Logger, FreshLogDefaultsToMaxIterations)
+{
+    using batchlin::log::solve_status;
+    const batch_log log(3);
+    for (batchlin::index_type i = 0; i < 3; ++i) {
+        EXPECT_EQ(log.status(i), solve_status::max_iterations);
+        EXPECT_FALSE(log.converged(i));
+    }
+}
+
+TEST(Logger, StatusToStringCoversEveryEnumerator)
+{
+    using batchlin::log::solve_status;
+    using batchlin::log::to_string;
+    EXPECT_EQ(to_string(solve_status::converged), "converged");
+    EXPECT_EQ(to_string(solve_status::max_iterations), "max_iterations");
+    EXPECT_EQ(to_string(solve_status::breakdown_rho), "breakdown_rho");
+    EXPECT_EQ(to_string(solve_status::breakdown_omega), "breakdown_omega");
+    EXPECT_EQ(to_string(solve_status::direction_annihilated),
+              "direction_annihilated");
+    EXPECT_EQ(to_string(solve_status::non_finite), "non_finite");
+    EXPECT_EQ(to_string(solve_status::device_fault), "device_fault");
+    EXPECT_EQ(to_string(solve_status::singular), "singular");
 }

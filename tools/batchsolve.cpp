@@ -231,7 +231,7 @@ log::batch_log solve_via_service(const cli_options& o,
         std::copy_n(reply.x.item_values(0), reply.x.item_size(),
                     x.item_values(i));
         log.record(i, reply.log.iterations(0), reply.log.residual_norm(0),
-                   reply.log.converged(0));
+                   reply.log.status(0));
         max_fused = std::max(max_fused, reply.fused_systems);
     }
 
