@@ -6,10 +6,14 @@
 // bench measures it end to end through the service: N client threads each
 // submit one single-system request, wait for the reply, and immediately
 // submit the next (closed loop), sweeping the offered load (client count)
-// against two service configurations — `batch1` (max_batch 1, no window:
-// every request is its own launch) and `coalesced` (dynamic batching with
-// a real window). The headline number is the coalesced/batch1 speedup at
-// the highest offered load.
+// against four service configurations — `batch1` (max_batch 1, no window:
+// every request is its own launch), `coalesced` (dynamic batching with a
+// real window), `graph_replay` (batching plus cached graph recordings:
+// each fused launch is a rebind + replay at the device's graph-replay
+// cost instead of a full eager submission), and `persistent` (resident
+// worker loops fed by a lock-free ring, replaying graphs at zero
+// submission cost). Headline numbers are the coalesced/batch1 speedup and
+// the graph modes' speedup over coalesced at the highest offered load.
 //
 // Both modes run on an emulated device: the queue charges every launch the
 // fixed submission cost of the modeled PVC stack (device_spec
@@ -52,6 +56,7 @@ struct mode_spec {
     const char* name;
     index_type max_batch;
     std::chrono::microseconds max_wait;
+    xpu::launch_mode launch{xpu::launch_mode::direct};
 };
 
 // batch1 disables coalescing entirely: a service that launches one kernel
@@ -63,6 +68,10 @@ struct mode_spec {
 constexpr mode_spec kModes[] = {
     {"batch1", 1, std::chrono::microseconds{0}},
     {"coalesced", 32, std::chrono::microseconds{300}},
+    {"graph_replay", 32, std::chrono::microseconds{300},
+     xpu::launch_mode::graph_replay},
+    {"persistent", 32, std::chrono::microseconds{300},
+     xpu::launch_mode::persistent},
 };
 
 struct cell_result {
@@ -71,6 +80,9 @@ struct cell_result {
     double p50_ms = 0.0;
     double p99_ms = 0.0;
     long requests = 0;
+    unsigned long long recorded = 0;
+    unsigned long long replays = 0;
+    unsigned long long rebind_only = 0;
 };
 
 /// Closed-loop measurement of one (mode, clients) cell: each client owns
@@ -85,6 +97,16 @@ cell_result run_cell(const mode_spec& mode, int clients, double min_time,
     cfg.max_queue_systems = 4096;
     xpu::exec_policy policy = xpu::make_sycl_policy();
     policy.emulated_launch_us = launch_latency_us;
+    // Graph costs scale with the same device model: replaying a finalized
+    // graph on the PVC costs graph_replay_us instead of the eager launch,
+    // and the one-time finalize costs graph_finalize_us. With launch
+    // emulation off, graph emulation is off too.
+    if (launch_latency_us > 0.0) {
+        const perf::device_spec pvc = perf::pvc_1s();
+        policy.emulated_replay_us = pvc.graph_replay_us;
+        policy.emulated_record_us = pvc.graph_finalize_us;
+    }
+    policy.launch_mode = mode.launch;
     serve::solve_service service(policy, cfg);
 
     solver::solve_options opts;
@@ -136,6 +158,7 @@ cell_result run_cell(const mode_spec& mode, int clients, double min_time,
                     req.x = std::move(reply.x);
                     req.x.fill(0.0);
                     req.opts = opts;
+                    req.log = std::move(reply.log);
                     pending.push_back(std::move(req));
                 }
                 window.clear();
@@ -162,6 +185,9 @@ cell_result run_cell(const mode_spec& mode, int clients, double min_time,
     out.p50_ms = s.p50_latency_seconds * 1e3;
     out.p99_ms = s.p99_latency_seconds * 1e3;
     out.requests = measured;
+    out.recorded = s.launches_recorded;
+    out.replays = s.replays;
+    out.rebind_only = s.rebind_only;
     return out;
 }
 
@@ -194,7 +220,8 @@ int main(int argc, char** argv)
     std::printf("Serve throughput: closed-loop clients, 1 system of "
                 "%d rows per request,\nCG + scalar Jacobi rtol 1e-6, "
                 "2 workers, emulated launch cost %.1f us;\n"
-                "batch1 vs coalesced (32 / 300 us)\n\n",
+                "batch1 vs coalesced vs graph_replay vs persistent "
+                "(32 / 300 us)\n\n",
                 kRows, launch_latency_us);
     std::printf("%10s | %8s | %12s | %10s | %9s | %9s\n", "mode", "clients",
                 "solves/sec", "mean batch", "p50 ms", "p99 ms");
@@ -213,14 +240,22 @@ int main(int argc, char** argv)
     }
 
     const std::size_t top = std::size(kClients) - 1;
-    const double speedup =
-        results[0][top].solves_per_sec > 0.0
-            ? results[1][top].solves_per_sec /
-                  results[0][top].solves_per_sec
-            : 0.0;
+    const auto ratio_at_top = [&](std::size_t num, std::size_t den) {
+        return results[den][top].solves_per_sec > 0.0
+                   ? results[num][top].solves_per_sec /
+                         results[den][top].solves_per_sec
+                   : 0.0;
+    };
+    const double speedup = ratio_at_top(1, 0);
+    const double graph_speedup = ratio_at_top(2, 1);
+    const double persistent_speedup = ratio_at_top(3, 1);
     rule(72);
     std::printf("coalesced vs batch1 at %d clients: %.2fx solves/sec\n",
                 kClients[top], speedup);
+    std::printf("graph_replay vs coalesced at %d clients: %.2fx solves/sec\n",
+                kClients[top], graph_speedup);
+    std::printf("persistent vs coalesced at %d clients: %.2fx solves/sec\n",
+                kClients[top], persistent_speedup);
 
     if (json_path != nullptr) {
         std::FILE* f = std::fopen(json_path, "w");
@@ -241,15 +276,20 @@ int main(int argc, char** argv)
                 const cell_result& r = results[m][c];
                 std::fprintf(
                     f,
-                    "    {\"mode\": \"%s\", \"max_batch\": %d, "
+                    "    {\"mode\": \"%s\", \"launch_mode\": \"%s\", "
+                    "\"max_batch\": %d, "
                     "\"max_wait_us\": %ld, \"clients\": %d, "
                     "\"solves_per_sec\": %.1f, \"mean_batch_size\": %.2f, "
                     "\"p50_latency_ms\": %.3f, \"p99_latency_ms\": %.3f, "
-                    "\"requests\": %ld}%s\n",
-                    kModes[m].name, kModes[m].max_batch,
+                    "\"requests\": %ld, \"launches_recorded\": %llu, "
+                    "\"replays\": %llu, \"rebind_only\": %llu}%s\n",
+                    kModes[m].name,
+                    xpu::to_string(kModes[m].launch).c_str(),
+                    kModes[m].max_batch,
                     static_cast<long>(kModes[m].max_wait.count()),
                     kClients[c], r.solves_per_sec, r.mean_batch, r.p50_ms,
-                    r.p99_ms, r.requests,
+                    r.p99_ms, r.requests, r.recorded, r.replays,
+                    r.rebind_only,
                     m + 1 == std::size(kModes) && c + 1 == std::size(kClients)
                         ? ""
                         : ",");
@@ -258,8 +298,16 @@ int main(int argc, char** argv)
         std::fprintf(f, "  ],\n");
         std::fprintf(f,
                      "  \"speedup_coalesced_vs_batch1_at_%d_clients\": "
-                     "%.3f\n}\n",
+                     "%.3f,\n",
                      kClients[top], speedup);
+        std::fprintf(f,
+                     "  \"speedup_graph_replay_vs_coalesced_at_%d_clients"
+                     "\": %.3f,\n",
+                     kClients[top], graph_speedup);
+        std::fprintf(f,
+                     "  \"speedup_persistent_vs_coalesced_at_%d_clients"
+                     "\": %.3f\n}\n",
+                     kClients[top], persistent_speedup);
         std::fclose(f);
         std::printf("wrote %s\n", json_path);
     }

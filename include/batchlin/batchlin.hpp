@@ -17,6 +17,7 @@
 #include "xpu/arena.hpp"
 #include "xpu/counters.hpp"
 #include "xpu/fault.hpp"
+#include "xpu/graph.hpp"
 #include "xpu/group.hpp"
 #include "xpu/policy.hpp"
 #include "xpu/queue.hpp"
@@ -54,6 +55,7 @@
 #include "solver/handle.hpp"
 #include "solver/launch.hpp"
 #include "solver/options.hpp"
+#include "solver/record.hpp"
 #include "solver/direct.hpp"
 #include "solver/resilient.hpp"
 #include "solver/residual.hpp"

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Runs the serve-throughput benchmark and writes BENCH_serve_throughput.json
-# at the repo root: closed-loop clients sweeping offered load against the
-# batch1 (no coalescing) and coalesced (dynamic batching) service configs.
-# The acceptance number is speedup_coalesced_vs_batch1 at the highest load.
+# at the repo root: closed-loop clients sweeping offered load against four
+# service configs — batch1 (no coalescing), coalesced (dynamic batching,
+# direct launches), graph_replay (coalesced + recorded command graphs), and
+# persistent (workers consuming the lock-free ring, no per-batch wakeups).
+# Headline numbers: speedup_coalesced_vs_batch1 and
+# speedup_persistent_vs_coalesced at the highest load.
 #
 # Usage: scripts/bench_serve.sh [build-dir]
 set -euo pipefail

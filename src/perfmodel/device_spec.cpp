@@ -27,6 +27,8 @@ device_spec a100()
     d.l2_bw_tbs = 4.5;
     d.l2_size_bytes = 40l * 1024 * 1024;
     d.kernel_launch_us = 4.0;
+    d.graph_replay_us = 2.0;
+    d.graph_finalize_us = 25.0;
     d.max_groups_per_core = 32;
     d.max_threads_per_core = 2048;
     d.efficiency = 0.62;
@@ -48,6 +50,8 @@ device_spec h100()
     d.l2_bw_tbs = 6.0;
     d.l2_size_bytes = 50l * 1024 * 1024;
     d.kernel_launch_us = 4.0;
+    d.graph_replay_us = 2.0;
+    d.graph_finalize_us = 25.0;
     d.max_groups_per_core = 32;
     d.max_threads_per_core = 2048;
     d.efficiency = 0.62;
@@ -72,6 +76,10 @@ device_spec pvc_1s()
     d.l2_bw_tbs = 13.0;
     d.l2_size_bytes = 192l * 1024 * 1024;  // per-stack L2 ("L3" in Advisor)
     d.kernel_launch_us = 8.0;
+    // SYCL-Graph replay on the Level Zero backend: immediate command
+    // lists make replays cheap relative to the eager 8us launch.
+    d.graph_replay_us = 1.0;
+    d.graph_finalize_us = 30.0;
     d.max_groups_per_core = 64;
     d.max_threads_per_core = 1024;  // 8 threads x SIMD
     d.efficiency = 0.62;

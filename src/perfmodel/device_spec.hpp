@@ -39,6 +39,12 @@ struct device_spec {
     size_type l2_size_bytes = 0;
     /// Fixed cost of one kernel launch.
     double kernel_launch_us = 0.0;
+    /// Fixed cost of replaying a finalized command graph (SYCL-Graph /
+    /// CUDA Graph): the driver skips argument marshalling and scheduling
+    /// setup, so this sits well below `kernel_launch_us`.
+    double graph_replay_us = 0.0;
+    /// One-time cost of finalizing a recorded command graph.
+    double graph_finalize_us = 0.0;
     /// Scheduler limits per core.
     index_type max_groups_per_core = 32;
     index_type max_threads_per_core = 1024;

@@ -1,0 +1,51 @@
+// Direct futex wait/wake for the serve completion slots.
+//
+// libstdc++'s std::atomic<T>::wait() front-loads a spin of sched_yield()
+// calls before the futex syscall. On a host where clients and solver
+// workers time-share cores, every yield is a voluntary context switch
+// donated to an arbitrary runnable thread, and a blocking ticket wait
+// turns into a dozen scheduler round-trips instead of one sleep/wake
+// pair. These helpers go to the futex directly; any spinning policy is
+// the caller's, written out where it can be reasoned about.
+//
+// Memory ordering is carried entirely by the atomic word the caller
+// loads/stores around these calls — the futex is only a parking lot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <climits>
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace batchlin::serve::detail {
+
+/// Blocks until `word` is woken or its value is observed != `expected`.
+/// May return spuriously; callers re-check the predicate in a loop.
+inline void futex_wait(std::atomic<std::uint32_t>& word,
+                       std::uint32_t expected)
+{
+#if defined(__linux__)
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+            FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+#else
+    word.wait(expected, std::memory_order_acquire);
+#endif
+}
+
+/// Wakes every thread blocked in futex_wait on `word`.
+inline void futex_wake_all(std::atomic<std::uint32_t>& word)
+{
+#if defined(__linux__)
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+            FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+#else
+    word.notify_all();
+#endif
+}
+
+}  // namespace batchlin::serve::detail

@@ -1,6 +1,8 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <optional>
 #include <string>
@@ -43,6 +45,37 @@ bool entries_compatible(const detail::pending_entry& lhs,
         },
         lhs.body);
 }
+
+// Temporary stage probe (BATCHLIN_SERVE_STAGE_PROBE=1): accumulates
+// per-stage wall time across all workers, printed at stop().
+struct stage_probe {
+    std::atomic<std::uint64_t> ns[10] = {};
+    std::atomic<std::uint64_t> batches{0};
+    static bool on()
+    {
+        static const bool v = std::getenv("BATCHLIN_SERVE_STAGE_PROBE");
+        return v;
+    }
+};
+inline stage_probe g_stage_probe;
+struct stage_timer {
+    std::chrono::steady_clock::time_point t;
+    stage_timer()
+    {
+        if (stage_probe::on()) t = std::chrono::steady_clock::now();
+    }
+    void lap(int i)
+    {
+        if (!stage_probe::on()) return;
+        auto n = std::chrono::steady_clock::now();
+        g_stage_probe.ns[i].fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(n - t)
+                    .count()),
+            std::memory_order_relaxed);
+        t = n;
+    }
+};
 
 }  // namespace
 
@@ -87,6 +120,25 @@ solve_service::solve_service(xpu::exec_policy policy, service_config config)
                         "admission bound must be positive");
     BATCHLIN_ENSURE_MSG(config_.max_wait.count() >= 0,
                         "batching window cannot be negative");
+    BATCHLIN_ENSURE_MSG(config_.idle_flush.count() >= 0,
+                        "idle flush window cannot be negative");
+    // Operator escape hatch: flip the launch mode without rebuilding the
+    // caller (scripts/check.sh runs whole suites per mode this way). The
+    // override replaces the *default* only — a policy that explicitly
+    // selects a non-direct mode keeps it, so mode-specific tests stay
+    // meaningful under a mode-sweeping harness.
+    if (policy.launch_mode == xpu::launch_mode::direct) {
+        const char* env = std::getenv("BATCHLIN_LAUNCH_MODE");
+        if (env != nullptr && *env != '\0') {
+            policy.launch_mode = xpu::parse_launch_mode(env);
+        }
+    }
+    launch_mode_ = policy.launch_mode;
+    if (launch_mode_ != xpu::launch_mode::direct) {
+        BATCHLIN_ENSURE_MSG(config_.graph_cache_entries > 0,
+                            "graph launch modes need at least one cache "
+                            "slot per worker");
+    }
     batch_histogram_.assign(static_cast<std::size_t>(config_.max_batch) + 1,
                             0);
     for (int i = 0; i < config_.workers; ++i) {
@@ -94,10 +146,22 @@ solve_service::solve_service(xpu::exec_policy policy, service_config config)
         // A long-lived service must not accumulate unbounded profiling
         // state even if an operator enables profiling for a while.
         worker_queues_.back().set_launch_history_capacity(1024);
+        graph_caches_.emplace_back();
+    }
+    if (launch_mode_ == xpu::launch_mode::persistent) {
+        // Every queued entry carries at least one system, so the admission
+        // budget bounds the entry count and the ring can never be full
+        // with the budget respected.
+        ring_ = std::make_unique<mpmc_ring<detail::pending_ptr>>(
+            static_cast<std::size_t>(config_.max_queue_systems));
     }
     workers_.reserve(static_cast<std::size_t>(config_.workers));
     for (int i = 0; i < config_.workers; ++i) {
-        workers_.emplace_back([this, i] { worker_loop(i); });
+        if (launch_mode_ == xpu::launch_mode::persistent) {
+            workers_.emplace_back([this, i] { persistent_loop(i); });
+        } else {
+            workers_.emplace_back([this, i] { worker_loop(i); });
+        }
     }
 }
 
@@ -105,12 +169,21 @@ solve_service::~solve_service() { stop(); }
 
 bool solve_service::accepting() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    return accepting_;
+    return accepting_.load(std::memory_order_acquire);
 }
 
 void solve_service::drain()
 {
+    if (launch_mode_ == xpu::launch_mode::persistent) {
+        // No condition variable in the lock-free path; poll the progress
+        // counters (see the member comment for why the predicate is never
+        // transiently true while an entry changes hands).
+        while (ring_pending_.load(std::memory_order_acquire) != 0 ||
+               ring_in_flight_.load(std::memory_order_acquire) != 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        return;
+    }
     std::unique_lock<std::mutex> lk(mu_);
     cv_idle_.wait(lk,
                   [&] { return queue_.empty() && in_flight_entries_ == 0; });
@@ -120,14 +193,43 @@ void solve_service::stop()
 {
     {
         std::lock_guard<std::mutex> lk(mu_);
-        accepting_ = false;
-        stopping_ = true;
+        accepting_.store(false, std::memory_order_release);
+        stopping_.store(true, std::memory_order_release);
     }
     cv_work_.notify_all();
     cv_space_.notify_all();
+    // Ring the doorbell so parked resident workers observe stopping_.
+    ring_doorbell_.fetch_add(1, std::memory_order_release);
+    detail::futex_wake_all(ring_doorbell_);
     for (std::thread& worker : workers_) {
         if (worker.joinable()) {
             worker.join();
+        }
+    }
+    if (stage_probe::on()) {
+        const double n = std::max<double>(
+            1.0, static_cast<double>(g_stage_probe.batches.load()));
+        static const char* names[] = {"pop",   "group", "exec_total",
+                                      "parts", "solve", "scatter",
+                                      "stats", "wake"};
+        std::fprintf(stderr, "stage probe (%0.0f batches), us/batch:\n", n);
+        for (int i = 0; i < 8; ++i) {
+            std::fprintf(stderr, "  %-10s %8.2f\n", names[i],
+                         static_cast<double>(g_stage_probe.ns[i].load()) /
+                             1e3 / n);
+        }
+    }
+    if (ring_) {
+        // A submitter that passed the accepting check just before stop()
+        // may have published an entry the exiting workers no longer saw;
+        // resolve such stragglers as rejected so no ticket is orphaned.
+        detail::pending_ptr leftover;
+        while (ring_->try_pop(leftover)) {
+            ring_pending_.fetch_sub(1, std::memory_order_acq_rel);
+            ring_systems_.fetch_sub(static_cast<size_type>(leftover->items),
+                                    std::memory_order_acq_rel);
+            ++rejected_requests_;
+            reply_without_solving(*leftover, request_status::rejected);
         }
     }
 }
@@ -150,8 +252,18 @@ service_stats solve_service::stats() const
     s.recovered_requests = recovered_requests_;
     s.breaker_trips = breaker_trips_;
     s.breaker_active = breaker_remaining_ > 0;
-    s.queue_depth_requests = queue_.size();
-    s.queue_depth_systems = static_cast<std::uint64_t>(queued_systems_);
+    s.launches_recorded = launches_recorded_;
+    s.replays = replays_;
+    s.rebind_only = rebind_only_;
+    if (launch_mode_ == xpu::launch_mode::persistent) {
+        s.queue_depth_requests =
+            ring_pending_.load(std::memory_order_acquire);
+        s.queue_depth_systems = static_cast<std::uint64_t>(
+            ring_systems_.load(std::memory_order_acquire));
+    } else {
+        s.queue_depth_requests = queue_.size();
+        s.queue_depth_systems = static_cast<std::uint64_t>(queued_systems_);
+    }
     s.batch_size_histogram = batch_histogram_;
     s.p50_latency_seconds = latency_.quantile(0.50);
     s.p99_latency_seconds = latency_.quantile(0.99);
@@ -169,15 +281,15 @@ service_stats solve_service::stats() const
     return s;
 }
 
-detail::pending_entry solve_service::pop_entry_locked(std::size_t index)
+detail::pending_ptr solve_service::pop_entry_locked(std::size_t index)
 {
-    detail::pending_entry entry = std::move(
-        queue_[static_cast<std::deque<detail::pending_entry>::size_type>(
+    detail::pending_ptr entry = std::move(
+        queue_[static_cast<std::deque<detail::pending_ptr>::size_type>(
             index)]);
     queue_.erase(queue_.begin() +
                  static_cast<std::deque<
-                     detail::pending_entry>::difference_type>(index));
-    queued_systems_ -= static_cast<size_type>(entry.items);
+                     detail::pending_ptr>::difference_type>(index));
+    queued_systems_ -= static_cast<size_type>(entry->items);
     ++in_flight_entries_;
     cv_space_.notify_all();
     return entry;
@@ -186,6 +298,8 @@ detail::pending_entry solve_service::pop_entry_locked(std::size_t index)
 void solve_service::worker_loop(int worker_id)
 {
     xpu::queue& q = worker_queues_[static_cast<std::size_t>(worker_id)];
+    detail::graph_cache& cache =
+        graph_caches_[static_cast<std::size_t>(worker_id)];
     std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
         cv_work_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
@@ -196,17 +310,17 @@ void solve_service::worker_loop(int worker_id)
             continue;
         }
 
-        std::vector<detail::pending_entry> batch;
+        std::vector<detail::pending_ptr> batch;
         batch.push_back(pop_entry_locked(0));
         const auto now = std::chrono::steady_clock::now();
-        if (batch.front().deadline <= now) {
+        if (batch.front()->deadline <= now) {
             // Already dead on arrival at the worker: complete it without
             // opening a batching window for it.
             ++expired_requests_;
             --in_flight_entries_;
-            detail::pending_entry dead = std::move(batch.front());
+            detail::pending_ptr dead = std::move(batch.front());
             lk.unlock();
-            reply_without_solving(dead, request_status::expired);
+            reply_without_solving(*dead, request_status::expired);
             lk.lock();
             if (queue_.empty() && in_flight_entries_ == 0) {
                 cv_idle_.notify_all();
@@ -214,21 +328,21 @@ void solve_service::worker_loop(int worker_id)
             continue;
         }
 
-        index_type total = batch.front().items;
+        index_type total = batch.front()->items;
         // A tripped breaker suspends coalescing: the leader launches solo,
         // so a fault pattern tied to batch composition stops taking whole
         // batches of unrelated requests down with it.
         if (breaker_remaining_ == 0) {
             const auto window_end =
-                batch.front().enqueued + config_.max_wait;
+                batch.front()->enqueued + config_.max_wait;
             for (;;) {
                 // Gather everything compatible that is already queued.
                 for (std::size_t i = 0;
                      i < queue_.size() && total < config_.max_batch;) {
-                    if (queue_[i].key == batch.front().key &&
-                        entries_compatible(batch.front(), queue_[i])) {
+                    if (queue_[i]->key == batch.front()->key &&
+                        entries_compatible(*batch.front(), *queue_[i])) {
                         batch.push_back(pop_entry_locked(i));
-                        total += batch.back().items;
+                        total += batch.back()->items;
                     } else {
                         ++i;
                     }
@@ -240,19 +354,36 @@ void solve_service::worker_loop(int worker_id)
                     break;
                 }
                 // Hold the window open for companions; submit() notifies.
-                cv_work_.wait_until(lk, window_end);
+                if (config_.idle_flush.count() > 0 && queue_.empty()) {
+                    // Adaptive flush: the admission queue is empty, so
+                    // with closed-loop clients no companion can arrive
+                    // until an in-flight reply resolves. Grant stragglers
+                    // only a short grace period instead of burning the
+                    // whole window — this is what keeps low-concurrency
+                    // coalesced throughput at batch1 levels.
+                    const auto flush_at =
+                        std::chrono::steady_clock::now() +
+                        config_.idle_flush;
+                    cv_work_.wait_until(lk,
+                                        std::min(flush_at, window_end));
+                    if (queue_.empty()) {
+                        break;
+                    }
+                } else {
+                    cv_work_.wait_until(lk, window_end);
+                }
             }
         }
 
         const std::size_t popped = batch.size();
         lk.unlock();
         try {
-            execute(q, std::move(batch));
+            execute(q, cache, std::move(batch));
         } catch (...) {
             // execute() fails tickets individually; anything that still
             // escapes would terminate the worker thread (and with it the
             // process). Swallow it — affected tickets resolve through
-            // their promises, or surface broken_promise if one was lost.
+            // their tickets; an unresolved slot would hang its client.
         }
         lk.lock();
         in_flight_entries_ -= popped;
@@ -262,37 +393,151 @@ void solve_service::worker_loop(int worker_id)
     }
 }
 
-void solve_service::execute(xpu::queue& q,
-                            std::vector<detail::pending_entry> batch)
+void solve_service::persistent_loop(int worker_id)
 {
-    if (batch.front().body.index() == 0) {
-        execute_typed<double>(q, std::move(batch));
+    xpu::queue& q = worker_queues_[static_cast<std::size_t>(worker_id)];
+    detail::graph_cache& cache =
+        graph_caches_[static_cast<std::size_t>(worker_id)];
+    int idle = 0;
+    for (;;) {
+        // Gather a chunk from the ring without blocking. No batching
+        // window: the resident loop launches whatever has accumulated —
+        // under load the ring itself is the window (entries pile up while
+        // the previous batch solves), and when idle there is nothing to
+        // wait for.
+        stage_timer st;
+        std::vector<detail::pending_ptr> chunk;
+        index_type total = 0;
+        detail::pending_ptr entry;
+        while (total < config_.max_batch && ring_->try_pop(entry)) {
+            // in_flight is bumped before pending drops so the drain
+            // predicate (pending == 0 && in_flight == 0) never observes
+            // this entry in neither counter.
+            ring_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+            ring_pending_.fetch_sub(1, std::memory_order_acq_rel);
+            ring_systems_.fetch_sub(static_cast<size_type>(entry->items),
+                                    std::memory_order_acq_rel);
+            total += entry->items;
+            chunk.push_back(std::move(entry));
+        }
+        if (chunk.empty()) {
+            if (stopping_.load(std::memory_order_acquire) &&
+                ring_pending_.load(std::memory_order_acquire) == 0) {
+                return;
+            }
+            // Idle backoff: a couple of polite yields (the producers are
+            // usually mid-submit on the same host), then park on the
+            // doorbell futex instead of burning the core in a poll loop
+            // — an idle resident worker must cost nothing. The parked
+            // registration is seq_cst against the producer's pending
+            // increment, so a push between the re-check and the wait is
+            // always answered by a doorbell bump.
+            if (++idle < 4) {
+                std::this_thread::yield();
+                continue;
+            }
+            const std::uint32_t heard =
+                ring_doorbell_.load(std::memory_order_acquire);
+            ring_parked_.fetch_add(1, std::memory_order_seq_cst);
+            if (ring_pending_.load(std::memory_order_seq_cst) == 0 &&
+                !stopping_.load(std::memory_order_acquire) &&
+                ring_doorbell_.load(std::memory_order_acquire) == heard) {
+                detail::futex_wait(ring_doorbell_, heard);
+            }
+            ring_parked_.fetch_sub(1, std::memory_order_seq_cst);
+            continue;
+        }
+        idle = 0;
+        st.lap(0);  // pop
+
+        // Group the chunk into compatible fused launches. FIFO arrivals
+        // of one coalescing key are usually adjacent, so the quadratic
+        // sweep stays tiny (chunk is bounded by max_batch systems).
+        const bool solo =
+            breaker_suspended_.load(std::memory_order_acquire);
+        std::vector<char> taken(chunk.size(), 0);
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            if (taken[i]) {
+                continue;
+            }
+            std::vector<detail::pending_ptr> group;
+            group.push_back(std::move(chunk[i]));
+            taken[i] = 1;
+            index_type gtotal = group.front()->items;
+            if (!solo) {
+                for (std::size_t j = i + 1; j < chunk.size(); ++j) {
+                    if (taken[j] ||
+                        gtotal + chunk[j]->items > config_.max_batch) {
+                        continue;
+                    }
+                    if (chunk[j]->key == group.front()->key &&
+                        entries_compatible(*group.front(), *chunk[j])) {
+                        gtotal += chunk[j]->items;
+                        taken[j] = 1;
+                        group.push_back(std::move(chunk[j]));
+                    }
+                }
+            }
+            const std::size_t popped = group.size();
+            st.lap(1);  // group
+            try {
+                execute(q, cache, std::move(group));
+            } catch (...) {
+                // execute() resolves tickets individually; see
+                // worker_loop for why nothing may escape.
+            }
+            st.lap(2);  // execute (total)
+            ring_in_flight_.fetch_sub(popped, std::memory_order_acq_rel);
+        }
+    }
+}
+
+void solve_service::execute(xpu::queue& q, detail::graph_cache& cache,
+                            std::vector<detail::pending_ptr> batch)
+{
+    if (batch.front()->body.index() == 0) {
+        execute_typed<double>(q, cache, std::move(batch));
     } else {
-        execute_typed<float>(q, std::move(batch));
+        execute_typed<float>(q, cache, std::move(batch));
     }
 }
 
 template <typename T>
-void solve_service::execute_typed(xpu::queue& q,
-                                  std::vector<detail::pending_entry> batch)
+void solve_service::execute_typed(xpu::queue& q, detail::graph_cache& cache,
+                                  std::vector<detail::pending_ptr> batch)
 {
+    stage_timer st;
     const auto launch_time = std::chrono::steady_clock::now();
-    std::vector<detail::pending_entry> live;
-    std::vector<detail::pending_entry> expired;
-    for (detail::pending_entry& entry : batch) {
-        (entry.deadline <= launch_time ? expired : live)
+    std::vector<detail::pending_ptr> live;
+    std::vector<detail::pending_ptr> expired;
+    for (detail::pending_ptr& entry : batch) {
+        (entry->deadline <= launch_time ? expired : live)
             .push_back(std::move(entry));
     }
-    for (detail::pending_entry& entry : expired) {
-        reply_without_solving(entry, request_status::expired);
+    for (detail::pending_ptr& entry : expired) {
+        reply_without_solving(*entry, request_status::expired);
     }
 
+    // Wake timing: resolution only ever wakes slots a waiter registered
+    // on (see reply_slot::resolve). The persistent path additionally
+    // defers those wakes to one sweep after the batch is fully resolved —
+    // its lock-free admission shrugs off the resulting thundering herd,
+    // and each client wakes exactly once per fused window. The windowed
+    // path wakes immediately instead: staggered wakeups keep clients
+    // refilling the mutex-guarded queue while the worker finishes its
+    // bookkeeping, which is what keeps the next window full.
+    std::vector<std::atomic<std::uint32_t>*> wake_list;
+    auto* const deferred_wakes =
+        launch_mode_ == xpu::launch_mode::persistent ? &wake_list : nullptr;
     std::uint64_t ok_requests = 0;
     std::uint64_t ok_systems = 0;
     std::uint64_t failed = 0;
     std::uint64_t faults = 0;
     std::uint64_t retries = 0;
     std::uint64_t recovered = 0;
+    std::uint64_t recorded = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t rebound = 0;
     bool degraded = false;
     index_type total = 0;
     std::vector<index_type> launch_sizes;
@@ -300,18 +545,18 @@ void solve_service::execute_typed(xpu::queue& q,
 
     // Last-resort failure sweep: resolves every still-pending ticket with
     // `failed`. Runs when an exception escapes the solve/scatter path, so
-    // a worker never dies with unresolved promises (std::terminate) and
+    // a worker never exits leaving unresolved tickets behind, and
     // never double-sets an already-resolved one.
     auto fail_remaining = [&](const std::string& what) {
-        for (detail::pending_entry& entry : live) {
-            auto& typed = std::get<detail::typed_pending<T>>(entry.body);
+        for (detail::pending_ptr& entry : live) {
+            auto& typed = std::get<detail::typed_pending<T>>(entry->body);
             solve_reply<T> reply;
             reply.status = request_status::failed;
             reply.error = what;
             reply.a = std::move(typed.request.a);
             reply.b = std::move(typed.request.b);
             reply.x = std::move(typed.request.x);
-            if (try_reply(typed, std::move(reply))) {
+            if (try_reply(typed, std::move(reply), deferred_wakes)) {
                 ++failed;
             }
         }
@@ -321,19 +566,99 @@ void solve_service::execute_typed(xpu::queue& q,
         try {
             std::vector<solver::assembly_part<T>> parts;
             parts.reserve(live.size());
-            for (detail::pending_entry& entry : live) {
+            for (detail::pending_ptr& entry : live) {
                 auto& typed =
-                    std::get<detail::typed_pending<T>>(entry.body);
+                    std::get<detail::typed_pending<T>>(entry->body);
                 parts.push_back({&typed.request.a, &typed.request.b,
                                  &typed.request.x});
-                total += entry.items;
+                total += entry->items;
             }
             solver::solve_options opts =
-                std::get<detail::typed_pending<T>>(live.front().body)
+                std::get<detail::typed_pending<T>>(live.front()->body)
                     .request.opts;
             if (config_.skip_spill_zeroing) {
                 opts.zero_spill = false;
             }
+
+            // Graph launch modes solve through a cached recording:
+            // rebind + replay when this worker already recorded the
+            // (pattern, options, size) shape, record-then-replay on a
+            // miss. trsv falls back to the eager path (recording rejects
+            // it). One replay is exactly one launch-counter submission,
+            // so fault keying and attempt counts match the eager path.
+            const bool graph_path =
+                launch_mode_ != xpu::launch_mode::direct &&
+                opts.solver != solver::solver_type::trsv;
+            const xpu::submit_cost graph_cost =
+                launch_mode_ == xpu::launch_mode::persistent
+                    ? xpu::submit_cost::resident
+                    : xpu::submit_cost::replay;
+            const std::uint64_t batch_key = live.front()->key;
+            auto solve_with_graph =
+                [&](const std::vector<solver::assembly_part<T>>& p,
+                    index_type p_items) -> solver::solve_result {
+                auto& slots = cache.template slots<T>();
+                detail::graph_cache::slot<T>* hit = nullptr;
+                for (auto& s : slots) {
+                    if (s.key == batch_key && s.items == p_items &&
+                        s.rec && s.rec->compatible(p, opts)) {
+                        hit = &s;
+                        break;
+                    }
+                }
+                if (hit) {
+                    hit->rec->rebind(p);
+                    ++rebound;
+                } else {
+                    // Record first, then pick the victim slot: a throwing
+                    // record leaves the cache unchanged. Invalidated
+                    // recordings are the preferred victims.
+                    auto rec =
+                        solver::recorded_solve<T>::record(q, p, opts);
+                    ++recorded;
+                    detail::graph_cache::slot<T>* victim = nullptr;
+                    for (auto& s : slots) {
+                        if (!s.rec || !s.rec->valid()) {
+                            victim = &s;
+                            break;
+                        }
+                    }
+                    if (!victim &&
+                        slots.size() < config_.graph_cache_entries) {
+                        slots.emplace_back();
+                        victim = &slots.back();
+                    }
+                    if (!victim) {
+                        victim = &*std::min_element(
+                            slots.begin(), slots.end(),
+                            [](const auto& lhs, const auto& rhs) {
+                                return lhs.last_use < rhs.last_use;
+                            });
+                    }
+                    victim->key = batch_key;
+                    victim->items = p_items;
+                    victim->rec = std::move(rec);
+                    hit = victim;
+                }
+                hit->last_use = ++cache.tick;
+                ++replayed;
+                double wall = 0.0;
+                try {
+                    wall = hit->rec->replay(q, graph_cost);
+                } catch (const xpu::device_error&) {
+                    // Never replay a poisoned graph: drop the recording
+                    // so the retry re-records from scratch.
+                    hit->rec->invalidate();
+                    throw;
+                }
+                hit->rec->scatter(p);
+                solver::solve_result result;
+                result.log = hit->rec->log();
+                result.plan = hit->rec->plan();
+                result.config = hit->rec->config();
+                result.wall_seconds = wall;
+                return result;
+            };
 
             // Solves `p`, retrying device faults with capped exponential
             // backoff. Injected faults are keyed by the worker queue's
@@ -342,13 +667,16 @@ void solve_service::execute_typed(xpu::queue& q,
             std::string last_fault;
             auto attempt_with_retries =
                 [&](const std::vector<solver::assembly_part<T>>& p,
-                    index_type& attempts)
+                    index_type p_items, index_type& attempts)
                 -> std::optional<solver::solve_result> {
                 auto backoff = config_.retry_backoff;
                 for (index_type retry = 0;; ++retry) {
                     ++attempts;
                     try {
-                        return solver::solve_coalesced<T>(q, p, opts);
+                        return graph_path
+                                   ? solve_with_graph(p, p_items)
+                                   : solver::solve_coalesced<T>(q, p,
+                                                                opts);
                     } catch (const xpu::device_error& ex) {
                         ++faults;
                         last_fault = ex.what();
@@ -366,33 +694,36 @@ void solve_service::execute_typed(xpu::queue& q,
             };
 
             index_type fused_attempts = 0;
+            st.lap(3);  // split + parts build
             std::optional<solver::solve_result> combined =
-                attempt_with_retries(parts, fused_attempts);
+                attempt_with_retries(parts, total, fused_attempts);
+            st.lap(4);  // solve (rebind+replay or eager)
             if (combined) {
                 const auto done = std::chrono::steady_clock::now();
                 launch_sizes.push_back(total);
                 index_type offset = 0;
-                for (detail::pending_entry& entry : live) {
+                for (detail::pending_ptr& entry : live) {
                     auto& typed =
-                        std::get<detail::typed_pending<T>>(entry.body);
+                        std::get<detail::typed_pending<T>>(entry->body);
                     solve_reply<T> reply;
                     reply.status = request_status::ok;
                     reply.a = std::move(typed.request.a);
                     reply.b = std::move(typed.request.b);
                     reply.x = std::move(typed.request.x);
-                    reply.log = solver::split_log(combined->log, offset,
-                                                  entry.items);
+                    reply.log = std::move(typed.request.log);
+                    solver::split_log_into(combined->log, offset,
+                                           entry->items, reply.log);
                     reply.fused_systems = total;
                     reply.attempts = fused_attempts;
                     reply.queue_seconds =
-                        seconds_between(entry.enqueued, launch_time);
+                        seconds_between(entry->enqueued, launch_time);
                     reply.solve_seconds = combined->wall_seconds;
-                    offset += entry.items;
+                    offset += entry->items;
                     latencies.push_back(
-                        seconds_between(entry.enqueued, done));
-                    try_reply(typed, std::move(reply));
+                        seconds_between(entry->enqueued, done));
+                    try_reply(typed, std::move(reply), deferred_wakes);
                     ++ok_requests;
-                    ok_systems += static_cast<std::uint64_t>(entry.items);
+                    ok_systems += static_cast<std::uint64_t>(entry->items);
                     if (fused_attempts > 1) {
                         ++recovered;
                     }
@@ -402,28 +733,28 @@ void solve_service::execute_typed(xpu::queue& q,
                 // solo solves so only the requests that genuinely cannot
                 // complete fail — the rest of the batch still resolves ok.
                 degraded = true;
-                for (detail::pending_entry& entry : live) {
+                for (detail::pending_ptr& entry : live) {
                     auto& typed =
-                        std::get<detail::typed_pending<T>>(entry.body);
+                        std::get<detail::typed_pending<T>>(entry->body);
                     std::vector<solver::assembly_part<T>> solo;
                     solo.push_back({&typed.request.a, &typed.request.b,
                                     &typed.request.x});
                     index_type attempts = fused_attempts;
                     std::optional<solver::solve_result> result =
-                        attempt_with_retries(solo, attempts);
+                        attempt_with_retries(solo, entry->items, attempts);
                     const auto done = std::chrono::steady_clock::now();
                     solve_reply<T> reply;
                     reply.attempts = attempts;
                     if (result) {
                         reply.status = request_status::ok;
                         reply.log = result->log;
-                        reply.fused_systems = entry.items;
+                        reply.fused_systems = entry->items;
                         reply.queue_seconds =
-                            seconds_between(entry.enqueued, launch_time);
+                            seconds_between(entry->enqueued, launch_time);
                         reply.solve_seconds = result->wall_seconds;
-                        launch_sizes.push_back(entry.items);
+                        launch_sizes.push_back(entry->items);
                         latencies.push_back(
-                            seconds_between(entry.enqueued, done));
+                            seconds_between(entry->enqueued, done));
                     } else {
                         reply.status = request_status::failed;
                         reply.error =
@@ -435,11 +766,11 @@ void solve_service::execute_typed(xpu::queue& q,
                     reply.b = std::move(typed.request.b);
                     reply.x = std::move(typed.request.x);
                     const bool ok = reply.status == request_status::ok;
-                    try_reply(typed, std::move(reply));
+                    try_reply(typed, std::move(reply), deferred_wakes);
                     if (ok) {
                         ++ok_requests;
                         ok_systems +=
-                            static_cast<std::uint64_t>(entry.items);
+                            static_cast<std::uint64_t>(entry->items);
                         ++recovered;
                     } else {
                         ++failed;
@@ -452,60 +783,80 @@ void solve_service::execute_typed(xpu::queue& q,
             fail_remaining("unknown error in batch execution");
         }
     }
+    st.lap(5);  // reply scatter (split_log + moves + try_reply)
 
-    std::lock_guard<std::mutex> lk(mu_);
-    expired_requests_ += static_cast<std::uint64_t>(expired.size());
-    completed_requests_ += ok_requests;
-    completed_systems_ += ok_systems;
-    failed_requests_ += failed;
-    launch_faults_ += faults;
-    launch_retries_ += retries;
-    recovered_requests_ += recovered;
-    if (degraded) {
-        ++degraded_launches_;
-    }
-    for (const index_type size : launch_sizes) {
-        ++batches_launched_;
-        batched_systems_sum_ += static_cast<std::uint64_t>(size);
-        const std::size_t bucket =
-            size <= config_.max_batch ? static_cast<std::size_t>(size) : 0;
-        ++batch_histogram_[bucket];
-    }
-    for (const double s : latencies) {
-        latency_.record(s);
-    }
-    if (!live.empty()) {
-        // Breaker bookkeeping: one observation per execution, faulted if
-        // any attempt faulted. During cooldown the window stays frozen;
-        // each solo execution counts the cooldown down toward resuming
-        // coalescing.
-        if (breaker_remaining_ > 0) {
-            --breaker_remaining_;
-        } else {
-            ++breaker_window_count_;
-            if (faults > 0) {
-                ++breaker_window_faulted_;
-            }
-            if (breaker_window_count_ >= config_.breaker_window &&
-                config_.breaker_window > 0) {
-                const double ratio =
-                    static_cast<double>(breaker_window_faulted_) /
-                    static_cast<double>(breaker_window_count_);
-                if (ratio >= config_.breaker_fault_ratio &&
-                    config_.breaker_cooldown > 0) {
-                    ++breaker_trips_;
-                    breaker_remaining_ = config_.breaker_cooldown;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        expired_requests_ += static_cast<std::uint64_t>(expired.size());
+        completed_requests_ += ok_requests;
+        completed_systems_ += ok_systems;
+        failed_requests_ += failed;
+        launch_faults_ += faults;
+        launch_retries_ += retries;
+        recovered_requests_ += recovered;
+        launches_recorded_ += recorded;
+        replays_ += replayed;
+        rebind_only_ += rebound;
+        if (degraded) {
+            ++degraded_launches_;
+        }
+        for (const index_type size : launch_sizes) {
+            ++batches_launched_;
+            batched_systems_sum_ += static_cast<std::uint64_t>(size);
+            const std::size_t bucket =
+                size <= config_.max_batch ? static_cast<std::size_t>(size) : 0;
+            ++batch_histogram_[bucket];
+        }
+        for (const double s : latencies) {
+            latency_.record(s);
+        }
+        if (!live.empty()) {
+            // Breaker bookkeeping: one observation per execution, faulted if
+            // any attempt faulted. During cooldown the window stays frozen;
+            // each solo execution counts the cooldown down toward resuming
+            // coalescing.
+            if (breaker_remaining_ > 0) {
+                --breaker_remaining_;
+            } else {
+                ++breaker_window_count_;
+                if (faults > 0) {
+                    ++breaker_window_faulted_;
                 }
-                breaker_window_count_ = 0;
-                breaker_window_faulted_ = 0;
+                if (breaker_window_count_ >= config_.breaker_window &&
+                    config_.breaker_window > 0) {
+                    const double ratio =
+                        static_cast<double>(breaker_window_faulted_) /
+                        static_cast<double>(breaker_window_count_);
+                    if (ratio >= config_.breaker_fault_ratio &&
+                        config_.breaker_cooldown > 0) {
+                        ++breaker_trips_;
+                        breaker_remaining_ = config_.breaker_cooldown;
+                    }
+                    breaker_window_count_ = 0;
+                    breaker_window_faulted_ = 0;
+                }
             }
+            breaker_suspended_.store(breaker_remaining_ > 0,
+                                     std::memory_order_release);
         }
     }
+    st.lap(6);  // stats lock
+
+    // Deferred wake sweep: every entry of the batch is resolved by now,
+    // so a client blocked on its first fused request wakes once and
+    // drains its whole window without another sleep. Only slots a waiter
+    // actually parked on are in the list, so the sweep issues exactly
+    // one syscall per sleeping client, not one per request.
+    for (std::atomic<std::uint32_t>* word : wake_list) {
+        detail::futex_wake_all(*word);
+    }
+    st.lap(7);  // wake sweep
+    g_stage_probe.batches.fetch_add(1, std::memory_order_relaxed);
 }
 
 template void solve_service::execute_typed<double>(
-    xpu::queue&, std::vector<detail::pending_entry>);
+    xpu::queue&, detail::graph_cache&, std::vector<detail::pending_ptr>);
 template void solve_service::execute_typed<float>(
-    xpu::queue&, std::vector<detail::pending_entry>);
+    xpu::queue&, detail::graph_cache&, std::vector<detail::pending_ptr>);
 
 }  // namespace batchlin::serve

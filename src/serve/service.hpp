@@ -4,7 +4,7 @@
 // systems into one kernel launch. A caller with a *stream* of independent
 // requests cannot exploit that through single-shot `solve` calls, so this
 // subsystem does what an inference server's dynamic batcher does for
-// model requests: `submit` enqueues a request and returns a future;
+// model requests: `submit` enqueues a request and returns a ticket;
 // worker threads coalesce compatible requests (same precision, format,
 // sparsity pattern, and solve options) into one fused launch under a
 // time/size window (`max_batch`, `max_wait`); results and per-system
@@ -25,21 +25,25 @@
 // up to `max_wait`; add workers to bound that.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <variant>
 #include <vector>
 
+#include "serve/futex.hpp"
+#include "serve/ring.hpp"
 #include "serve/stats.hpp"
 #include "solver/assemble.hpp"
 #include "solver/options.hpp"
+#include "solver/record.hpp"
 #include "util/error.hpp"
 #include "xpu/policy.hpp"
 #include "xpu/queue.hpp"
@@ -72,6 +76,12 @@ struct solve_request {
     solver::solve_options opts{};
     /// Relative deadline measured from submit; zero means none.
     std::chrono::microseconds deadline{0};
+    /// Optional scratch the reply's `log` is built in. Leave empty and
+    /// the service allocates; move the previous reply's `log` back in
+    /// (like `a`/`b`/`x`) and a high-rate caller recycles the log
+    /// storage too instead of paying three cross-thread allocations per
+    /// request.
+    log::batch_log log;
 };
 
 /// What the ticket resolves to. For non-ok statuses `x` returns the
@@ -116,6 +126,19 @@ struct service_config {
     index_type max_batch = 64;
     /// How long a batch leader waits for companions before launching.
     std::chrono::microseconds max_wait{200};
+    /// Adaptive window flush: when the admission queue is empty — every
+    /// other client is waiting on an in-flight reply, so no companion can
+    /// arrive until something completes — the leader waits only this long
+    /// for stragglers before launching instead of holding the full
+    /// `max_wait` window open. This removes the low-load pathology where
+    /// a lone request burns the whole window for companions that cannot
+    /// exist. Zero disables (always wait out `max_wait`).
+    std::chrono::microseconds idle_flush{25};
+    /// Cached graph recordings per worker and precision in the
+    /// `graph_replay` / `persistent` launch modes (LRU-evicted). Each
+    /// distinct (sparsity pattern, options, fused size) shape occupies
+    /// one slot.
+    std::size_t graph_cache_entries = 8;
     /// Admission bound, counted in systems (a batched request counts its
     /// batch size).
     size_type max_queue_systems = 4096;
@@ -217,12 +240,50 @@ std::uint64_t coalesce_key(const solver::batch_matrix<T>& a,
     return h;
 }
 
-/// A queued request of one precision, with the promise its ticket waits
+/// Slot states. A slot starts `pending`; a blocking waiter CAS-es it to
+/// `pending_waiting` before sleeping on the futex; the resolver exchanges
+/// it to `ready` and wakes only if the old value carried the waiter bit.
+/// A resolution that nobody is sleeping on therefore costs one exchange
+/// and zero syscalls — the common case when a client's window of requests
+/// was fused into one batch and the client is asleep on the *first*
+/// ticket while the rest resolve.
+inline constexpr std::uint32_t slot_pending = 0;
+inline constexpr std::uint32_t slot_ready = 1;
+inline constexpr std::uint32_t slot_pending_waiting = 2;
+
+/// Completion slot a ticket waits on. This replaces `std::promise` so
+/// the worker controls *when* and *whether* waiters are woken: resolution
+/// stores the reply and publishes `state` (release); the futex wake is
+/// issued only for slots a waiter actually registered on, and in
+/// persistent mode it is further deferred until the whole batch is
+/// resolved. A client whose window of requests was fused into one launch
+/// then wakes exactly once and finds every ticket already ready, instead
+/// of being woken mid-batch and re-blocking on each subsequent ticket —
+/// on a host that time-shares clients and workers, those saved sleep/wake
+/// pairs are the difference between a launch-bound and a scheduler-bound
+/// service.
+template <typename T>
+struct reply_slot {
+    std::atomic<std::uint32_t> state{slot_pending};
+    solve_reply<T> reply;
+
+    /// Publishes the reply already stored in `reply`. Returns the futex
+    /// word to wake if a waiter registered before resolution, else null;
+    /// the caller wakes it immediately or defers to a batch sweep.
+    std::atomic<std::uint32_t>* resolve()
+    {
+        const std::uint32_t old =
+            state.exchange(slot_ready, std::memory_order_acq_rel);
+        return old == slot_pending_waiting ? &state : nullptr;
+    }
+};
+
+/// A queued request of one precision, with the slot its ticket waits
 /// on.
 template <typename T>
 struct typed_pending {
     solve_request<T> request;
-    std::promise<solve_reply<T>> promise;
+    std::shared_ptr<reply_slot<T>> slot;
 };
 
 struct pending_entry {
@@ -233,14 +294,108 @@ struct pending_entry {
     std::variant<typed_pending<double>, typed_pending<float>> body;
 };
 
+/// Entries travel the admission queue / ring / batch pipeline by pointer:
+/// a `pending_entry` is a few hundred bytes of matrices-by-value, and the
+/// multi-stage handoff (submit -> ring/queue -> chunk -> group -> live)
+/// would otherwise move that struct four or five times per request. One
+/// heap allocation at submit makes every later hop an 8-byte pointer
+/// move, and keeps the MPMC ring's cell array small enough to stay
+/// cache-resident.
+using pending_ptr = std::unique_ptr<pending_entry>;
+
+/// Per-worker cache of graph recordings (`graph_replay` / `persistent`
+/// launch modes). Keyed by the coalescing hash plus the fused batch size;
+/// the exact `recorded_solve::compatible` check backs the hash, so a
+/// collision re-records instead of corrupting. Owned by exactly one
+/// worker thread — no locking.
+struct graph_cache {
+    template <typename T>
+    struct slot {
+        std::uint64_t key = 0;
+        index_type items = 0;
+        std::uint64_t last_use = 0;
+        std::unique_ptr<solver::recorded_solve<T>> rec;
+    };
+
+    template <typename T>
+    std::vector<slot<T>>& slots()
+    {
+        if constexpr (std::is_same_v<T, double>) {
+            return d;
+        } else {
+            return f;
+        }
+    }
+
+    std::vector<slot<double>> d;
+    std::vector<slot<float>> f;
+    /// LRU clock.
+    std::uint64_t tick = 0;
+};
+
 }  // namespace detail
+
+/// Future-like handle for one submitted request. `get()` blocks until
+/// the service resolves the request and moves the reply out; a ticket
+/// is single-use (`valid()` turns false after `get()`).
+template <typename T>
+class solve_ticket {
+public:
+    solve_ticket() = default;
+
+    bool valid() const { return slot_ != nullptr; }
+
+    solve_reply<T> get()
+    {
+        BATCHLIN_ENSURE_MSG(slot_ != nullptr,
+                            "get() on an empty or consumed ticket");
+        // Short spin first: under load the resolving batch is usually
+        // mid-flight, and catching the release store here skips a futex
+        // sleep/wake pair. Deliberately no sched_yield in the spin — on a
+        // loaded host each yield is a scheduler round-trip, and a chain
+        // of them per get() turns a batching service scheduler-bound.
+        std::uint32_t r = slot_->state.load(std::memory_order_acquire);
+        for (int spin = 0; r == detail::slot_pending && spin < 64; ++spin) {
+            r = slot_->state.load(std::memory_order_acquire);
+        }
+        while (r != detail::slot_ready) {
+            // Register as a waiter so the resolver knows to issue a wake,
+            // then park. The CAS failing with `ready` means resolution
+            // beat the registration; failing with `pending_waiting`
+            // means a spurious futex return left our registration in
+            // place — park again.
+            std::uint32_t expected = detail::slot_pending;
+            slot_->state.compare_exchange_strong(
+                expected, detail::slot_pending_waiting,
+                std::memory_order_acq_rel, std::memory_order_acquire);
+            if (expected == detail::slot_ready) {
+                break;
+            }
+            detail::futex_wait(slot_->state, detail::slot_pending_waiting);
+            r = slot_->state.load(std::memory_order_acquire);
+        }
+        solve_reply<T> out = std::move(slot_->reply);
+        slot_.reset();
+        return out;
+    }
+
+private:
+    friend class solve_service;
+
+    explicit solve_ticket(std::shared_ptr<detail::reply_slot<T>> slot)
+        : slot_(std::move(slot))
+    {
+    }
+
+    std::shared_ptr<detail::reply_slot<T>> slot_;
+};
 
 /// The dynamic-batching solve service. See the file comment for the
 /// threading model and batching semantics.
 class solve_service {
 public:
     template <typename T>
-    using ticket = std::future<solve_reply<T>>;
+    using ticket = solve_ticket<T>;
 
     /// Spins up the worker pool; each worker owns an `xpu::queue` built
     /// from `policy`.
@@ -286,12 +441,22 @@ public:
         const std::uint64_t key =
             detail::coalesce_key<T>(request.a, request.opts);
 
-        detail::typed_pending<T> typed{std::move(request), {}};
-        ticket<T> fut = typed.promise.get_future();
+        detail::typed_pending<T> typed{
+            std::move(request),
+            std::make_shared<detail::reply_slot<T>>()};
+        ticket<T> fut{typed.slot};
 
-        std::unique_lock<std::mutex> lk(mu_);
         ++submitted_requests_;
         submitted_systems_ += static_cast<std::uint64_t>(items);
+
+        if (launch_mode_ == xpu::launch_mode::persistent) {
+            // Lock-free admission: the resident workers poll the ring, so
+            // no mutex is taken and nobody needs a wakeup.
+            submit_to_ring(std::move(typed), key, now, deadline, items);
+            return fut;
+        }
+
+        std::unique_lock<std::mutex> lk(mu_);
         if (!accepting_) {
             ++rejected_requests_;
             lk.unlock();
@@ -318,8 +483,8 @@ public:
                 return fut;
             }
         }
-        queue_.push_back(detail::pending_entry{key, now, deadline, items,
-                                               std::move(typed)});
+        queue_.push_back(std::make_unique<detail::pending_entry>(
+            key, now, deadline, items, std::move(typed)));
         queued_systems_ += static_cast<size_type>(items);
         // notify_all: idle workers must wake, and workers holding a
         // batching window open must re-scan for the new arrival.
@@ -343,8 +508,14 @@ public:
 
     const service_config& config() const { return config_; }
 
+    /// Launch mode the workers actually run in — the policy's mode after
+    /// the BATCHLIN_LAUNCH_MODE environment override is applied.
+    xpu::launch_mode launch_mode() const { return launch_mode_; }
+
 private:
-    /// Completes a request without solving it (rejected / expired).
+    /// Completes a request without solving it (rejected / expired) and
+    /// wakes the waiter immediately — these paths resolve one request,
+    /// not a batch, so there is nothing to defer for.
     template <typename T>
     static void reply_without_solving(detail::typed_pending<T>& typed,
                                       request_status status)
@@ -354,7 +525,10 @@ private:
         reply.a = std::move(typed.request.a);
         reply.b = std::move(typed.request.b);
         reply.x = std::move(typed.request.x);
-        typed.promise.set_value(std::move(reply));
+        typed.slot->reply = std::move(reply);
+        if (auto* word = typed.slot->resolve()) {
+            detail::futex_wake_all(*word);
+        }
     }
 
     static void reply_without_solving(detail::pending_entry& entry,
@@ -364,59 +538,173 @@ private:
                    entry.body);
     }
 
-    /// Resolves a promise exactly once: a second set (e.g. the failure
-    /// sweep running after some replies already resolved) is a no-op
-    /// instead of a `std::future_error` escaping the worker thread.
-    /// Returns whether this call resolved the ticket.
+    /// Resolves a slot exactly once: a second set (e.g. the failure
+    /// sweep running after some replies already resolved) is a no-op.
+    /// Returns whether this call resolved the ticket. If a waiter had
+    /// registered on the slot, its futex word is either woken here
+    /// (`deferred_wakes == nullptr`) or appended for the caller to wake
+    /// after the whole batch is resolved (see execute_typed) — so in
+    /// persistent mode a client waiting on the first of several fused
+    /// requests wakes once with all of them ready. Resolution is
+    /// single-threaded per entry (the owning worker, or stop() after the
+    /// join), so the unsynchronized `state` pre-check cannot race
+    /// another resolver.
     template <typename T>
-    static bool try_reply(detail::typed_pending<T>& typed,
-                          solve_reply<T> reply)
+    static bool try_reply(
+        detail::typed_pending<T>& typed, solve_reply<T> reply,
+        std::vector<std::atomic<std::uint32_t>*>* deferred_wakes = nullptr)
     {
-        try {
-            typed.promise.set_value(std::move(reply));
-            return true;
-        } catch (const std::future_error&) {
-            return false;  // already satisfied
+        if (typed.slot->state.load(std::memory_order_relaxed) ==
+            detail::slot_ready) {
+            return false;  // already resolved
+        }
+        typed.slot->reply = std::move(reply);
+        if (auto* word = typed.slot->resolve()) {
+            if (deferred_wakes != nullptr) {
+                deferred_wakes->push_back(word);
+            } else {
+                detail::futex_wake_all(*word);
+            }
+        }
+        return true;
+    }
+
+    /// Lock-free admission of the persistent mode: reserves the systems
+    /// budget with atomics and pushes into the worker ring. Rejections
+    /// resolve the ticket exactly like the locked path.
+    template <typename T>
+    void submit_to_ring(detail::typed_pending<T> typed, std::uint64_t key,
+                        std::chrono::steady_clock::time_point now,
+                        std::chrono::steady_clock::time_point deadline,
+                        index_type items)
+    {
+        if (!accepting_.load(std::memory_order_acquire) ||
+            static_cast<size_type>(items) > config_.max_queue_systems) {
+            ++rejected_requests_;
+            reply_without_solving(typed, request_status::rejected);
+            return;
+        }
+        const auto budget = static_cast<size_type>(items);
+        size_type prev = ring_systems_.fetch_add(
+            budget, std::memory_order_acq_rel);
+        if (prev + budget > config_.max_queue_systems) {
+            ring_systems_.fetch_sub(budget, std::memory_order_acq_rel);
+            if (config_.on_full == overflow_policy::reject) {
+                ++rejected_requests_;
+                reply_without_solving(typed, request_status::rejected);
+                return;
+            }
+            // Block: spin until the resident workers free enough budget.
+            for (;;) {
+                if (!accepting_.load(std::memory_order_acquire)) {
+                    ++rejected_requests_;
+                    reply_without_solving(typed, request_status::rejected);
+                    return;
+                }
+                prev = ring_systems_.load(std::memory_order_acquire);
+                if (prev + budget <= config_.max_queue_systems &&
+                    ring_systems_.compare_exchange_weak(
+                        prev, prev + budget, std::memory_order_acq_rel)) {
+                    break;
+                }
+                std::this_thread::yield();
+            }
+        }
+        detail::pending_ptr entry = std::make_unique<detail::pending_entry>(
+            key, now, deadline, items, std::move(typed));
+        // pending is published before the push so a stopping worker never
+        // exits between the push and the count becoming visible. seq_cst:
+        // the increment must order against a parking worker's re-check
+        // (see persistent_loop) so no push is ever left unattended.
+        ring_pending_.fetch_add(1, std::memory_order_seq_cst);
+        while (!ring_->try_push(entry)) {
+            // Only transiently possible: the ring is sized for the full
+            // admission budget at one system per entry.
+            std::this_thread::yield();
+        }
+        if (ring_parked_.load(std::memory_order_seq_cst) > 0) {
+            ring_doorbell_.fetch_add(1, std::memory_order_release);
+            detail::futex_wake_all(ring_doorbell_);
         }
     }
 
     void worker_loop(int worker_id);
 
+    /// Resident solver loop of `launch_mode::persistent`: polls the ring,
+    /// groups compatible entries up to `max_batch`, executes without ever
+    /// parking on the admission mutex.
+    void persistent_loop(int worker_id);
+
     /// Removes queue_[index] under the caller's lock: books it as
     /// in-flight and frees its admission budget.
-    detail::pending_entry pop_entry_locked(std::size_t index);
+    detail::pending_ptr pop_entry_locked(std::size_t index);
 
-    void execute(xpu::queue& q,
-                 std::vector<detail::pending_entry> batch);
+    void execute(xpu::queue& q, detail::graph_cache& cache,
+                 std::vector<detail::pending_ptr> batch);
 
     template <typename T>
-    void execute_typed(xpu::queue& q,
-                       std::vector<detail::pending_entry> batch);
+    void execute_typed(xpu::queue& q, detail::graph_cache& cache,
+                       std::vector<detail::pending_ptr> batch);
 
     service_config config_;
+    /// Snapshot of the policy's launch mode (possibly overridden by the
+    /// BATCHLIN_LAUNCH_MODE environment variable at construction).
+    xpu::launch_mode launch_mode_ = xpu::launch_mode::direct;
     std::chrono::steady_clock::time_point start_;
 
     mutable std::mutex mu_;
     std::condition_variable cv_work_;
     std::condition_variable cv_space_;
     std::condition_variable cv_idle_;
-    std::deque<detail::pending_entry> queue_;
+    std::deque<detail::pending_ptr> queue_;
     size_type queued_systems_ = 0;
     std::size_t in_flight_entries_ = 0;
-    bool accepting_ = true;
-    bool stopping_ = false;
+    /// Atomic (not merely mu_-guarded): the persistent admission path
+    /// reads these without the mutex.
+    std::atomic<bool> accepting_{true};
+    std::atomic<bool> stopping_{false};
 
-    std::uint64_t submitted_requests_ = 0;
-    std::uint64_t submitted_systems_ = 0;
+    /// Submission-side counters are atomic — bumped on the submitter's
+    /// thread before admission, outside the mutex.
+    std::atomic<std::uint64_t> submitted_requests_{0};
+    std::atomic<std::uint64_t> submitted_systems_{0};
+    std::atomic<std::uint64_t> rejected_requests_{0};
     std::uint64_t completed_requests_ = 0;
     std::uint64_t completed_systems_ = 0;
-    std::uint64_t rejected_requests_ = 0;
     std::uint64_t expired_requests_ = 0;
     std::uint64_t failed_requests_ = 0;
     std::uint64_t batches_launched_ = 0;
     std::uint64_t batched_systems_sum_ = 0;
     std::vector<std::uint64_t> batch_histogram_;
     latency_window latency_;
+
+    // Graph-launch counters (guarded by mu_; updated in the workers'
+    // post-batch bookkeeping).
+    std::uint64_t launches_recorded_ = 0;
+    std::uint64_t replays_ = 0;
+    std::uint64_t rebind_only_ = 0;
+
+    /// Persistent-mode admission ring (null in the other launch modes)
+    /// and its lock-free budget/progress counters. `ring_pending_` counts
+    /// entries published but not yet popped; `ring_in_flight_` counts
+    /// entries popped but not yet replied. A worker bumps in_flight
+    /// *before* dropping pending, so `pending == 0 && in_flight == 0`
+    /// never holds transiently while an entry changes hands — that
+    /// predicate is the drain/shutdown condition.
+    std::unique_ptr<mpmc_ring<detail::pending_ptr>> ring_;
+    std::atomic<size_type> ring_systems_{0};
+    std::atomic<std::uint64_t> ring_pending_{0};
+    std::atomic<std::uint64_t> ring_in_flight_{0};
+    /// Parking protocol of the resident workers: a worker that finds the
+    /// ring empty registers in `ring_parked_` (seq_cst), re-checks
+    /// `ring_pending_`, and sleeps on `ring_doorbell_`; a producer rings
+    /// the doorbell after its push only when someone is parked, so the
+    /// loaded steady state pays no wake syscalls at all.
+    std::atomic<std::uint32_t> ring_doorbell_{0};
+    std::atomic<int> ring_parked_{0};
+    /// Mirror of `breaker_remaining_ > 0` readable without mu_ (the
+    /// persistent loop checks it per batch without taking the mutex).
+    std::atomic<bool> breaker_suspended_{false};
 
     // Resilience counters and circuit-breaker state (guarded by mu_).
     std::uint64_t launch_faults_ = 0;
@@ -434,6 +722,9 @@ private:
     /// One queue per worker (deque: xpu::queue is not movable in debug
     /// builds). Constructed before, and outliving, the worker threads.
     std::deque<xpu::queue> worker_queues_;
+    /// One graph cache per worker, owned exclusively by that worker's
+    /// thread (deque for address stability, like the queues).
+    std::deque<detail::graph_cache> graph_caches_;
     std::vector<std::thread> workers_;
 };
 

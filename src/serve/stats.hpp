@@ -45,6 +45,18 @@ struct service_stats {
     /// Whether coalescing is currently suspended by the breaker.
     bool breaker_active = false;
 
+    /// Graph-launch counters (zero in `launch_mode::direct`). A recording
+    /// happens on the first batch of a (pattern, options, size) shape and
+    /// again after a fault invalidates the cached graph; every subsequent
+    /// compatible batch only swaps values (`rebind_only`) and replays.
+    /// `replays / batches_launched` close to 1 means the launch path is
+    /// amortized to rebind cost — the effectiveness metric of the mode.
+    std::uint64_t launches_recorded = 0;
+    /// Graph submissions (each one fused launch replayed from a graph).
+    std::uint64_t replays = 0;
+    /// Replays that reused a cached recording without re-recording.
+    std::uint64_t rebind_only = 0;
+
     /// Current admission queue depth.
     std::uint64_t queue_depth_requests = 0;
     std::uint64_t queue_depth_systems = 0;

@@ -45,6 +45,10 @@ void gather_values(const std::vector<assembly_part<T>>& parts,
     }
 }
 
+}  // namespace
+
+namespace detail {
+
 template <typename T>
 batch_matrix<T> gather_matrix(const std::vector<assembly_part<T>>& parts,
                               index_type total_items)
@@ -76,7 +80,35 @@ batch_matrix<T> gather_matrix(const std::vector<assembly_part<T>>& parts,
         *parts.front().a);
 }
 
-}  // namespace
+template <typename T>
+index_type validate_assembly(const std::vector<assembly_part<T>>& parts)
+{
+    BATCHLIN_ENSURE_MSG(!parts.empty(), "nothing to solve");
+    index_type total_items = 0;
+    const index_type rows =
+        std::visit([](const auto& m) { return m.rows(); },
+                   *parts.front().a);
+    for (const assembly_part<T>& part : parts) {
+        BATCHLIN_ENSURE_MSG(part.a != nullptr && part.b != nullptr &&
+                                part.x != nullptr,
+                            "assembly part missing an operand");
+        BATCHLIN_ENSURE_MSG(can_coalesce(*parts.front().a, *part.a),
+                            "assembly parts do not share format, "
+                            "dimensions, and sparsity pattern");
+        const index_type items = part.items();
+        BATCHLIN_ENSURE_DIMS(part.b->num_batch_items() == items &&
+                                 part.x->num_batch_items() == items,
+                             "batch sizes of A, b, x must match");
+        BATCHLIN_ENSURE_DIMS(part.b->rows() == rows &&
+                                 part.x->rows() == rows &&
+                                 part.b->cols() == 1 && part.x->cols() == 1,
+                             "vector shapes must match the matrix order");
+        total_items += items;
+    }
+    return total_items;
+}
+
+}  // namespace detail
 
 template <typename T>
 bool can_coalesce(const batch_matrix<T>& lhs, const batch_matrix<T>& rhs)
@@ -107,36 +139,34 @@ log::batch_log split_log(const log::batch_log& combined, index_type offset,
     return part;
 }
 
+void split_log_into(const log::batch_log& combined, index_type offset,
+                    index_type items, log::batch_log& out)
+{
+    BATCHLIN_ENSURE_DIMS(offset >= 0 && items >= 0 &&
+                             offset + items <= combined.num_systems(),
+                         "log slice out of range");
+    if (out.num_systems() != items) {
+        out = log::batch_log(items);
+    }
+    for (index_type i = 0; i < items; ++i) {
+        out.record(i, combined.iterations(offset + i),
+                   combined.residual_norm(offset + i),
+                   combined.status(offset + i));
+    }
+}
+
 template <typename T>
 solve_result solve_coalesced(xpu::queue& q,
                              const std::vector<assembly_part<T>>& parts,
                              const solve_options& opts)
 {
-    BATCHLIN_ENSURE_MSG(!parts.empty(), "nothing to solve");
     BATCHLIN_ENSURE_MSG(!opts.record_history,
                         "per-iteration history is not supported for "
                         "coalesced solves");
-    index_type total_items = 0;
+    const index_type total_items = detail::validate_assembly(parts);
     const index_type rows =
         std::visit([](const auto& m) { return m.rows(); },
                    *parts.front().a);
-    for (const assembly_part<T>& part : parts) {
-        BATCHLIN_ENSURE_MSG(part.a != nullptr && part.b != nullptr &&
-                                part.x != nullptr,
-                            "assembly part missing an operand");
-        BATCHLIN_ENSURE_MSG(can_coalesce(*parts.front().a, *part.a),
-                            "assembly parts do not share format, "
-                            "dimensions, and sparsity pattern");
-        const index_type items = part.items();
-        BATCHLIN_ENSURE_DIMS(part.b->num_batch_items() == items &&
-                                 part.x->num_batch_items() == items,
-                             "batch sizes of A, b, x must match");
-        BATCHLIN_ENSURE_DIMS(part.b->rows() == rows &&
-                                 part.x->rows() == rows &&
-                                 part.b->cols() == 1 && part.x->cols() == 1,
-                             "vector shapes must match the matrix order");
-        total_items += items;
-    }
 
     if (parts.size() == 1) {
         // One request already is a batch: no gather/scatter needed, and
@@ -145,7 +175,7 @@ solve_result solve_coalesced(xpu::queue& q,
                      *parts.front().x, opts);
     }
 
-    const batch_matrix<T> a = gather_matrix(parts, total_items);
+    const batch_matrix<T> a = detail::gather_matrix(parts, total_items);
     mat::batch_dense<T> b(total_items, rows, 1);
     mat::batch_dense<T> x(total_items, rows, 1);
     auto b_out = b.values().begin();
@@ -173,7 +203,11 @@ solve_result solve_coalesced(xpu::queue& q,
                                   const batch_matrix<T>&);                  \
     template solve_result solve_coalesced<T>(                               \
         xpu::queue&, const std::vector<assembly_part<T>>&,                  \
-        const solve_options&)
+        const solve_options&);                                              \
+    template index_type detail::validate_assembly<T>(                       \
+        const std::vector<assembly_part<T>>&);                              \
+    template batch_matrix<T> detail::gather_matrix<T>(                      \
+        const std::vector<assembly_part<T>>&, index_type)
 
 BATCHLIN_INSTANTIATE_ASSEMBLE(float);
 BATCHLIN_INSTANTIATE_ASSEMBLE(double);

@@ -56,4 +56,28 @@ solve_result solve_coalesced(xpu::queue& q,
 log::batch_log split_log(const log::batch_log& combined, index_type offset,
                          index_type items);
 
+/// In-place variant: writes the slice into `out`, reusing its storage
+/// when it is already sized for `items` systems. The serving hot path
+/// recycles log storage through the request/reply round trip, and the
+/// allocating `split_log` would put three cross-thread malloc/free pairs
+/// per request back on that path.
+void split_log_into(const log::batch_log& combined, index_type offset,
+                    index_type items, log::batch_log& out);
+
+namespace detail {
+
+/// Validates an assembly: every part present, shapes consistent, patterns
+/// coalescible with the leader. Returns the combined batch-item count.
+/// Shared by `solve_coalesced` and the graph-record path.
+template <typename T>
+index_type validate_assembly(const std::vector<assembly_part<T>>& parts);
+
+/// Builds one combined matrix carrying the shared pattern and every
+/// part's value blocks gathered batch-major (part order).
+template <typename T>
+batch_matrix<T> gather_matrix(const std::vector<assembly_part<T>>& parts,
+                              index_type total_items);
+
+}  // namespace detail
+
 }  // namespace batchlin::solver

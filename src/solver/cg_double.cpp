@@ -4,5 +4,6 @@
 namespace batchlin::solver {
 
 BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_CG, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_CG_BOUND, double)
 
 }  // namespace batchlin::solver

@@ -17,22 +17,28 @@
 namespace batchlin::solver {
 
 template <typename T, typename MatBatch, typename Precond>
-void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
-            const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
-            const stop::criterion& crit, const slm_plan& plan,
-            const kernel_config& config, log::batch_log& logger,
-            xpu::batch_range range)
+void run_cg_bound(xpu::queue& q, const MatBatch& a, const Precond& precond,
+                  const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+                  const stop::criterion& crit, const bound_plan& slots,
+                  const kernel_config& config, spill_view<T> spill,
+                  log::batch_log& logger, xpu::batch_range range)
 {
-    const bound_plan slots(plan);  // resolved once, host side (§3.5)
-    spill_buffer<T> spill(q, plan, range.size());
-    mat::batch_dense<T>* x_out = &x;
+    // Recordable closure: operands enter by address of caller-owned
+    // storage, configuration structs by value — nothing refers to this
+    // stack frame once run_batch returns (see run_decl.hpp).
+    const MatBatch* const a_ptr = &a;
+    const Precond* const precond_ptr = &precond;
+    const mat::batch_dense<T>* const b_ptr = &b;
+    mat::batch_dense<T>* const x_out = &x;
+    const bound_plan* const slots_ptr = &slots;
+    log::batch_log* const logger_ptr = &logger;
 
     q.run_batch(
         range.size(), config.work_group_size, config.sub_group_size,
-        [&](xpu::group& g) {
+        [=](xpu::group& g) {
             const index_type batch = g.id();
             const index_type local = batch - range.begin;
-            workspace_binder<T> bind(g, slots, spill.for_group(local));
+            workspace_binder<T> bind(g, *slots_ptr, spill.for_group(local));
             // Plan order for CG: r, z, p, t, x, precond (§3.5).
             xpu::dspan<T> r = bind.take("r");
             xpu::dspan<T> z = bind.take("z");
@@ -41,11 +47,12 @@ void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
             xpu::dspan<T> x_loc = bind.take("x");
             xpu::dspan<T> pc_work = bind.take_optional("precond");
 
-            const auto a_view = blas::item_view(a, batch);
-            const auto b_view = b.item_span(batch, xpu::mem_space::constant);
+            const auto a_view = blas::item_view(*a_ptr, batch);
+            const auto b_view =
+                b_ptr->item_span(batch, xpu::mem_space::constant);
             auto x_global = x_out->item_span(batch);
 
-            const auto pc = precond.generate(g, a_view, pc_work);
+            const auto pc = precond_ptr->generate(g, a_view, pc_work);
 
             // x_loc starts from the caller's initial guess (paper §1: the
             // initial-guess capability is the point of iterative solvers).
@@ -88,8 +95,8 @@ void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
                 blas::axpy<T>(g, -alpha, t, r);
                 res_norm = blas::nrm2<T>(g, r, config.reduction);
                 ++iter;
-                logger.record_iteration(batch, iter - 1,
-                                        static_cast<double>(res_norm));
+                logger_ptr->record_iteration(batch, iter - 1,
+                                             static_cast<double>(res_norm));
                 if (!is_finite(res_norm)) {
                     status = log::solve_status::non_finite;
                     break;
@@ -110,9 +117,22 @@ void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
             }
 
             blas::copy<T>(g, x_loc, x_global);
-            record_outcome(g, logger, batch, iter, res_norm, status);
+            record_outcome(g, *logger_ptr, batch, iter, res_norm, status);
         },
         range.begin, "batch_cg");
+}
+
+template <typename T, typename MatBatch, typename Precond>
+void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
+            const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+            const stop::criterion& crit, const slm_plan& plan,
+            const kernel_config& config, log::batch_log& logger,
+            xpu::batch_range range)
+{
+    const bound_plan slots(plan);  // resolved once, host side (§3.5)
+    spill_buffer<T> spill(q, plan, range.size());
+    run_cg_bound(q, a, precond, b, x, crit, slots, config, spill.view(),
+                 logger, range);
 }
 
 }  // namespace batchlin::solver

@@ -19,24 +19,30 @@
 namespace batchlin::solver {
 
 template <typename T, typename MatBatch, typename Precond>
-void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
-               const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
-               const stop::criterion& crit, const slm_plan& plan,
-               const kernel_config& config, index_type restart,
-               log::batch_log& logger, xpu::batch_range range)
+void run_gmres_bound(xpu::queue& q, const MatBatch& a,
+                     const Precond& precond, const mat::batch_dense<T>& b,
+                     mat::batch_dense<T>& x, const stop::criterion& crit,
+                     const bound_plan& slots, const kernel_config& config,
+                     spill_view<T> spill, index_type restart,
+                     log::batch_log& logger, xpu::batch_range range)
 {
     const index_type rows = a.rows();
     const index_type m = restart;
-    const bound_plan slots(plan);  // resolved once, host side (§3.5)
-    spill_buffer<T> spill(q, plan, range.size());
-    mat::batch_dense<T>* x_out = &x;
+    // Recordable closure: operands enter by address of caller-owned
+    // storage, configuration structs by value (see run_decl.hpp).
+    const MatBatch* const a_ptr = &a;
+    const Precond* const precond_ptr = &precond;
+    const mat::batch_dense<T>* const b_ptr = &b;
+    mat::batch_dense<T>* const x_out = &x;
+    const bound_plan* const slots_ptr = &slots;
+    log::batch_log* const logger_ptr = &logger;
 
     q.run_batch(
         range.size(), config.work_group_size, config.sub_group_size,
-        [&](xpu::group& g) {
+        [=](xpu::group& g) {
             const index_type batch = g.id();
             const index_type local = batch - range.begin;
-            workspace_binder<T> bind(g, slots, spill.for_group(local));
+            workspace_binder<T> bind(g, *slots_ptr, spill.for_group(local));
             // Plan order: w, hessenberg, givens, basis, x, y, precond.
             xpu::dspan<T> w = bind.take("w");
             xpu::dspan<T> hess = bind.take("hessenberg");  // (m+1) x m
@@ -58,11 +64,12 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
                 return basis.subspan(j * rows, rows);
             };
 
-            const auto a_view = blas::item_view(a, batch);
-            const auto b_view = b.item_span(batch, xpu::mem_space::constant);
+            const auto a_view = blas::item_view(*a_ptr, batch);
+            const auto b_view =
+                b_ptr->item_span(batch, xpu::mem_space::constant);
             auto x_global = x_out->item_span(batch);
 
-            const auto pc = precond.generate(g, a_view, pc_work);
+            const auto pc = precond_ptr->generate(g, a_view, pc_work);
 
             blas::copy<T>(g, x_global, x_loc);
             // Preconditioned rhs norm for the relative criterion: the
@@ -159,8 +166,8 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
 
                     ++iter;
                     res_norm = std::abs(gvec[j + 1]);
-                    logger.record_iteration(batch, iter - 1,
-                                            static_cast<double>(res_norm));
+                    logger_ptr->record_iteration(
+                        batch, iter - 1, static_cast<double>(res_norm));
                     if (!is_finite(res_norm)) {
                         status = log::solve_status::non_finite;
                         break;
@@ -195,9 +202,22 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
             }
 
             blas::copy<T>(g, x_loc, x_global);
-            record_outcome(g, logger, batch, iter, res_norm, status);
+            record_outcome(g, *logger_ptr, batch, iter, res_norm, status);
         },
         range.begin, "batch_gmres");
+}
+
+template <typename T, typename MatBatch, typename Precond>
+void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
+               const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+               const stop::criterion& crit, const slm_plan& plan,
+               const kernel_config& config, index_type restart,
+               log::batch_log& logger, xpu::batch_range range)
+{
+    const bound_plan slots(plan);  // resolved once, host side (§3.5)
+    spill_buffer<T> spill(q, plan, range.size());
+    run_gmres_bound(q, a, precond, b, x, crit, slots, config, spill.view(),
+                    restart, logger, range);
 }
 
 }  // namespace batchlin::solver

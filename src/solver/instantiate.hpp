@@ -36,12 +36,26 @@
         const stop::criterion&, const slm_plan&, const kernel_config&,      \
         log::batch_log&, xpu::batch_range);
 
+#define BATCHLIN_INSTANTIATE_CG_BOUND(T, MatBatch, Precond)                 \
+    template void run_cg_bound<T, MatBatch, Precond>(                       \
+        xpu::queue&, const MatBatch&, const Precond&,                       \
+        const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
+        const stop::criterion&, const bound_plan&, const kernel_config&,    \
+        spill_view<T>, log::batch_log&, xpu::batch_range);
+
 #define BATCHLIN_INSTANTIATE_BICGSTAB(T, MatBatch, Precond)                 \
     template void run_bicgstab<T, MatBatch, Precond>(                       \
         xpu::queue&, const MatBatch&, const Precond&,                       \
         const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
         const stop::criterion&, const slm_plan&, const kernel_config&,      \
         log::batch_log&, xpu::batch_range);
+
+#define BATCHLIN_INSTANTIATE_BICGSTAB_BOUND(T, MatBatch, Precond)           \
+    template void run_bicgstab_bound<T, MatBatch, Precond>(                 \
+        xpu::queue&, const MatBatch&, const Precond&,                       \
+        const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
+        const stop::criterion&, const bound_plan&, const kernel_config&,    \
+        spill_view<T>, log::batch_log&, xpu::batch_range);
 
 #define BATCHLIN_INSTANTIATE_RICHARDSON(T, MatBatch, Precond)              \
     template void run_richardson<T, MatBatch, Precond>(                    \
@@ -50,9 +64,23 @@
         const stop::criterion&, const slm_plan&, const kernel_config&, T,  \
         log::batch_log&, xpu::batch_range);
 
+#define BATCHLIN_INSTANTIATE_RICHARDSON_BOUND(T, MatBatch, Precond)        \
+    template void run_richardson_bound<T, MatBatch, Precond>(              \
+        xpu::queue&, const MatBatch&, const Precond&,                      \
+        const mat::batch_dense<T>&, mat::batch_dense<T>&,                  \
+        const stop::criterion&, const bound_plan&, const kernel_config&,   \
+        spill_view<T>, T, log::batch_log&, xpu::batch_range);
+
 #define BATCHLIN_INSTANTIATE_GMRES(T, MatBatch, Precond)                    \
     template void run_gmres<T, MatBatch, Precond>(                          \
         xpu::queue&, const MatBatch&, const Precond&,                       \
         const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
         const stop::criterion&, const slm_plan&, const kernel_config&,      \
         index_type, log::batch_log&, xpu::batch_range);
+
+#define BATCHLIN_INSTANTIATE_GMRES_BOUND(T, MatBatch, Precond)              \
+    template void run_gmres_bound<T, MatBatch, Precond>(                    \
+        xpu::queue&, const MatBatch&, const Precond&,                       \
+        const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
+        const stop::criterion&, const bound_plan&, const kernel_config&,    \
+        spill_view<T>, index_type, log::batch_log&, xpu::batch_range);

@@ -103,6 +103,21 @@ private:
     index_type next_ = 0;
 };
 
+/// Non-owning view of a launch's spilled-workspace backing. This is what
+/// the recordable kernels capture by value: two words, no lifetime of its
+/// own, valid as long as the backing it points into (the queue's scratch
+/// pool for eager launches, a `recorded_solve`'s owned buffer for graphs).
+template <typename T>
+struct spill_view {
+    T* data = nullptr;
+    size_type per_group = 0;
+
+    T* for_group(index_type local_group) const
+    {
+        return data + static_cast<size_type>(local_group) * per_group;
+    }
+};
+
 /// Spilled-workspace backing of one launch: a contiguous slice of
 /// `plan.global_elems_per_group` per work-group, carved from the queue's
 /// scratch pool so repeated solves reuse one allocation. By default the
@@ -123,6 +138,8 @@ struct spill_buffer {
     {
         return data + static_cast<size_type>(local_group) * per_group;
     }
+
+    spill_view<T> view() const { return {data, per_group}; }
 
     size_type per_group;
     T* data;

@@ -1,0 +1,314 @@
+#include "solver/record.hpp"
+
+#include <algorithm>
+#include <variant>
+
+#include "solver/instantiate.hpp"
+#include "solver/run_decl.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace batchlin::solver {
+
+// The bound kernels are explicitly instantiated in the per-solver
+// translation units; declare those instantiations here (same scheme as
+// dispatch.cpp) so this file stays cheap to compile.
+#define BATCHLIN_EXTERN_CG_BOUND(T, MatBatch, Precond) \
+    extern BATCHLIN_INSTANTIATE_CG_BOUND(T, MatBatch, Precond)
+#define BATCHLIN_EXTERN_BICGSTAB_BOUND(T, MatBatch, Precond) \
+    extern BATCHLIN_INSTANTIATE_BICGSTAB_BOUND(T, MatBatch, Precond)
+#define BATCHLIN_EXTERN_GMRES_BOUND(T, MatBatch, Precond) \
+    extern BATCHLIN_INSTANTIATE_GMRES_BOUND(T, MatBatch, Precond)
+#define BATCHLIN_EXTERN_RICHARDSON_BOUND(T, MatBatch, Precond) \
+    extern BATCHLIN_INSTANTIATE_RICHARDSON_BOUND(T, MatBatch, Precond)
+
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_CG_BOUND, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_CG_BOUND, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_BICGSTAB_BOUND, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_BICGSTAB_BOUND, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_GMRES_BOUND, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_GMRES_BOUND, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_RICHARDSON_BOUND, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_RICHARDSON_BOUND, double)
+
+namespace {
+
+/// nnz used for preconditioner-workspace sizing, per format (mirrors
+/// dispatch.cpp).
+template <typename T>
+index_type pattern_nnz(const batch_matrix<T>& a)
+{
+    if (const auto* csr = std::get_if<mat::batch_csr<T>>(&a)) {
+        return csr->nnz();
+    }
+    if (const auto* ell = std::get_if<mat::batch_ell<T>>(&a)) {
+        return ell->rows() * ell->ell_width();
+    }
+    const auto& dense = std::get<mat::batch_dense<T>>(a);
+    return static_cast<index_type>(dense.item_size());
+}
+
+template <typename T>
+size_type precond_workspace(precond::type p, index_type rows,
+                            index_type nnz, index_type block_size)
+{
+    switch (p) {
+    case precond::type::none:
+        return precond::identity<T>::workspace_elems(rows, nnz);
+    case precond::type::jacobi:
+        return precond::jacobi<T>::workspace_elems(rows, nnz);
+    case precond::type::ilu:
+        return precond::ilu0<T>::workspace_elems(rows, nnz);
+    case precond::type::isai:
+        return precond::isai<T>::workspace_elems(rows, nnz);
+    case precond::type::block_jacobi:
+        return precond::block_jacobi<T>::workspace_elems(rows, nnz,
+                                                         block_size);
+    }
+    return 0;
+}
+
+}  // namespace
+
+template <typename T>
+recorded_solve<T>::recorded_solve(batch_matrix<T> a, mat::batch_dense<T> b,
+                                  mat::batch_dense<T> x,
+                                  const solve_options& opts, slm_plan plan,
+                                  kernel_config config,
+                                  index_type total_items)
+    : a_(std::move(a)),
+      b_(std::move(b)),
+      x_(std::move(x)),
+      opts_(opts),
+      plan_(std::move(plan)),
+      slots_(plan_),
+      config_(config),
+      total_items_(total_items),
+      spill_(static_cast<std::size_t>(plan_.global_elems_per_group) *
+             static_cast<std::size_t>(total_items)),
+      log_(total_items)
+{}
+
+template <typename T>
+std::unique_ptr<recorded_solve<T>> recorded_solve<T>::record(
+    xpu::queue& q, const std::vector<assembly_part<T>>& parts,
+    const solve_options& opts)
+{
+    opts.criterion.validate();
+    BATCHLIN_ENSURE_MSG(!opts.record_history,
+                        "per-iteration history is not supported for "
+                        "recorded solves");
+    BATCHLIN_ENSURE_MSG(opts.solver != solver_type::trsv,
+                        "BatchTrsv cannot be graph-recorded; use the "
+                        "direct launch path");
+    const index_type total_items = detail::validate_assembly(parts);
+    const index_type rows =
+        std::visit([](const auto& m) { return m.rows(); },
+                   *parts.front().a);
+
+    // Resolve plan + launch config exactly as solve_range does, so a
+    // replay is bit-identical to the eager solve of the same batch.
+    batch_matrix<T> a = detail::gather_matrix(parts, total_items);
+    const index_type nnz = pattern_nnz(a);
+    const xpu::reduce_path* reduction_override =
+        opts.reduction ? &*opts.reduction : nullptr;
+    const kernel_config config = choose_launch_config(
+        q.policy(), rows, opts.sub_group_size, reduction_override);
+    const size_type pc_elems = precond_workspace<T>(
+        opts.preconditioner, rows, nnz, opts.block_jacobi_size);
+    slm_plan plan = plan_workspace(opts.solver, rows, nnz, pc_elems,
+                                   q.policy().slm_bytes_per_group,
+                                   sizeof(T), opts.gmres_restart, opts.slm);
+    plan.zero_spill = opts.zero_spill;
+
+    mat::batch_dense<T> b(total_items, rows, 1);
+    mat::batch_dense<T> x(total_items, rows, 1);
+    auto b_out = b.values().begin();
+    auto x_out = x.values().begin();
+    for (const assembly_part<T>& part : parts) {
+        b_out = std::copy(part.b->values().begin(), part.b->values().end(),
+                          b_out);
+        x_out = std::copy(part.x->values().begin(), part.x->values().end(),
+                          x_out);
+    }
+
+    std::unique_ptr<recorded_solve> rs(
+        new recorded_solve(std::move(a), std::move(b), std::move(x), opts,
+                           std::move(plan), config, total_items));
+
+    const xpu::batch_range range{0, total_items};
+    const spill_view<T> spill{rs->spill_.data(),
+                              rs->plan_.global_elems_per_group};
+
+    // Level 3 of the record dispatch: the solver axis. Captures in the
+    // recorded closure point into rs-owned storage only.
+    auto record_solver = [&](auto& concrete, auto pc_owned) {
+        auto& pc = *pc_owned;
+        switch (opts.solver) {
+        case solver_type::cg:
+            run_cg_bound(q, concrete, pc, rs->b_, rs->x_, opts.criterion,
+                         rs->slots_, rs->config_, spill, rs->log_, range);
+            break;
+        case solver_type::bicgstab:
+            run_bicgstab_bound(q, concrete, pc, rs->b_, rs->x_,
+                               opts.criterion, rs->slots_, rs->config_,
+                               spill, rs->log_, range);
+            break;
+        case solver_type::gmres:
+            run_gmres_bound(q, concrete, pc, rs->b_, rs->x_,
+                            opts.criterion, rs->slots_, rs->config_, spill,
+                            opts.gmres_restart, rs->log_, range);
+            break;
+        case solver_type::richardson:
+            run_richardson_bound(q, concrete, pc, rs->b_, rs->x_,
+                                 opts.criterion, rs->slots_, rs->config_,
+                                 spill,
+                                 static_cast<T>(opts.richardson_relaxation),
+                                 rs->log_, range);
+            break;
+        case solver_type::trsv:
+            BATCHLIN_UNSUPPORTED("BatchTrsv cannot be graph-recorded");
+        }
+        rs->precond_ = std::move(pc_owned);
+    };
+
+    // Level 2: the preconditioner axis, constructed ONCE from the owned
+    // (address-stable) combined matrix; `if constexpr` keeps the illegal
+    // Table-3 combinations from instantiating (mirrors dispatch.cpp).
+    auto record_precond = [&](auto& concrete) {
+        using MatBatch = std::decay_t<decltype(concrete)>;
+        constexpr bool is_csr =
+            std::is_same_v<MatBatch, mat::batch_csr<T>>;
+        switch (opts.preconditioner) {
+        case precond::type::none:
+            record_solver(concrete,
+                          std::make_shared<precond::identity<T>>());
+            return;
+        case precond::type::jacobi:
+            if constexpr (is_csr) {
+                record_solver(
+                    concrete,
+                    std::make_shared<precond::jacobi<T>>(concrete));
+            } else {
+                record_solver(concrete,
+                              std::make_shared<precond::jacobi<T>>());
+            }
+            return;
+        case precond::type::ilu:
+            if constexpr (is_csr) {
+                record_solver(concrete,
+                              std::make_shared<precond::ilu0<T>>(concrete));
+                return;
+            }
+            BATCHLIN_UNSUPPORTED("BatchIlu requires the BatchCsr format");
+        case precond::type::isai:
+            if constexpr (is_csr) {
+                record_solver(concrete,
+                              std::make_shared<precond::isai<T>>(concrete));
+                return;
+            }
+            BATCHLIN_UNSUPPORTED("BatchIsai requires the BatchCsr format");
+        case precond::type::block_jacobi:
+            if constexpr (is_csr) {
+                record_solver(concrete,
+                              std::make_shared<precond::block_jacobi<T>>(
+                                  concrete, opts.block_jacobi_size));
+                return;
+            }
+            BATCHLIN_UNSUPPORTED(
+                "BatchBlockJacobi requires the BatchCsr format");
+        }
+    };
+
+    xpu::command_graph recorder;
+    recorder.begin_recording(q);
+    try {
+        // Level 1: the format axis.
+        std::visit(record_precond, rs->a_);
+        recorder.end_recording();
+    } catch (...) {
+        if (recorder.recording()) {
+            recorder.end_recording();
+        }
+        throw;
+    }
+    rs->exec_ = recorder.finalize();
+    return rs;
+}
+
+template <typename T>
+bool recorded_solve<T>::compatible(
+    const std::vector<assembly_part<T>>& parts,
+    const solve_options& opts) const
+{
+    if (!exec_.valid() || !(opts == opts_) || parts.empty()) {
+        return false;
+    }
+    index_type items = 0;
+    for (const assembly_part<T>& part : parts) {
+        if (part.a == nullptr || part.b == nullptr || part.x == nullptr) {
+            return false;
+        }
+        items += part.items();
+    }
+    if (items != total_items_) {
+        return false;
+    }
+    // The caller's batcher guarantees the parts are mutually coalescible;
+    // checking the leader against the recorded pattern covers the batch.
+    return can_coalesce(a_, *parts.front().a);
+}
+
+template <typename T>
+void recorded_solve<T>::rebind(const std::vector<assembly_part<T>>& parts)
+{
+    std::visit(
+        [&](auto& combined) {
+            using MatBatch = std::decay_t<decltype(combined)>;
+            auto out = combined.values().begin();
+            for (const assembly_part<T>& part : parts) {
+                const auto& values =
+                    std::get<MatBatch>(*part.a).values();
+                out = std::copy(values.begin(), values.end(), out);
+            }
+        },
+        a_);
+    auto b_out = b_.values().begin();
+    auto x_out = x_.values().begin();
+    for (const assembly_part<T>& part : parts) {
+        b_out = std::copy(part.b->values().begin(), part.b->values().end(),
+                          b_out);
+        x_out = std::copy(part.x->values().begin(), part.x->values().end(),
+                          x_out);
+    }
+    ++rebinds_;
+}
+
+template <typename T>
+double recorded_solve<T>::replay(xpu::queue& q, xpu::submit_cost cost)
+{
+    if (plan_.zero_spill && !spill_.empty()) {
+        // Match the eager path's per-launch zero fill bit-for-bit.
+        std::fill(spill_.begin(), spill_.end(), T{});
+    }
+    wall_timer timer;
+    exec_.replay(q, cost);
+    return timer.seconds();
+}
+
+template <typename T>
+void recorded_solve<T>::scatter(
+    const std::vector<assembly_part<T>>& parts) const
+{
+    auto x_in = x_.values().begin();
+    for (const assembly_part<T>& part : parts) {
+        std::copy_n(x_in, part.x->values().size(),
+                    part.x->values().begin());
+        x_in += static_cast<std::ptrdiff_t>(part.x->values().size());
+    }
+}
+
+template class recorded_solve<float>;
+template class recorded_solve<double>;
+
+}  // namespace batchlin::solver

@@ -4,5 +4,6 @@
 namespace batchlin::solver {
 
 BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_RICHARDSON, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_RICHARDSON_BOUND, float)
 
 }  // namespace batchlin::solver

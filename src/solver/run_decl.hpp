@@ -8,12 +8,24 @@
 
 #include "log/logger.hpp"
 #include "matrix/batch_dense.hpp"
+#include "solver/kernel_common.hpp"
 #include "solver/launch.hpp"
 #include "solver/workspace.hpp"
 #include "stop/criterion.hpp"
 #include "xpu/queue.hpp"
 
 namespace batchlin::solver {
+
+// The `run_X` entry points below resolve the workspace plan, acquire the
+// spill backing from the queue, and launch. Their `run_X_bound` siblings
+// take the already-bound resources (`bound_plan` + `spill_view`) instead:
+// their kernel closures capture every operand by value (raw pointers into
+// caller-owned storage, small structs copied), never by reference to stack
+// locals — which makes the submission recordable into an `xpu::graph` and
+// replayable long after the recording call returned. The caller owns the
+// lifetime of a, precond, b, x, crit, slots, spill backing, and logger for
+// as long as a recorded graph may replay. Eager callers (the `run_X`
+// wrappers) satisfy that trivially.
 
 /// Preconditioned conjugate gradients (Algorithm 1 of the paper) for the
 /// batch entries in `range`; one fused kernel launch.
@@ -24,6 +36,14 @@ void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
             const kernel_config& config, log::batch_log& logger,
             xpu::batch_range range);
 
+/// Recordable CG: bound resources, value-captured kernel closure.
+template <typename T, typename MatBatch, typename Precond>
+void run_cg_bound(xpu::queue& q, const MatBatch& a, const Precond& precond,
+                  const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
+                  const stop::criterion& crit, const bound_plan& slots,
+                  const kernel_config& config, spill_view<T> spill,
+                  log::batch_log& logger, xpu::batch_range range);
+
 /// Preconditioned BiCGSTAB — the solver used for the non-SPD PeleLM inputs.
 template <typename T, typename MatBatch, typename Precond>
 void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
@@ -31,6 +51,15 @@ void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
                   const stop::criterion& crit, const slm_plan& plan,
                   const kernel_config& config, log::batch_log& logger,
                   xpu::batch_range range);
+
+/// Recordable BiCGSTAB: bound resources, value-captured kernel closure.
+template <typename T, typename MatBatch, typename Precond>
+void run_bicgstab_bound(xpu::queue& q, const MatBatch& a,
+                        const Precond& precond, const mat::batch_dense<T>& b,
+                        mat::batch_dense<T>& x, const stop::criterion& crit,
+                        const bound_plan& slots, const kernel_config& config,
+                        spill_view<T> spill, log::batch_log& logger,
+                        xpu::batch_range range);
 
 /// Preconditioned Richardson iteration x += relaxation * M(b - A x)
 /// (library extension; the baseline/smoother of the solver hierarchy).
@@ -42,6 +71,17 @@ void run_richardson(xpu::queue& q, const MatBatch& a,
                     T relaxation, log::batch_log& logger,
                     xpu::batch_range range);
 
+/// Recordable Richardson: bound resources, value-captured kernel closure.
+template <typename T, typename MatBatch, typename Precond>
+void run_richardson_bound(xpu::queue& q, const MatBatch& a,
+                          const Precond& precond,
+                          const mat::batch_dense<T>& b,
+                          mat::batch_dense<T>& x, const stop::criterion& crit,
+                          const bound_plan& slots,
+                          const kernel_config& config, spill_view<T> spill,
+                          T relaxation, log::batch_log& logger,
+                          xpu::batch_range range);
+
 /// Restarted GMRES(m) with left preconditioning; `restart` == m.
 template <typename T, typename MatBatch, typename Precond>
 void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
@@ -49,5 +89,14 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
                const stop::criterion& crit, const slm_plan& plan,
                const kernel_config& config, index_type restart,
                log::batch_log& logger, xpu::batch_range range);
+
+/// Recordable GMRES(m): bound resources, value-captured kernel closure.
+template <typename T, typename MatBatch, typename Precond>
+void run_gmres_bound(xpu::queue& q, const MatBatch& a,
+                     const Precond& precond, const mat::batch_dense<T>& b,
+                     mat::batch_dense<T>& x, const stop::criterion& crit,
+                     const bound_plan& slots, const kernel_config& config,
+                     spill_view<T> spill, index_type restart,
+                     log::batch_log& logger, xpu::batch_range range);
 
 }  // namespace batchlin::solver

@@ -54,6 +54,21 @@ enum class lane_order {
     shuffled,
 };
 
+/// How solver launches reach the device queue.
+enum class launch_mode {
+    /// Submit every launch eagerly — the classic per-batch `run_batch`.
+    direct,
+    /// Record the bound solver launch into an `xpu::command_graph` once,
+    /// then replay the finalized graph per batch (SYCL
+    /// `khr::command_graph`), paying `emulated_replay_us` instead of the
+    /// full `emulated_launch_us` per submission.
+    graph_replay,
+    /// Persistent-kernel serving: the worker's solver loop stays resident
+    /// and consumes coalesced batches from a lock-free ring buffer, so a
+    /// steady-state submission costs no host launch at all.
+    persistent,
+};
+
 /// Reduction strategy inside a work-group (paper §3.2 and §3.6).
 enum class reduce_path {
     /// Whole-work-group reduction via the SYCL group primitive (SLM based).
@@ -92,6 +107,19 @@ struct exec_policy {
     /// per-launch cost that batching amortizes (§3.4). Zero (the default)
     /// disables emulation; figure benches and tests run with zero.
     double emulated_launch_us = 0.0;
+    /// Wall-clock cost charged to replaying a finalized command graph.
+    /// Replay skips the runtime's argument marshalling and JIT checks, so
+    /// it is far below `emulated_launch_us` (~1 us on PVC vs. 8 us for an
+    /// eager submit). Zero (the default) disables emulation.
+    double emulated_replay_us = 0.0;
+    /// One-time wall-clock cost of recording + finalizing a command graph
+    /// (charged once per `command_graph::finalize`, not per replay).
+    double emulated_record_us = 0.0;
+    /// How solver launches reach the device queue (see `launch_mode`).
+    /// `direct` is always available; `graph_replay` and `persistent` are
+    /// honored by layers that know how to record a solve (serve::, the
+    /// coalesced solve path) and fall back to `direct` elsewhere.
+    batchlin::xpu::launch_mode launch_mode = batchlin::xpu::launch_mode::direct;
     /// Sanitizer level kernels launched through this policy run at. Any
     /// value other than `none` requires a BATCHLIN_XPU_CHECK=ON build;
     /// unchecked builds reject it at launch instead of silently ignoring it.
@@ -123,5 +151,11 @@ std::string to_string(prog_model model);
 std::string to_string(reduce_path path);
 std::string to_string(check_level level);
 std::string to_string(lane_order order);
+std::string to_string(launch_mode mode);
+
+/// Parses "direct" / "graph_replay" / "persistent" (as printed by
+/// `to_string(launch_mode)`); throws on anything else. Used by the
+/// BATCHLIN_LAUNCH_MODE environment override and the CLI flag.
+launch_mode parse_launch_mode(const std::string& name);
 
 }  // namespace batchlin::xpu

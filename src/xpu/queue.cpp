@@ -36,6 +36,17 @@ std::byte* scratch_pool::acquire(size_type bytes, bool zeroed)
     return storage_.data();
 }
 
+void queue::run_recorded(const graph_node& node, double emulated_us)
+{
+    BATCHLIN_ENSURE_MSG(static_cast<bool>(node.body),
+                        "replay of an empty graph node");
+    BATCHLIN_ENSURE_MSG(recorder_ == nullptr,
+                        "cannot replay a graph while recording");
+    run_batch_impl(node.num_groups, node.work_group_size,
+                   node.sub_group_size, node.body, node.first_group,
+                   node.kernel_label, emulated_us);
+}
+
 std::vector<launch_record> queue::launch_history() const
 {
     std::vector<launch_record> ordered;

@@ -28,6 +28,7 @@
 #include "util/math.hpp"
 #include "xpu/arena.hpp"
 #include "xpu/counters.hpp"
+#include "xpu/graph.hpp"
 #include "xpu/group.hpp"
 #include "xpu/policy.hpp"
 
@@ -133,6 +134,51 @@ public:
         (void)kernel_label;
 #endif
 
+        if (recorder_ != nullptr) {
+            // Recording: capture the validated launch as a graph node.
+            // Nothing executes, the launch counter does not advance, and
+            // no fault fires — the submission happens at replay time.
+            recorder_->add(graph_node{
+                num_groups, work_group_size, sub_group_size, first_group,
+                kernel_label,
+                std::function<void(group&)>(std::forward<KernelBody>(body))});
+            return;
+        }
+
+        run_batch_impl(num_groups, work_group_size, sub_group_size,
+                       std::forward<KernelBody>(body), first_group,
+                       kernel_label, policy_.emulated_launch_us);
+    }
+
+    /// Executes one recorded node, charging `emulated_us` of host launch
+    /// cost instead of the policy's eager cost. Replays go through the
+    /// same fault dispatch and launch counter as eager submissions.
+    void run_recorded(const graph_node& node, double emulated_us);
+
+    /// Charges `us` microseconds of host-side cost (busy-wait, like the
+    /// emulated launch overhead). Used for one-time graph record cost.
+    static void charge_host_cost(double us)
+    {
+        if (us > 0.0) {
+            emulate_launch_cost(us);
+        }
+    }
+
+    /// True while a `command_graph` is recording this queue's submissions.
+    bool recording() const { return recorder_ != nullptr; }
+
+private:
+    /// The eager launch path shared by `run_batch` and graph replay:
+    /// fault dispatch, counter advance, group execution, statistics.
+    template <typename KernelBody>
+    void run_batch_impl(index_type num_groups, index_type work_group_size,
+                        index_type sub_group_size, KernelBody&& body,
+                        index_type first_group, const char* kernel_label,
+                        double emulated_us)
+    {
+#ifndef BATCHLIN_XPU_CHECK
+        (void)kernel_label;
+#endif
         // Fault dispatch: the launch counter keys scheduled events, so it
         // advances for every submission — including the ones that fail.
         // An empty plan costs exactly this one branch.
@@ -214,7 +260,8 @@ public:
             }
             launch_stats += local;
             finish_launch(launch_stats, arena.high_water(), start_seconds,
-                          num_groups, work_group_size, sub_group_size);
+                          num_groups, work_group_size, sub_group_size,
+                          emulated_us);
             return;
         }
 
@@ -282,9 +329,11 @@ public:
             launch_stats += thread_stats_[t];
         }
         finish_launch(launch_stats, slm_high_water, start_seconds,
-                      num_groups, work_group_size, sub_group_size);
+                      num_groups, work_group_size, sub_group_size,
+                      emulated_us);
     }
 
+public:
     /// Statistics of the most recent launch only.
     const counters& last_launch_stats() const { return last_launch_; }
 
@@ -365,10 +414,10 @@ private:
     void finish_launch(counters& launch_stats, size_type slm_high_water,
                        double start_seconds, index_type num_groups,
                        index_type work_group_size,
-                       index_type sub_group_size)
+                       index_type sub_group_size, double emulated_us)
     {
-        if (policy_.emulated_launch_us > 0.0) {
-            emulate_launch_cost(policy_.emulated_launch_us);
+        if (emulated_us > 0.0) {
+            emulate_launch_cost(emulated_us);
         }
         launch_stats.slm_footprint_bytes = slm_high_water;
         stats_ += launch_stats;
@@ -402,7 +451,10 @@ private:
     }
 #endif
 
+    friend class command_graph;
+
     exec_policy policy_;
+    command_graph* recorder_ = nullptr;
     counters stats_;
     counters last_launch_;
     bool profiling_ = false;

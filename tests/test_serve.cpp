@@ -4,13 +4,17 @@
 // coalescing behavior, drain/stop semantics, and statistics.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "batchlin/batchlin.hpp"
+#include "serve/ring.hpp"
 
 namespace bl = batchlin;
 namespace mat = batchlin::mat;
@@ -40,6 +44,14 @@ solver::solve_options bicgstab_opts()
     opts.preconditioner = bl::precond::type::none;
     opts.criterion = stop::relative(1e-7, 120);
     return opts;
+}
+
+/// True when BATCHLIN_LAUNCH_MODE sweeps the suite into persistent mode,
+/// which has no batching windows: tests asserting window semantics skip.
+bool persistent_mode_env()
+{
+    const char* env = std::getenv("BATCHLIN_LAUNCH_MODE");
+    return env != nullptr && std::string(env) == "persistent";
 }
 
 template <typename T>
@@ -241,10 +253,14 @@ TEST(Serve, FloatRequestsAreServedAndKeptApartFromDouble)
 
 TEST(Serve, CompatibleRequestsCoalesceIntoOneLaunch)
 {
+    if (persistent_mode_env()) {
+        GTEST_SKIP() << "persistent mode has no batching windows";
+    }
     serve::service_config cfg;
     cfg.workers = 1;
     cfg.max_batch = 16;
     cfg.max_wait = milliseconds(500);  // generous window: all 5 must fuse
+    cfg.idle_flush = microseconds(0);  // hold the window even when idle
     serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
 
     std::vector<serve::solve_service::ticket<double>> tickets;
@@ -276,6 +292,7 @@ TEST(Serve, ExpiredRequestsAreNeverSolved)
     serve::service_config cfg;
     cfg.workers = 1;
     cfg.max_wait = milliseconds(100);
+    cfg.idle_flush = microseconds(0);  // the leader must hold its window
     serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
 
     // A leader with a long window delays the doomed request past its
@@ -532,6 +549,7 @@ TEST(ServeResilience, ExhaustedRetriesDegradeToSoloSolves)
     // max_batch 2 cuts the window short the moment both requests are in.
     cfg.max_batch = 2;
     cfg.max_wait = milliseconds(500);
+    cfg.idle_flush = microseconds(0);  // both requests must fuse
     cfg.launch_retries = 2;
     cfg.retry_backoff = microseconds(1);
     // Launches 0..2 (the fused attempt and both retries) fail; the solo
@@ -640,4 +658,314 @@ TEST(ServeResilience, FaultStormTripsTheBreakerAndSuspendsCoalescing)
     EXPECT_EQ(r2.fused_systems, 1);
     service.drain();
     EXPECT_EQ(service.stats().breaker_trips, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Launch modes: graph_replay and persistent must be bit-identical to the
+// direct path, recordings must be reused via rebind() across batches, a
+// faulted replay must re-record (never replay a poisoned graph), and the
+// persistent ring must behave as a bounded lock-free MPMC queue.
+// ---------------------------------------------------------------------
+
+namespace {
+
+solver::solve_options gmres_opts()
+{
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::gmres;
+    opts.preconditioner = bl::precond::type::jacobi;
+    opts.criterion = stop::relative(1e-8, 200);
+    opts.gmres_restart = 20;
+    return opts;
+}
+
+solver::solve_options richardson_opts()
+{
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::richardson;
+    opts.preconditioner = bl::precond::type::jacobi;
+    opts.richardson_relaxation = 1.0;
+    opts.criterion = stop::relative(1e-8, 500);
+    return opts;
+}
+
+bl::xpu::exec_policy mode_policy(bl::xpu::launch_mode mode)
+{
+    bl::xpu::exec_policy policy = bl::xpu::make_sycl_policy();
+    policy.launch_mode = mode;
+    return policy;
+}
+
+}  // namespace
+
+TEST(Serve, LaunchModesBitIdenticalToDirectAcrossSolvers)
+{
+    const std::vector<solver::solve_options> all_opts{
+        cg_opts(), bicgstab_opts(), gmres_opts(), richardson_opts()};
+    const std::vector<bl::xpu::launch_mode> modes{
+        bl::xpu::launch_mode::direct, bl::xpu::launch_mode::graph_replay,
+        bl::xpu::launch_mode::persistent};
+
+    for (std::size_t oi = 0; oi < all_opts.size(); ++oi) {
+        const solver::solve_options& opts = all_opts[oi];
+        const std::uint64_t seed = 500 + 10 * oi;
+        std::vector<std::vector<double>> mode_x;
+        std::vector<std::vector<index_type>> mode_iters;
+        std::vector<std::vector<double>> mode_res;
+        for (const bl::xpu::launch_mode mode : modes) {
+            serve::service_config cfg;
+            cfg.workers = 1;
+            cfg.max_batch = 8;
+            cfg.max_wait = milliseconds(5);
+            serve::solve_service service(mode_policy(mode), cfg);
+            std::vector<serve::solve_service::ticket<double>> tickets;
+            for (int r = 0; r < 3; ++r) {
+                tickets.push_back(service.submit(make_request(
+                    work::stencil_3pt<double>(2, 24, seed), opts,
+                    seed + 100 + static_cast<std::uint64_t>(r))));
+            }
+            std::vector<double> xs;
+            std::vector<index_type> iters;
+            std::vector<double> res;
+            for (auto& t : tickets) {
+                const serve::solve_reply<double> reply = t.get();
+                ASSERT_EQ(reply.status, serve::request_status::ok)
+                    << reply.error;
+                xs.insert(xs.end(), reply.x.values().begin(),
+                          reply.x.values().end());
+                const auto ri = reply.log.all_iterations();
+                iters.insert(iters.end(), ri.begin(), ri.end());
+                const auto rr = reply.log.all_residual_norms();
+                res.insert(res.end(), rr.begin(), rr.end());
+            }
+            mode_x.push_back(std::move(xs));
+            mode_iters.push_back(std::move(iters));
+            mode_res.push_back(std::move(res));
+        }
+        for (std::size_t m = 1; m < modes.size(); ++m) {
+            EXPECT_EQ(mode_x[m], mode_x[0])
+                << "solver " << oi << " mode " << m;
+            EXPECT_EQ(mode_iters[m], mode_iters[0])
+                << "solver " << oi << " mode " << m;
+            EXPECT_EQ(mode_res[m], mode_res[0])
+                << "solver " << oi << " mode " << m;
+        }
+    }
+}
+
+TEST(Serve, GraphReplayReusesRecordingAcrossRebinds)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 4;
+    cfg.max_wait = microseconds(0);
+    serve::solve_service service(
+        mode_policy(bl::xpu::launch_mode::graph_replay), cfg);
+
+    for (int round = 0; round < 6; ++round) {
+        const std::uint64_t rhs_seed =
+            700 + static_cast<std::uint64_t>(round);
+        auto ticket = service.submit(make_request(
+            work::stencil_3pt<double>(2, 20, 131), cg_opts(), rhs_seed));
+        const serve::solve_reply<double> reply = ticket.get();
+        ASSERT_EQ(reply.status, serve::request_status::ok) << reply.error;
+        // Bit-identical to a direct solo solve of the same batch: the
+        // recording was rebound to this round's values, not re-recorded.
+        const solver::batch_matrix<double> a =
+            work::stencil_3pt<double>(2, 20, 131);
+        const auto b = work::random_rhs<double>(2, 20, rhs_seed);
+        mat::batch_dense<double> x(2, 20, 1);
+        bl::xpu::queue q(bl::xpu::make_sycl_policy());
+        solver::solve(q, a, b, x, cg_opts());
+        EXPECT_EQ(reply.x.values(), x.values()) << "round " << round;
+    }
+    service.drain();
+    const serve::service_stats s = service.stats();
+    EXPECT_EQ(s.launches_recorded, 1u);
+    EXPECT_EQ(s.replays, 6u);
+    EXPECT_EQ(s.rebind_only, 5u);
+    EXPECT_EQ(s.batches_launched, 6u);
+}
+
+TEST(Serve, PersistentModeServesThroughTheRing)
+{
+    serve::service_config cfg;
+    cfg.workers = 2;
+    cfg.max_batch = 8;
+    serve::solve_service service(
+        mode_policy(bl::xpu::launch_mode::persistent), cfg);
+
+    std::vector<serve::solve_service::ticket<double>> tickets;
+    for (int i = 0; i < 24; ++i) {
+        tickets.push_back(service.submit(make_request(
+            work::stencil_3pt<double>(1, 16, 151), cg_opts(),
+            900 + static_cast<std::uint64_t>(i))));
+    }
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        const serve::solve_reply<double> reply = tickets[i].get();
+        ASSERT_EQ(reply.status, serve::request_status::ok) << reply.error;
+        const solver::batch_matrix<double> a =
+            work::stencil_3pt<double>(1, 16, 151);
+        const auto b = work::random_rhs<double>(
+            1, 16, 900 + static_cast<std::uint64_t>(i));
+        mat::batch_dense<double> x(1, 16, 1);
+        bl::xpu::queue q(bl::xpu::make_sycl_policy());
+        solver::solve(q, a, b, x, cg_opts());
+        EXPECT_EQ(reply.x.values(), x.values()) << "request " << i;
+    }
+    service.drain();
+    const serve::service_stats s = service.stats();
+    EXPECT_EQ(s.completed_requests, 24u);
+    EXPECT_EQ(s.queue_depth_requests, 0u);
+    EXPECT_EQ(s.queue_depth_systems, 0u);
+    EXPECT_GT(s.launches_recorded, 0u);
+    // Every fused launch of the resident loop is a graph submission.
+    EXPECT_EQ(s.replays, s.batches_launched);
+    service.stop();
+    // Late submits are rejected, exactly like the locked admission path.
+    auto late = service.submit(make_request(
+        work::stencil_3pt<double>(1, 16, 151), cg_opts(), 999));
+    EXPECT_EQ(late.get().status, serve::request_status::rejected);
+}
+
+TEST(Serve, IdleFlushLaunchesLoneRequestEarly)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 64;
+    cfg.max_wait = milliseconds(2000);
+    cfg.idle_flush = microseconds(50);
+    serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto ticket = service.submit(make_request(
+        work::stencil_3pt<double>(1, 16, 161), cg_opts(), 1000));
+    ASSERT_EQ(ticket.get().status, serve::request_status::ok);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    // The admission queue is empty behind the lone leader, so the window
+    // flushes after ~idle_flush instead of holding the 2 s max_wait.
+    EXPECT_LT(elapsed, milliseconds(500));
+}
+
+TEST(Serve, ZeroIdleFlushHoldsTheFullWindow)
+{
+    if (persistent_mode_env()) {
+        GTEST_SKIP() << "persistent mode has no batching windows";
+    }
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_wait = milliseconds(300);
+    cfg.idle_flush = microseconds(0);
+    serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto ticket = service.submit(make_request(
+        work::stencil_3pt<double>(1, 16, 162), cg_opts(), 1001));
+    ASSERT_EQ(ticket.get().status, serve::request_status::ok);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(elapsed, milliseconds(250));
+}
+
+TEST(Serve, RingIsBoundedFifoAndHandsBackOwnership)
+{
+    serve::mpmc_ring<int> ring(3);  // rounds up to the next power of two
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_TRUE(ring.empty());
+    int v = -1;
+    EXPECT_FALSE(ring.try_pop(v));
+    for (int i = 0; i < 4; ++i) {
+        int value = i;
+        EXPECT_TRUE(ring.try_push(value));
+    }
+    int overflow = 99;
+    EXPECT_FALSE(ring.try_push(overflow));
+    EXPECT_EQ(overflow, 99);  // a failed push leaves the value untouched
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(ring.try_pop(v));
+        EXPECT_EQ(v, i);  // FIFO
+    }
+    EXPECT_FALSE(ring.try_pop(v));
+    // Freed capacity is reusable (the sequence counters lap correctly).
+    int again = 7;
+    EXPECT_TRUE(ring.try_push(again));
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, 7);
+}
+
+TEST(Serve, RingSurvivesConcurrentProducersAndConsumers)
+{
+    constexpr int kProducers = 2;
+    constexpr int kConsumers = 2;
+    constexpr int kPerProducer = 20000;
+    serve::mpmc_ring<int> ring(64);
+    std::atomic<long long> sum{0};
+    std::atomic<int> popped{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&ring, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                int value = p * kPerProducer + i;
+                while (!ring.try_push(value)) {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            int v;
+            while (popped.load(std::memory_order_relaxed) <
+                   kProducers * kPerProducer) {
+                if (ring.try_pop(v)) {
+                    sum.fetch_add(v, std::memory_order_relaxed);
+                    popped.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    const long long n = static_cast<long long>(kProducers) * kPerProducer;
+    EXPECT_EQ(popped.load(), n);
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ServeResilience, FaultedReplayReRecordsInsteadOfReplayingPoisonedGraph)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_wait = microseconds(0);
+    cfg.launch_retries = 2;
+    cfg.retry_backoff = microseconds(1);
+    // Launch 0 (the first batch's replay) is clean; launch 1 (the second
+    // batch's replay after a rebind) faults. The retry must re-record and
+    // submit a fresh graph — replaying the invalidated one would bypass
+    // the launch path and hide the fault.
+    bl::xpu::exec_policy policy = faulted_policy({1});
+    policy.launch_mode = bl::xpu::launch_mode::graph_replay;
+    serve::solve_service service(policy, cfg);
+
+    auto t1 = service.submit(make_request(
+        work::stencil_3pt<double>(2, 20, 141), cg_opts(), 801));
+    ASSERT_EQ(t1.get().status, serve::request_status::ok);
+    auto t2 = service.submit(make_request(
+        work::stencil_3pt<double>(2, 20, 141), cg_opts(), 802));
+    const serve::solve_reply<double> r2 = t2.get();
+    ASSERT_EQ(r2.status, serve::request_status::ok) << r2.error;
+    EXPECT_EQ(r2.attempts, 2);
+
+    service.drain();
+    const serve::service_stats s = service.stats();
+    EXPECT_EQ(s.launch_faults, 1u);
+    EXPECT_EQ(s.launch_retries, 1u);
+    EXPECT_EQ(s.recovered_requests, 1u);
+    EXPECT_EQ(s.failed_requests, 0u);
+    // Batch 1 recorded; batch 2 rebound and its replay faulted, so the
+    // retry recorded again: two recordings, three graph submissions.
+    EXPECT_EQ(s.launches_recorded, 2u);
+    EXPECT_EQ(s.replays, 3u);
+    EXPECT_EQ(s.rebind_only, 1u);
 }

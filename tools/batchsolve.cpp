@@ -42,6 +42,7 @@ struct cli_options {
     bool verify = false;
     bool json = false;
     bool serve = false;
+    std::string launch_mode = "direct";
     int serve_workers = 2;
     index_type serve_batch = 64;
     long serve_wait_us = 200;
@@ -71,6 +72,7 @@ struct cli_options {
         "  --json          machine-readable output\n"
         "  --serve         route the batch through serve::solve_service\n"
         "                  as one request per system (CSR only)\n"
+        "  --launch-mode M     direct|graph_replay|persistent [direct]\n"
         "  --serve-workers N   worker threads                [2]\n"
         "  --serve-batch N     max systems per fused launch  [64]\n"
         "  --serve-wait-us N   batching window in usec       [200]\n",
@@ -126,6 +128,8 @@ cli_options parse(int argc, char** argv)
             o.json = true;
         } else if (arg == "--serve") {
             o.serve = true;
+        } else if (arg == "--launch-mode") {
+            o.launch_mode = next();
         } else if (arg == "--serve-workers") {
             o.serve_workers = std::atoi(next());
         } else if (arg == "--serve-batch") {
@@ -199,8 +203,9 @@ log::batch_log solve_via_service(const cli_options& o,
     cfg.max_wait = std::chrono::microseconds(o.serve_wait_us);
     cfg.max_queue_systems =
         std::max<size_type>(static_cast<size_type>(items), 1);
-    serve::solve_service service(perf::device_by_name(o.device).make_policy(),
-                                 cfg);
+    xpu::exec_policy policy = perf::device_by_name(o.device).make_policy();
+    policy.launch_mode = xpu::parse_launch_mode(o.launch_mode);
+    serve::solve_service service(policy, cfg);
 
     std::vector<serve::solve_service::ticket<double>> tickets;
     tickets.reserve(static_cast<std::size_t>(items));
@@ -242,6 +247,12 @@ log::batch_log solve_via_service(const cli_options& o,
                     cfg.workers, o.serve_wait_us,
                     static_cast<unsigned long long>(s.batches_launched),
                     s.mean_batch_size, max_fused);
+        std::printf("serve:    launch mode %s, %llu recorded, %llu replays "
+                    "(%llu rebind-only)\n",
+                    xpu::to_string(service.launch_mode()).c_str(),
+                    static_cast<unsigned long long>(s.launches_recorded),
+                    static_cast<unsigned long long>(s.replays),
+                    static_cast<unsigned long long>(s.rebind_only));
         std::printf("serve:    p50/p99 latency %.3f/%.3f ms, "
                     "%.0f solves/sec\n",
                     s.p50_latency_seconds * 1e3, s.p99_latency_seconds * 1e3,
