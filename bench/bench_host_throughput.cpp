@@ -8,11 +8,22 @@
 // sweep of small CG/BiCGSTAB/GMRES batches on one persistent queue (the
 // handle-style usage) and reports solves per wall-clock second.
 //
+// A second section compares storage precisions on the bandwidth-bound
+// sweep (Table 4 chemistry + stencil batches, deep FP64 tolerance): native
+// FP64 storage versus fp32 storage with iterative refinement
+// (`solve_refined`). There the figure of merit is off-chip traffic —
+// constant + global bytes, where the matrix values stream from — and the
+// reported "bandwidth-limited solves/sec" divides the device HBM rate by
+// the measured bytes per solve. Host wall-clock rates are reported too;
+// the simulator is compute-hosted, so the wall clock does NOT see the
+// bandwidth win (see DESIGN.md §11).
+//
 // Usage:
 //   bench_host_throughput [--json FILE] [--min-time SECONDS]
 //                         [--baseline cg=X,bicgstab=Y,gmres=Z]
 // `--baseline` takes a previously recorded run (see
 // scripts/bench_host_baseline.env) and adds speedup factors to the output.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +33,7 @@
 
 #include "common.hpp"
 #include "util/timer.hpp"
+#include "workload/chemistry.hpp"
 #include "workload/stencil.hpp"
 
 using namespace bench;
@@ -98,6 +110,121 @@ throughput_result run_case(xpu::queue& q, solver::solver_type type,
     }
     out.solves_per_sec = static_cast<double>(out.solves) / out.seconds;
     out.mean_iterations = iter_sum / static_cast<double>(out.solves);
+    return out;
+}
+
+/// Outer FP64 tolerance of the storage comparison. Deep enough that the
+/// refinement sweep's extra inner iterations amortize against the longer
+/// native solve; both variants deliver true FP64 residuals below it.
+constexpr double kStorageTol = 1e-12;
+
+/// One bandwidth-bound problem of the storage comparison.
+struct storage_case {
+    const char* name;
+    solver::solver_type type;
+};
+
+struct storage_result {
+    index_type items = 0;
+    index_type converged = 0;
+    index_type sweeps = 0;
+    double worst_true_residual = 0.0;
+    /// Off-chip traffic (constant + global read + global write bytes) of
+    /// one solve over the whole batch, per variant.
+    double native_offchip_bytes = 0.0;
+    double fp32_offchip_bytes = 0.0;
+    /// HBM-rate / bytes-per-solve: the throughput a bandwidth-bound
+    /// device sustains on this traffic.
+    double native_bw_solves_per_sec = 0.0;
+    double fp32_bw_solves_per_sec = 0.0;
+    /// Host wall-clock rates (the simulator's own cost, for reference).
+    double native_wall_solves_per_sec = 0.0;
+    double fp32_wall_solves_per_sec = 0.0;
+
+    double offchip_speedup() const
+    {
+        return native_offchip_bytes / fp32_offchip_bytes;
+    }
+};
+
+double offchip_bytes(const xpu::counters& c)
+{
+    return static_cast<double>(c.constant_read_bytes) +
+           static_cast<double>(c.global_read_bytes) +
+           static_cast<double>(c.global_write_bytes);
+}
+
+/// Wall-clock rate of `fn` (one solve per call) over a `slice`-second run.
+template <typename F>
+double wall_rate(double slice, F&& fn)
+{
+    long solves = 0;
+    wall_timer timer;
+    double elapsed = 0.0;
+    do {
+        fn();
+        ++solves;
+        elapsed = timer.seconds();
+    } while (elapsed < slice);
+    return static_cast<double>(solves) / elapsed;
+}
+
+storage_result run_storage_case(xpu::queue& q, const perf::device_spec& dev,
+                                const solver::batch_matrix<double>& a,
+                                const mat::batch_dense<double>& b,
+                                solver::solver_type type, double min_time)
+{
+    storage_result out;
+    out.items =
+        std::visit([](const auto& m) { return m.num_batch_items(); }, a);
+    const index_type rows =
+        std::visit([](const auto& m) { return m.rows(); }, a);
+
+    solver::solve_options opts;
+    opts.solver = type;
+    opts.preconditioner = precond::type::none;
+    opts.criterion = stop::relative(kStorageTol, 500);
+
+    mat::batch_dense<double> x(out.items, rows, 1);
+
+    // Native FP64 storage: the baseline both metrics compare against.
+    x.fill(0.0);
+    const auto native = solver::solve(q, a, b, x, opts);
+    out.native_offchip_bytes = offchip_bytes(native.stats);
+
+    // fp32 storage + iterative refinement. The compressed operator is
+    // converted once and reused across repeats — the serving hot path.
+    solver::batch_matrix<double> a32 = a;
+    std::visit(
+        [](auto& m) {
+            m.set_storage_precision(mat::storage_precision::fp32);
+        },
+        a32);
+    solver::solve_options copts = opts;
+    copts.storage = mat::storage_precision::fp32;
+    x.fill(0.0);
+    const auto refined = solver::solve_refined(q, a, a32, b, x, copts);
+    out.fp32_offchip_bytes = offchip_bytes(refined.stats);
+    out.converged = refined.log.num_converged();
+    out.sweeps = refined.sweeps;
+    for (double r : refined.true_residuals) {
+        out.worst_true_residual = std::max(out.worst_true_residual, r);
+    }
+
+    const double hbm_bytes_per_sec = dev.hbm_bw_tbs * 1e12;
+    out.native_bw_solves_per_sec =
+        hbm_bytes_per_sec / out.native_offchip_bytes;
+    out.fp32_bw_solves_per_sec = hbm_bytes_per_sec / out.fp32_offchip_bytes;
+
+    const double slice = min_time / 4.0;
+    out.native_wall_solves_per_sec = wall_rate(slice, [&] {
+        x.fill(0.0);
+        (void)solver::solve(q, a, b, x, opts);
+    });
+    out.fp32_wall_solves_per_sec = wall_rate(slice, [&] {
+        x.fill(0.0);
+        (void)solver::solve_refined(q, a, a32, b, x, copts);
+    });
     return out;
 }
 
@@ -196,6 +323,54 @@ int main(int argc, char** argv)
                     "n/a");
     }
 
+    // Storage-precision section: the bandwidth-bound sweep under native
+    // FP64 storage vs fp32 storage + iterative refinement.
+    const perf::device_spec storage_dev = perf::pvc_1s();
+    const index_type storage_items = 256;
+    constexpr storage_case kStorageCases[] = {
+        {"dodecane_lu", solver::solver_type::bicgstab},
+        {"stencil3pt_ell_128", solver::solver_type::cg},
+    };
+    std::map<std::string, storage_result> storage_results;
+    {
+        const auto mechs = work::pele_mechanisms();
+        const auto csr = work::generate_mechanism_batch<double>(
+            mechs[3], storage_items, 3);
+        const auto bc = work::random_rhs<double>(storage_items, csr.rows(), 7);
+        storage_results[kStorageCases[0].name] = run_storage_case(
+            q, storage_dev, csr, bc, kStorageCases[0].type, min_time);
+        const auto ell =
+            mat::to_ell(work::stencil_3pt<double>(storage_items, 128, 3));
+        const auto bs = work::random_rhs<double>(storage_items, 128, 7);
+        storage_results[kStorageCases[1].name] = run_storage_case(
+            q, storage_dev, ell, bs, kStorageCases[1].type, min_time);
+    }
+
+    std::printf("\nStorage precision: native FP64 vs fp32 + iterative "
+                "refinement\n(%d systems, rtol %.0e; off-chip = "
+                "constant+global bytes; BW rate = %s HBM / bytes-per-"
+                "solve)\n\n",
+                storage_items, kStorageTol, storage_dev.name.c_str());
+    std::printf("%18s | %9s | %9s | %7s | %7s | %3s | %9s\n", "case",
+                "MB native", "MB fp32", "BW x", "wall x", "sw",
+                "worst res");
+    rule(78);
+    double bw_speedup_sum = 0.0;
+    for (const storage_case& sc : kStorageCases) {
+        const storage_result& r = storage_results[sc.name];
+        std::printf("%18s | %9.1f | %9.1f | %6.2fx | %6.2fx | %3d | %9.1e\n",
+                    sc.name, r.native_offchip_bytes / 1e6,
+                    r.fp32_offchip_bytes / 1e6, r.offchip_speedup(),
+                    r.fp32_wall_solves_per_sec / r.native_wall_solves_per_sec,
+                    r.sweeps, r.worst_true_residual);
+        bw_speedup_sum += r.offchip_speedup();
+    }
+    const double storage_sweep_speedup =
+        bw_speedup_sum / static_cast<double>(std::size(kStorageCases));
+    rule(78);
+    std::printf("%18s | %9s | %9s | %6.2fx |\n", "sweep", "", "",
+                storage_sweep_speedup);
+
     if (json_path != nullptr) {
         std::FILE* f = std::fopen(json_path, "w");
         if (f == nullptr) {
@@ -239,7 +414,46 @@ int main(int argc, char** argv)
                          "\"speedup\": %.3f",
                          sweep_baseline, sweep_rate / sweep_baseline);
         }
-        std::fprintf(f, "}\n}\n");
+        std::fprintf(f, "},\n");
+        std::fprintf(f, "  \"storage\": {\n");
+        std::fprintf(f,
+                     "    \"metric\": \"offchip bytes per solve "
+                     "(constant+global)\",\n");
+        std::fprintf(f, "    \"device\": \"%s\",\n",
+                     storage_dev.name.c_str());
+        std::fprintf(f, "    \"items\": %d,\n", storage_items);
+        std::fprintf(f, "    \"tolerance\": %.0e,\n", kStorageTol);
+        std::fprintf(f, "    \"cases\": {\n");
+        printed = 0;
+        for (const storage_case& sc : kStorageCases) {
+            const storage_result& r = storage_results[sc.name];
+            std::fprintf(f, "      \"%s\": {\n", sc.name);
+            std::fprintf(f,
+                         "        \"native_offchip_bytes\": %.0f, "
+                         "\"fp32_offchip_bytes\": %.0f,\n",
+                         r.native_offchip_bytes, r.fp32_offchip_bytes);
+            std::fprintf(f,
+                         "        \"native_bw_solves_per_sec\": %.1f, "
+                         "\"fp32_bw_solves_per_sec\": %.1f, "
+                         "\"bw_speedup\": %.3f,\n",
+                         r.native_bw_solves_per_sec,
+                         r.fp32_bw_solves_per_sec, r.offchip_speedup());
+            std::fprintf(f,
+                         "        \"native_wall_solves_per_sec\": %.2f, "
+                         "\"fp32_wall_solves_per_sec\": %.2f,\n",
+                         r.native_wall_solves_per_sec,
+                         r.fp32_wall_solves_per_sec);
+            std::fprintf(f,
+                         "        \"sweeps\": %d, \"converged\": %d, "
+                         "\"worst_true_residual\": %.2e\n",
+                         r.sweeps, r.converged, r.worst_true_residual);
+            std::fprintf(f, "      }%s\n",
+                         ++printed < std::size(kStorageCases) ? "," : "");
+        }
+        std::fprintf(f, "    },\n");
+        std::fprintf(f, "    \"sweep\": {\"bw_speedup\": %.3f}\n",
+                     storage_sweep_speedup);
+        std::fprintf(f, "  }\n}\n");
         std::fclose(f);
         std::printf("\nwrote %s\n", json_path);
     }

@@ -56,6 +56,7 @@
 #include "solver/launch.hpp"
 #include "solver/options.hpp"
 #include "solver/record.hpp"
+#include "solver/refined.hpp"
 #include "solver/direct.hpp"
 #include "solver/resilient.hpp"
 #include "solver/residual.hpp"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Builds and tests the six verification configs:
+# Builds and tests the seven verification configs:
 #  1. the default Release build (tier-1: what CI and users run),
 #  2. a Debug + ASan/UBSan build (BATCHLIN_SANITIZE=ON), which also keeps
 #     assertions alive so the debug-only workspace-binder name checks run,
@@ -19,7 +19,16 @@
 #     BATCHLIN_LAUNCH_MODE=graph_replay, proving the record/rebind/replay
 #     launch path produces bit-identical results and survives the fault
 #     schedules (a replay hitting a device fault invalidates the cached
-#     graph and re-records).
+#     graph and re-records), and
+#  7. the serve and mixed-precision suites re-run under
+#     BATCHLIN_STORAGE=fp32, flipping the library's default storage
+#     precision: the service normalizes every eligible request to fp32
+#     storage, the coalescing keys must keep policies separated, and the
+#     refinement loop must still restore FP64 accuracy. (The plain solver
+#     suite is intentionally excluded: fp32 storage floors true residuals
+#     near fp32 epsilon by design, which is exactly what its FP64-accuracy
+#     assertions reject — that interplay is covered by the dedicated
+#     MixedPrecision/Refine tests instead.)
 # The sanitizer passes are what prove the pooled launch resources, the
 # reused spill backing, the serving layer's locking, and the solver
 # kernels' SPMD discipline race- and UB-free.
@@ -31,18 +40,18 @@ JOBS=${1:-$(nproc)}
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$ROOT"
 
-echo "== config 1/6: Release (build/)"
+echo "== config 1/7: Release (build/)"
 cmake -B build -S . -G Ninja >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 2/6: Debug + ASan/UBSan (build-sanitize/)"
+echo "== config 2/7: Debug + ASan/UBSan (build-sanitize/)"
 cmake -B build-sanitize -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=ON >/dev/null
 cmake --build build-sanitize -j "$JOBS"
 ctest --test-dir build-sanitize -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 3/6: Debug + TSan, serve tests (build-tsan/)"
+echo "== config 3/7: Debug + TSan, serve tests (build-tsan/)"
 cmake -B build-tsan -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_serve
@@ -53,7 +62,7 @@ cmake --build build-tsan -j "$JOBS" --target test_serve
 OMP_NUM_THREADS=1 ctest --test-dir build-tsan -R '^(Serve|Assemble)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 4/6: xpu::check kernel portability sanitizer (build-check/)"
+echo "== config 4/7: xpu::check kernel portability sanitizer (build-check/)"
 cmake -B build-check -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_XPU_CHECK=ON >/dev/null
 cmake --build build-check -j "$JOBS"
@@ -62,7 +71,7 @@ cmake --build build-check -j "$JOBS"
 # shipped kernels lane-order independent.
 ctest --test-dir build-check -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 5/6: resilience fault soak under the checked build"
+echo "== config 5/7: resilience fault soak under the checked build"
 # Reuses build-check: the fault-injection fixtures, breakdown taxonomy
 # regressions, fallback-chain recovery, and the >= 1000-solve randomized
 # soak all run against the instrumented execution model.
@@ -70,7 +79,7 @@ ctest --test-dir build-check \
   -R '^(FaultPlan|FaultFixtures|BreakdownTaxonomy|ZeroRhs|Resilient|SingularSweep|FaultSoak|ServeResilience)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 6/6: serve + resilience under graph_replay launch mode"
+echo "== config 6/7: serve + resilience under graph_replay launch mode"
 # Same Release build, launch mode forced by environment override: the
 # serve-vs-solo bit-identity tests and the fault-recovery suites must not
 # notice that every fused solve now goes through a recorded command graph.
@@ -78,4 +87,13 @@ BATCHLIN_LAUNCH_MODE=graph_replay ctest --test-dir build \
   -R '^(Serve|Assemble|ServeResilience|Resilient|FaultPlan)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== all six configs clean"
+echo "== config 7/7: serve + mixed precision under fp32 default storage"
+# Same Release build, default storage precision flipped by environment
+# override: serve normalizes eligible requests onto fp32 storage, the
+# coalescing keys keep storage policies apart, and iterative refinement
+# still restores FP64 accuracy on the Table 4 chemistry batches.
+BATCHLIN_STORAGE=fp32 ctest --test-dir build \
+  -R '^(Serve|Assemble|MixedPrecision|Refine)\.' \
+  -j "$JOBS" --output-on-failure | tail -3
+
+echo "== all seven configs clean"

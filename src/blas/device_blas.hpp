@@ -101,12 +101,16 @@ void axpby(xpu::group& g, T alpha, dspan<const T> x, T beta, dspan<T> y)
     detail::charge_write(g, y, y.len);
 }
 
-/// out[i] = a[i] * b[i] — the scalar-Jacobi application.
-template <typename T>
-void elementwise_mult(xpu::group& g, dspan<const T> a, dspan<const T> b,
+/// out[i] = a[i] * b[i] — the scalar-Jacobi application. `a` may be held
+/// in a reduced storage type S (fp32 inverse diagonals): the product
+/// widens to T, and charge_read sizes the traffic by S automatically.
+template <typename T, typename S>
+void elementwise_mult(xpu::group& g, dspan<const S> a, dspan<const T> b,
                       dspan<T> out)
 {
-    g.for_items(a.len, [&](index_type i) { out[i] = a[i] * b[i]; });
+    g.for_items(a.len, [&](index_type i) {
+        out[i] = static_cast<T>(a[i] * b[i]);
+    });
     g.stats().flops += static_cast<double>(a.len);
     detail::charge_read(g, a, a.len);
     detail::charge_read(g, b, b.len);

@@ -50,9 +50,15 @@ void charge_gather(xpu::group& g, const dspan<T>& s, double count)
 
 }  // namespace detail
 
-/// y = A x for one CSR batch item (sub-group-per-row mapping).
-template <typename T>
-void spmv(xpu::group& g, const csr_view<T>& a, dspan<const T> x, dspan<T> y)
+/// y = A x for one CSR batch item (sub-group-per-row mapping). S is the
+/// storage type of the values (float under fp32 storage): each value
+/// widens to T on read, so the arithmetic — and the result — stays in
+/// compute precision while the streamed value bytes shrink. The traffic
+/// charge below is storage-honest automatically: charge_read sizes by the
+/// span's element type.
+template <typename T, typename S>
+void spmv(xpu::group& g, const csr_view<T, S>& a, dspan<const T> x,
+          dspan<T> y)
 {
     // Lane-occupancy of the sub-group-per-row mapping: every row is
     // processed by a full sub-group, so rows shorter than the sub-group
@@ -83,8 +89,9 @@ void spmv(xpu::group& g, const csr_view<T>& a, dspan<const T> x, dspan<T> y)
 
 /// y = A x for one ELL batch item (work-item-per-row mapping; padded slots
 /// multiply by zero exactly as the hardware kernel does).
-template <typename T>
-void spmv(xpu::group& g, const ell_view<T>& a, dspan<const T> x, dspan<T> y)
+template <typename T, typename S>
+void spmv(xpu::group& g, const ell_view<T, S>& a, dspan<const T> x,
+          dspan<T> y)
 {
     g.for_items(a.rows, [&](index_type row) {
         T sum{};
@@ -105,8 +112,8 @@ void spmv(xpu::group& g, const ell_view<T>& a, dspan<const T> x, dspan<T> y)
 }
 
 /// y = A x for one dense batch item (work-item-per-row mapping).
-template <typename T>
-void spmv(xpu::group& g, const dense_view<T>& a, dspan<const T> x,
+template <typename T, typename S>
+void spmv(xpu::group& g, const dense_view<T, S>& a, dspan<const T> x,
           dspan<T> y)
 {
     g.for_items(a.rows, [&](index_type row) {

@@ -31,13 +31,38 @@ T batch_csr<T>::at(index_type batch, index_type row, index_type col) const
 {
     BATCHLIN_ENSURE_DIMS(row >= 0 && row < rows_ && col >= 0 && col < cols_,
                          "entry index out of range");
-    const T* vals = item_values(batch);
+    const bool compressed = storage_ == storage_precision::fp32;
+    const T* vals = compressed ? nullptr : item_values(batch);
+    const float* vals32 = compressed ? item_values_fp32(batch) : nullptr;
     for (index_type k = row_ptrs_[row]; k < row_ptrs_[row + 1]; ++k) {
         if (col_idxs_[k] == col) {
-            return vals[k];
+            return compressed ? static_cast<T>(vals32[k]) : vals[k];
         }
     }
     return T{0};
+}
+
+template <typename T>
+void batch_csr<T>::set_storage_precision(storage_precision mode)
+{
+    mode = effective_storage<T>(mode);
+    if (mode == storage_) {
+        return;
+    }
+    if (mode == storage_precision::fp32) {
+        values32_.resize(values_.size());
+        std::transform(values_.begin(), values_.end(), values32_.begin(),
+                       [](T v) { return static_cast<float>(v); });
+        values_.clear();
+        values_.shrink_to_fit();
+    } else {
+        values_.resize(values32_.size());
+        std::transform(values32_.begin(), values32_.end(), values_.begin(),
+                       [](float v) { return static_cast<T>(v); });
+        values32_.clear();
+        values32_.shrink_to_fit();
+    }
+    storage_ = mode;
 }
 
 template <typename T>

@@ -6,8 +6,10 @@
 // convention.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
+#include "matrix/storage.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 #include "xpu/span.hpp"
@@ -44,21 +46,29 @@ public:
 
     T& at(index_type batch, index_type row, index_type col)
     {
+        require_native();
         return values_[item_offset(batch) + static_cast<size_type>(row) *
                        cols_ + col];
     }
-    const T& at(index_type batch, index_type row, index_type col) const
+    /// By value, not by reference: under fp32 storage there is no T-typed
+    /// element to point at, so the const read widens on the fly.
+    T at(index_type batch, index_type row, index_type col) const
     {
-        return values_[item_offset(batch) + static_cast<size_type>(row) *
-                       cols_ + col];
+        const size_type i = item_offset(batch) +
+                            static_cast<size_type>(row) * cols_ + col;
+        return storage_ == storage_precision::fp32
+                   ? static_cast<T>(values32_[i])
+                   : values_[i];
     }
 
     T* item_values(index_type batch)
     {
+        require_native();
         return values_.data() + item_offset(batch);
     }
     const T* item_values(index_type batch) const
     {
+        require_native();
         return values_.data() + item_offset(batch);
     }
 
@@ -77,21 +87,110 @@ public:
                 space};
     }
 
-    std::vector<T>& values() { return values_; }
-    const std::vector<T>& values() const { return values_; }
+    std::vector<T>& values()
+    {
+        require_native();
+        return values_;
+    }
+    const std::vector<T>& values() const
+    {
+        require_native();
+        return values_;
+    }
+
+    /// Storage mode for dense *system matrices* (spmv operands). Vectors
+    /// (b, x, workspace multivectors) stay native: the solvers write them
+    /// in compute precision every iteration.
+    storage_precision storage_mode() const { return storage_; }
+
+    void set_storage_precision(storage_precision mode)
+    {
+        mode = effective_storage<T>(mode);
+        if (mode == storage_) {
+            return;
+        }
+        if (mode == storage_precision::fp32) {
+            values32_.resize(values_.size());
+            std::transform(values_.begin(), values_.end(),
+                           values32_.begin(),
+                           [](T v) { return static_cast<float>(v); });
+            values_.clear();
+            values_.shrink_to_fit();
+        } else {
+            values_.resize(values32_.size());
+            std::transform(values32_.begin(), values32_.end(),
+                           values_.begin(),
+                           [](float v) { return static_cast<T>(v); });
+            values32_.clear();
+            values32_.shrink_to_fit();
+        }
+        storage_ = mode;
+    }
+
+    float* item_values_fp32(index_type batch)
+    {
+        require_fp32();
+        return values32_.data() + item_offset(batch);
+    }
+    const float* item_values_fp32(index_type batch) const
+    {
+        require_fp32();
+        return values32_.data() + item_offset(batch);
+    }
+    xpu::dspan<const float> item_span_fp32(index_type batch) const
+    {
+        return {item_values_fp32(batch),
+                static_cast<index_type>(item_size()),
+                xpu::mem_space::constant};
+    }
+    std::vector<float>& values_fp32()
+    {
+        require_fp32();
+        return values32_;
+    }
+    const std::vector<float>& values_fp32() const
+    {
+        require_fp32();
+        return values32_;
+    }
 
     void fill(T value)
     {
+        require_native();
         std::fill(values_.begin(), values_.end(), value);
     }
 
-    /// Total value storage in bytes (the BatchDense row of Fig. 2).
+    /// Total value storage in bytes (the BatchDense row of Fig. 2);
+    /// honest under fp32 mode.
     size_type storage_bytes() const
     {
-        return static_cast<size_type>(values_.size()) * sizeof(T);
+        return static_cast<size_type>(values_.size()) * sizeof(T) +
+               static_cast<size_type>(values32_.size()) * sizeof(float);
+    }
+
+    /// Bytes one solve streams for this item's values (storage-aware).
+    size_type value_bytes_per_item() const
+    {
+        const size_type width = storage_ == storage_precision::fp32
+                                    ? sizeof(float)
+                                    : sizeof(T);
+        return item_size() * width;
     }
 
 private:
+    void require_native() const
+    {
+        BATCHLIN_ENSURE_MSG(storage_ == storage_precision::native,
+                            "native-typed value access on an fp32-storage "
+                            "batch_dense");
+    }
+    void require_fp32() const
+    {
+        BATCHLIN_ENSURE_MSG(storage_ == storage_precision::fp32,
+                            "fp32 value access on a native-storage "
+                            "batch_dense");
+    }
+
     size_type item_offset(index_type batch) const
     {
         BATCHLIN_ENSURE_DIMS(batch >= 0 && batch < num_batch_,
@@ -102,7 +201,9 @@ private:
     index_type num_batch_ = 0;
     index_type rows_ = 0;
     index_type cols_ = 0;
+    storage_precision storage_ = storage_precision::native;
     std::vector<T> values_;
+    std::vector<float> values32_;
 };
 
 }  // namespace batchlin::mat

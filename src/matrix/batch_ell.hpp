@@ -8,8 +8,10 @@
 // the coalescing property the paper optimizes for.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
+#include "matrix/storage.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 #include "xpu/span.hpp"
@@ -73,24 +75,38 @@ public:
 
     T& val_at(index_type batch, index_type row, index_type k)
     {
+        require_native();
         return values_[item_offset(batch) + slot(row, k)];
     }
     T val_at(index_type batch, index_type row, index_type k) const
     {
-        return values_[item_offset(batch) + slot(row, k)];
+        const size_type i = item_offset(batch) + slot(row, k);
+        return storage_ == storage_precision::fp32
+                   ? static_cast<T>(values32_[i])
+                   : values_[i];
     }
 
     const std::vector<index_type>& col_idxs() const { return col_idxs_; }
     std::vector<index_type>& col_idxs() { return col_idxs_; }
-    const std::vector<T>& values() const { return values_; }
-    std::vector<T>& values() { return values_; }
+    const std::vector<T>& values() const
+    {
+        require_native();
+        return values_;
+    }
+    std::vector<T>& values()
+    {
+        require_native();
+        return values_;
+    }
 
     T* item_values(index_type batch)
     {
+        require_native();
         return values_.data() + item_offset(batch);
     }
     const T* item_values(index_type batch) const
     {
+        require_native();
         return values_.data() + item_offset(batch);
     }
 
@@ -101,6 +117,61 @@ public:
                 xpu::mem_space::constant};
     }
 
+    /// See batch_csr: fp32 mode releases the native array and keeps the
+    /// padded values in a half-width float array.
+    storage_precision storage_mode() const { return storage_; }
+
+    void set_storage_precision(storage_precision mode)
+    {
+        mode = effective_storage<T>(mode);
+        if (mode == storage_) {
+            return;
+        }
+        if (mode == storage_precision::fp32) {
+            values32_.resize(values_.size());
+            std::transform(values_.begin(), values_.end(),
+                           values32_.begin(),
+                           [](T v) { return static_cast<float>(v); });
+            values_.clear();
+            values_.shrink_to_fit();
+        } else {
+            values_.resize(values32_.size());
+            std::transform(values32_.begin(), values32_.end(),
+                           values_.begin(),
+                           [](float v) { return static_cast<T>(v); });
+            values32_.clear();
+            values32_.shrink_to_fit();
+        }
+        storage_ = mode;
+    }
+
+    float* item_values_fp32(index_type batch)
+    {
+        require_fp32();
+        return values32_.data() + item_offset(batch);
+    }
+    const float* item_values_fp32(index_type batch) const
+    {
+        require_fp32();
+        return values32_.data() + item_offset(batch);
+    }
+    xpu::dspan<const float> item_span_fp32(index_type batch) const
+    {
+        return {item_values_fp32(batch),
+                static_cast<index_type>(stored_per_item()),
+                xpu::mem_space::constant};
+    }
+    std::vector<float>& values_fp32()
+    {
+        require_fp32();
+        return values32_;
+    }
+    const std::vector<float>& values_fp32() const
+    {
+        require_fp32();
+        return values32_;
+    }
+
     /// Throws on malformed patterns: out-of-range columns or values stored
     /// in padding slots.
     void validate() const;
@@ -108,14 +179,38 @@ public:
     /// Non-padding entries per item (the logical nnz).
     index_type nnz() const;
 
-    /// Total storage in bytes including the shared pattern (Fig. 2).
+    /// Total storage in bytes including the shared pattern (Fig. 2);
+    /// honest under fp32 mode (native array released on conversion).
     size_type storage_bytes() const
     {
         return static_cast<size_type>(values_.size()) * sizeof(T) +
+               static_cast<size_type>(values32_.size()) * sizeof(float) +
                static_cast<size_type>(col_idxs_.size()) * sizeof(index_type);
     }
 
+    /// Bytes one solve streams for this item's values (storage-aware).
+    size_type value_bytes_per_item() const
+    {
+        const size_type width = storage_ == storage_precision::fp32
+                                    ? sizeof(float)
+                                    : sizeof(T);
+        return stored_per_item() * width;
+    }
+
 private:
+    void require_native() const
+    {
+        BATCHLIN_ENSURE_MSG(storage_ == storage_precision::native,
+                            "native-typed value access on an fp32-storage "
+                            "batch_ell");
+    }
+    void require_fp32() const
+    {
+        BATCHLIN_ENSURE_MSG(storage_ == storage_precision::fp32,
+                            "fp32 value access on a native-storage "
+                            "batch_ell");
+    }
+
     size_type item_offset(index_type batch) const
     {
         BATCHLIN_ENSURE_DIMS(batch >= 0 && batch < num_batch_,
@@ -127,8 +222,10 @@ private:
     index_type rows_ = 0;
     index_type cols_ = 0;
     index_type width_ = 0;
+    storage_precision storage_ = storage_precision::native;
     std::vector<index_type> col_idxs_;
     std::vector<T> values_;
+    std::vector<float> values32_;
 };
 
 }  // namespace batchlin::mat

@@ -30,9 +30,9 @@ index_type find_in_row(const std::vector<index_type>& row_ptrs,
 
 }  // namespace
 
-template <typename T>
-block_jacobi<T>::block_jacobi(const mat::batch_csr<T>& a,
-                              index_type block_size)
+template <typename T, typename S>
+block_jacobi<T, S>::block_jacobi(const mat::batch_csr<T>& a,
+                                 index_type block_size)
     : rows_(a.rows()), block_size_(block_size)
 {
     BATCHLIN_ENSURE_MSG(block_size >= 1, "block size must be positive");
@@ -73,29 +73,34 @@ block_jacobi<T>::block_jacobi(const mat::batch_csr<T>& a,
     }
 }
 
-template <typename T>
-typename block_jacobi<T>::applier block_jacobi<T>::generate(
-    xpu::group& g, const blas::csr_view<T>& a, xpu::dspan<T> work) const
+template <typename T, typename S>
+typename block_jacobi<T, S>::applier block_jacobi<T, S>::generate(
+    xpu::group& g, const blas::csr_view<T, S>& a, xpu::dspan<T> work) const
 {
     BATCHLIN_ENSURE_DIMS(a.rows == rows_, "matrix does not match metadata");
+    // The dense diagonal blocks are gathered, factorized, and stored in
+    // the storage precision S, packed into the T-typed workspace.
+    xpu::dspan<S> fwork = xpu::reinterpret_span<S>(
+        work, static_cast<index_type>(factor_elems_));
     double flops = 0.0;
     for (index_type b = 0; b < num_blocks(); ++b) {
         const index_type bs = block_starts_[b + 1] - block_starts_[b];
         const index_type* table = gather_pos_.data() + gather_offsets_[b];
-        T* dense = work.data + factor_offsets_[b];
+        S* dense = fwork.data + factor_offsets_[b];
         // Gather the diagonal block (zeros outside the pattern).
         for (index_type e = 0; e < bs * bs; ++e) {
-            dense[e] = table[e] >= 0 ? a.values[table[e]] : T{0};
+            dense[e] =
+                table[e] >= 0 ? static_cast<S>(a.values[table[e]]) : S{0};
         }
         // In-place Doolittle LU without pivoting: the blocks inherit the
         // diagonal dominance of the problem space.
         for (index_type k = 0; k < bs; ++k) {
-            BATCHLIN_ENSURE_MSG(dense[k * bs + k] != T{0},
+            BATCHLIN_ENSURE_MSG(dense[k * bs + k] != S{0},
                                 "block-Jacobi: zero pivot (block not "
                                 "diagonally dominant)");
-            const T inv_pivot = T{1} / dense[k * bs + k];
+            const S inv_pivot = S{1} / dense[k * bs + k];
             for (index_type i = k + 1; i < bs; ++i) {
-                const T factor = dense[i * bs + k] * inv_pivot;
+                const S factor = dense[i * bs + k] * inv_pivot;
                 dense[i * bs + k] = factor;
                 for (index_type j = k + 1; j < bs; ++j) {
                     dense[i * bs + j] -= factor * dense[k * bs + j];
@@ -108,16 +113,17 @@ typename block_jacobi<T>::applier block_jacobi<T>::generate(
     g.stats().flops += flops;
     blas::detail::charge_read(g, a.values,
                               static_cast<index_type>(factor_elems_));
-    blas::detail::charge_write(g, work,
+    blas::detail::charge_write(g, fwork,
                                static_cast<index_type>(factor_elems_));
     // Implicit view-of-const conversion keeps the sanitizer tag attached
     // to the factor storage the applier references.
-    return {this, work};
+    return {this, fwork};
 }
 
-template <typename T>
-void block_jacobi<T>::applier::apply(xpu::group& g, xpu::dspan<const T> r,
-                                     xpu::dspan<T> z) const
+template <typename T, typename S>
+void block_jacobi<T, S>::applier::apply(xpu::group& g,
+                                        xpu::dspan<const T> r,
+                                        xpu::dspan<T> z) const
 {
     const block_jacobi& meta = *parent;
     double flops = 0.0;
@@ -126,7 +132,7 @@ void block_jacobi<T>::applier::apply(xpu::group& g, xpu::dspan<const T> r,
     for (index_type b = 0; b < meta.num_blocks(); ++b) {
         const index_type begin = meta.block_starts_[b];
         const index_type bs = meta.block_starts_[b + 1] - begin;
-        const T* dense = factors.data + meta.factor_offsets_[b];
+        const S* dense = factors.data + meta.factor_offsets_[b];
         // Forward substitution (unit lower), straight into z.
         for (index_type i = 0; i < bs; ++i) {
             T sum = r[begin + i];
@@ -155,5 +161,6 @@ void block_jacobi<T>::applier::apply(xpu::group& g, xpu::dspan<const T> r,
 
 template class block_jacobi<float>;
 template class block_jacobi<double>;
+template class block_jacobi<double, float>;
 
 }  // namespace batchlin::precond

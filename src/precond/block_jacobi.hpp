@@ -21,7 +21,7 @@
 
 namespace batchlin::precond {
 
-template <typename T>
+template <typename T, typename S = T>
 class block_jacobi {
 public:
     static constexpr type kind = type::block_jacobi;
@@ -32,25 +32,30 @@ public:
     /// pattern.
     block_jacobi(const mat::batch_csr<T>& a, index_type block_size);
 
-    /// Dense factor storage: sum over blocks of (block rows)^2.
-    size_type workspace_elems() const { return factor_elems_; }
+    /// Dense factor storage: sum over blocks of (block rows)^2, packed
+    /// at storage width S into the T-typed workspace.
+    size_type workspace_elems() const
+    {
+        return packed_elems<T, S>(factor_elems_);
+    }
     /// Static bound used by the dispatch layer before construction.
     static size_type workspace_elems(index_type rows, index_type /*nnz*/,
                                      index_type block_size)
     {
         const index_type blocks = ceil_div(rows, block_size);
-        return static_cast<size_type>(blocks) * block_size * block_size;
+        return packed_elems<T, S>(static_cast<size_type>(blocks) *
+                                  block_size * block_size);
     }
 
     struct applier {
         const block_jacobi* parent = nullptr;
-        xpu::dspan<const T> factors;
+        xpu::dspan<const S> factors;
 
         void apply(xpu::group& g, xpu::dspan<const T> r,
                    xpu::dspan<T> z) const;
     };
 
-    applier generate(xpu::group& g, const blas::csr_view<T>& a,
+    applier generate(xpu::group& g, const blas::csr_view<T, S>& a,
                      xpu::dspan<T> work) const;
 
     index_type num_blocks() const

@@ -7,7 +7,10 @@
 namespace batchlin::precond {
 
 /// M = I. Needs no workspace and no generation work; apply is a copy.
-template <typename T>
+/// S is the storage type of the (unused) matrix payload — kept as a
+/// template parameter so the dispatch combos treat every preconditioner
+/// uniformly.
+template <typename T, typename S = T>
 class identity {
 public:
     static constexpr type kind = type::none;

@@ -29,8 +29,8 @@ index_type find_in_row(const index_type* row_ptrs,
 
 }  // namespace
 
-template <typename T>
-ilu0<T>::ilu0(const mat::batch_csr<T>& a)
+template <typename T, typename S>
+ilu0<T, S>::ilu0(const mat::batch_csr<T>& a)
     : diag_positions_(a.diagonal_positions())
 {
     for (index_type i = 0; i < a.rows(); ++i) {
@@ -40,26 +40,30 @@ ilu0<T>::ilu0(const mat::batch_csr<T>& a)
     }
 }
 
-template <typename T>
-typename ilu0<T>::applier ilu0<T>::generate(xpu::group& g,
-                                            const blas::csr_view<T>& a,
-                                            xpu::dspan<T> work) const
+template <typename T, typename S>
+typename ilu0<T, S>::applier ilu0<T, S>::generate(
+    xpu::group& g, const blas::csr_view<T, S>& a, xpu::dspan<T> work) const
 {
-    xpu::dspan<T> factors = work.subspan(0, a.nnz);
-    xpu::dspan<T> temp = work.subspan(a.nnz, a.rows);
+    const index_type packed = static_cast<index_type>(
+        packed_elems<T, S>(static_cast<size_type>(a.nnz)));
+    xpu::dspan<S> factors =
+        xpu::reinterpret_span<S>(work.subspan(0, packed), a.nnz);
+    xpu::dspan<T> temp = work.subspan(packed, a.rows);
     const index_type* diag_pos = diag_positions_.data();
 
     blas::copy(g, a.values, factors);
 
     // IKJ-variant in-place ILU(0): the elimination is inherently sequential
     // per system, so one lane of the work-group performs it (the batch-level
-    // parallelism across work-groups is what the method exploits).
+    // parallelism across work-groups is what the method exploits). The
+    // elimination arithmetic runs in the storage precision S.
     double flops = 0.0;
     double lookups = 0.0;
     for (index_type i = 0; i < a.rows; ++i) {
         for (index_type k = a.row_ptrs[i]; k < diag_pos[i]; ++k) {
             const index_type pivot_row = a.col_idxs[k];
-            factors[k] = factors[k] / factors[diag_pos[pivot_row]];
+            factors[k] = static_cast<S>(factors[k] /
+                                        factors[diag_pos[pivot_row]]);
             flops += 1.0;
             for (index_type j = k + 1; j < a.row_ptrs[i + 1]; ++j) {
                 const index_type p = find_in_row(a.row_ptrs, a.col_idxs,
@@ -74,23 +78,25 @@ typename ilu0<T>::applier ilu0<T>::generate(xpu::group& g,
     }
     g.barrier();
     g.stats().flops += flops;
-    // Factor updates and pattern lookups all hit the factor storage space.
+    // Factor updates and pattern lookups all hit the factor storage space,
+    // at storage width — half the bytes under fp32 factors.
     const double touched = flops + lookups;
     if (factors.space == xpu::mem_space::slm) {
-        g.stats().slm_bytes += touched * sizeof(T);
+        g.stats().slm_bytes += touched * sizeof(S);
     } else {
-        g.stats().global_read_bytes += touched * sizeof(T);
+        g.stats().global_read_bytes += touched * sizeof(S);
     }
     // Implicit view-of-const conversion keeps the sanitizer tag attached
     // to the factor storage the applier dereferences.
     return {a.rows, a.nnz, a.row_ptrs, a.col_idxs, diag_pos, factors, temp};
 }
 
-template <typename T>
-void ilu0<T>::applier::apply(xpu::group& g, xpu::dspan<const T> r,
-                             xpu::dspan<T> z) const
+template <typename T, typename S>
+void ilu0<T, S>::applier::apply(xpu::group& g, xpu::dspan<const T> r,
+                                xpu::dspan<T> z) const
 {
-    // Forward sweep: L temp = r with unit diagonal.
+    // Forward sweep: L temp = r with unit diagonal. The factor reads widen
+    // to T; the running sums stay in compute precision.
     double flops = 0.0;
     for (index_type i = 0; i < rows; ++i) {
         T sum = r[i];
@@ -123,5 +129,6 @@ void ilu0<T>::applier::apply(xpu::group& g, xpu::dspan<const T> r,
 
 template class ilu0<float>;
 template class ilu0<double>;
+template class ilu0<double, float>;
 
 }  // namespace batchlin::precond

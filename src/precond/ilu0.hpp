@@ -6,6 +6,11 @@
 // Application solves L z' = r (unit lower) then U z = z' with the in-kernel
 // sparse triangular sweeps — the same building block as BatchTrsv.
 // Requires a sorted CSR pattern with a full diagonal.
+//
+// S is the storage type of the factors: under fp32 storage the
+// factorization runs and stores in float (acceptable for a preconditioner
+// — it only needs to approximate A^{-1}), packed into the leading bytes of
+// the T-typed workspace; the triangular sweeps widen to T on read.
 #pragma once
 
 #include <vector>
@@ -17,7 +22,7 @@
 
 namespace batchlin::precond {
 
-template <typename T>
+template <typename T, typename S = T>
 class ilu0 {
 public:
     static constexpr type kind = type::ilu;
@@ -26,10 +31,12 @@ public:
     /// any diagonal entry is missing (ILU(0) breaks down without it).
     explicit ilu0(const mat::batch_csr<T>& a);
 
-    /// Factors (nnz) plus the intermediate vector of the two-stage solve.
+    /// Factors (nnz, packed at storage width) plus the intermediate
+    /// vector of the two-stage solve (compute width).
     static size_type workspace_elems(index_type rows, index_type nnz)
     {
-        return static_cast<size_type>(nnz) + rows;
+        return packed_elems<T, S>(static_cast<size_type>(nnz)) +
+               static_cast<size_type>(rows);
     }
 
     struct applier {
@@ -38,7 +45,7 @@ public:
         const index_type* row_ptrs = nullptr;
         const index_type* col_idxs = nullptr;
         const index_type* diag_pos = nullptr;
-        xpu::dspan<const T> factors;
+        xpu::dspan<const S> factors;
         xpu::dspan<T> temp;
 
         void apply(xpu::group& g, xpu::dspan<const T> r,
@@ -47,7 +54,7 @@ public:
 
     /// Runs the in-pattern factorization of this work-group's system into
     /// `work` and returns the applier bound to the factored values.
-    applier generate(xpu::group& g, const blas::csr_view<T>& a,
+    applier generate(xpu::group& g, const blas::csr_view<T, S>& a,
                      xpu::dspan<T> work) const;
 
 private:

@@ -31,8 +31,9 @@ index_type find_in_row(const index_type* row_ptrs,
 
 }  // namespace
 
-template <typename T>
-isai<T>::isai(const mat::batch_csr<T>& a) : rows_(a.rows()), nnz_(a.nnz())
+template <typename T, typename S>
+isai<T, S>::isai(const mat::batch_csr<T>& a)
+    : rows_(a.rows()), nnz_(a.nnz())
 {
     BATCHLIN_ENSURE_MSG(a.rows() == a.cols(),
                         "ISAI requires square systems");
@@ -62,13 +63,15 @@ isai<T>::isai(const mat::batch_csr<T>& a) : rows_(a.rows()), nnz_(a.nnz())
     }
 }
 
-template <typename T>
-typename isai<T>::applier isai<T>::generate(xpu::group& g,
-                                            const blas::csr_view<T>& a,
-                                            xpu::dspan<T> work) const
+template <typename T, typename S>
+typename isai<T, S>::applier isai<T, S>::generate(
+    xpu::group& g, const blas::csr_view<T, S>& a, xpu::dspan<T> work) const
 {
     BATCHLIN_ENSURE_DIMS(a.rows == rows_ && a.nnz == nnz_,
                          "ISAI metadata does not match the matrix");
+    // The local dense solves run in compute precision T; only the
+    // resulting M values are narrowed to the storage type on store.
+    xpu::dspan<S> m_vals = xpu::reinterpret_span<S>(work, a.nnz);
     // Scratch for the per-row dense solves. The simulator runs the
     // work-group on a host thread, so heap scratch stands in for the
     // register/SLM staging the hardware kernel would use.
@@ -85,7 +88,8 @@ typename isai<T>::applier isai<T>::generate(xpu::group& g,
         for (index_type j_local = 0; j_local < s; ++j_local) {
             for (index_type s_local = 0; s_local < s; ++s_local) {
                 const index_type p = table[j_local * s + s_local];
-                local[j_local * s + s_local] = p >= 0 ? a.values[p] : T{0};
+                local[j_local * s + s_local] =
+                    p >= 0 ? static_cast<T>(a.values[p]) : T{0};
             }
             rhs[j_local] = a.col_idxs[begin + j_local] == i ? T{1} : T{0};
         }
@@ -97,23 +101,24 @@ typename isai<T>::applier isai<T>::generate(xpu::group& g,
                                            x),
                             "singular local ISAI system");
         for (index_type s_local = 0; s_local < s; ++s_local) {
-            work[begin + s_local] = x[s_local];
+            m_vals[begin + s_local] = static_cast<S>(x[s_local]);
         }
         flops += (2.0 / 3.0) * s * s * s + 2.0 * s * s;
     }
     g.barrier();
     g.stats().flops += flops;
     blas::detail::charge_read(g, a.values, a.nnz);
-    blas::detail::charge_write(g, work, a.nnz);
+    blas::detail::charge_write(g, m_vals, a.nnz);
 
     // Implicit view-of-const conversion keeps the sanitizer tag attached
     // to the approximate-inverse values the applier dereferences.
-    blas::csr_view<T> m_view{a.rows,     a.cols, a.nnz,
-                             a.row_ptrs, a.col_idxs, work};
+    blas::csr_view<T, S> m_view{a.rows,     a.cols,     a.nnz,
+                                a.row_ptrs, a.col_idxs, m_vals};
     return {m_view};
 }
 
 template class isai<float>;
 template class isai<double>;
+template class isai<double, float>;
 
 }  // namespace batchlin::precond

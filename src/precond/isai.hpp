@@ -17,7 +17,7 @@
 
 namespace batchlin::precond {
 
-template <typename T>
+template <typename T, typename S = T>
 class isai {
 public:
     static constexpr type kind = type::isai;
@@ -27,14 +27,15 @@ public:
     /// values array (or -1 when A is zero there).
     explicit isai(const mat::batch_csr<T>& a);
 
-    /// M values live in the workspace; applied as an SpMV.
+    /// M values live in the workspace (packed at storage width S);
+    /// applied as an SpMV.
     static size_type workspace_elems(index_type /*rows*/, index_type nnz)
     {
-        return nnz;
+        return packed_elems<T, S>(static_cast<size_type>(nnz));
     }
 
     struct applier {
-        blas::csr_view<T> approx_inverse;
+        blas::csr_view<T, S> approx_inverse;
 
         void apply(xpu::group& g, xpu::dspan<const T> r,
                    xpu::dspan<T> z) const
@@ -43,7 +44,7 @@ public:
         }
     };
 
-    applier generate(xpu::group& g, const blas::csr_view<T>& a,
+    applier generate(xpu::group& g, const blas::csr_view<T, S>& a,
                      xpu::dspan<T> work) const;
 
     /// Largest per-row dense system order of the pattern (test/model hook).

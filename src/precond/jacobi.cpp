@@ -4,8 +4,8 @@
 
 namespace batchlin::precond {
 
-template <typename T>
-jacobi<T>::jacobi(const mat::batch_csr<T>& a)
+template <typename T, typename S>
+jacobi<T, S>::jacobi(const mat::batch_csr<T>& a)
     : diag_positions_(a.diagonal_positions())
 {
     for (index_type i = 0; i < a.rows(); ++i) {
@@ -15,56 +15,63 @@ jacobi<T>::jacobi(const mat::batch_csr<T>& a)
     }
 }
 
-template <typename T>
-typename jacobi<T>::applier jacobi<T>::generate(xpu::group& g,
-                                                const blas::csr_view<T>& a,
-                                                xpu::dspan<T> work) const
+template <typename T, typename S>
+typename jacobi<T, S>::applier jacobi<T, S>::generate(
+    xpu::group& g, const blas::csr_view<T, S>& a, xpu::dspan<T> work) const
 {
+    // The reciprocal is formed in compute precision and narrowed on store:
+    // a preconditioner only needs to approximate A^{-1}, so fp32 inverse
+    // diagonals cost nothing the refinement loop can't recover.
+    xpu::dspan<S> inv = xpu::reinterpret_span<S>(work, a.rows);
     const index_type* diag_pos = diag_positions_.data();
-    g.for_items(a.rows,
-                [&](index_type i) { work[i] = T{1} / a.values[diag_pos[i]]; });
+    g.for_items(a.rows, [&](index_type i) {
+        inv[i] = static_cast<S>(T{1} /
+                                static_cast<T>(a.values[diag_pos[i]]));
+    });
     g.stats().flops += static_cast<double>(a.rows);
     blas::detail::charge_read(g, a.values, a.rows);
-    blas::detail::charge_write(g, work, a.rows);
-    return {work};
+    blas::detail::charge_write(g, inv, a.rows);
+    return {inv};
 }
 
-template <typename T>
-typename jacobi<T>::applier jacobi<T>::generate(xpu::group& g,
-                                                const blas::ell_view<T>& a,
-                                                xpu::dspan<T> work) const
+template <typename T, typename S>
+typename jacobi<T, S>::applier jacobi<T, S>::generate(
+    xpu::group& g, const blas::ell_view<T, S>& a, xpu::dspan<T> work) const
 {
+    xpu::dspan<S> inv = xpu::reinterpret_span<S>(work, a.rows);
     g.for_items(a.rows, [&](index_type i) {
         T diag{1};
         for (index_type k = 0; k < a.width; ++k) {
             if (a.col_idxs[k * a.rows + i] == i) {
-                diag = a.values[k * a.rows + i];
+                diag = static_cast<T>(a.values[k * a.rows + i]);
                 break;
             }
         }
-        work[i] = T{1} / diag;
+        inv[i] = static_cast<S>(T{1} / diag);
     });
     g.stats().flops += static_cast<double>(a.rows);
     blas::detail::charge_read(g, a.values, a.rows);
-    blas::detail::charge_write(g, work, a.rows);
-    return {work};
+    blas::detail::charge_write(g, inv, a.rows);
+    return {inv};
 }
 
-template <typename T>
-typename jacobi<T>::applier jacobi<T>::generate(xpu::group& g,
-                                                const blas::dense_view<T>& a,
-                                                xpu::dspan<T> work) const
+template <typename T, typename S>
+typename jacobi<T, S>::applier jacobi<T, S>::generate(
+    xpu::group& g, const blas::dense_view<T, S>& a, xpu::dspan<T> work) const
 {
+    xpu::dspan<S> inv = xpu::reinterpret_span<S>(work, a.rows);
     g.for_items(a.rows, [&](index_type i) {
-        work[i] = T{1} / a.values[i * a.cols + i];
+        inv[i] = static_cast<S>(
+            T{1} / static_cast<T>(a.values[i * a.cols + i]));
     });
     g.stats().flops += static_cast<double>(a.rows);
     blas::detail::charge_read(g, a.values, a.rows);
-    blas::detail::charge_write(g, work, a.rows);
-    return {work};
+    blas::detail::charge_write(g, inv, a.rows);
+    return {inv};
 }
 
 template class jacobi<float>;
 template class jacobi<double>;
+template class jacobi<double, float>;
 
 }  // namespace batchlin::precond

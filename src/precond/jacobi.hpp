@@ -4,6 +4,10 @@
 // Generation extracts the inverse diagonal of each system into the
 // preconditioner workspace (SLM when the planner finds room, §3.5);
 // application is an element-wise multiply. Works with every matrix format.
+//
+// S is the storage type (mat::storage_precision): under fp32 storage the
+// inverse diagonal is computed in T but *stored* as float, packed into the
+// leading bytes of the T-typed workspace, and widened on every apply.
 #pragma once
 
 #include <vector>
@@ -15,7 +19,7 @@
 
 namespace batchlin::precond {
 
-template <typename T>
+template <typename T, typename S = T>
 class jacobi {
 public:
     static constexpr type kind = type::jacobi;
@@ -30,11 +34,11 @@ public:
 
     static size_type workspace_elems(index_type rows, index_type /*nnz*/)
     {
-        return rows;
+        return packed_elems<T, S>(static_cast<size_type>(rows));
     }
 
     struct applier {
-        xpu::dspan<const T> inv_diag;
+        xpu::dspan<const S> inv_diag;
 
         void apply(xpu::group& g, xpu::dspan<const T> r,
                    xpu::dspan<T> z) const
@@ -43,11 +47,11 @@ public:
         }
     };
 
-    applier generate(xpu::group& g, const blas::csr_view<T>& a,
+    applier generate(xpu::group& g, const blas::csr_view<T, S>& a,
                      xpu::dspan<T> work) const;
-    applier generate(xpu::group& g, const blas::ell_view<T>& a,
+    applier generate(xpu::group& g, const blas::ell_view<T, S>& a,
                      xpu::dspan<T> work) const;
-    applier generate(xpu::group& g, const blas::dense_view<T>& a,
+    applier generate(xpu::group& g, const blas::dense_view<T, S>& a,
                      xpu::dspan<T> work) const;
 
 private:

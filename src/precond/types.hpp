@@ -3,7 +3,22 @@
 
 #include <string>
 
+#include "util/math.hpp"
+
 namespace batchlin::precond {
+
+/// Workspace slots (in compute-type T units) needed to hold `elems`
+/// storage-type S payload elements. The preconditioner workspace is a
+/// T-typed span carved out by the planner; reduced-precision payloads
+/// (fp32 factors, inverse diagonals, ISAI values) are packed into its
+/// leading bytes via xpu::reinterpret_span, so fp32 payloads consume half
+/// the planned slots — which is exactly the SLM-pressure relief the
+/// storage policy is after.
+template <typename T, typename S>
+constexpr size_type packed_elems(size_type elems)
+{
+    return (elems * sizeof(S) + sizeof(T) - 1) / sizeof(T);
+}
 
 /// Runtime-selectable preconditioner kinds (paper Table 3).
 enum class type {

@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "solver/refined.hpp"
 #include "xpu/fault.hpp"
 
 namespace batchlin::serve {
@@ -255,6 +256,9 @@ service_stats solve_service::stats() const
     s.launches_recorded = launches_recorded_;
     s.replays = replays_;
     s.rebind_only = rebind_only_;
+    s.refined_batches = refined_batches_;
+    s.refine_sweeps = refine_sweeps_;
+    s.refine_fallbacks = refine_fallbacks_;
     if (launch_mode_ == xpu::launch_mode::persistent) {
         s.queue_depth_requests =
             ring_pending_.load(std::memory_order_acquire);
@@ -538,6 +542,9 @@ void solve_service::execute_typed(xpu::queue& q, detail::graph_cache& cache,
     std::uint64_t recorded = 0;
     std::uint64_t replayed = 0;
     std::uint64_t rebound = 0;
+    std::uint64_t refined_launches = 0;
+    std::uint64_t refine_sweeps_total = 0;
+    std::uint64_t refine_fallback_count = 0;
     bool degraded = false;
     index_type total = 0;
     std::vector<index_type> launch_sizes;
@@ -586,9 +593,17 @@ void solve_service::execute_typed(xpu::queue& q, detail::graph_cache& cache,
             // miss. trsv falls back to the eager path (recording rejects
             // it). One replay is exactly one launch-counter submission,
             // so fault keying and attempt counts match the eager path.
+            // Refined batches (refine_sweeps > 0) run the mixed-precision
+            // iterative-refinement driver instead of the plain fused
+            // solve. They bypass the graph cache: the outer loop issues a
+            // convergence-dependent number of inner launches, so there is
+            // no single recordable command graph to replay.
+            const bool refine =
+                opts.refine_sweeps > 0 &&
+                opts.solver != solver::solver_type::trsv;
             const bool graph_path =
                 launch_mode_ != xpu::launch_mode::direct &&
-                opts.solver != solver::solver_type::trsv;
+                opts.solver != solver::solver_type::trsv && !refine;
             const xpu::submit_cost graph_cost =
                 launch_mode_ == xpu::launch_mode::persistent
                     ? xpu::submit_cost::resident
@@ -673,6 +688,24 @@ void solve_service::execute_typed(xpu::queue& q, detail::graph_cache& cache,
                 for (index_type retry = 0;; ++retry) {
                     ++attempts;
                     try {
+                        if (refine) {
+                            solver::refine_options ropts;
+                            ropts.max_sweeps = opts.refine_sweeps;
+                            solver::refined_result rr =
+                                solver::solve_refined_coalesced<T>(
+                                    q, p, opts, ropts);
+                            ++refined_launches;
+                            refine_sweeps_total +=
+                                static_cast<std::uint64_t>(rr.sweeps);
+                            if (rr.fell_back) {
+                                ++refine_fallback_count;
+                            }
+                            solver::solve_result result;
+                            result.log = std::move(rr.log);
+                            result.stats = rr.stats;
+                            result.wall_seconds = rr.wall_seconds;
+                            return result;
+                        }
                         return graph_path
                                    ? solve_with_graph(p, p_items)
                                    : solver::solve_coalesced<T>(q, p,
@@ -797,6 +830,9 @@ void solve_service::execute_typed(xpu::queue& q, detail::graph_cache& cache,
         launches_recorded_ += recorded;
         replays_ += replayed;
         rebind_only_ += rebound;
+        refined_batches_ += refined_launches;
+        refine_sweeps_ += refine_sweeps_total;
+        refine_fallbacks_ += refine_fallback_count;
         if (degraded) {
             ++degraded_launches_;
         }

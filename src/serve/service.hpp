@@ -210,6 +210,9 @@ std::uint64_t coalesce_key(const solver::batch_matrix<T>& a,
             using MatBatch = std::decay_t<decltype(m)>;
             h = hash_mix(h, static_cast<std::uint64_t>(m.rows()));
             h = hash_mix(h, static_cast<std::uint64_t>(m.cols()));
+            // Matrices of different storage modes must never share a
+            // fused launch: the gather copies one value array kind.
+            h = hash_mix(h, static_cast<std::uint64_t>(m.storage_mode()));
             if constexpr (std::is_same_v<MatBatch, mat::batch_csr<T>>) {
                 h = hash_span(h, m.row_ptrs());
                 h = hash_span(h, m.col_idxs());
@@ -237,6 +240,8 @@ std::uint64_t coalesce_key(const solver::batch_matrix<T>& a,
                         : 0);
     h = hash_mix(h, static_cast<std::uint64_t>(opts.trsv_triangle));
     h = hash_mix(h, static_cast<std::uint64_t>(opts.zero_spill));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts.storage));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts.refine_sweeps));
     return h;
 }
 
@@ -432,6 +437,26 @@ public:
                                  request.b.cols() == 1 &&
                                  request.x.cols() == 1,
                              "vector shapes must match the matrix order");
+
+        // Storage normalization point: fp32-storage requests are
+        // compressed here, once, on the submitter's thread — the workers
+        // then gather homogeneous fp32 value arrays with no per-batch
+        // conversion. Refined requests (refine_sweeps > 0) stay NATIVE:
+        // solve_refined computes its FP64 residuals against the native
+        // bits and derives the compressed operator itself.
+        if (mat::effective_storage<T>(request.opts.storage) ==
+                mat::storage_precision::fp32 &&
+            request.opts.refine_sweeps == 0 &&
+            request.opts.solver != solver::solver_type::trsv) {
+            std::visit(
+                [](auto& m) {
+                    if (m.storage_mode() == mat::storage_precision::native) {
+                        m.set_storage_precision(
+                            mat::storage_precision::fp32);
+                    }
+                },
+                request.a);
+        }
 
         const auto now = std::chrono::steady_clock::now();
         const auto deadline =
@@ -683,6 +708,12 @@ private:
     std::uint64_t launches_recorded_ = 0;
     std::uint64_t replays_ = 0;
     std::uint64_t rebind_only_ = 0;
+
+    // Mixed-precision refinement counters (guarded by mu_; updated in the
+    // workers' post-batch bookkeeping).
+    std::uint64_t refined_batches_ = 0;
+    std::uint64_t refine_sweeps_ = 0;
+    std::uint64_t refine_fallbacks_ = 0;
 
     /// Persistent-mode admission ring (null in the other launch modes)
     /// and its lock-free budget/progress counters. `ring_pending_` counts

@@ -57,6 +57,19 @@ struct service_stats {
     /// Replays that reused a cached recording without re-recording.
     std::uint64_t rebind_only = 0;
 
+    /// Mixed-precision refinement counters (zero unless requests carry
+    /// `refine_sweeps > 0`). A refined batch runs the iterative-
+    /// refinement driver (`solver::solve_refined`) instead of the plain
+    /// fused solve: fp32-storage inner solves plus FP64 correction
+    /// sweeps.
+    std::uint64_t refined_batches = 0;
+    /// Correction sweeps summed over all refined batches; divide by
+    /// `refined_batches` for the mean sweeps-to-converge.
+    std::uint64_t refine_sweeps = 0;
+    /// Refined batches that stalled and fell back to a native-storage
+    /// resilient solve.
+    std::uint64_t refine_fallbacks = 0;
+
     /// Current admission queue depth.
     std::uint64_t queue_depth_requests = 0;
     std::uint64_t queue_depth_systems = 0;

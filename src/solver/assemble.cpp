@@ -33,11 +33,23 @@ bool same_pattern(const mat::batch_dense<T>& lhs,
 }
 
 /// Copies the value blocks of every part's matrix into `combined`,
-/// batch-major; the shared pattern already lives in `combined`.
+/// batch-major; the shared pattern already lives in `combined`. The parts
+/// share one storage mode (can_coalesce checks it), and the combined
+/// matrix inherits it, so a compressed request batch solves compressed.
 template <typename T, typename MatBatch>
 void gather_values(const std::vector<assembly_part<T>>& parts,
                    MatBatch& combined)
 {
+    if (std::get<MatBatch>(*parts.front().a).storage_mode() ==
+        mat::storage_precision::fp32) {
+        combined.set_storage_precision(mat::storage_precision::fp32);
+        auto out = combined.values_fp32().begin();
+        for (const assembly_part<T>& part : parts) {
+            const auto& values = std::get<MatBatch>(*part.a).values_fp32();
+            out = std::copy(values.begin(), values.end(), out);
+        }
+        return;
+    }
     auto out = combined.values().begin();
     for (const assembly_part<T>& part : parts) {
         const auto& values = std::get<MatBatch>(*part.a).values();
@@ -111,7 +123,7 @@ index_type validate_assembly(const std::vector<assembly_part<T>>& parts)
 }  // namespace detail
 
 template <typename T>
-bool can_coalesce(const batch_matrix<T>& lhs, const batch_matrix<T>& rhs)
+bool same_shape(const batch_matrix<T>& lhs, const batch_matrix<T>& rhs)
 {
     if (lhs.index() != rhs.index()) {
         return false;
@@ -122,6 +134,17 @@ bool can_coalesce(const batch_matrix<T>& lhs, const batch_matrix<T>& rhs)
             return same_pattern(l, std::get<MatBatch>(rhs));
         },
         lhs);
+}
+
+template <typename T>
+bool can_coalesce(const batch_matrix<T>& lhs, const batch_matrix<T>& rhs)
+{
+    // Mixing storage modes in one fused launch would force the gather to
+    // re-convert values per solve; refuse instead.
+    const auto mode = [](const batch_matrix<T>& m) {
+        return std::visit([](const auto& c) { return c.storage_mode(); }, m);
+    };
+    return mode(lhs) == mode(rhs) && same_shape(lhs, rhs);
 }
 
 log::batch_log split_log(const log::batch_log& combined, index_type offset,
@@ -199,6 +222,8 @@ solve_result solve_coalesced(xpu::queue& q,
 }
 
 #define BATCHLIN_INSTANTIATE_ASSEMBLE(T)                                    \
+    template bool same_shape<T>(const batch_matrix<T>&,                     \
+                                const batch_matrix<T>&);                    \
     template bool can_coalesce<T>(const batch_matrix<T>&,                   \
                                   const batch_matrix<T>&);                  \
     template solve_result solve_coalesced<T>(                               \

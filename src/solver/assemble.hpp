@@ -35,9 +35,15 @@ struct assembly_part {
     }
 };
 
-/// Whether two batches may share one fused launch: same format, same
-/// dimensions, and the same sparsity pattern (BatchCsr row pointers and
-/// column indexes, BatchEll column indexes). Batch sizes may differ.
+/// Whether two batches share format, dimensions, and sparsity pattern
+/// (BatchCsr row pointers and column indexes, BatchEll column indexes).
+/// Batch sizes and storage precision may differ.
+template <typename T>
+bool same_shape(const batch_matrix<T>& lhs, const batch_matrix<T>& rhs);
+
+/// Whether two batches may share one fused launch: `same_shape` plus the
+/// same storage precision (a fused launch reads all value blocks at one
+/// storage width). Batch sizes may differ.
 template <typename T>
 bool can_coalesce(const batch_matrix<T>& lhs, const batch_matrix<T>& rhs);
 

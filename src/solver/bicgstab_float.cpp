@@ -3,7 +3,7 @@
 
 namespace batchlin::solver {
 
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_BICGSTAB, float)
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_BICGSTAB_BOUND, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_BICGSTAB, float, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_BICGSTAB_BOUND, float, float)
 
 }  // namespace batchlin::solver

@@ -18,7 +18,8 @@
 
 namespace batchlin::solver {
 
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S>
 void run_bicgstab_bound(xpu::queue& q, const MatBatch& a,
                         const Precond& precond, const mat::batch_dense<T>& b,
                         mat::batch_dense<T>& x, const stop::criterion& crit,
@@ -53,7 +54,7 @@ void run_bicgstab_bound(xpu::queue& q, const MatBatch& a,
             xpu::dspan<T> x_loc = bind.take("x");
             xpu::dspan<T> pc_work = bind.take_optional("precond");
 
-            const auto a_view = blas::item_view(*a_ptr, batch);
+            const auto a_view = blas::item_view_as<S>(*a_ptr, batch);
             const auto b_view =
                 b_ptr->item_span(batch, xpu::mem_space::constant);
             auto x_global = x_out->item_span(batch);
@@ -174,7 +175,8 @@ void run_bicgstab_bound(xpu::queue& q, const MatBatch& a,
         range.begin, "batch_bicgstab");
 }
 
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S>
 void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
                   const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
                   const stop::criterion& crit, const slm_plan& plan,
@@ -183,7 +185,7 @@ void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
 {
     const bound_plan slots(plan);  // resolved once, host side (§3.5)
     spill_buffer<T> spill(q, plan, range.size());
-    run_bicgstab_bound(q, a, precond, b, x, crit, slots, config,
+    run_bicgstab_bound<T, MatBatch, Precond, S>(q, a, precond, b, x, crit, slots, config,
                        spill.view(), logger, range);
 }
 

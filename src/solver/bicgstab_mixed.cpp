@@ -1,0 +1,12 @@
+// Mixed-precision instantiations: double compute over fp32 storage
+// (mat::storage_precision::fp32). Kept in a separate translation unit so
+// the native builds stay as cheap to compile as before the storage axis.
+#include "solver/bicgstab_impl.hpp"
+#include "solver/instantiate.hpp"
+
+namespace batchlin::solver {
+
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_BICGSTAB, double, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_BICGSTAB_BOUND, double, float)
+
+}  // namespace batchlin::solver

@@ -3,7 +3,7 @@
 
 namespace batchlin::solver {
 
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_CG, float)
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_CG_BOUND, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_CG, float, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_CG_BOUND, float, float)
 
 }  // namespace batchlin::solver

@@ -16,7 +16,8 @@
 
 namespace batchlin::solver {
 
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S>
 void run_cg_bound(xpu::queue& q, const MatBatch& a, const Precond& precond,
                   const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
                   const stop::criterion& crit, const bound_plan& slots,
@@ -47,7 +48,7 @@ void run_cg_bound(xpu::queue& q, const MatBatch& a, const Precond& precond,
             xpu::dspan<T> x_loc = bind.take("x");
             xpu::dspan<T> pc_work = bind.take_optional("precond");
 
-            const auto a_view = blas::item_view(*a_ptr, batch);
+            const auto a_view = blas::item_view_as<S>(*a_ptr, batch);
             const auto b_view =
                 b_ptr->item_span(batch, xpu::mem_space::constant);
             auto x_global = x_out->item_span(batch);
@@ -122,7 +123,8 @@ void run_cg_bound(xpu::queue& q, const MatBatch& a, const Precond& precond,
         range.begin, "batch_cg");
 }
 
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S>
 void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
             const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
             const stop::criterion& crit, const slm_plan& plan,
@@ -131,7 +133,7 @@ void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
 {
     const bound_plan slots(plan);  // resolved once, host side (§3.5)
     spill_buffer<T> spill(q, plan, range.size());
-    run_cg_bound(q, a, precond, b, x, crit, slots, config, spill.view(),
+    run_cg_bound<T, MatBatch, Precond, S>(q, a, precond, b, x, crit, slots, config, spill.view(),
                  logger, range);
 }
 

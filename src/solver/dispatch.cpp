@@ -9,24 +9,29 @@
 namespace batchlin::solver {
 
 // The kernels are explicitly instantiated in the per-solver translation
-// units; declare those instantiations so this file stays cheap to compile.
-#define BATCHLIN_EXTERN_CG(T, MatBatch, Precond) \
-    extern BATCHLIN_INSTANTIATE_CG(T, MatBatch, Precond)
-#define BATCHLIN_EXTERN_BICGSTAB(T, MatBatch, Precond) \
-    extern BATCHLIN_INSTANTIATE_BICGSTAB(T, MatBatch, Precond)
-#define BATCHLIN_EXTERN_GMRES(T, MatBatch, Precond) \
-    extern BATCHLIN_INSTANTIATE_GMRES(T, MatBatch, Precond)
-#define BATCHLIN_EXTERN_RICHARDSON(T, MatBatch, Precond) \
-    extern BATCHLIN_INSTANTIATE_RICHARDSON(T, MatBatch, Precond)
+// units (including the double-over-fp32 mixed TUs); declare those
+// instantiations so this file stays cheap to compile.
+#define BATCHLIN_EXTERN_CG(T, S, MatBatch, ...) \
+    extern BATCHLIN_INSTANTIATE_CG(T, S, MatBatch, __VA_ARGS__)
+#define BATCHLIN_EXTERN_BICGSTAB(T, S, MatBatch, ...) \
+    extern BATCHLIN_INSTANTIATE_BICGSTAB(T, S, MatBatch, __VA_ARGS__)
+#define BATCHLIN_EXTERN_GMRES(T, S, MatBatch, ...) \
+    extern BATCHLIN_INSTANTIATE_GMRES(T, S, MatBatch, __VA_ARGS__)
+#define BATCHLIN_EXTERN_RICHARDSON(T, S, MatBatch, ...) \
+    extern BATCHLIN_INSTANTIATE_RICHARDSON(T, S, MatBatch, __VA_ARGS__)
 
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_CG, float)
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_CG, double)
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_BICGSTAB, float)
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_BICGSTAB, double)
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_GMRES, float)
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_GMRES, double)
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_RICHARDSON, float)
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_RICHARDSON, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_CG, float, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_CG, double, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_CG, double, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_BICGSTAB, float, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_BICGSTAB, double, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_BICGSTAB, double, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_GMRES, float, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_GMRES, double, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_GMRES, double, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_RICHARDSON, float, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_RICHARDSON, double, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_EXTERN_RICHARDSON, double, float)
 
 std::string to_string(matrix_format f)
 {
@@ -70,28 +75,35 @@ index_type items_of(const batch_matrix<T>& a)
 }
 
 template <typename T>
+mat::storage_precision storage_of(const batch_matrix<T>& a)
+{
+    return std::visit([](const auto& m) { return m.storage_mode(); }, a);
+}
+
+template <typename T, typename S>
 size_type precond_workspace(precond::type p, index_type rows,
                             index_type nnz, index_type block_size)
 {
     switch (p) {
     case precond::type::none:
-        return precond::identity<T>::workspace_elems(rows, nnz);
+        return precond::identity<T, S>::workspace_elems(rows, nnz);
     case precond::type::jacobi:
-        return precond::jacobi<T>::workspace_elems(rows, nnz);
+        return precond::jacobi<T, S>::workspace_elems(rows, nnz);
     case precond::type::ilu:
-        return precond::ilu0<T>::workspace_elems(rows, nnz);
+        return precond::ilu0<T, S>::workspace_elems(rows, nnz);
     case precond::type::isai:
-        return precond::isai<T>::workspace_elems(rows, nnz);
+        return precond::isai<T, S>::workspace_elems(rows, nnz);
     case precond::type::block_jacobi:
-        return precond::block_jacobi<T>::workspace_elems(rows, nnz,
-                                                         block_size);
+        return precond::block_jacobi<T, S>::workspace_elems(rows, nnz,
+                                                            block_size);
     }
     return 0;
 }
 
 /// Level 3 of the dispatch: the solver axis, with format and
-/// preconditioner already resolved to concrete types.
-template <typename T, typename MatBatch, typename Precond>
+/// preconditioner already resolved to concrete types. S is the storage
+/// type the kernels read matrix/preconditioner payloads at.
+template <typename T, typename S, typename MatBatch, typename Precond>
 void dispatch_solver(xpu::queue& q, const MatBatch& a, const Precond& pc,
                      const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
                      const solve_options& opts, const slm_plan& plan,
@@ -100,20 +112,21 @@ void dispatch_solver(xpu::queue& q, const MatBatch& a, const Precond& pc,
 {
     switch (opts.solver) {
     case solver_type::cg:
-        run_cg<T, MatBatch, Precond>(q, a, pc, b, x, opts.criterion, plan,
-                                     config, logger, range);
+        run_cg<T, MatBatch, Precond, S>(q, a, pc, b, x, opts.criterion,
+                                        plan, config, logger, range);
         return;
     case solver_type::bicgstab:
-        run_bicgstab<T, MatBatch, Precond>(q, a, pc, b, x, opts.criterion,
-                                           plan, config, logger, range);
+        run_bicgstab<T, MatBatch, Precond, S>(q, a, pc, b, x,
+                                              opts.criterion, plan, config,
+                                              logger, range);
         return;
     case solver_type::gmres:
-        run_gmres<T, MatBatch, Precond>(q, a, pc, b, x, opts.criterion,
-                                        plan, config, opts.gmres_restart,
-                                        logger, range);
+        run_gmres<T, MatBatch, Precond, S>(q, a, pc, b, x, opts.criterion,
+                                           plan, config, opts.gmres_restart,
+                                           logger, range);
         return;
     case solver_type::richardson:
-        run_richardson<T, MatBatch, Precond>(
+        run_richardson<T, MatBatch, Precond, S>(
             q, a, pc, b, x, opts.criterion, plan, config,
             static_cast<T>(opts.richardson_relaxation), logger, range);
         return;
@@ -124,7 +137,7 @@ void dispatch_solver(xpu::queue& q, const MatBatch& a, const Precond& pc,
 
 /// Level 2 of the dispatch: the preconditioner axis. The `if constexpr`
 /// guards keep illegal combinations (Table 3) from ever instantiating.
-template <typename T, typename MatBatch>
+template <typename T, typename S, typename MatBatch>
 void dispatch_precond(xpu::queue& q, const MatBatch& a,
                       const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
                       const solve_options& opts, const slm_plan& plan,
@@ -135,37 +148,38 @@ void dispatch_precond(xpu::queue& q, const MatBatch& a,
         std::is_same_v<MatBatch, mat::batch_csr<T>>;
     switch (opts.preconditioner) {
     case precond::type::none:
-        dispatch_solver<T>(q, a, precond::identity<T>{}, b, x, opts, plan,
-                           config, logger, range);
+        dispatch_solver<T, S>(q, a, precond::identity<T, S>{}, b, x, opts,
+                              plan, config, logger, range);
         return;
     case precond::type::jacobi:
         if constexpr (is_csr) {
-            dispatch_solver<T>(q, a, precond::jacobi<T>(a), b, x, opts,
-                               plan, config, logger, range);
+            dispatch_solver<T, S>(q, a, precond::jacobi<T, S>(a), b, x,
+                                  opts, plan, config, logger, range);
         } else {
-            dispatch_solver<T>(q, a, precond::jacobi<T>{}, b, x, opts, plan,
-                               config, logger, range);
+            dispatch_solver<T, S>(q, a, precond::jacobi<T, S>{}, b, x,
+                                  opts, plan, config, logger, range);
         }
         return;
     case precond::type::ilu:
         if constexpr (is_csr) {
-            dispatch_solver<T>(q, a, precond::ilu0<T>(a), b, x, opts, plan,
-                               config, logger, range);
+            dispatch_solver<T, S>(q, a, precond::ilu0<T, S>(a), b, x, opts,
+                                  plan, config, logger, range);
             return;
         }
         BATCHLIN_UNSUPPORTED("BatchIlu requires the BatchCsr format");
     case precond::type::isai:
         if constexpr (is_csr) {
-            dispatch_solver<T>(q, a, precond::isai<T>(a), b, x, opts, plan,
-                               config, logger, range);
+            dispatch_solver<T, S>(q, a, precond::isai<T, S>(a), b, x, opts,
+                                  plan, config, logger, range);
             return;
         }
         BATCHLIN_UNSUPPORTED("BatchIsai requires the BatchCsr format");
     case precond::type::block_jacobi:
         if constexpr (is_csr) {
-            dispatch_solver<T>(
-                q, a, precond::block_jacobi<T>(a, opts.block_jacobi_size),
-                b, x, opts, plan, config, logger, range);
+            dispatch_solver<T, S>(
+                q, a,
+                precond::block_jacobi<T, S>(a, opts.block_jacobi_size), b,
+                x, opts, plan, config, logger, range);
             return;
         }
         BATCHLIN_UNSUPPORTED(
@@ -207,6 +221,17 @@ solve_result solve_range(xpu::queue& q, const batch_matrix<T>& a,
                                          opts.sub_group_size,
                                          reduction_override);
 
+    // Storage axis: what the caller asked for vs what the matrix holds.
+    // A matrix already compressed to fp32 is honored as stored (its native
+    // bits are gone); a native matrix under an fp32 request is compressed
+    // into a temporary copy below — a convenience for env-driven sweeps,
+    // while hot paths (solve_refined, serve) pre-convert once and reuse.
+    const mat::storage_precision actual = storage_of(a);
+    mat::storage_precision eff = mat::effective_storage<T>(opts.storage);
+    if (actual == mat::storage_precision::fp32) {
+        eff = mat::storage_precision::fp32;
+    }
+
     if (opts.solver == solver_type::trsv) {
         BATCHLIN_ENSURE_MSG(
             std::holds_alternative<mat::batch_csr<T>>(a),
@@ -214,6 +239,10 @@ solve_result solve_range(xpu::queue& q, const batch_matrix<T>& a,
         BATCHLIN_ENSURE_MSG(opts.preconditioner == precond::type::none,
                             "BatchTrsv is a direct solve and takes no "
                             "preconditioner");
+        // The triangular direct solve has no refinement loop to recover
+        // narrowed bits, so it only accepts native storage.
+        BATCHLIN_ENSURE_MSG(actual == mat::storage_precision::native,
+                            "BatchTrsv requires native storage");
         result.plan =
             plan_workspace(solver_type::trsv, rows, nnz, 0,
                            q.policy().slm_bytes_per_group, sizeof(T),
@@ -228,22 +257,48 @@ solve_result solve_range(xpu::queue& q, const batch_matrix<T>& a,
         return result;
     }
 
+    const bool compressed = eff == mat::storage_precision::fp32;
+    // fp32 payloads pack into half the workspace slots, so the planner
+    // sees the smaller footprint and fits more preconditioners into SLM.
     const size_type pc_elems =
-        precond_workspace<T>(opts.preconditioner, rows, nnz,
-                             opts.block_jacobi_size);
+        compressed ? precond_workspace<T, float>(opts.preconditioner, rows,
+                                                 nnz, opts.block_jacobi_size)
+                   : precond_workspace<T, T>(opts.preconditioner, rows, nnz,
+                                             opts.block_jacobi_size);
     result.plan = plan_workspace(opts.solver, rows, nnz, pc_elems,
                                  q.policy().slm_bytes_per_group, sizeof(T),
                                  opts.gmres_restart, opts.slm);
     result.plan.zero_spill = opts.zero_spill;
 
     wall_timer timer;
-    // Level 1 of the dispatch: the format axis.
-    std::visit(
-        [&](const auto& concrete) {
-            dispatch_precond<T>(q, concrete, b, x, opts, result.plan,
-                                result.config, result.log, range);
-        },
-        a);
+    // Level 1 of the dispatch: the format axis (plus the storage axis
+    // resolved above).
+    const auto launch = [&](const batch_matrix<T>& mat_ref) {
+        std::visit(
+            [&](const auto& concrete) {
+                if (compressed) {
+                    dispatch_precond<T, float>(q, concrete, b, x, opts,
+                                               result.plan, result.config,
+                                               result.log, range);
+                } else {
+                    dispatch_precond<T, T>(q, concrete, b, x, opts,
+                                           result.plan, result.config,
+                                           result.log, range);
+                }
+            },
+            mat_ref);
+    };
+    if (compressed && actual == mat::storage_precision::native) {
+        batch_matrix<T> tmp = a;
+        std::visit(
+            [](auto& m) {
+                m.set_storage_precision(mat::storage_precision::fp32);
+            },
+            tmp);
+        launch(tmp);
+    } else {
+        launch(a);
+    }
     result.wall_seconds = timer.seconds();
     result.stats = q.last_launch_stats();
     return result;

@@ -3,7 +3,7 @@
 
 namespace batchlin::solver {
 
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_GMRES, double)
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_GMRES_BOUND, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_GMRES, double, double)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_GMRES_BOUND, double, double)
 
 }  // namespace batchlin::solver

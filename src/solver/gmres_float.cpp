@@ -3,7 +3,7 @@
 
 namespace batchlin::solver {
 
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_GMRES, float)
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_GMRES_BOUND, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_GMRES, float, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_GMRES_BOUND, float, float)
 
 }  // namespace batchlin::solver

@@ -18,7 +18,8 @@
 
 namespace batchlin::solver {
 
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S>
 void run_gmres_bound(xpu::queue& q, const MatBatch& a,
                      const Precond& precond, const mat::batch_dense<T>& b,
                      mat::batch_dense<T>& x, const stop::criterion& crit,
@@ -64,7 +65,7 @@ void run_gmres_bound(xpu::queue& q, const MatBatch& a,
                 return basis.subspan(j * rows, rows);
             };
 
-            const auto a_view = blas::item_view(*a_ptr, batch);
+            const auto a_view = blas::item_view_as<S>(*a_ptr, batch);
             const auto b_view =
                 b_ptr->item_span(batch, xpu::mem_space::constant);
             auto x_global = x_out->item_span(batch);
@@ -207,7 +208,8 @@ void run_gmres_bound(xpu::queue& q, const MatBatch& a,
         range.begin, "batch_gmres");
 }
 
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S>
 void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
                const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
                const stop::criterion& crit, const slm_plan& plan,
@@ -216,7 +218,7 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
 {
     const bound_plan slots(plan);  // resolved once, host side (§3.5)
     spill_buffer<T> spill(q, plan, range.size());
-    run_gmres_bound(q, a, precond, b, x, crit, slots, config, spill.view(),
+    run_gmres_bound<T, MatBatch, Precond, S>(q, a, precond, b, x, crit, slots, config, spill.view(),
                     restart, logger, range);
 }
 

@@ -7,23 +7,18 @@ namespace batchlin {
 namespace {
 
 /// Read-only bytes one system contributes: matrix values plus rhs (the
-/// operands the paper observes being served from L3, §4.4).
+/// operands the paper observes being served from L3, §4.4). The value
+/// bytes come from the matrix's own storage accounting, so fp32-storage
+/// batches report the halved footprint they actually stream — this is
+/// what keeps the roofline honest under mixed precision.
 template <typename T>
 size_type constant_bytes_per_system(const solver::batch_matrix<T>& a)
 {
     return std::visit(
         [](const auto& m) -> size_type {
-            using M = std::decay_t<decltype(m)>;
-            size_type value_elems = 0;
-            if constexpr (std::is_same_v<M, mat::batch_csr<T>>) {
-                value_elems = m.nnz();
-            } else if constexpr (std::is_same_v<M, mat::batch_ell<T>>) {
-                value_elems = m.stored_per_item();
-            } else {
-                value_elems = m.item_size();
-            }
-            return (value_elems + m.rows()) *
-                   static_cast<size_type>(sizeof(T));
+            return m.value_bytes_per_item() +
+                   static_cast<size_type>(m.rows()) *
+                       static_cast<size_type>(sizeof(T));
         },
         a);
 }

@@ -15,72 +15,84 @@
 #include "precond/isai.hpp"
 #include "precond/jacobi.hpp"
 
-// Applies macro(T, MatBatch, Precond) to every legal combination.
-#define BATCHLIN_FOR_EACH_COMBO(macro, T)                                   \
-    macro(T, ::batchlin::mat::batch_csr<T>, ::batchlin::precond::identity<T>) \
-    macro(T, ::batchlin::mat::batch_csr<T>, ::batchlin::precond::jacobi<T>)   \
-    macro(T, ::batchlin::mat::batch_csr<T>, ::batchlin::precond::ilu0<T>)     \
-    macro(T, ::batchlin::mat::batch_csr<T>, ::batchlin::precond::isai<T>)     \
-    macro(T, ::batchlin::mat::batch_csr<T>,                                   \
-          ::batchlin::precond::block_jacobi<T>)                               \
-    macro(T, ::batchlin::mat::batch_ell<T>, ::batchlin::precond::identity<T>) \
-    macro(T, ::batchlin::mat::batch_ell<T>, ::batchlin::precond::jacobi<T>)   \
-    macro(T, ::batchlin::mat::batch_dense<T>,                                 \
-          ::batchlin::precond::identity<T>)                                   \
-    macro(T, ::batchlin::mat::batch_dense<T>, ::batchlin::precond::jacobi<T>)
+// Applies macro(T, S, MatBatch, Precond) to every legal combination.
+// T is the compute type, S the storage type of the matrix/preconditioner
+// payloads (S == T for native storage, float for fp32 storage on double).
+// The instantiate/extern macros take the preconditioner variadically:
+// `precond::jacobi<T, S>` contains a comma, and __VA_ARGS__ is the only
+// preprocessor-clean way to pass it through a macro argument.
+#define BATCHLIN_FOR_EACH_COMBO(macro, T, S)                                \
+    macro(T, S, ::batchlin::mat::batch_csr<T>,                              \
+          ::batchlin::precond::identity<T, S>)                              \
+    macro(T, S, ::batchlin::mat::batch_csr<T>,                              \
+          ::batchlin::precond::jacobi<T, S>)                                \
+    macro(T, S, ::batchlin::mat::batch_csr<T>,                              \
+          ::batchlin::precond::ilu0<T, S>)                                  \
+    macro(T, S, ::batchlin::mat::batch_csr<T>,                              \
+          ::batchlin::precond::isai<T, S>)                                  \
+    macro(T, S, ::batchlin::mat::batch_csr<T>,                              \
+          ::batchlin::precond::block_jacobi<T, S>)                          \
+    macro(T, S, ::batchlin::mat::batch_ell<T>,                              \
+          ::batchlin::precond::identity<T, S>)                              \
+    macro(T, S, ::batchlin::mat::batch_ell<T>,                              \
+          ::batchlin::precond::jacobi<T, S>)                                \
+    macro(T, S, ::batchlin::mat::batch_dense<T>,                            \
+          ::batchlin::precond::identity<T, S>)                              \
+    macro(T, S, ::batchlin::mat::batch_dense<T>,                            \
+          ::batchlin::precond::jacobi<T, S>)
 
-#define BATCHLIN_INSTANTIATE_CG(T, MatBatch, Precond)                       \
-    template void run_cg<T, MatBatch, Precond>(                             \
-        xpu::queue&, const MatBatch&, const Precond&,                       \
+#define BATCHLIN_INSTANTIATE_CG(T, S, MatBatch, ...)                       \
+    template void run_cg<T, MatBatch, __VA_ARGS__, S>(                             \
+        xpu::queue&, const MatBatch&, const __VA_ARGS__&,                       \
         const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
         const stop::criterion&, const slm_plan&, const kernel_config&,      \
         log::batch_log&, xpu::batch_range);
 
-#define BATCHLIN_INSTANTIATE_CG_BOUND(T, MatBatch, Precond)                 \
-    template void run_cg_bound<T, MatBatch, Precond>(                       \
-        xpu::queue&, const MatBatch&, const Precond&,                       \
+#define BATCHLIN_INSTANTIATE_CG_BOUND(T, S, MatBatch, ...)                 \
+    template void run_cg_bound<T, MatBatch, __VA_ARGS__, S>(                       \
+        xpu::queue&, const MatBatch&, const __VA_ARGS__&,                       \
         const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
         const stop::criterion&, const bound_plan&, const kernel_config&,    \
         spill_view<T>, log::batch_log&, xpu::batch_range);
 
-#define BATCHLIN_INSTANTIATE_BICGSTAB(T, MatBatch, Precond)                 \
-    template void run_bicgstab<T, MatBatch, Precond>(                       \
-        xpu::queue&, const MatBatch&, const Precond&,                       \
+#define BATCHLIN_INSTANTIATE_BICGSTAB(T, S, MatBatch, ...)                 \
+    template void run_bicgstab<T, MatBatch, __VA_ARGS__, S>(                       \
+        xpu::queue&, const MatBatch&, const __VA_ARGS__&,                       \
         const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
         const stop::criterion&, const slm_plan&, const kernel_config&,      \
         log::batch_log&, xpu::batch_range);
 
-#define BATCHLIN_INSTANTIATE_BICGSTAB_BOUND(T, MatBatch, Precond)           \
-    template void run_bicgstab_bound<T, MatBatch, Precond>(                 \
-        xpu::queue&, const MatBatch&, const Precond&,                       \
+#define BATCHLIN_INSTANTIATE_BICGSTAB_BOUND(T, S, MatBatch, ...)           \
+    template void run_bicgstab_bound<T, MatBatch, __VA_ARGS__, S>(                 \
+        xpu::queue&, const MatBatch&, const __VA_ARGS__&,                       \
         const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
         const stop::criterion&, const bound_plan&, const kernel_config&,    \
         spill_view<T>, log::batch_log&, xpu::batch_range);
 
-#define BATCHLIN_INSTANTIATE_RICHARDSON(T, MatBatch, Precond)              \
-    template void run_richardson<T, MatBatch, Precond>(                    \
-        xpu::queue&, const MatBatch&, const Precond&,                      \
+#define BATCHLIN_INSTANTIATE_RICHARDSON(T, S, MatBatch, ...)              \
+    template void run_richardson<T, MatBatch, __VA_ARGS__, S>(                    \
+        xpu::queue&, const MatBatch&, const __VA_ARGS__&,                      \
         const mat::batch_dense<T>&, mat::batch_dense<T>&,                  \
         const stop::criterion&, const slm_plan&, const kernel_config&, T,  \
         log::batch_log&, xpu::batch_range);
 
-#define BATCHLIN_INSTANTIATE_RICHARDSON_BOUND(T, MatBatch, Precond)        \
-    template void run_richardson_bound<T, MatBatch, Precond>(              \
-        xpu::queue&, const MatBatch&, const Precond&,                      \
+#define BATCHLIN_INSTANTIATE_RICHARDSON_BOUND(T, S, MatBatch, ...)        \
+    template void run_richardson_bound<T, MatBatch, __VA_ARGS__, S>(              \
+        xpu::queue&, const MatBatch&, const __VA_ARGS__&,                      \
         const mat::batch_dense<T>&, mat::batch_dense<T>&,                  \
         const stop::criterion&, const bound_plan&, const kernel_config&,   \
         spill_view<T>, T, log::batch_log&, xpu::batch_range);
 
-#define BATCHLIN_INSTANTIATE_GMRES(T, MatBatch, Precond)                    \
-    template void run_gmres<T, MatBatch, Precond>(                          \
-        xpu::queue&, const MatBatch&, const Precond&,                       \
+#define BATCHLIN_INSTANTIATE_GMRES(T, S, MatBatch, ...)                    \
+    template void run_gmres<T, MatBatch, __VA_ARGS__, S>(                          \
+        xpu::queue&, const MatBatch&, const __VA_ARGS__&,                       \
         const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
         const stop::criterion&, const slm_plan&, const kernel_config&,      \
         index_type, log::batch_log&, xpu::batch_range);
 
-#define BATCHLIN_INSTANTIATE_GMRES_BOUND(T, MatBatch, Precond)              \
-    template void run_gmres_bound<T, MatBatch, Precond>(                    \
-        xpu::queue&, const MatBatch&, const Precond&,                       \
+#define BATCHLIN_INSTANTIATE_GMRES_BOUND(T, S, MatBatch, ...)              \
+    template void run_gmres_bound<T, MatBatch, __VA_ARGS__, S>(                    \
+        xpu::queue&, const MatBatch&, const __VA_ARGS__&,                       \
         const mat::batch_dense<T>&, mat::batch_dense<T>&,                   \
         const stop::criterion&, const bound_plan&, const kernel_config&,    \
         spill_view<T>, index_type, log::batch_log&, xpu::batch_range);

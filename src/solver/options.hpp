@@ -9,6 +9,7 @@
 #include "matrix/batch_csr.hpp"
 #include "matrix/batch_dense.hpp"
 #include "matrix/batch_ell.hpp"
+#include "matrix/storage.hpp"
 #include "precond/types.hpp"
 #include "solver/launch.hpp"
 #include "solver/trsv.hpp"
@@ -71,6 +72,18 @@ struct solve_options {
     /// the historical per-launch buffers. serve:: disables it on its hot
     /// path (see service_config::skip_spill_zeroing).
     bool zero_spill = true;
+    /// Storage precision of the matrix and preconditioner payloads. The
+    /// default follows BATCHLIN_STORAGE (native when unset). fp32 halves
+    /// the streamed value/factor bytes on the bandwidth-bound solve path;
+    /// compute precision is unaffected (arithmetic widens on read), but
+    /// the attainable true residual floors near fp32 epsilon — use
+    /// solve_refined (or refine_sweeps in serve) to recover full accuracy.
+    mat::storage_precision storage = mat::default_storage_precision();
+    /// Maximum iterative-refinement sweeps for serve-routed requests
+    /// (solver::solve_refined); 0 solves directly with no refinement.
+    /// Part of the options on purpose: the coalescing hash and equality
+    /// must separate refined from unrefined traffic.
+    index_type refine_sweeps = 0;
 
     /// Exact member-wise comparison; the serve:: dynamic batcher only
     /// coalesces requests whose options compare equal.

@@ -105,6 +105,10 @@ private:
     mat::batch_dense<T> b_;
     mat::batch_dense<T> x_;
     solve_options opts_;
+    /// Storage mode of the *request* matrices at record time. a_ itself
+    /// may be compressed beyond this (opts-driven), so compatibility and
+    /// rebind compare incoming parts against the request-side mode.
+    mat::storage_precision request_storage_ = mat::storage_precision::native;
     slm_plan plan_;
     bound_plan slots_;
     kernel_config config_;

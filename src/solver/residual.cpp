@@ -19,16 +19,22 @@ void accumulate_residuals(const mat::batch_csr<T>& a,
                           const mat::batch_dense<T>& x,
                           std::vector<double>& out)
 {
+    const bool compressed =
+        a.storage_mode() == mat::storage_precision::fp32;
 #pragma omp parallel for schedule(static)
     for (index_type item = 0; item < a.num_batch_items(); ++item) {
-        const T* vals = a.item_values(item);
+        const T* vals = compressed ? nullptr : a.item_values(item);
+        const float* vals32 =
+            compressed ? a.item_values_fp32(item) : nullptr;
         double sq = 0.0;
         for (index_type i = 0; i < a.rows(); ++i) {
             double r = static_cast<double>(b.at(item, i, 0));
             for (index_type k = a.row_ptrs()[i]; k < a.row_ptrs()[i + 1];
                  ++k) {
-                r -= static_cast<double>(vals[k]) *
-                     static_cast<double>(x.at(item, a.col_idxs()[k], 0));
+                const double v = compressed
+                                     ? static_cast<double>(vals32[k])
+                                     : static_cast<double>(vals[k]);
+                r -= v * static_cast<double>(x.at(item, a.col_idxs()[k], 0));
             }
             sq += r * r;
         }

@@ -3,7 +3,7 @@
 
 namespace batchlin::solver {
 
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_RICHARDSON, float)
-BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_RICHARDSON_BOUND, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_RICHARDSON, float, float)
+BATCHLIN_FOR_EACH_COMBO(BATCHLIN_INSTANTIATE_RICHARDSON_BOUND, float, float)
 
 }  // namespace batchlin::solver

@@ -19,7 +19,8 @@
 
 namespace batchlin::solver {
 
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S>
 void run_richardson_bound(xpu::queue& q, const MatBatch& a,
                           const Precond& precond,
                           const mat::batch_dense<T>& b,
@@ -51,7 +52,7 @@ void run_richardson_bound(xpu::queue& q, const MatBatch& a,
             xpu::dspan<T> x_loc = bind.take("x");
             xpu::dspan<T> pc_work = bind.take_optional("precond");
 
-            const auto a_view = blas::item_view(*a_ptr, batch);
+            const auto a_view = blas::item_view_as<S>(*a_ptr, batch);
             const auto b_view =
                 b_ptr->item_span(batch, xpu::mem_space::constant);
             auto x_global = x_out->item_span(batch);
@@ -105,7 +106,8 @@ void run_richardson_bound(xpu::queue& q, const MatBatch& a,
         range.begin, "batch_richardson");
 }
 
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S>
 void run_richardson(xpu::queue& q, const MatBatch& a,
                     const Precond& precond, const mat::batch_dense<T>& b,
                     mat::batch_dense<T>& x, const stop::criterion& crit,
@@ -115,7 +117,7 @@ void run_richardson(xpu::queue& q, const MatBatch& a,
 {
     const bound_plan slots(plan);  // resolved once, host side (§3.5)
     spill_buffer<T> spill(q, plan, range.size());
-    run_richardson_bound(q, a, precond, b, x, crit, slots, config,
+    run_richardson_bound<T, MatBatch, Precond, S>(q, a, precond, b, x, crit, slots, config,
                          spill.view(), relaxation, logger, range);
 }
 

@@ -16,6 +16,12 @@
 
 namespace batchlin::solver {
 
+// Every kernel carries a fourth template axis S — the *storage* type of
+// the matrix and preconditioner payloads (mat::storage_precision). It is
+// not deducible from the argument list (the matrix batch owns both typed
+// arrays), so callers that want compressed storage pass it explicitly:
+// run_cg<T, MatBatch, Precond, float>(...). S defaults to T.
+//
 // The `run_X` entry points below resolve the workspace plan, acquire the
 // spill backing from the queue, and launch. Their `run_X_bound` siblings
 // take the already-bound resources (`bound_plan` + `spill_view`) instead:
@@ -29,7 +35,8 @@ namespace batchlin::solver {
 
 /// Preconditioned conjugate gradients (Algorithm 1 of the paper) for the
 /// batch entries in `range`; one fused kernel launch.
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S = T>
 void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
             const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
             const stop::criterion& crit, const slm_plan& plan,
@@ -37,7 +44,8 @@ void run_cg(xpu::queue& q, const MatBatch& a, const Precond& precond,
             xpu::batch_range range);
 
 /// Recordable CG: bound resources, value-captured kernel closure.
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S = T>
 void run_cg_bound(xpu::queue& q, const MatBatch& a, const Precond& precond,
                   const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
                   const stop::criterion& crit, const bound_plan& slots,
@@ -45,7 +53,8 @@ void run_cg_bound(xpu::queue& q, const MatBatch& a, const Precond& precond,
                   log::batch_log& logger, xpu::batch_range range);
 
 /// Preconditioned BiCGSTAB — the solver used for the non-SPD PeleLM inputs.
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S = T>
 void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
                   const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
                   const stop::criterion& crit, const slm_plan& plan,
@@ -53,7 +62,8 @@ void run_bicgstab(xpu::queue& q, const MatBatch& a, const Precond& precond,
                   xpu::batch_range range);
 
 /// Recordable BiCGSTAB: bound resources, value-captured kernel closure.
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S = T>
 void run_bicgstab_bound(xpu::queue& q, const MatBatch& a,
                         const Precond& precond, const mat::batch_dense<T>& b,
                         mat::batch_dense<T>& x, const stop::criterion& crit,
@@ -63,7 +73,8 @@ void run_bicgstab_bound(xpu::queue& q, const MatBatch& a,
 
 /// Preconditioned Richardson iteration x += relaxation * M(b - A x)
 /// (library extension; the baseline/smoother of the solver hierarchy).
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S = T>
 void run_richardson(xpu::queue& q, const MatBatch& a,
                     const Precond& precond, const mat::batch_dense<T>& b,
                     mat::batch_dense<T>& x, const stop::criterion& crit,
@@ -72,7 +83,8 @@ void run_richardson(xpu::queue& q, const MatBatch& a,
                     xpu::batch_range range);
 
 /// Recordable Richardson: bound resources, value-captured kernel closure.
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S = T>
 void run_richardson_bound(xpu::queue& q, const MatBatch& a,
                           const Precond& precond,
                           const mat::batch_dense<T>& b,
@@ -83,7 +95,8 @@ void run_richardson_bound(xpu::queue& q, const MatBatch& a,
                           xpu::batch_range range);
 
 /// Restarted GMRES(m) with left preconditioning; `restart` == m.
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S = T>
 void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
                const mat::batch_dense<T>& b, mat::batch_dense<T>& x,
                const stop::criterion& crit, const slm_plan& plan,
@@ -91,7 +104,8 @@ void run_gmres(xpu::queue& q, const MatBatch& a, const Precond& precond,
                log::batch_log& logger, xpu::batch_range range);
 
 /// Recordable GMRES(m): bound resources, value-captured kernel closure.
-template <typename T, typename MatBatch, typename Precond>
+template <typename T, typename MatBatch, typename Precond,
+          typename S = T>
 void run_gmres_bound(xpu::queue& q, const MatBatch& a,
                      const Precond& precond, const mat::batch_dense<T>& b,
                      mat::batch_dense<T>& x, const stop::criterion& crit,

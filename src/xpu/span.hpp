@@ -104,4 +104,26 @@ constexpr double bytes_of(const dspan<T>& s)
     return static_cast<double>(s.len) * sizeof(T);
 }
 
+/// Re-types the leading `count` elements of a span's storage as `To`.
+///
+/// Used to pack reduced-precision preconditioner payloads (fp32 factors)
+/// into the solver's value-typed workspace: the caller guarantees that
+/// `count * sizeof(To)` bytes fit inside the source region. The memory
+/// space carries over; under BATCHLIN_XPU_CHECK the instrumentation tag
+/// carries over too — tags address bytes, not elements, so accesses
+/// through the re-typed span keep byte-accurate shadow tracking.
+template <typename To, typename From>
+dspan<To> reinterpret_span(const dspan<From>& s, index_type count)
+{
+    BATCHLIN_ENSURE_DIMS(
+        count >= 0 && static_cast<size_type>(count) * sizeof(To) <=
+                          static_cast<size_type>(s.len) * sizeof(From),
+        "reinterpreted span exceeds the source region");
+    dspan<To> out{reinterpret_cast<To*>(s.data), count, s.space};
+#ifdef BATCHLIN_XPU_CHECK
+    out.tag = s.tag;
+#endif
+    return out;
+}
+
 }  // namespace batchlin::xpu

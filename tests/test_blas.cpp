@@ -74,8 +74,8 @@ TEST(Blas1, ElementwiseMult)
     std::vector<double> a{1, 2, 3};
     std::vector<double> b{4, 5, 6};
     std::vector<double> out(3);
-    blas::elementwise_mult<double>(f.g, f.global(a), f.global(b),
-                                   f.global(out));
+    blas::elementwise_mult<double, double>(f.g, f.global(a), f.global(b),
+                                           f.global(out));
     EXPECT_EQ(out[0], 4.0);
     EXPECT_EQ(out[1], 10.0);
     EXPECT_EQ(out[2], 18.0);

@@ -1,0 +1,464 @@
+// Tests of the mixed-precision storage path and the iterative-refinement
+// driver built on it: fp32 storage halves the streamed matrix bytes but
+// floors the attainable true residual, solve_refined recovers full FP64
+// accuracy on the Table 4 chemistry matrices, serve replies stay
+// bit-identical to solo solves under fp32 storage, the dynamic batcher
+// never coalesces across storage policies, and a stalled refinement
+// demotes to the native-storage fallback chain (which also absorbs
+// injected device faults).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "batchlin/batchlin.hpp"
+
+namespace bl = batchlin;
+using bl::index_type;
+using bl::size_type;
+namespace mat = batchlin::mat;
+namespace precond = batchlin::precond;
+namespace serve = batchlin::serve;
+namespace solver = batchlin::solver;
+namespace stop = batchlin::stop;
+namespace work = batchlin::work;
+namespace xpu = batchlin::xpu;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+namespace {
+
+solver::solve_options chem_opts(double tol = 1e-9)
+{
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::bicgstab;
+    opts.preconditioner = precond::type::jacobi;
+    opts.criterion = stop::relative(tol, 300);
+    return opts;
+}
+
+double worst_true_residual(const solver::batch_matrix<double>& a,
+                           const mat::batch_dense<double>& b,
+                           const mat::batch_dense<double>& x)
+{
+    double worst = 0.0;
+    for (const double r : solver::relative_residual_norms(a, b, x)) {
+        worst = std::max(worst, r);
+    }
+    return worst;
+}
+
+xpu::exec_policy faulted_policy(
+    const std::vector<std::uint64_t>& faulted_launches)
+{
+    xpu::exec_policy policy = xpu::make_sycl_policy();
+    for (const std::uint64_t launch : faulted_launches) {
+        policy.faults.events.push_back(
+            {xpu::fault_kind::launch_fail, launch, 0, 1,
+             xpu::fault_target::slm, xpu::poison_mode::nan});
+    }
+    return policy;
+}
+
+template <typename T>
+serve::solve_request<T> make_request(mat::batch_csr<T> a,
+                                     const solver::solve_options& opts,
+                                     std::uint64_t rhs_seed)
+{
+    serve::solve_request<T> req;
+    const index_type items = a.num_batch_items();
+    const index_type rows = a.rows();
+    req.b = work::random_rhs<T>(items, rows, rhs_seed);
+    req.x = mat::batch_dense<T>(items, rows, 1);
+    req.a = std::move(a);
+    req.opts = opts;
+    return req;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Storage-precision policy basics.
+// ---------------------------------------------------------------------
+
+TEST(MixedPrecision, EffectiveStorageCollapsesForNarrowComputeTypes)
+{
+    // fp32 storage under float compute stores nothing smaller — the
+    // policy collapses to native so no conversion machinery engages.
+    EXPECT_EQ(mat::effective_storage<float>(mat::storage_precision::fp32),
+              mat::storage_precision::native);
+    EXPECT_EQ(mat::effective_storage<double>(mat::storage_precision::fp32),
+              mat::storage_precision::fp32);
+    EXPECT_EQ(
+        mat::effective_storage<double>(mat::storage_precision::native),
+        mat::storage_precision::native);
+}
+
+TEST(MixedPrecision, Fp32StorageHalvesValueBytesInEveryFormat)
+{
+    const mat::batch_csr<double> csr = work::stencil_3pt<double>(2, 32, 5);
+    mat::batch_csr<double> csr32 = csr;
+    csr32.set_storage_precision(mat::storage_precision::fp32);
+    EXPECT_EQ(csr32.value_bytes_per_item() * 2, csr.value_bytes_per_item());
+
+    const mat::batch_ell<double> ell = mat::to_ell(csr);
+    mat::batch_ell<double> ell32 = ell;
+    ell32.set_storage_precision(mat::storage_precision::fp32);
+    EXPECT_EQ(ell32.value_bytes_per_item() * 2, ell.value_bytes_per_item());
+
+    const mat::batch_dense<double> dn = mat::to_dense(csr);
+    mat::batch_dense<double> dn32 = dn;
+    dn32.set_storage_precision(mat::storage_precision::fp32);
+    EXPECT_EQ(dn32.value_bytes_per_item() * 2, dn.value_bytes_per_item());
+
+    // Compression is an exact narrow of every stored value.
+    for (index_type i = 0; i < csr.num_batch_items(); ++i) {
+        const float* v32 = csr32.item_values_fp32(i);
+        const double* v = csr.item_values(i);
+        for (index_type k = 0; k < csr.nnz(); ++k) {
+            EXPECT_EQ(v32[k], static_cast<float>(v[k]));
+        }
+    }
+}
+
+TEST(MixedPrecision, Fp32StorageReducesStreamedMatrixBytes)
+{
+    // The same solve, forced to the same iteration count, streams fewer
+    // constant (matrix/precond payload) bytes under fp32 storage — the
+    // counter reduction the perfmodel roofline consumes.
+    const mat::batch_csr<double> csr =
+        work::generate_mechanism_batch<double>(
+            work::pele_mechanisms().front(), 8, 11);
+    const solver::batch_matrix<double> a = csr;
+    const auto b = work::random_rhs<double>(8, csr.rows(), 12);
+
+    solver::solve_options opts = chem_opts();
+    // Fixed budget, unreachable absolute tolerance: both runs execute
+    // exactly max_iterations, so the byte counters compare like for like.
+    opts.criterion = stop::absolute(1e-300, 20);
+
+    xpu::queue qn(xpu::make_sycl_policy());
+    mat::batch_dense<double> xn(8, csr.rows(), 1);
+    opts.storage = mat::storage_precision::native;
+    const auto native = solver::solve(qn, a, b, xn, opts);
+
+    xpu::queue qc(xpu::make_sycl_policy());
+    mat::batch_dense<double> xc(8, csr.rows(), 1);
+    opts.storage = mat::storage_precision::fp32;
+    const auto compressed = solver::solve(qc, a, b, xc, opts);
+
+    EXPECT_LT(compressed.stats.constant_read_bytes,
+              native.stats.constant_read_bytes);
+    // Arithmetic stays FP64: flops are unchanged by the storage policy.
+    EXPECT_EQ(compressed.stats.flops, native.stats.flops);
+}
+
+TEST(MixedPrecision, Fp32StorageFloorsTrueResidualBelowFp64Target)
+{
+    // The motivation for refinement: the compressed solve satisfies its
+    // own (recursive) criterion, but the TRUE residual floors near fp32
+    // epsilon — well short of what native storage delivers.
+    const mat::batch_csr<double> csr =
+        work::generate_mechanism_batch<double>(
+            work::pele_mechanisms().back(), 16, 21);
+    const solver::batch_matrix<double> a = csr;
+    const auto b = work::random_rhs<double>(16, csr.rows(), 22);
+
+    solver::solve_options opts = chem_opts(1e-9);
+
+    xpu::queue qn(xpu::make_sycl_policy());
+    mat::batch_dense<double> xn(16, csr.rows(), 1);
+    opts.storage = mat::storage_precision::native;
+    ASSERT_EQ(solver::solve(qn, a, b, xn, opts).log.num_converged(), 16);
+    const double native_worst = worst_true_residual(a, b, xn);
+
+    xpu::queue qc(xpu::make_sycl_policy());
+    mat::batch_dense<double> xc(16, csr.rows(), 1);
+    opts.storage = mat::storage_precision::fp32;
+    ASSERT_EQ(solver::solve(qc, a, b, xc, opts).log.num_converged(), 16);
+    const double compressed_worst = worst_true_residual(a, b, xc);
+
+    EXPECT_LE(native_worst, 1e-8);
+    EXPECT_GT(compressed_worst, 1e-8);  // floored near fp32 epsilon
+}
+
+// ---------------------------------------------------------------------
+// Iterative refinement.
+// ---------------------------------------------------------------------
+
+TEST(Refine, RestoresFp64AccuracyOnChemistryMatrices)
+{
+    // The acceptance criterion of the mixed-precision path: on every
+    // Table 4 mechanism, fp32 storage plus refinement meets the same
+    // FP64 tolerance a native solve does.
+    for (const work::mechanism& mech : work::pele_mechanisms()) {
+        const mat::batch_csr<double> csr =
+            work::generate_mechanism_batch<double>(mech, 8, 31);
+        const solver::batch_matrix<double> a = csr;
+        const auto b = work::random_rhs<double>(8, csr.rows(), 32);
+        mat::batch_dense<double> x(8, csr.rows(), 1);
+
+        solver::solve_options opts = chem_opts(1e-9);
+        opts.storage = mat::storage_precision::fp32;
+
+        xpu::queue q(xpu::make_sycl_policy());
+        const solver::refined_result rr =
+            solver::solve_refined(q, a, b, x, opts);
+
+        EXPECT_EQ(rr.log.num_converged(), 8) << mech.name;
+        EXPECT_FALSE(rr.fell_back) << mech.name;
+        EXPECT_GE(rr.sweeps, 1) << mech.name;
+        EXPECT_LE(worst_true_residual(a, b, x), 1e-9) << mech.name;
+        ASSERT_EQ(rr.true_residuals.size(), 8u);
+        for (const double r : rr.true_residuals) {
+            EXPECT_LE(r, 1e-9) << mech.name;
+        }
+    }
+}
+
+TEST(Refine, NativeEffectiveStorageIsAPlainSolveWithReport)
+{
+    const mat::batch_csr<double> csr = work::stencil_3pt<double>(4, 48, 41);
+    const solver::batch_matrix<double> a = csr;
+    const auto b = work::random_rhs<double>(4, 48, 42);
+    mat::batch_dense<double> x(4, 48, 1);
+
+    solver::solve_options opts = chem_opts(1e-10);
+    opts.storage = mat::storage_precision::native;
+
+    xpu::queue q(xpu::make_sycl_policy());
+    const solver::refined_result rr =
+        solver::solve_refined(q, a, b, x, opts);
+    EXPECT_EQ(rr.sweeps, 0);
+    EXPECT_FALSE(rr.fell_back);
+    EXPECT_EQ(rr.log.num_converged(), 4);
+    EXPECT_LE(worst_true_residual(a, b, x), 1e-10);
+}
+
+TEST(Refine, StallDemotesToNativeStorageFallback)
+{
+    // Zero correction sweeps allowed: the compressed inner solve cannot
+    // reach the FP64 target on its own, so refinement must demote to the
+    // native-storage resilience chain — and still deliver full accuracy.
+    const mat::batch_csr<double> csr =
+        work::generate_mechanism_batch<double>(
+            work::pele_mechanisms().front(), 6, 51);
+    const solver::batch_matrix<double> a = csr;
+    const auto b = work::random_rhs<double>(6, csr.rows(), 52);
+    mat::batch_dense<double> x(6, csr.rows(), 1);
+
+    solver::solve_options opts = chem_opts(1e-9);
+    opts.storage = mat::storage_precision::fp32;
+    solver::refine_options ropts;
+    ropts.max_sweeps = 0;
+
+    xpu::queue q(xpu::make_sycl_policy());
+    const solver::refined_result rr =
+        solver::solve_refined(q, a, b, x, opts, ropts);
+    EXPECT_TRUE(rr.fell_back);
+    EXPECT_EQ(rr.log.num_converged(), 6);
+    EXPECT_LE(worst_true_residual(a, b, x), 1e-9);
+}
+
+TEST(Refine, DisabledFallbackReportsHonestNonConvergence)
+{
+    const mat::batch_csr<double> csr =
+        work::generate_mechanism_batch<double>(
+            work::pele_mechanisms().front(), 4, 61);
+    const solver::batch_matrix<double> a = csr;
+    const auto b = work::random_rhs<double>(4, csr.rows(), 62);
+    mat::batch_dense<double> x(4, csr.rows(), 1);
+
+    solver::solve_options opts = chem_opts(1e-12);
+    opts.storage = mat::storage_precision::fp32;
+    solver::refine_options ropts;
+    ropts.max_sweeps = 0;  // target unreachable without sweeps
+    ropts.fallback_to_native = false;
+
+    xpu::queue q(xpu::make_sycl_policy());
+    const solver::refined_result rr =
+        solver::solve_refined(q, a, b, x, opts, ropts);
+    EXPECT_FALSE(rr.fell_back);
+    // Statuses are judged on the TRUE residual, so the fp32 floor shows
+    // up as honest non-convergence rather than a false "converged".
+    EXPECT_LT(rr.log.num_converged(), 4);
+}
+
+// ---------------------------------------------------------------------
+// Serve integration.
+// ---------------------------------------------------------------------
+
+TEST(MixedPrecision, ServeRepliesBitIdenticalToSoloUnderFp32Storage)
+{
+    solver::solve_options opts = chem_opts(1e-8);
+    opts.storage = mat::storage_precision::fp32;
+
+    struct spec {
+        index_type items;
+        std::uint64_t seed;
+    };
+    const std::vector<spec> specs = {{3, 71}, {1, 72}, {2, 73}};
+
+    // Reference: solo compressed solves, one fresh queue each.
+    std::vector<mat::batch_dense<double>> want_x;
+    for (const spec& s : specs) {
+        const solver::batch_matrix<double> a =
+            work::stencil_3pt<double>(s.items, 24, s.seed);
+        const auto b = work::random_rhs<double>(s.items, 24, s.seed + 100);
+        mat::batch_dense<double> x(s.items, 24, 1);
+        xpu::queue q(xpu::make_sycl_policy());
+        ASSERT_EQ(solver::solve(q, a, b, x, opts).log.num_converged(),
+                  s.items);
+        want_x.push_back(std::move(x));
+    }
+
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_wait = milliseconds(20);
+    serve::solve_service service(xpu::make_sycl_policy(), cfg);
+    std::vector<serve::solve_service::ticket<double>> tickets;
+    for (const spec& s : specs) {
+        tickets.push_back(service.submit(make_request(
+            work::stencil_3pt<double>(s.items, 24, s.seed), opts,
+            s.seed + 100)));
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        serve::solve_reply<double> reply = tickets[i].get();
+        ASSERT_EQ(reply.status, serve::request_status::ok) << reply.error;
+        // submit() compressed the request's matrix in place; the reply
+        // hands it back in that (recyclable) compressed form.
+        std::visit(
+            [](const auto& m) {
+                EXPECT_EQ(m.storage_mode(), mat::storage_precision::fp32);
+            },
+            reply.a);
+        EXPECT_EQ(reply.x.values(), want_x[i].values()) << "req=" << i;
+    }
+}
+
+TEST(MixedPrecision, CoalescingNeverMixesStoragePolicies)
+{
+    // Unit level: the pattern matches but the storage modes differ, so
+    // the batcher must refuse to fuse.
+    const mat::batch_csr<double> csr = work::stencil_3pt<double>(2, 20, 81);
+    solver::batch_matrix<double> native = csr;
+    mat::batch_csr<double> c32 = csr;
+    c32.set_storage_precision(mat::storage_precision::fp32);
+    solver::batch_matrix<double> compressed = c32;
+    EXPECT_TRUE(solver::same_shape(native, compressed));
+    EXPECT_FALSE(solver::can_coalesce(native, compressed));
+    EXPECT_TRUE(solver::can_coalesce(native, native));
+    EXPECT_TRUE(solver::can_coalesce(compressed, compressed));
+
+    // The grouping hash separates the policies (and refined traffic)
+    // before the exact check even runs.
+    solver::solve_options n_opts = chem_opts();
+    n_opts.storage = mat::storage_precision::native;
+    solver::solve_options f_opts = chem_opts();
+    f_opts.storage = mat::storage_precision::fp32;
+    solver::solve_options r_opts = f_opts;
+    r_opts.refine_sweeps = 2;
+    EXPECT_NE(serve::detail::coalesce_key<double>(native, n_opts),
+              serve::detail::coalesce_key<double>(compressed, f_opts));
+    EXPECT_NE(serve::detail::coalesce_key<double>(native, f_opts),
+              serve::detail::coalesce_key<double>(native, r_opts));
+
+    // Service level: same pattern, mixed policies, one worker holding a
+    // generous window — the fused launches stay homogeneous.
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_wait = milliseconds(20);
+    serve::solve_service service(xpu::make_sycl_policy(), cfg);
+    std::vector<serve::solve_service::ticket<double>> tickets;
+    for (int i = 0; i < 2; ++i) {
+        tickets.push_back(service.submit(make_request(
+            work::stencil_3pt<double>(2, 20, 81), n_opts, 90 + i)));
+        tickets.push_back(service.submit(make_request(
+            work::stencil_3pt<double>(2, 20, 81), f_opts, 90 + i)));
+    }
+    for (auto& t : tickets) {
+        const auto reply = t.get();
+        ASSERT_EQ(reply.status, serve::request_status::ok) << reply.error;
+        // A fused launch of both policies would carry all 8 systems.
+        EXPECT_LE(reply.fused_systems, 4);
+    }
+    service.drain();
+    EXPECT_GE(service.stats().batches_launched, 2u);
+}
+
+TEST(Refine, ServeRoutesRefinedRequestsAndCountsSweeps)
+{
+    solver::solve_options opts = chem_opts(1e-9);
+    opts.storage = mat::storage_precision::fp32;
+    opts.refine_sweeps = 3;
+
+    const mat::batch_csr<double> csr =
+        work::generate_mechanism_batch<double>(
+            work::pele_mechanisms().front(), 4, 91);
+    const solver::batch_matrix<double> a = csr;
+
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_wait = milliseconds(10);
+    serve::solve_service service(xpu::make_sycl_policy(), cfg);
+
+    auto ticket =
+        service.submit(make_request(mat::batch_csr<double>(csr), opts, 92));
+    const auto reply = ticket.get();
+    ASSERT_EQ(reply.status, serve::request_status::ok) << reply.error;
+    EXPECT_EQ(reply.log.num_converged(), 4);
+    // Refined requests keep their native matrix (the FP64 residuals need
+    // the native bits); only unrefined fp32 traffic is compressed.
+    std::visit(
+        [](const auto& m) {
+            EXPECT_EQ(m.storage_mode(), mat::storage_precision::native);
+        },
+        reply.a);
+
+    // The refined request really met the FP64 target.
+    mat::batch_dense<double> x(4, csr.rows(), 1);
+    std::copy(reply.x.values().begin(), reply.x.values().end(),
+              x.values().begin());
+    const auto b = work::random_rhs<double>(4, csr.rows(), 92);
+    EXPECT_LE(worst_true_residual(a, b, x), 1e-9);
+
+    service.drain();
+    const serve::service_stats s = service.stats();
+    EXPECT_EQ(s.refined_batches, 1u);
+    EXPECT_GE(s.refine_sweeps, 1u);
+    EXPECT_EQ(s.refine_fallbacks, 0u);
+}
+
+TEST(Refine, InjectedLaunchFaultOnRefinedBatchIsRetried)
+{
+    // A device fault during the refined batch's inner solve surfaces as
+    // xpu::device_error; the serve retry ladder re-runs the whole
+    // refinement and the request still resolves ok with FP64 accuracy.
+    solver::solve_options opts = chem_opts(1e-9);
+    opts.storage = mat::storage_precision::fp32;
+    opts.refine_sweeps = 3;
+
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_wait = milliseconds(0);
+    cfg.launch_retries = 2;
+    cfg.retry_backoff = microseconds(1);
+    serve::solve_service service(faulted_policy({0}), cfg);
+
+    const mat::batch_csr<double> csr =
+        work::generate_mechanism_batch<double>(
+            work::pele_mechanisms().front(), 3, 95);
+    auto ticket =
+        service.submit(make_request(mat::batch_csr<double>(csr), opts, 96));
+    const auto reply = ticket.get();
+    ASSERT_EQ(reply.status, serve::request_status::ok) << reply.error;
+    EXPECT_GE(reply.attempts, 2);
+    EXPECT_EQ(reply.log.num_converged(), 3);
+
+    service.drain();
+    const serve::service_stats s = service.stats();
+    EXPECT_GE(s.launch_faults, 1u);
+    EXPECT_GE(s.refined_batches, 1u);
+    EXPECT_EQ(s.failed_requests, 0u);
+}

@@ -39,6 +39,9 @@ struct cli_options {
     index_type restart = 20;
     index_type block_size = 4;
     std::uint64_t seed = 42;
+    /// Empty keeps the library default (BATCHLIN_STORAGE env or native).
+    std::string storage;
+    index_type refine_sweeps = 0;
     bool verify = false;
     bool json = false;
     bool serve = false;
@@ -68,6 +71,10 @@ struct cli_options {
         "  --restart M     GMRES restart                  [20]\n"
         "  --block-size B  block-Jacobi block size        [4]\n"
         "  --seed S        workload seed                  [42]\n"
+        "  --storage-precision P  native|fp32 matrix/precond storage\n"
+        "                  [BATCHLIN_STORAGE env, else native]\n"
+        "  --refine-sweeps N  iterative-refinement sweeps recovering FP64\n"
+        "                  accuracy on fp32 storage (0 = off)  [0]\n"
         "  --verify        compute and report true residuals\n"
         "  --json          machine-readable output\n"
         "  --serve         route the batch through serve::solve_service\n"
@@ -122,6 +129,10 @@ cli_options parse(int argc, char** argv)
             o.block_size = std::atoi(next());
         } else if (arg == "--seed") {
             o.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--storage-precision") {
+            o.storage = next();
+        } else if (arg == "--refine-sweeps") {
+            o.refine_sweeps = std::atoi(next());
         } else if (arg == "--verify") {
             o.verify = true;
         } else if (arg == "--json") {
@@ -170,6 +181,14 @@ solver::solver_type parse_solver(const std::string& s)
     if (s == "richardson") return solver::solver_type::richardson;
     if (s == "trsv") return solver::solver_type::trsv;
     BATCHLIN_ENSURE_MSG(false, "unknown solver: " + s);
+    return {};
+}
+
+mat::storage_precision parse_storage(const std::string& s)
+{
+    if (s == "native") return mat::storage_precision::native;
+    if (s == "fp32") return mat::storage_precision::fp32;
+    BATCHLIN_ENSURE_MSG(false, "unknown storage precision: " + s);
     return {};
 }
 
@@ -257,6 +276,13 @@ log::batch_log solve_via_service(const cli_options& o,
                     "%.0f solves/sec\n",
                     s.p50_latency_seconds * 1e3, s.p99_latency_seconds * 1e3,
                     s.solves_per_sec);
+        if (s.refined_batches > 0) {
+            std::printf("serve:    %llu refined batches, %llu correction "
+                        "sweeps, %llu native fallbacks\n",
+                        static_cast<unsigned long long>(s.refined_batches),
+                        static_cast<unsigned long long>(s.refine_sweeps),
+                        static_cast<unsigned long long>(s.refine_fallbacks));
+        }
     }
     return log;
 }
@@ -289,6 +315,10 @@ try {
                                 : stop::relative(o.tol, o.max_iters);
     opts.gmres_restart = o.restart;
     opts.block_jacobi_size = o.block_size;
+    if (!o.storage.empty()) {
+        opts.storage = parse_storage(o.storage);
+    }
+    opts.refine_sweeps = o.refine_sweeps;
 
     if (o.serve) {
         BATCHLIN_ENSURE_MSG(o.format == "csr",
@@ -323,6 +353,56 @@ try {
             }
         }
         return log.num_converged() == items ? EXIT_SUCCESS : 1;
+    }
+
+    if (o.refine_sweeps > 0) {
+        // Refined solo path: the iterative-refinement driver runs a
+        // convergence-dependent number of launches, so the single-launch
+        // device projection does not apply — report the refinement
+        // outcome instead.
+        xpu::queue q(perf::device_by_name(o.device).make_policy());
+        solver::refine_options ropts;
+        ropts.max_sweeps = o.refine_sweeps;
+        const solver::refined_result rr =
+            solver::solve_refined(q, a, b, x, opts, ropts);
+        double worst = 0.0;
+        for (const double r : rr.true_residuals) {
+            worst = std::max(worst, r);
+        }
+        if (o.json) {
+            std::printf(
+                "{\"input\":\"%s\",\"rows\":%d,\"batch\":%d,"
+                "\"solver\":\"%s\",\"precond\":\"%s\",\"mode\":\"refined\","
+                "\"storage\":\"%s\",\"converged\":%d,\"mean_iters\":%.2f,"
+                "\"max_iters\":%d,\"sweeps\":%d,\"fell_back\":%s,"
+                "\"worst_true_rel_residual\":%.3e}\n",
+                o.input.c_str(), rows, items, o.solver.c_str(),
+                o.precond.c_str(),
+                opts.storage == mat::storage_precision::fp32 ? "fp32"
+                                                             : "native",
+                rr.log.num_converged(), rr.log.mean_iterations(),
+                rr.log.max_iterations(), rr.sweeps,
+                rr.fell_back ? "true" : "false", worst);
+        } else {
+            std::printf("workload: %s, %d systems of %dx%d (nnz %d), "
+                        "format %s\n",
+                        o.input.c_str(), items, rows, rows, csr.nnz(),
+                        o.format.c_str());
+            std::printf("refined:  %s storage, %d correction sweeps%s\n",
+                        opts.storage == mat::storage_precision::fp32
+                            ? "fp32"
+                            : "native",
+                        rr.sweeps,
+                        rr.fell_back ? ", fell back to native" : "");
+            std::printf("result:   %d/%d converged, iterations "
+                        "min/mean/max = %d/%.1f/%d\n",
+                        rr.log.num_converged(), items,
+                        rr.log.min_iterations(), rr.log.mean_iterations(),
+                        rr.log.max_iterations());
+            std::printf("verify:   worst true relative residual %.3e\n",
+                        worst);
+        }
+        return rr.log.num_converged() == items ? EXIT_SUCCESS : 1;
     }
 
     batch_solver handle(perf::device_by_name(o.device), opts);
