@@ -6,12 +6,18 @@
 // one Aurora node and reports the modeled speedup and parallel
 // efficiency; the only loss is the fixed scatter/gather overhead, so the
 // efficiency is governed by the per-rank batch staying large enough.
+//
+// The node's devices are enumerated through `shard::registry` — the same
+// registry the sharded serve layer runs on — so the repo has exactly one
+// device-enumeration path rather than ad-hoc per-bench device lists.
 #include <cstdio>
 
 #include "common.hpp"
 #include "perfmodel/cluster.hpp"
+#include "shard/registry.hpp"
 
 using namespace bench;
+namespace shard = batchlin::shard;
 
 int main()
 {
@@ -42,8 +48,12 @@ int main()
         profile.constant_footprint_per_system =
             m.constant_bytes_per_system;
         for (index_type gpus = 1; gpus <= 6; ++gpus) {
-            const perf::cluster_time t = perf::estimate_cluster_time(
-                perf::aurora_node(gpus), profile);
+            const shard::registry node = shard::registry::uniform(
+                gpus, "PVC-2S", perf::pvc_2s().make_policy());
+            perf::cluster_spec cluster = perf::aurora_node(node.size());
+            cluster.device = node.at(0).spec;
+            const perf::cluster_time t =
+                perf::estimate_cluster_time(cluster, profile);
             std::printf("%8d | %14d | %12.3f | %8.2fx | %10.1f%%\n", gpus,
                         t.max_items_per_device, t.total_seconds * 1e3,
                         t.speedup, t.efficiency * 100.0);

@@ -85,35 +85,42 @@ struct cell_result {
     unsigned long long rebind_only = 0;
 };
 
-/// Closed-loop measurement of one (mode, clients) cell: each client owns
-/// one request's storage and re-submits as soon as its reply lands.
-cell_result run_cell(const mode_spec& mode, int clients, double min_time,
-                     double launch_latency_us)
-{
-    serve::service_config cfg;
-    cfg.workers = 2;
-    cfg.max_batch = mode.max_batch;
-    cfg.max_wait = mode.max_wait;
-    cfg.max_queue_systems = 4096;
-    xpu::exec_policy policy = xpu::make_sycl_policy();
-    policy.emulated_launch_us = launch_latency_us;
-    // Graph costs scale with the same device model: replaying a finalized
-    // graph on the PVC costs graph_replay_us instead of the eager launch,
-    // and the one-time finalize costs graph_finalize_us. With launch
-    // emulation off, graph emulation is off too.
-    if (launch_latency_us > 0.0) {
-        const perf::device_spec pvc = perf::pvc_1s();
-        policy.emulated_replay_us = pvc.graph_replay_us;
-        policy.emulated_record_us = pvc.graph_finalize_us;
-    }
-    policy.launch_mode = mode.launch;
-    serve::solve_service service(policy, cfg);
+/// One cell of the shard-count sweep: the persistent-mode service spread
+/// over N explicit PVC-1S shards (each charging the modeled 8 us launch
+/// cost), under the same closed-loop traffic.
+struct shard_cell_result {
+    double wall_sps = 0.0;
+    /// Aggregate modeled throughput: completed systems over the busiest
+    /// shard's modeled device-busy time. On this single-core host every
+    /// shard's work serializes onto one CPU, so wall time cannot show
+    /// device scaling; the cost model applied to the launches that
+    /// actually ran can (the same convention the launch-mode benches use
+    /// for device-side costs).
+    double modeled_sps = 0.0;
+    double mean_batch = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    long requests = 0;
+    unsigned long long steals = 0;
+    double max_modeled_busy_seconds = 0.0;
+    unsigned long long completed_systems = 0;
+};
 
+solver::solve_options bench_opts()
+{
     solver::solve_options opts;
     opts.solver = solver::solver_type::cg;
     opts.preconditioner = precond::type::jacobi;
     opts.criterion = stop::relative(1e-6, 100);
+    return opts;
+}
 
+/// Drives the closed-loop traffic against `service`: warms up 100 ms,
+/// then counts completions over `min_time` seconds of wall clock.
+void run_traffic(serve::solve_service& service, int clients,
+                 double min_time, long& measured, double& elapsed)
+{
+    const solver::solve_options opts = bench_opts();
     std::atomic<bool> running{true};
     std::atomic<long> completed{0};
     std::vector<std::thread> pool;
@@ -171,12 +178,41 @@ cell_result run_cell(const mode_spec& mode, int clients, double min_time,
     const long warm = completed.load();
     wall_timer timer;
     std::this_thread::sleep_for(std::chrono::duration<double>(min_time));
-    const long measured = completed.load() - warm;
-    const double elapsed = timer.seconds();
+    measured = completed.load() - warm;
+    elapsed = timer.seconds();
     running.store(false);
     for (std::thread& t : pool) {
         t.join();
     }
+}
+
+/// Closed-loop measurement of one (mode, clients) cell: each client owns
+/// one request's storage and re-submits as soon as its reply lands.
+cell_result run_cell(const mode_spec& mode, int clients, double min_time,
+                     double launch_latency_us)
+{
+    serve::service_config cfg;
+    cfg.workers = 2;
+    cfg.max_batch = mode.max_batch;
+    cfg.max_wait = mode.max_wait;
+    cfg.max_queue_systems = 4096;
+    xpu::exec_policy policy = xpu::make_sycl_policy();
+    policy.emulated_launch_us = launch_latency_us;
+    // Graph costs scale with the same device model: replaying a finalized
+    // graph on the PVC costs graph_replay_us instead of the eager launch,
+    // and the one-time finalize costs graph_finalize_us. With launch
+    // emulation off, graph emulation is off too.
+    if (launch_latency_us > 0.0) {
+        const perf::device_spec pvc = perf::pvc_1s();
+        policy.emulated_replay_us = pvc.graph_replay_us;
+        policy.emulated_record_us = pvc.graph_finalize_us;
+    }
+    policy.launch_mode = mode.launch;
+    serve::solve_service service(policy, cfg);
+
+    long measured = 0;
+    double elapsed = 1.0;
+    run_traffic(service, clients, min_time, measured, elapsed);
 
     const serve::service_stats s = service.stats();
     cell_result out;
@@ -189,6 +225,84 @@ cell_result run_cell(const mode_spec& mode, int clients, double min_time,
     out.replays = s.replays;
     out.rebind_only = s.rebind_only;
     return out;
+}
+
+/// One shard-sweep cell: persistent mode over `shards` explicit PVC-1S
+/// devices, one worker per shard so the worker count scales with the
+/// fleet exactly as the paper's one-rank-per-device setup does.
+shard_cell_result run_shard_cell(int shards, int clients, double min_time)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 32;
+    cfg.max_wait = std::chrono::microseconds{300};
+    cfg.max_queue_systems = 4096;
+    cfg.shard_devices.assign(static_cast<std::size_t>(shards), "pvc1s");
+    xpu::exec_policy policy = xpu::make_sycl_policy();
+    policy.launch_mode = xpu::launch_mode::persistent;
+    serve::solve_service service(policy, cfg);
+
+    long measured = 0;
+    double elapsed = 1.0;
+    run_traffic(service, clients, min_time, measured, elapsed);
+    service.drain();
+
+    const serve::service_stats s = service.stats();
+    shard_cell_result out;
+    out.wall_sps = static_cast<double>(measured) / elapsed;
+    out.mean_batch = s.mean_batch_size;
+    out.p50_ms = s.p50_latency_seconds * 1e3;
+    out.p99_ms = s.p99_latency_seconds * 1e3;
+    out.requests = measured;
+    out.steals = s.steals;
+    out.completed_systems = s.completed_systems;
+    for (const serve::shard_stats& ss : s.shards) {
+        out.max_modeled_busy_seconds =
+            std::max(out.max_modeled_busy_seconds, ss.modeled_busy_seconds);
+    }
+    if (out.max_modeled_busy_seconds > 0.0) {
+        out.modeled_sps = static_cast<double>(s.completed_systems) /
+                          out.max_modeled_busy_seconds;
+    }
+    return out;
+}
+
+/// Solves one fixed request mix on an N-shard service and returns every
+/// solution value in submission order — the acceptance probe that shard
+/// placement and stealing never perturb results.
+std::vector<double> solve_mix_on_shards(int shards)
+{
+    serve::service_config cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 16;
+    cfg.shard_devices.assign(static_cast<std::size_t>(shards), "pvc1s");
+    xpu::exec_policy policy = xpu::make_sycl_policy();
+    policy.launch_mode = xpu::launch_mode::persistent;
+    serve::solve_service service(policy, cfg);
+
+    const solver::solve_options opts = bench_opts();
+    std::vector<serve::solve_service::ticket<double>> tickets;
+    for (int wave = 0; wave < 4; ++wave) {
+        for (const index_type rows : {8, 16, 24, 32}) {
+            serve::solve_request<double> req;
+            req.a = work::stencil_3pt<double>(
+                2, rows, 31 + static_cast<std::uint64_t>(rows));
+            req.b = work::random_rhs<double>(
+                2, rows, 63 + static_cast<std::uint64_t>(rows));
+            req.x = mat::batch_dense<double>(2, rows, 1);
+            req.opts = opts;
+            tickets.push_back(service.submit(std::move(req)));
+        }
+    }
+    std::vector<double> values;
+    for (auto& ticket : tickets) {
+        serve::solve_reply<double> reply = ticket.get();
+        for (index_type i = 0; i < reply.x.num_batch_items(); ++i) {
+            const double* v = reply.x.item_values(i);
+            values.insert(values.end(), v, v + reply.x.rows());
+        }
+    }
+    return values;
 }
 
 }  // namespace
@@ -238,6 +352,50 @@ int main(int argc, char** argv)
                         r.mean_batch, r.p50_ms, r.p99_ms);
         }
     }
+
+    // Shard-count sweep: the same persistent-mode stack spread over 1, 2,
+    // and 4 explicit PVC-1S shards (§4.2's one-stack-to-many scaling shape
+    // through the serving path).
+    constexpr int kShardCounts[] = {1, 2, 4};
+    constexpr int kShardClients[] = {16, 64};
+    std::printf("\nShard sweep: persistent mode, 1 worker/shard, explicit "
+                "PVC-1S devices\n");
+    std::printf("%8s | %8s | %13s | %15s | %9s | %7s\n", "shards", "clients",
+                "wall sps", "modeled agg sps", "p99 ms", "steals");
+    rule(76);
+    shard_cell_result shard_results[std::size(kShardCounts)]
+                                   [std::size(kShardClients)];
+    for (std::size_t si = 0; si < std::size(kShardCounts); ++si) {
+        for (std::size_t c = 0; c < std::size(kShardClients); ++c) {
+            shard_results[si][c] = run_shard_cell(
+                kShardCounts[si], kShardClients[c], min_time);
+            const shard_cell_result& r = shard_results[si][c];
+            std::printf("%8d | %8d | %13.1f | %15.1f | %9.3f | %7llu\n",
+                        kShardCounts[si], kShardClients[c], r.wall_sps,
+                        r.modeled_sps, r.p99_ms, r.steals);
+        }
+    }
+    const std::size_t stop_c = std::size(kShardClients) - 1;
+    const auto modeled_scaling = [&](std::size_t si) {
+        return shard_results[0][stop_c].modeled_sps > 0.0
+                   ? shard_results[si][stop_c].modeled_sps /
+                         shard_results[0][stop_c].modeled_sps
+                   : 0.0;
+    };
+    const double scaling_2 = modeled_scaling(1);
+    const double scaling_4 = modeled_scaling(2);
+    const bool shard_bits_identical =
+        solve_mix_on_shards(1) == solve_mix_on_shards(2) &&
+        solve_mix_on_shards(1) == solve_mix_on_shards(4);
+    rule(76);
+    std::printf("modeled aggregate scaling at %d clients: "
+                "1->2 shards %.2fx, 1->4 shards %.2fx\n",
+                kShardClients[stop_c], scaling_2, scaling_4);
+    std::printf("p99 at %d clients: 1 shard %.3f ms, 2 shards %.3f ms\n",
+                kShardClients[stop_c], shard_results[0][stop_c].p99_ms,
+                shard_results[1][stop_c].p99_ms);
+    std::printf("bit-identical results across 1/2/4 shards: %s\n",
+                shard_bits_identical ? "yes" : "NO");
 
     const std::size_t top = std::size(kClients) - 1;
     const auto ratio_at_top = [&](std::size_t num, std::size_t den) {
@@ -296,6 +454,46 @@ int main(int argc, char** argv)
             }
         }
         std::fprintf(f, "  ],\n");
+        std::fprintf(f, "  \"shard_sweep\": [\n");
+        for (std::size_t si = 0; si < std::size(kShardCounts); ++si) {
+            for (std::size_t c = 0; c < std::size(kShardClients); ++c) {
+                const shard_cell_result& r = shard_results[si][c];
+                std::fprintf(
+                    f,
+                    "    {\"shards\": %d, \"clients\": %d, "
+                    "\"wall_solves_per_sec\": %.1f, "
+                    "\"modeled_aggregate_solves_per_sec\": %.1f, "
+                    "\"max_modeled_busy_seconds\": %.4f, "
+                    "\"completed_systems\": %llu, "
+                    "\"mean_batch_size\": %.2f, \"p50_latency_ms\": %.3f, "
+                    "\"p99_latency_ms\": %.3f, \"steals\": %llu}%s\n",
+                    kShardCounts[si], kShardClients[c], r.wall_sps,
+                    r.modeled_sps, r.max_modeled_busy_seconds,
+                    r.completed_systems, r.mean_batch, r.p50_ms, r.p99_ms,
+                    r.steals,
+                    si + 1 == std::size(kShardCounts) &&
+                            c + 1 == std::size(kShardClients)
+                        ? ""
+                        : ",");
+            }
+        }
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f,
+                     "  \"modeled_scaling_2_shards_at_%d_clients\": %.3f,\n",
+                     kShardClients[stop_c], scaling_2);
+        std::fprintf(f,
+                     "  \"modeled_scaling_4_shards_at_%d_clients\": %.3f,\n",
+                     kShardClients[stop_c], scaling_4);
+        std::fprintf(f,
+                     "  \"p99_ms_1_shard_at_%d_clients\": %.3f,\n",
+                     kShardClients[stop_c],
+                     shard_results[0][stop_c].p99_ms);
+        std::fprintf(f,
+                     "  \"p99_ms_2_shards_at_%d_clients\": %.3f,\n",
+                     kShardClients[stop_c],
+                     shard_results[1][stop_c].p99_ms);
+        std::fprintf(f, "  \"bit_identical_across_shard_counts\": %s,\n",
+                     shard_bits_identical ? "true" : "false");
         std::fprintf(f,
                      "  \"speedup_coalesced_vs_batch1_at_%d_clients\": "
                      "%.3f,\n",

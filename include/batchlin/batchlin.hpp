@@ -3,7 +3,8 @@
 //
 // Umbrella header: includes the entire public API. Fine-grained headers
 // are available under the src/ module directories (util/, xpu/, matrix/,
-// blas/, precond/, stop/, log/, solver/, perfmodel/, workload/).
+// blas/, precond/, stop/, log/, solver/, serve/, shard/, perfmodel/,
+// workload/).
 #pragma once
 
 // Utilities
@@ -66,6 +67,11 @@
 // Dynamic-batching solve service
 #include "serve/service.hpp"
 #include "serve/stats.hpp"
+
+// Multi-device sharded serving (device registry, cost-model routing)
+#include "shard/lane.hpp"
+#include "shard/registry.hpp"
+#include "shard/router.hpp"
 
 // Performance model and roofline analysis
 #include "perfmodel/cluster.hpp"

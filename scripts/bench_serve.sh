@@ -5,7 +5,10 @@
 # direct launches), graph_replay (coalesced + recorded command graphs), and
 # persistent (workers consuming the lock-free ring, no per-batch wakeups).
 # Headline numbers: speedup_coalesced_vs_batch1 and
-# speedup_persistent_vs_coalesced at the highest load.
+# speedup_persistent_vs_coalesced at the highest load. A shard-count sweep
+# (1/2/4 explicit PVC-1S shards, persistent mode) follows, reporting wall
+# and modeled-aggregate solves/sec, the 1->2 scaling factor, p99, and the
+# bit-identity probe across shard counts.
 #
 # Usage: scripts/bench_serve.sh [build-dir]
 set -euo pipefail

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Builds and tests the seven verification configs:
+# Builds and tests the eight verification configs:
 #  1. the default Release build (tier-1: what CI and users run),
 #  2. a Debug + ASan/UBSan build (BATCHLIN_SANITIZE=ON), which also keeps
 #     assertions alive so the debug-only workspace-binder name checks run,
@@ -28,7 +28,13 @@
 #     suite is intentionally excluded: fp32 storage floors true residuals
 #     near fp32 epsilon by design, which is exactly what its FP64-accuracy
 #     assertions reject — that interplay is covered by the dedicated
-#     MixedPrecision/Refine tests instead.)
+#     MixedPrecision/Refine tests instead.), and
+#  8. the serve, shard, and resilience suites re-run with
+#     BATCHLIN_SHARDS=2, spreading every test service over two device
+#     shards (cost-model routing, work stealing, per-shard breakers) in
+#     both the persistent and graph_replay launch modes: results must be
+#     bit-identical to the unsharded runs and the fault schedules must
+#     stay contained to the shard they strike.
 # The sanitizer passes are what prove the pooled launch resources, the
 # reused spill backing, the serving layer's locking, and the solver
 # kernels' SPMD discipline race- and UB-free.
@@ -40,18 +46,18 @@ JOBS=${1:-$(nproc)}
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$ROOT"
 
-echo "== config 1/7: Release (build/)"
+echo "== config 1/8: Release (build/)"
 cmake -B build -S . -G Ninja >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 2/7: Debug + ASan/UBSan (build-sanitize/)"
+echo "== config 2/8: Debug + ASan/UBSan (build-sanitize/)"
 cmake -B build-sanitize -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=ON >/dev/null
 cmake --build build-sanitize -j "$JOBS"
 ctest --test-dir build-sanitize -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 3/7: Debug + TSan, serve tests (build-tsan/)"
+echo "== config 3/8: Debug + TSan, serve tests (build-tsan/)"
 cmake -B build-tsan -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_serve
@@ -62,7 +68,7 @@ cmake --build build-tsan -j "$JOBS" --target test_serve
 OMP_NUM_THREADS=1 ctest --test-dir build-tsan -R '^(Serve|Assemble)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 4/7: xpu::check kernel portability sanitizer (build-check/)"
+echo "== config 4/8: xpu::check kernel portability sanitizer (build-check/)"
 cmake -B build-check -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_XPU_CHECK=ON >/dev/null
 cmake --build build-check -j "$JOBS"
@@ -71,7 +77,7 @@ cmake --build build-check -j "$JOBS"
 # shipped kernels lane-order independent.
 ctest --test-dir build-check -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 5/7: resilience fault soak under the checked build"
+echo "== config 5/8: resilience fault soak under the checked build"
 # Reuses build-check: the fault-injection fixtures, breakdown taxonomy
 # regressions, fallback-chain recovery, and the >= 1000-solve randomized
 # soak all run against the instrumented execution model.
@@ -79,7 +85,7 @@ ctest --test-dir build-check \
   -R '^(FaultPlan|FaultFixtures|BreakdownTaxonomy|ZeroRhs|Resilient|SingularSweep|FaultSoak|ServeResilience)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 6/7: serve + resilience under graph_replay launch mode"
+echo "== config 6/8: serve + resilience under graph_replay launch mode"
 # Same Release build, launch mode forced by environment override: the
 # serve-vs-solo bit-identity tests and the fault-recovery suites must not
 # notice that every fused solve now goes through a recorded command graph.
@@ -87,7 +93,7 @@ BATCHLIN_LAUNCH_MODE=graph_replay ctest --test-dir build \
   -R '^(Serve|Assemble|ServeResilience|Resilient|FaultPlan)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 7/7: serve + mixed precision under fp32 default storage"
+echo "== config 7/8: serve + mixed precision under fp32 default storage"
 # Same Release build, default storage precision flipped by environment
 # override: serve normalizes eligible requests onto fp32 storage, the
 # coalescing keys keep storage policies apart, and iterative refinement
@@ -96,4 +102,17 @@ BATCHLIN_STORAGE=fp32 ctest --test-dir build \
   -R '^(Serve|Assemble|MixedPrecision|Refine)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== all seven configs clean"
+echo "== config 8/8: serve + resilience across two device shards"
+# Same Release build, shard count forced by environment override onto
+# every default-config service: routing, stealing, and the per-shard
+# breakers must be invisible to the serve bit-identity and fault-recovery
+# suites in both remaining launch modes. (Tests that pin an explicit
+# shard layout ignore the override by design and still run.)
+BATCHLIN_SHARDS=2 BATCHLIN_LAUNCH_MODE=persistent ctest --test-dir build \
+  -R '^(Serve|Assemble|Shard[A-Za-z]*|ServeResilience|Resilient|FaultPlan)\.' \
+  -j "$JOBS" --output-on-failure | tail -3
+BATCHLIN_SHARDS=2 BATCHLIN_LAUNCH_MODE=graph_replay ctest --test-dir build \
+  -R '^(Serve|Assemble|Shard[A-Za-z]*|ServeResilience|Resilient|FaultPlan)\.' \
+  -j "$JOBS" --output-on-failure | tail -3
+
+echo "== all eight configs clean"

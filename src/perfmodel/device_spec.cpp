@@ -109,6 +109,11 @@ std::vector<device_spec> paper_devices()
     return {a100(), h100(), pvc_1s(), pvc_2s()};
 }
 
+double sustained_bw_tbs(const device_spec& d)
+{
+    return d.hbm_bw_tbs * d.efficiency * d.stack_scaling_efficiency;
+}
+
 device_spec device_by_name(const std::string& name)
 {
     for (device_spec& d : paper_devices()) {

@@ -75,4 +75,12 @@ std::vector<device_spec> paper_devices();
 /// Lookup by name ("A100", "H100", "PVC-1S", "PVC-2S"); throws on unknown.
 device_spec device_by_name(const std::string& name);
 
+/// Sustained streaming bandwidth (TB/s) the tuned batched kernels achieve
+/// on this device: HBM peak scaled by the calibration efficiency and, on
+/// multi-stack parts, the implicit-scaling efficiency (§4.2). This is the
+/// single number the shard router's cost model divides transferred bytes
+/// by, and it is what makes PVC-2S come out 1.8-1.9x PVC-1S rather than
+/// the ideal 2x.
+double sustained_bw_tbs(const device_spec& d);
+
 }  // namespace batchlin::perf

@@ -114,7 +114,11 @@ solve_service::solve_service(xpu::exec_policy policy, service_config config)
       latency_(config_.latency_window)
 {
     BATCHLIN_ENSURE_MSG(config_.workers > 0,
-                        "service needs at least one worker");
+                        "service needs at least one worker per shard");
+    BATCHLIN_ENSURE_MSG(config_.shards > 0,
+                        "service needs at least one shard");
+    BATCHLIN_ENSURE_MSG(config_.steal_threshold >= 0,
+                        "steal threshold cannot be negative");
     BATCHLIN_ENSURE_MSG(config_.max_batch > 0,
                         "max_batch must be positive");
     BATCHLIN_ENSURE_MSG(config_.max_queue_systems > 0,
@@ -142,26 +146,71 @@ solve_service::solve_service(xpu::exec_policy policy, service_config config)
     }
     batch_histogram_.assign(static_cast<std::size_t>(config_.max_batch) + 1,
                             0);
-    for (int i = 0; i < config_.workers; ++i) {
-        worker_queues_.emplace_back(policy);
-        // A long-lived service must not accumulate unbounded profiling
-        // state even if an operator enables profiling for a while.
-        worker_queues_.back().set_launch_history_capacity(1024);
-        graph_caches_.emplace_back();
+
+    // Shard override (same escape-hatch contract as the launch mode): a
+    // config still at the single-shard default picks up BATCHLIN_SHARDS /
+    // BATCHLIN_SHARD_DEVICES; a config that explicitly selects sharding
+    // keeps its setting. An explicit device list wins over a bare count.
+    if (config_.shards == 1 && config_.shard_devices.empty()) {
+        if (auto devices = shard::shard_devices_from_env()) {
+            config_.shard_devices = std::move(*devices);
+        } else if (auto count = shard::shards_from_env()) {
+            config_.shards = *count;
+        }
     }
-    if (launch_mode_ == xpu::launch_mode::persistent) {
-        // Every queued entry carries at least one system, so the admission
-        // budget bounds the entry count and the ring can never be full
-        // with the budget respected.
-        ring_ = std::make_unique<mpmc_ring<detail::pending_ptr>>(
-            static_cast<std::size_t>(config_.max_queue_systems));
+    registry_ = config_.shard_devices.empty()
+                    ? shard::registry::uniform(config_.shards, "PVC-1S",
+                                               policy)
+                    : shard::registry::from_names(config_.shard_devices,
+                                                  policy);
+    config_.shards = registry_.size();
+    {
+        std::vector<perf::device_spec> specs;
+        specs.reserve(registry_.entries().size());
+        for (const shard::device_entry& e : registry_.entries()) {
+            specs.push_back(e.spec);
+        }
+        router_ = shard::router(std::move(specs));
     }
-    workers_.reserve(static_cast<std::size_t>(config_.workers));
-    for (int i = 0; i < config_.workers; ++i) {
+
+    for (index_type sidx = 0; sidx < config_.shards; ++sidx) {
+        lanes_.emplace_back();
+        shard_lane& lane = lanes_.back();
+        lane.id = sidx;
+        lane.spec = registry_.at(sidx).spec;
+        lane.policy = registry_.at(sidx).policy;
+        if (static_cast<std::size_t>(sidx) < config_.shard_faults.size()) {
+            lane.policy.faults =
+                config_.shard_faults[static_cast<std::size_t>(sidx)];
+        }
         if (launch_mode_ == xpu::launch_mode::persistent) {
-            workers_.emplace_back([this, i] { persistent_loop(i); });
-        } else {
-            workers_.emplace_back([this, i] { worker_loop(i); });
+            // Every queued entry carries at least one system, so the
+            // admission budget bounds the entry count and no single ring
+            // can ever be full with the budget respected.
+            lane.ring = std::make_unique<mpmc_ring<detail::pending_ptr>>(
+                static_cast<std::size_t>(config_.max_queue_systems));
+        }
+        for (int i = 0; i < config_.workers; ++i) {
+            worker_queues_.emplace_back(lane.policy);
+            // A long-lived service must not accumulate unbounded
+            // profiling state even if an operator enables profiling for a
+            // while.
+            worker_queues_.back().set_launch_history_capacity(1024);
+            graph_caches_.emplace_back();
+        }
+    }
+
+    workers_.reserve(static_cast<std::size_t>(config_.workers) *
+                     static_cast<std::size_t>(config_.shards));
+    for (index_type sidx = 0; sidx < config_.shards; ++sidx) {
+        for (int i = 0; i < config_.workers; ++i) {
+            if (launch_mode_ == xpu::launch_mode::persistent) {
+                workers_.emplace_back(
+                    [this, sidx, i] { persistent_loop(sidx, i); });
+            } else {
+                workers_.emplace_back(
+                    [this, sidx, i] { worker_loop(sidx, i); });
+            }
         }
     }
 }
@@ -186,8 +235,9 @@ void solve_service::drain()
         return;
     }
     std::unique_lock<std::mutex> lk(mu_);
-    cv_idle_.wait(lk,
-                  [&] { return queue_.empty() && in_flight_entries_ == 0; });
+    cv_idle_.wait(lk, [&] {
+        return queued_systems_ == 0 && in_flight_entries_ == 0;
+    });
 }
 
 void solve_service::stop()
@@ -220,15 +270,21 @@ void solve_service::stop()
                              1e3 / n);
         }
     }
-    if (ring_) {
-        // A submitter that passed the accepting check just before stop()
-        // may have published an entry the exiting workers no longer saw;
-        // resolve such stragglers as rejected so no ticket is orphaned.
+    // A submitter that passed the accepting check just before stop() may
+    // have published an entry the exiting workers no longer saw; resolve
+    // such stragglers as rejected so no ticket is orphaned.
+    for (shard_lane& lane : lanes_) {
+        if (!lane.ring) {
+            continue;
+        }
         detail::pending_ptr leftover;
-        while (ring_->try_pop(leftover)) {
+        while (lane.ring->try_pop(leftover)) {
             ring_pending_.fetch_sub(1, std::memory_order_acq_rel);
-            ring_systems_.fetch_sub(static_cast<size_type>(leftover->items),
-                                    std::memory_order_acq_rel);
+            const auto items = static_cast<size_type>(leftover->items);
+            ring_systems_.fetch_sub(items, std::memory_order_acq_rel);
+            lane.ring_systems.fetch_sub(items, std::memory_order_relaxed);
+            lane.backlog_ns.fetch_sub(leftover->cost_ns,
+                                      std::memory_order_relaxed);
             ++rejected_requests_;
             reply_without_solving(*leftover, request_status::rejected);
         }
@@ -251,8 +307,6 @@ service_stats solve_service::stats() const
     s.launch_retries = launch_retries_;
     s.degraded_launches = degraded_launches_;
     s.recovered_requests = recovered_requests_;
-    s.breaker_trips = breaker_trips_;
-    s.breaker_active = breaker_remaining_ > 0;
     s.launches_recorded = launches_recorded_;
     s.replays = replays_;
     s.rebind_only = rebind_only_;
@@ -265,14 +319,53 @@ service_stats solve_service::stats() const
         s.queue_depth_systems = static_cast<std::uint64_t>(
             ring_systems_.load(std::memory_order_acquire));
     } else {
-        s.queue_depth_requests = queue_.size();
+        std::uint64_t depth_requests = 0;
+        for (const shard_lane& lane : lanes_) {
+            depth_requests += lane.queue.size();
+        }
+        s.queue_depth_requests = depth_requests;
         s.queue_depth_systems = static_cast<std::uint64_t>(queued_systems_);
+    }
+    s.uptime_seconds =
+        seconds_between(start_, std::chrono::steady_clock::now());
+    s.shards.reserve(lanes_.size());
+    for (const shard_lane& lane : lanes_) {
+        shard_stats ss;
+        ss.shard = lane.id;
+        ss.device = lane.spec.name;
+        ss.routed_requests =
+            lane.routed_requests.load(std::memory_order_relaxed);
+        ss.routed_systems =
+            lane.routed_systems.load(std::memory_order_relaxed);
+        ss.completed_systems = lane.completed_systems;
+        ss.batches_launched = lane.batches_launched;
+        ss.steals = lane.steals.load(std::memory_order_relaxed);
+        ss.stolen_systems =
+            lane.stolen_systems.load(std::memory_order_relaxed);
+        ss.launch_faults = lane.launch_faults;
+        ss.breaker_trips = lane.brk.trips;
+        ss.breaker_active = lane.brk.active();
+        ss.queue_depth_systems =
+            launch_mode_ == xpu::launch_mode::persistent
+                ? static_cast<std::uint64_t>(
+                      lane.ring_systems.load(std::memory_order_acquire))
+                : static_cast<std::uint64_t>(lane.queued_systems);
+        ss.backlog_ns = lane.backlog_ns.load(std::memory_order_relaxed);
+        ss.modeled_busy_seconds =
+            static_cast<double>(lane.modeled_busy_ns) * 1e-9;
+        ss.solves_per_sec =
+            s.uptime_seconds > 0.0
+                ? static_cast<double>(lane.completed_systems) /
+                      s.uptime_seconds
+                : 0.0;
+        s.steals += ss.steals;
+        s.breaker_trips += ss.breaker_trips;
+        s.breaker_active = s.breaker_active || ss.breaker_active;
+        s.shards.push_back(std::move(ss));
     }
     s.batch_size_histogram = batch_histogram_;
     s.p50_latency_seconds = latency_.quantile(0.50);
     s.p99_latency_seconds = latency_.quantile(0.99);
-    s.uptime_seconds =
-        seconds_between(start_, std::chrono::steady_clock::now());
     s.solves_per_sec =
         s.uptime_seconds > 0.0
             ? static_cast<double>(completed_systems_) / s.uptime_seconds
@@ -285,37 +378,116 @@ service_stats solve_service::stats() const
     return s;
 }
 
-detail::pending_ptr solve_service::pop_entry_locked(std::size_t index)
+shard::decision solve_service::route_request(std::uint64_t key,
+                                             index_type items,
+                                             index_type rows,
+                                             index_type nnz) const
+{
+    if (lanes_.size() == 1) {
+        return router_.route(key, items, rows, nnz, {});
+    }
+    std::vector<std::int64_t> backlog;
+    backlog.reserve(lanes_.size());
+    for (const shard_lane& lane : lanes_) {
+        backlog.push_back(lane.backlog_ns.load(std::memory_order_relaxed));
+    }
+    return router_.route(key, items, rows, nnz, backlog);
+}
+
+size_type solve_service::steal_threshold_systems() const
+{
+    return config_.steal_threshold > 0
+               ? static_cast<size_type>(config_.steal_threshold)
+               : static_cast<size_type>(config_.max_batch);
+}
+
+int solve_service::steal_victim_locked(index_type thief_shard) const
+{
+    if (!config_.work_stealing || lanes_.size() < 2) {
+        return -1;
+    }
+    int victim = -1;
+    size_type deepest = steal_threshold_systems();
+    for (const shard_lane& lane : lanes_) {
+        if (lane.id == thief_shard) {
+            continue;
+        }
+        if (lane.queued_systems > deepest) {
+            deepest = lane.queued_systems;
+            victim = static_cast<int>(lane.id);
+        }
+    }
+    return victim;
+}
+
+int solve_service::steal_victim_ring(index_type thief_shard) const
+{
+    if (!config_.work_stealing || lanes_.size() < 2) {
+        return -1;
+    }
+    int victim = -1;
+    size_type deepest = steal_threshold_systems();
+    for (const shard_lane& lane : lanes_) {
+        if (lane.id == thief_shard) {
+            continue;
+        }
+        const size_type depth =
+            lane.ring_systems.load(std::memory_order_acquire);
+        if (depth > deepest) {
+            deepest = depth;
+            victim = static_cast<int>(lane.id);
+        }
+    }
+    return victim;
+}
+
+detail::pending_ptr solve_service::pop_entry_locked(shard_lane& lane,
+                                                    std::size_t index)
 {
     detail::pending_ptr entry = std::move(
-        queue_[static_cast<std::deque<detail::pending_ptr>::size_type>(
+        lane.queue[static_cast<std::deque<detail::pending_ptr>::size_type>(
             index)]);
-    queue_.erase(queue_.begin() +
-                 static_cast<std::deque<
-                     detail::pending_ptr>::difference_type>(index));
+    lane.queue.erase(lane.queue.begin() +
+                     static_cast<std::deque<
+                         detail::pending_ptr>::difference_type>(index));
+    lane.queued_systems -= static_cast<size_type>(entry->items);
     queued_systems_ -= static_cast<size_type>(entry->items);
     ++in_flight_entries_;
     cv_space_.notify_all();
     return entry;
 }
 
-void solve_service::worker_loop(int worker_id)
+void solve_service::worker_loop(index_type shard_id, int local_id)
 {
-    xpu::queue& q = worker_queues_[static_cast<std::size_t>(worker_id)];
-    detail::graph_cache& cache =
-        graph_caches_[static_cast<std::size_t>(worker_id)];
+    const std::size_t widx =
+        static_cast<std::size_t>(shard_id) *
+            static_cast<std::size_t>(config_.workers) +
+        static_cast<std::size_t>(local_id);
+    xpu::queue& q = worker_queues_[widx];
+    detail::graph_cache& cache = graph_caches_[widx];
+    shard_lane& own = lanes_[static_cast<std::size_t>(shard_id)];
     std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
-        cv_work_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-        if (queue_.empty()) {
-            if (stopping_) {
-                return;
+        cv_work_.wait(lk, [&] {
+            return stopping_ || !own.queue.empty() ||
+                   steal_victim_locked(shard_id) >= 0;
+        });
+        bool stolen = false;
+        shard_lane* src = &own;
+        if (own.queue.empty()) {
+            const int victim = steal_victim_locked(shard_id);
+            if (victim < 0) {
+                if (stopping_) {
+                    return;
+                }
+                continue;
             }
-            continue;
+            src = &lanes_[static_cast<std::size_t>(victim)];
+            stolen = true;
         }
 
         std::vector<detail::pending_ptr> batch;
-        batch.push_back(pop_entry_locked(0));
+        batch.push_back(pop_entry_locked(*src, 0));
         const auto now = std::chrono::steady_clock::now();
         if (batch.front()->deadline <= now) {
             // Already dead on arrival at the worker: complete it without
@@ -323,66 +495,103 @@ void solve_service::worker_loop(int worker_id)
             ++expired_requests_;
             --in_flight_entries_;
             detail::pending_ptr dead = std::move(batch.front());
+            src->backlog_ns.fetch_sub(dead->cost_ns,
+                                      std::memory_order_relaxed);
             lk.unlock();
             reply_without_solving(*dead, request_status::expired);
             lk.lock();
-            if (queue_.empty() && in_flight_entries_ == 0) {
+            if (queued_systems_ == 0 && in_flight_entries_ == 0) {
                 cv_idle_.notify_all();
             }
             continue;
         }
 
         index_type total = batch.front()->items;
-        // A tripped breaker suspends coalescing: the leader launches solo,
-        // so a fault pattern tied to batch composition stops taking whole
-        // batches of unrelated requests down with it.
-        if (breaker_remaining_ == 0) {
-            const auto window_end =
-                batch.front()->enqueued + config_.max_wait;
-            for (;;) {
-                // Gather everything compatible that is already queued.
+        // A tripped breaker suspends coalescing on this shard: the leader
+        // launches solo, so a fault pattern tied to batch composition
+        // stops taking whole batches of unrelated requests down with it —
+        // while the other shards keep coalescing.
+        if (own.brk.remaining == 0) {
+            if (stolen) {
+                // Steal path: grab whatever compatible overflow the victim
+                // holds and launch immediately — stolen work is backlog by
+                // definition, there is nothing to hold a window open for.
                 for (std::size_t i = 0;
-                     i < queue_.size() && total < config_.max_batch;) {
-                    if (queue_[i]->key == batch.front()->key &&
-                        entries_compatible(*batch.front(), *queue_[i])) {
-                        batch.push_back(pop_entry_locked(i));
+                     i < src->queue.size() && total < config_.max_batch;) {
+                    if (src->queue[i]->key == batch.front()->key &&
+                        entries_compatible(*batch.front(),
+                                           *src->queue[i])) {
+                        batch.push_back(pop_entry_locked(*src, i));
                         total += batch.back()->items;
                     } else {
                         ++i;
                     }
                 }
-                if (total >= config_.max_batch || stopping_) {
-                    break;
-                }
-                if (std::chrono::steady_clock::now() >= window_end) {
-                    break;
-                }
-                // Hold the window open for companions; submit() notifies.
-                if (config_.idle_flush.count() > 0 && queue_.empty()) {
-                    // Adaptive flush: the admission queue is empty, so
-                    // with closed-loop clients no companion can arrive
-                    // until an in-flight reply resolves. Grant stragglers
-                    // only a short grace period instead of burning the
-                    // whole window — this is what keeps low-concurrency
-                    // coalesced throughput at batch1 levels.
-                    const auto flush_at =
-                        std::chrono::steady_clock::now() +
-                        config_.idle_flush;
-                    cv_work_.wait_until(lk,
-                                        std::min(flush_at, window_end));
-                    if (queue_.empty()) {
+            } else {
+                const auto window_end =
+                    batch.front()->enqueued + config_.max_wait;
+                for (;;) {
+                    // Gather everything compatible already queued here.
+                    for (std::size_t i = 0;
+                         i < own.queue.size() &&
+                         total < config_.max_batch;) {
+                        if (own.queue[i]->key == batch.front()->key &&
+                            entries_compatible(*batch.front(),
+                                               *own.queue[i])) {
+                            batch.push_back(pop_entry_locked(own, i));
+                            total += batch.back()->items;
+                        } else {
+                            ++i;
+                        }
+                    }
+                    if (total >= config_.max_batch || stopping_) {
                         break;
                     }
-                } else {
-                    cv_work_.wait_until(lk, window_end);
+                    if (std::chrono::steady_clock::now() >= window_end) {
+                        break;
+                    }
+                    // Hold the window open for companions; submit()
+                    // notifies.
+                    if (config_.idle_flush.count() > 0 &&
+                        own.queue.empty()) {
+                        // Adaptive flush: this shard's queue is empty, so
+                        // with closed-loop clients no companion can
+                        // arrive until an in-flight reply resolves. Grant
+                        // stragglers only a short grace period instead of
+                        // burning the whole window — this is what keeps
+                        // low-concurrency coalesced throughput at batch1
+                        // levels.
+                        const auto flush_at =
+                            std::chrono::steady_clock::now() +
+                            config_.idle_flush;
+                        cv_work_.wait_until(lk,
+                                            std::min(flush_at, window_end));
+                        if (own.queue.empty()) {
+                            break;
+                        }
+                    } else {
+                        cv_work_.wait_until(lk, window_end);
+                    }
                 }
+            }
+        }
+        if (stolen) {
+            own.steals.fetch_add(1, std::memory_order_relaxed);
+            own.stolen_systems.fetch_add(static_cast<std::uint64_t>(total),
+                                         std::memory_order_relaxed);
+            for (detail::pending_ptr& entry : batch) {
+                src->backlog_ns.fetch_sub(entry->cost_ns,
+                                          std::memory_order_relaxed);
+                own.backlog_ns.fetch_add(entry->cost_ns,
+                                         std::memory_order_relaxed);
+                entry->shard = own.id;
             }
         }
 
         const std::size_t popped = batch.size();
         lk.unlock();
         try {
-            execute(q, cache, std::move(batch));
+            execute(own, q, cache, std::move(batch));
         } catch (...) {
             // execute() fails tickets individually; anything that still
             // escapes would terminate the worker thread (and with it the
@@ -391,38 +600,69 @@ void solve_service::worker_loop(int worker_id)
         }
         lk.lock();
         in_flight_entries_ -= popped;
-        if (queue_.empty() && in_flight_entries_ == 0) {
+        if (queued_systems_ == 0 && in_flight_entries_ == 0) {
             cv_idle_.notify_all();
         }
     }
 }
 
-void solve_service::persistent_loop(int worker_id)
+void solve_service::persistent_loop(index_type shard_id, int local_id)
 {
-    xpu::queue& q = worker_queues_[static_cast<std::size_t>(worker_id)];
-    detail::graph_cache& cache =
-        graph_caches_[static_cast<std::size_t>(worker_id)];
+    const std::size_t widx =
+        static_cast<std::size_t>(shard_id) *
+            static_cast<std::size_t>(config_.workers) +
+        static_cast<std::size_t>(local_id);
+    xpu::queue& q = worker_queues_[widx];
+    detail::graph_cache& cache = graph_caches_[widx];
+    shard_lane& own = lanes_[static_cast<std::size_t>(shard_id)];
     int idle = 0;
     for (;;) {
-        // Gather a chunk from the ring without blocking. No batching
-        // window: the resident loop launches whatever has accumulated —
-        // under load the ring itself is the window (entries pile up while
-        // the previous batch solves), and when idle there is nothing to
-        // wait for.
+        // Gather a chunk without blocking — own ring first, then (when
+        // idle) the deepest neighbor past the steal threshold. No
+        // batching window: the resident loop launches whatever has
+        // accumulated — under load the ring itself is the window (entries
+        // pile up while the previous batch solves), and when idle there
+        // is nothing to wait for.
         stage_timer st;
         std::vector<detail::pending_ptr> chunk;
         index_type total = 0;
-        detail::pending_ptr entry;
-        while (total < config_.max_batch && ring_->try_pop(entry)) {
-            // in_flight is bumped before pending drops so the drain
-            // predicate (pending == 0 && in_flight == 0) never observes
-            // this entry in neither counter.
-            ring_in_flight_.fetch_add(1, std::memory_order_acq_rel);
-            ring_pending_.fetch_sub(1, std::memory_order_acq_rel);
-            ring_systems_.fetch_sub(static_cast<size_type>(entry->items),
-                                    std::memory_order_acq_rel);
-            total += entry->items;
-            chunk.push_back(std::move(entry));
+        auto pop_from = [&](shard_lane& lane) {
+            detail::pending_ptr entry;
+            while (total < config_.max_batch && lane.ring->try_pop(entry)) {
+                // in_flight is bumped before pending drops so the drain
+                // predicate (pending == 0 && in_flight == 0) never
+                // observes this entry in neither counter.
+                ring_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+                ring_pending_.fetch_sub(1, std::memory_order_acq_rel);
+                const auto items = static_cast<size_type>(entry->items);
+                ring_systems_.fetch_sub(items, std::memory_order_acq_rel);
+                lane.ring_systems.fetch_sub(items,
+                                            std::memory_order_relaxed);
+                total += entry->items;
+                chunk.push_back(std::move(entry));
+            }
+        };
+        pop_from(own);
+        if (chunk.empty()) {
+            const int victim = steal_victim_ring(shard_id);
+            if (victim >= 0) {
+                shard_lane& vic =
+                    lanes_[static_cast<std::size_t>(victim)];
+                pop_from(vic);
+                if (!chunk.empty()) {
+                    own.steals.fetch_add(1, std::memory_order_relaxed);
+                    own.stolen_systems.fetch_add(
+                        static_cast<std::uint64_t>(total),
+                        std::memory_order_relaxed);
+                    for (detail::pending_ptr& entry : chunk) {
+                        vic.backlog_ns.fetch_sub(
+                            entry->cost_ns, std::memory_order_relaxed);
+                        own.backlog_ns.fetch_add(
+                            entry->cost_ns, std::memory_order_relaxed);
+                        entry->shard = own.id;
+                    }
+                }
+            }
         }
         if (chunk.empty()) {
             if (stopping_.load(std::memory_order_acquire) &&
@@ -457,8 +697,7 @@ void solve_service::persistent_loop(int worker_id)
         // Group the chunk into compatible fused launches. FIFO arrivals
         // of one coalescing key are usually adjacent, so the quadratic
         // sweep stays tiny (chunk is bounded by max_batch systems).
-        const bool solo =
-            breaker_suspended_.load(std::memory_order_acquire);
+        const bool solo = own.brk.suspended.load(std::memory_order_acquire);
         std::vector<char> taken(chunk.size(), 0);
         for (std::size_t i = 0; i < chunk.size(); ++i) {
             if (taken[i]) {
@@ -485,7 +724,7 @@ void solve_service::persistent_loop(int worker_id)
             const std::size_t popped = group.size();
             st.lap(1);  // group
             try {
-                execute(q, cache, std::move(group));
+                execute(own, q, cache, std::move(group));
             } catch (...) {
                 // execute() resolves tickets individually; see
                 // worker_loop for why nothing may escape.
@@ -496,18 +735,20 @@ void solve_service::persistent_loop(int worker_id)
     }
 }
 
-void solve_service::execute(xpu::queue& q, detail::graph_cache& cache,
+void solve_service::execute(shard_lane& lane, xpu::queue& q,
+                            detail::graph_cache& cache,
                             std::vector<detail::pending_ptr> batch)
 {
     if (batch.front()->body.index() == 0) {
-        execute_typed<double>(q, cache, std::move(batch));
+        execute_typed<double>(lane, q, cache, std::move(batch));
     } else {
-        execute_typed<float>(q, cache, std::move(batch));
+        execute_typed<float>(lane, q, cache, std::move(batch));
     }
 }
 
 template <typename T>
-void solve_service::execute_typed(xpu::queue& q, detail::graph_cache& cache,
+void solve_service::execute_typed(shard_lane& lane, xpu::queue& q,
+                                  detail::graph_cache& cache,
                                   std::vector<detail::pending_ptr> batch)
 {
     stage_timer st;
@@ -520,6 +761,18 @@ void solve_service::execute_typed(xpu::queue& q, detail::graph_cache& cache,
     }
     for (detail::pending_ptr& entry : expired) {
         reply_without_solving(*entry, request_status::expired);
+    }
+
+    // Shape of the live batch, captured before the request matrices move
+    // into the replies: the inputs of the modeled-busy-time bookkeeping.
+    index_type batch_rows = 0;
+    index_type batch_nnz = 0;
+    if (!live.empty()) {
+        const auto& front =
+            std::get<detail::typed_pending<T>>(live.front()->body);
+        batch_rows = std::visit([](const auto& m) { return m.rows(); },
+                                front.request.a);
+        batch_nnz = detail::nnz_per_item<T>(front.request.a);
     }
 
     // Wake timing: resolution only ever wakes slots a waiter registered
@@ -818,6 +1071,21 @@ void solve_service::execute_typed(xpu::queue& q, detail::graph_cache& cache,
     }
     st.lap(5);  // reply scatter (split_log + moves + try_reply)
 
+    // Retire the batch's routed cost from the lane backlog (atomic, so
+    // the router's lock-free reads stay consistent without the mutex).
+    {
+        std::int64_t retired = 0;
+        for (const detail::pending_ptr& entry : expired) {
+            retired += entry->cost_ns;
+        }
+        for (const detail::pending_ptr& entry : live) {
+            retired += entry->cost_ns;
+        }
+        if (retired != 0) {
+            lane.backlog_ns.fetch_sub(retired, std::memory_order_relaxed);
+        }
+    }
+
     {
         std::lock_guard<std::mutex> lk(mu_);
         expired_requests_ += static_cast<std::uint64_t>(expired.size());
@@ -836,44 +1104,32 @@ void solve_service::execute_typed(xpu::queue& q, detail::graph_cache& cache,
         if (degraded) {
             ++degraded_launches_;
         }
+        lane.completed_systems += ok_systems;
+        lane.launch_faults += faults;
         for (const index_type size : launch_sizes) {
             ++batches_launched_;
             batched_systems_sum_ += static_cast<std::uint64_t>(size);
             const std::size_t bucket =
                 size <= config_.max_batch ? static_cast<std::size_t>(size) : 0;
             ++batch_histogram_[bucket];
+            ++lane.batches_launched;
+            // Modeled device-busy time of the launch that actually ran
+            // (fused size, this lane's device): the scaling signal of the
+            // shard sweep on a host whose single core serializes shards.
+            lane.modeled_busy_ns +=
+                static_cast<std::uint64_t>(shard::router::estimate_cost_ns(
+                    lane.spec, size, batch_rows, batch_nnz));
         }
         for (const double s : latencies) {
             latency_.record(s);
         }
         if (!live.empty()) {
-            // Breaker bookkeeping: one observation per execution, faulted if
-            // any attempt faulted. During cooldown the window stays frozen;
-            // each solo execution counts the cooldown down toward resuming
-            // coalescing.
-            if (breaker_remaining_ > 0) {
-                --breaker_remaining_;
-            } else {
-                ++breaker_window_count_;
-                if (faults > 0) {
-                    ++breaker_window_faulted_;
-                }
-                if (breaker_window_count_ >= config_.breaker_window &&
-                    config_.breaker_window > 0) {
-                    const double ratio =
-                        static_cast<double>(breaker_window_faulted_) /
-                        static_cast<double>(breaker_window_count_);
-                    if (ratio >= config_.breaker_fault_ratio &&
-                        config_.breaker_cooldown > 0) {
-                        ++breaker_trips_;
-                        breaker_remaining_ = config_.breaker_cooldown;
-                    }
-                    breaker_window_count_ = 0;
-                    breaker_window_faulted_ = 0;
-                }
-            }
-            breaker_suspended_.store(breaker_remaining_ > 0,
-                                     std::memory_order_release);
+            // Per-shard breaker bookkeeping: one observation per
+            // execution, faulted if any attempt faulted. A tripped shard
+            // cools down alone; its neighbors keep coalescing.
+            lane.brk.observe(faults > 0, config_.breaker_fault_ratio,
+                             config_.breaker_window,
+                             config_.breaker_cooldown);
         }
     }
     st.lap(6);  // stats lock
@@ -891,8 +1147,10 @@ void solve_service::execute_typed(xpu::queue& q, detail::graph_cache& cache,
 }
 
 template void solve_service::execute_typed<double>(
-    xpu::queue&, detail::graph_cache&, std::vector<detail::pending_ptr>);
+    shard_lane&, xpu::queue&, detail::graph_cache&,
+    std::vector<detail::pending_ptr>);
 template void solve_service::execute_typed<float>(
-    xpu::queue&, detail::graph_cache&, std::vector<detail::pending_ptr>);
+    shard_lane&, xpu::queue&, detail::graph_cache&,
+    std::vector<detail::pending_ptr>);
 
 }  // namespace batchlin::serve

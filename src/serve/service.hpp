@@ -23,6 +23,18 @@
 // Head-of-line note: the batcher is FIFO per worker — a leader holding
 // its window can delay queued requests of a different coalescing key by
 // up to `max_wait`; add workers to bound that.
+//
+// Sharding (`service_config::shards` / `shard_devices`): the service runs
+// one `shard::lane` per registry device — its own run-queue (or ring in
+// persistent mode), worker pool, graph caches, circuit breaker and fault
+// accounting. `submit` routes each request through `shard::router`
+// (coalesce-key affinity, cost-model spill, see shard/router.hpp), and
+// idle workers steal from run-queues holding more than a full batch. The
+// registry derives every lane's policy from the same base policy
+// (kernel-behavior fields untouched), so replies stay bit-identical no
+// matter how many shards serve them or where placement and stealing move
+// a batch. A single-shard service behaves exactly like the unsharded
+// service did.
 #pragma once
 
 #include <atomic>
@@ -41,6 +53,9 @@
 #include "serve/futex.hpp"
 #include "serve/ring.hpp"
 #include "serve/stats.hpp"
+#include "shard/lane.hpp"
+#include "shard/registry.hpp"
+#include "shard/router.hpp"
 #include "solver/assemble.hpp"
 #include "solver/options.hpp"
 #include "solver/record.hpp"
@@ -120,8 +135,32 @@ enum class overflow_policy {
 };
 
 struct service_config {
-    /// Worker threads; each owns a private `xpu::queue`.
+    /// Worker threads *per shard*; each owns a private `xpu::queue`.
     int workers = 2;
+    /// Logical device shards. The default (1) may be overridden by the
+    /// BATCHLIN_SHARDS / BATCHLIN_SHARD_DEVICES environment variables —
+    /// the operator escape hatch scripts/check.sh config 8 uses to re-run
+    /// whole suites sharded; a config that explicitly selects sharding
+    /// keeps its setting.
+    index_type shards = 1;
+    /// Explicit per-shard device names ("pvc1s", "pvc2s", "a100",
+    /// "h100"; see shard::parse_device_list). Empty: `shards` uniform
+    /// PVC-1S-keyed shards with no launch-cost emulation. Non-empty: one
+    /// shard per name, each charging its device's modeled launch costs
+    /// as emulated wall time; overrides `shards`.
+    std::vector<std::string> shard_devices;
+    /// Cross-shard work stealing: an idle shard's worker pulls from the
+    /// deepest run-queue holding more than `steal_threshold` systems.
+    bool work_stealing = true;
+    /// Victim depth (systems) below which nothing is stolen; 0 = auto
+    /// (`max_batch`: only overflow beyond what the victim's own next
+    /// launch can absorb is worth moving, and sub-batch queues keep
+    /// fusing locally).
+    index_type steal_threshold = 0;
+    /// Per-shard injected fault schedules (index = shard id; shards past
+    /// the end get the base policy's plan). Lets tests fault one shard
+    /// while its neighbors stay healthy.
+    std::vector<xpu::fault_plan> shard_faults;
     /// Most systems one fused launch may carry.
     index_type max_batch = 64;
     /// How long a batch leader waits for companions before launching.
@@ -245,6 +284,26 @@ std::uint64_t coalesce_key(const solver::batch_matrix<T>& a,
     return h;
 }
 
+/// Stored nonzeros per batch item — the byte-volume input of the shard
+/// router's cost model.
+template <typename T>
+index_type nnz_per_item(const solver::batch_matrix<T>& a)
+{
+    return std::visit(
+        [](const auto& m) -> index_type {
+            using MatBatch = std::decay_t<decltype(m)>;
+            if constexpr (std::is_same_v<MatBatch, mat::batch_csr<T>>) {
+                return static_cast<index_type>(m.col_idxs().size());
+            } else if constexpr (std::is_same_v<MatBatch,
+                                                mat::batch_ell<T>>) {
+                return m.ell_width() * m.rows();
+            } else {
+                return m.rows() * m.cols();
+            }
+        },
+        a);
+}
+
 /// Slot states. A slot starts `pending`; a blocking waiter CAS-es it to
 /// `pending_waiting` before sleeping on the futex; the resolver exchanges
 /// it to `ready` and wakes only if the old value carried the waiter bit.
@@ -297,6 +356,11 @@ struct pending_entry {
     std::chrono::steady_clock::time_point deadline;
     index_type items = 0;
     std::variant<typed_pending<double>, typed_pending<float>> body;
+    /// Shard the entry is currently assigned to (updated when stolen).
+    index_type shard = 0;
+    /// Router cost estimate; retired from the shard's backlog when the
+    /// entry completes, expires, or is rejected at stop.
+    std::int64_t cost_ns = 0;
 };
 
 /// Entries travel the admission queue / ring / batch pipeline by pointer:
@@ -465,6 +529,7 @@ public:
                 : std::chrono::steady_clock::time_point::max();
         const std::uint64_t key =
             detail::coalesce_key<T>(request.a, request.opts);
+        const index_type nnz = detail::nnz_per_item<T>(request.a);
 
         detail::typed_pending<T> typed{
             std::move(request),
@@ -474,10 +539,15 @@ public:
         ++submitted_requests_;
         submitted_systems_ += static_cast<std::uint64_t>(items);
 
+        // Placement: coalesce-key affinity with cost-model spill (see
+        // shard/router.hpp). Reads the lane backlogs lock-free.
+        const shard::decision where = route_request(key, items, rows, nnz);
+
         if (launch_mode_ == xpu::launch_mode::persistent) {
-            // Lock-free admission: the resident workers poll the ring, so
-            // no mutex is taken and nobody needs a wakeup.
-            submit_to_ring(std::move(typed), key, now, deadline, items);
+            // Lock-free admission: the resident workers poll the rings,
+            // so no mutex is taken and nobody needs a wakeup.
+            submit_to_ring(std::move(typed), key, now, deadline, items,
+                           where);
             return fut;
         }
 
@@ -508,9 +578,18 @@ public:
                 return fut;
             }
         }
-        queue_.push_back(std::make_unique<detail::pending_entry>(
-            key, now, deadline, items, std::move(typed)));
+        auto entry = std::make_unique<detail::pending_entry>(
+            key, now, deadline, items, std::move(typed));
+        entry->shard = where.shard;
+        entry->cost_ns = where.cost_ns;
+        shard_lane& lane = lanes_[static_cast<std::size_t>(where.shard)];
+        lane.queue.push_back(std::move(entry));
+        lane.queued_systems += static_cast<size_type>(items);
         queued_systems_ += static_cast<size_type>(items);
+        lane.backlog_ns.fetch_add(where.cost_ns, std::memory_order_relaxed);
+        lane.routed_requests.fetch_add(1, std::memory_order_relaxed);
+        lane.routed_systems.fetch_add(static_cast<std::uint64_t>(items),
+                                      std::memory_order_relaxed);
         // notify_all: idle workers must wake, and workers holding a
         // batching window open must re-scan for the new arrival.
         cv_work_.notify_all();
@@ -536,6 +615,10 @@ public:
     /// Launch mode the workers actually run in — the policy's mode after
     /// the BATCHLIN_LAUNCH_MODE environment override is applied.
     xpu::launch_mode launch_mode() const { return launch_mode_; }
+
+    /// The device registry the service shards over (after the
+    /// BATCHLIN_SHARDS / BATCHLIN_SHARD_DEVICES overrides).
+    const shard::registry& devices() const { return registry_; }
 
 private:
     /// Completes a request without solving it (rejected / expired) and
@@ -594,14 +677,16 @@ private:
         return true;
     }
 
+    using shard_lane = shard::lane<detail::pending_ptr>;
+
     /// Lock-free admission of the persistent mode: reserves the systems
-    /// budget with atomics and pushes into the worker ring. Rejections
-    /// resolve the ticket exactly like the locked path.
+    /// budget with atomics and pushes into the routed shard's ring.
+    /// Rejections resolve the ticket exactly like the locked path.
     template <typename T>
     void submit_to_ring(detail::typed_pending<T> typed, std::uint64_t key,
                         std::chrono::steady_clock::time_point now,
                         std::chrono::steady_clock::time_point deadline,
-                        index_type items)
+                        index_type items, shard::decision where)
     {
         if (!accepting_.load(std::memory_order_acquire) ||
             static_cast<size_type>(items) > config_.max_queue_systems) {
@@ -635,15 +720,23 @@ private:
                 std::this_thread::yield();
             }
         }
+        shard_lane& lane = lanes_[static_cast<std::size_t>(where.shard)];
         detail::pending_ptr entry = std::make_unique<detail::pending_entry>(
             key, now, deadline, items, std::move(typed));
+        entry->shard = where.shard;
+        entry->cost_ns = where.cost_ns;
+        lane.ring_systems.fetch_add(budget, std::memory_order_relaxed);
+        lane.backlog_ns.fetch_add(where.cost_ns, std::memory_order_relaxed);
+        lane.routed_requests.fetch_add(1, std::memory_order_relaxed);
+        lane.routed_systems.fetch_add(static_cast<std::uint64_t>(items),
+                                      std::memory_order_relaxed);
         // pending is published before the push so a stopping worker never
         // exits between the push and the count becoming visible. seq_cst:
         // the increment must order against a parking worker's re-check
         // (see persistent_loop) so no push is ever left unattended.
         ring_pending_.fetch_add(1, std::memory_order_seq_cst);
-        while (!ring_->try_push(entry)) {
-            // Only transiently possible: the ring is sized for the full
+        while (!lane.ring->try_push(entry)) {
+            // Only transiently possible: each ring is sized for the full
             // admission budget at one system per entry.
             std::this_thread::yield();
         }
@@ -653,22 +746,42 @@ private:
         }
     }
 
-    void worker_loop(int worker_id);
+    /// Routes one request against the current lane backlogs (lock-free
+    /// reads; staleness degrades balance, never correctness).
+    shard::decision route_request(std::uint64_t key, index_type items,
+                                  index_type rows, index_type nnz) const;
 
-    /// Resident solver loop of `launch_mode::persistent`: polls the ring,
-    /// groups compatible entries up to `max_batch`, executes without ever
+    /// Victim depth below which nothing is stolen (config, 0 = max_batch).
+    size_type steal_threshold_systems() const;
+
+    void worker_loop(index_type shard_id, int local_id);
+
+    /// Resident solver loop of `launch_mode::persistent`: polls its
+    /// shard's ring (stealing from deeper rings when idle), groups
+    /// compatible entries up to `max_batch`, executes without ever
     /// parking on the admission mutex.
-    void persistent_loop(int worker_id);
+    void persistent_loop(index_type shard_id, int local_id);
 
-    /// Removes queue_[index] under the caller's lock: books it as
+    /// Removes lane.queue[index] under the caller's lock: books it as
     /// in-flight and frees its admission budget.
-    detail::pending_ptr pop_entry_locked(std::size_t index);
+    detail::pending_ptr pop_entry_locked(shard_lane& lane,
+                                         std::size_t index);
 
-    void execute(xpu::queue& q, detail::graph_cache& cache,
+    /// Deepest run-queue worth stealing from (windowed modes, caller
+    /// holds mu_); -1 when no victim clears the threshold.
+    int steal_victim_locked(index_type thief_shard) const;
+
+    /// Deepest ring worth stealing from (persistent mode, lock-free);
+    /// -1 when no victim clears the threshold.
+    int steal_victim_ring(index_type thief_shard) const;
+
+    void execute(shard_lane& lane, xpu::queue& q,
+                 detail::graph_cache& cache,
                  std::vector<detail::pending_ptr> batch);
 
     template <typename T>
-    void execute_typed(xpu::queue& q, detail::graph_cache& cache,
+    void execute_typed(shard_lane& lane, xpu::queue& q,
+                       detail::graph_cache& cache,
                        std::vector<detail::pending_ptr> batch);
 
     service_config config_;
@@ -677,11 +790,19 @@ private:
     xpu::launch_mode launch_mode_ = xpu::launch_mode::direct;
     std::chrono::steady_clock::time_point start_;
 
+    /// Device registry and the router placing requests on it. The lanes
+    /// (one per registry entry) live in a deque for address stability —
+    /// they hold atomics and are not movable.
+    shard::registry registry_;
+    shard::router router_;
+    std::deque<shard_lane> lanes_;
+
     mutable std::mutex mu_;
     std::condition_variable cv_work_;
     std::condition_variable cv_space_;
     std::condition_variable cv_idle_;
-    std::deque<detail::pending_ptr> queue_;
+    /// Total queued systems across every lane (the admission budget of
+    /// the windowed modes).
     size_type queued_systems_ = 0;
     std::size_t in_flight_entries_ = 0;
     /// Atomic (not merely mu_-guarded): the persistent admission path
@@ -715,14 +836,13 @@ private:
     std::uint64_t refine_sweeps_ = 0;
     std::uint64_t refine_fallbacks_ = 0;
 
-    /// Persistent-mode admission ring (null in the other launch modes)
-    /// and its lock-free budget/progress counters. `ring_pending_` counts
-    /// entries published but not yet popped; `ring_in_flight_` counts
-    /// entries popped but not yet replied. A worker bumps in_flight
-    /// *before* dropping pending, so `pending == 0 && in_flight == 0`
-    /// never holds transiently while an entry changes hands — that
-    /// predicate is the drain/shutdown condition.
-    std::unique_ptr<mpmc_ring<detail::pending_ptr>> ring_;
+    /// Persistent-mode lock-free budget/progress counters (the rings
+    /// themselves live in the lanes). `ring_pending_` counts entries
+    /// published but not yet popped; `ring_in_flight_` counts entries
+    /// popped but not yet replied. A worker bumps in_flight *before*
+    /// dropping pending, so `pending == 0 && in_flight == 0` never holds
+    /// transiently while an entry changes hands — that predicate is the
+    /// drain/shutdown condition.
     std::atomic<size_type> ring_systems_{0};
     std::atomic<std::uint64_t> ring_pending_{0};
     std::atomic<std::uint64_t> ring_in_flight_{0};
@@ -733,25 +853,18 @@ private:
     /// loaded steady state pays no wake syscalls at all.
     std::atomic<std::uint32_t> ring_doorbell_{0};
     std::atomic<int> ring_parked_{0};
-    /// Mirror of `breaker_remaining_ > 0` readable without mu_ (the
-    /// persistent loop checks it per batch without taking the mutex).
-    std::atomic<bool> breaker_suspended_{false};
 
-    // Resilience counters and circuit-breaker state (guarded by mu_).
+    // Resilience counters (guarded by mu_). Circuit-breaker state is per
+    // lane (`shard::breaker`) — a faulting shard trips and cools down
+    // alone.
     std::uint64_t launch_faults_ = 0;
     std::uint64_t launch_retries_ = 0;
     std::uint64_t degraded_launches_ = 0;
     std::uint64_t recovered_requests_ = 0;
-    std::uint64_t breaker_trips_ = 0;
-    /// Launches observed / faulted within the current breaker window.
-    std::uint32_t breaker_window_count_ = 0;
-    std::uint32_t breaker_window_faulted_ = 0;
-    /// Remaining launches of a tripped breaker's cooldown; > 0 suspends
-    /// coalescing (workers launch solo).
-    std::uint32_t breaker_remaining_ = 0;
 
-    /// One queue per worker (deque: xpu::queue is not movable in debug
-    /// builds). Constructed before, and outliving, the worker threads.
+    /// One queue per worker, flat-indexed `shard * config_.workers +
+    /// local` (deque: xpu::queue is not movable in debug builds).
+    /// Constructed before, and outliving, the worker threads.
     std::deque<xpu::queue> worker_queues_;
     /// One graph cache per worker, owned exclusively by that worker's
     /// thread (deque for address stability, like the queues).

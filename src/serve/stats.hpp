@@ -4,11 +4,49 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/math.hpp"
 
 namespace batchlin::serve {
+
+/// Point-in-time view of one device shard (see `service_stats::shards`).
+/// Present even for a single-shard service (one entry).
+struct shard_stats {
+    index_type shard = 0;
+    /// Device-spec name the shard emulates ("PVC-1S", ...).
+    std::string device;
+    /// Requests / systems the router placed on this shard.
+    std::uint64_t routed_requests = 0;
+    std::uint64_t routed_systems = 0;
+    /// Systems completed ok by this shard's workers (stolen work counts
+    /// for the thief — the shard that executed it).
+    std::uint64_t completed_systems = 0;
+    std::uint64_t batches_launched = 0;
+    /// Steals this shard's workers performed (as the thief) and the
+    /// systems they pulled over.
+    std::uint64_t steals = 0;
+    std::uint64_t stolen_systems = 0;
+    std::uint64_t launch_faults = 0;
+    /// Per-shard circuit breaker (each shard trips and cools down
+    /// independently; a faulting shard degrades to solo launches while
+    /// the others keep coalescing).
+    std::uint64_t breaker_trips = 0;
+    bool breaker_active = false;
+    /// Current run-queue depth of this shard, in systems.
+    std::uint64_t queue_depth_systems = 0;
+    /// Estimated not-yet-completed work (router cost model) — what the
+    /// placement policy balances on.
+    std::int64_t backlog_ns = 0;
+    /// Modeled device-busy time of this shard's launches (router cost
+    /// model over the fused sizes that actually ran). The shard sweep's
+    /// aggregate throughput is completed systems over the busiest
+    /// shard's modeled busy time.
+    double modeled_busy_seconds = 0.0;
+    /// Completed systems per wall-clock second since service start.
+    double solves_per_sec = 0.0;
+};
 
 /// Point-in-time view of a `solve_service` (see `solve_service::stats`).
 /// All request counters are in requests; the `*_systems` counters are in
@@ -70,9 +108,17 @@ struct service_stats {
     /// resilient solve.
     std::uint64_t refine_fallbacks = 0;
 
-    /// Current admission queue depth.
+    /// Current admission queue depth (all shards).
     std::uint64_t queue_depth_requests = 0;
     std::uint64_t queue_depth_systems = 0;
+
+    /// Per-shard breakdown (one entry per registry shard). The global
+    /// counters above aggregate across shards: `breaker_trips` sums the
+    /// per-shard trips and `breaker_active` is true when any shard's
+    /// breaker is active.
+    std::vector<shard_stats> shards;
+    /// Cross-shard steals (sum over shards).
+    std::uint64_t steals = 0;
 
     /// batch_size_histogram[k] counts launches that fused k systems;
     /// index 0 aggregates launches larger than the histogram (cannot

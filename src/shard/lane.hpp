@@ -1,0 +1,129 @@
+// shard::lane — per-shard runtime state of the sharded serve layer, and
+// the per-shard circuit breaker.
+//
+// One lane per registry entry: its run-queue (windowed modes) or MPMC
+// ring (persistent mode), the backlog estimate the router balances on,
+// the breaker and fault accounting that isolate a misbehaving shard, and
+// the per-shard counters `serve::stats` exposes. The lane itself holds no
+// threads and no locks: the windowed fields are guarded by the service
+// mutex, the ring and the atomics are lock-free, and the `xpu::queue`s
+// executing a lane's work are owned by the service's worker threads (one
+// queue per worker, the single-threaded contract `xpu::queue` documents).
+//
+// The struct is templated on the queued entry pointer so this header
+// does not depend on the serve layer's pending-entry internals (which in
+// turn include this header's sibling registry).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "perfmodel/device_spec.hpp"
+#include "serve/ring.hpp"
+#include "util/math.hpp"
+#include "xpu/policy.hpp"
+
+namespace batchlin::shard {
+
+/// Per-shard circuit breaker over the PR 5 fault taxonomy: when the
+/// faulted fraction of the last `window` fused launches reaches
+/// `fault_ratio`, the shard suspends coalescing for `cooldown` launches
+/// (its workers degrade to solo/native solves) while the other shards
+/// keep serving fused batches. State is guarded by the service mutex;
+/// `suspended` mirrors `remaining > 0` for lock-free readers (the
+/// persistent loop checks it per batch).
+struct breaker {
+    std::uint32_t window_count = 0;
+    std::uint32_t window_faulted = 0;
+    /// Remaining launches of a tripped breaker's cooldown; > 0 suspends
+    /// coalescing on this shard.
+    std::uint32_t remaining = 0;
+    std::uint64_t trips = 0;
+    std::atomic<bool> suspended{false};
+
+    bool active() const { return remaining > 0; }
+
+    /// One observation per fused execution (`faulted` when any attempt
+    /// faulted). During cooldown the window stays frozen and each solo
+    /// execution counts the cooldown down. Returns whether this
+    /// observation tripped the breaker.
+    bool observe(bool faulted, double fault_ratio, std::uint32_t window,
+                 std::uint32_t cooldown)
+    {
+        bool tripped = false;
+        if (remaining > 0) {
+            --remaining;
+        } else {
+            ++window_count;
+            if (faulted) {
+                ++window_faulted;
+            }
+            if (window > 0 && window_count >= window) {
+                const double ratio = static_cast<double>(window_faulted) /
+                                     static_cast<double>(window_count);
+                if (ratio >= fault_ratio && cooldown > 0) {
+                    ++trips;
+                    remaining = cooldown;
+                    tripped = true;
+                }
+                window_count = 0;
+                window_faulted = 0;
+            }
+        }
+        suspended.store(remaining > 0, std::memory_order_release);
+        return tripped;
+    }
+};
+
+/// Runtime state of one shard. Not movable (atomics); the service keeps
+/// lanes in a deque for address stability.
+template <typename EntryPtr>
+struct lane {
+    index_type id = 0;
+    /// The emulated device (routing costs, stats labels, modeled busy
+    /// time).
+    perf::device_spec spec;
+    /// Policy this lane's worker queues are built from (registry entry
+    /// policy plus any per-shard injected fault schedule).
+    xpu::exec_policy policy;
+
+    /// Windowed-mode run-queue, guarded by the service mutex.
+    std::deque<EntryPtr> queue;
+    size_type queued_systems = 0;
+
+    /// Persistent-mode admission ring (null in the windowed modes) and
+    /// its system count — the steal-victim depth signal.
+    std::unique_ptr<serve::mpmc_ring<EntryPtr>> ring;
+    std::atomic<size_type> ring_systems{0};
+
+    /// Estimated nanoseconds of routed-but-uncompleted work (the router
+    /// cost model); read lock-free by the router, moved between lanes
+    /// when work is stolen.
+    std::atomic<std::int64_t> backlog_ns{0};
+
+    breaker brk;
+
+    /// Submission-side counters (atomic: bumped on submitter threads,
+    /// outside the service mutex in persistent mode).
+    std::atomic<std::uint64_t> routed_requests{0};
+    std::atomic<std::uint64_t> routed_systems{0};
+    /// Steals this lane's workers performed as the thief (atomic: the
+    /// persistent loop bumps them outside the mutex).
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> stolen_systems{0};
+
+    /// Completion-side counters, guarded by the service mutex (updated
+    /// in the workers' post-batch bookkeeping).
+    std::uint64_t completed_systems = 0;
+    std::uint64_t batches_launched = 0;
+    std::uint64_t launch_faults = 0;
+    /// Modeled device-busy nanoseconds accumulated by this shard's fused
+    /// launches (the router cost model applied to the fused sizes that
+    /// actually ran). On a host whose single core serializes all shards,
+    /// this is what the scaling shape of the shard sweep is measured on.
+    std::uint64_t modeled_busy_ns = 0;
+};
+
+}  // namespace batchlin::shard

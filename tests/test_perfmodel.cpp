@@ -40,6 +40,24 @@ TEST(DeviceSpec, Table5Values)
     EXPECT_EQ(p2.num_stacks, 2);
 }
 
+TEST(DeviceSpec, Pvc2sSustainedBandwidthTracksTwoStacks)
+{
+    const auto p1 = perf::pvc_1s();
+    const auto p2 = perf::pvc_2s();
+    // The raw HBM figure doubles stack-for-stack; the *sustained* figure
+    // must land in the paper's 1.8-1.9x observed stack scaling, because
+    // implicit scaling never reaches the ideal 2x.
+    EXPECT_DOUBLE_EQ(p2.hbm_bw_tbs, 2.0 * p1.hbm_bw_tbs);
+    const double ratio =
+        perf::sustained_bw_tbs(p2) / perf::sustained_bw_tbs(p1);
+    EXPECT_GT(ratio, 1.75);
+    EXPECT_LT(ratio, 1.95);
+    EXPECT_NEAR(ratio, 2.0 * p2.stack_scaling_efficiency, 1e-12);
+    // Single-stack parts do not pay a stack-scaling discount.
+    EXPECT_NEAR(perf::sustained_bw_tbs(p1),
+                p1.hbm_bw_tbs * p1.efficiency, 1e-12);
+}
+
 TEST(DeviceSpec, PoliciesMatchProgrammingModels)
 {
     EXPECT_EQ(perf::a100().make_policy().model, xpu::prog_model::cuda);

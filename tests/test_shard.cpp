@@ -1,0 +1,598 @@
+// Tests for the multi-device sharding layer: registry enumeration and
+// policy derivation, cost-model routing (determinism, device weighting,
+// spill), the per-shard circuit breaker, and the sharded serve path —
+// bit-identity across shard counts (with and without injected per-shard
+// faults), fault isolation, work stealing, and per-shard statistics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "batchlin/batchlin.hpp"
+#include "shard/lane.hpp"
+#include "shard/registry.hpp"
+#include "shard/router.hpp"
+
+namespace bl = batchlin;
+namespace mat = batchlin::mat;
+namespace perf = batchlin::perf;
+namespace serve = batchlin::serve;
+namespace shard = batchlin::shard;
+namespace solver = batchlin::solver;
+namespace stop = batchlin::stop;
+namespace work = batchlin::work;
+namespace xpu = batchlin::xpu;
+using bl::index_type;
+using std::chrono::microseconds;
+
+namespace {
+
+solver::solve_options cg_opts()
+{
+    solver::solve_options opts;
+    opts.solver = solver::solver_type::cg;
+    opts.preconditioner = bl::precond::type::jacobi;
+    opts.criterion = stop::relative(1e-8, 100);
+    return opts;
+}
+
+template <typename T>
+serve::solve_request<T> make_request(mat::batch_csr<T> a,
+                                     const solver::solve_options& opts,
+                                     std::uint64_t rhs_seed)
+{
+    serve::solve_request<T> req;
+    const index_type items = a.num_batch_items();
+    const index_type rows = a.rows();
+    req.b = work::random_rhs<T>(items, rows, rhs_seed);
+    req.x = mat::batch_dense<T>(items, rows, 1);
+    req.a = std::move(a);
+    req.opts = opts;
+    return req;
+}
+
+/// Fault schedule hitting every even launch in [0, 2 * executions): each
+/// faulted launch recovers on its immediate retry (the retry is a fresh,
+/// odd launch the schedule no longer matches).
+xpu::fault_plan even_launch_faults(index_type executions)
+{
+    xpu::fault_plan plan;
+    for (index_type i = 0; i < executions; ++i) {
+        plan.events.push_back({xpu::fault_kind::launch_fail,
+                               static_cast<std::uint64_t>(2 * i), 0, 1,
+                               xpu::fault_target::slm,
+                               xpu::poison_mode::nan});
+    }
+    return plan;
+}
+
+/// Which shard of `service` the stencil pattern (items, rows) routes to,
+/// discovered by submitting one request and diffing the per-shard routed
+/// counters. The router is deterministic in (key, specs), so the answer
+/// transfers to any service with the same shard layout.
+index_type affine_shard_for(serve::solve_service& service, index_type rows,
+                            std::uint64_t seed)
+{
+    const serve::service_stats before = service.stats();
+    service
+        .submit(make_request(work::stencil_3pt<double>(1, rows, seed),
+                             cg_opts(), seed))
+        .get();
+    const serve::service_stats after = service.stats();
+    for (std::size_t s = 0; s < after.shards.size(); ++s) {
+        if (after.shards[s].routed_requests >
+            before.shards[s].routed_requests) {
+            return static_cast<index_type>(s);
+        }
+    }
+    ADD_FAILURE() << "request routed to no shard";
+    return 0;
+}
+
+/// Runs a fixed mixed request set through a service with the given shard
+/// layout and returns every solution value in submission order.
+std::vector<double> run_request_mix(index_type shards,
+                                    std::vector<xpu::fault_plan> faults = {})
+{
+    serve::service_config cfg;
+    cfg.shards = shards;
+    cfg.workers = 2;
+    cfg.max_batch = 16;
+    cfg.max_wait = microseconds(200);
+    cfg.shard_faults = std::move(faults);
+    serve::solve_service service(xpu::make_sycl_policy(), cfg);
+
+    std::vector<serve::solve_ticket<double>> tickets;
+    for (int wave = 0; wave < 4; ++wave) {
+        for (const index_type rows : {16, 24, 32, 48}) {
+            tickets.push_back(service.submit(
+                make_request(work::stencil_3pt<double>(2, rows,
+                                                       100 + rows),
+                             cg_opts(), 500 + rows)));
+        }
+    }
+
+    std::vector<double> out;
+    for (serve::solve_ticket<double>& ticket : tickets) {
+        serve::solve_reply<double> reply = ticket.get();
+        EXPECT_EQ(reply.status, serve::request_status::ok);
+        for (index_type i = 0; i < reply.x.num_batch_items(); ++i) {
+            const double* v = reply.x.item_values(i);
+            out.insert(out.end(), v, v + reply.x.rows());
+        }
+    }
+    return out;
+}
+
+bool bit_identical(const std::vector<double>& a,
+                   const std::vector<double>& b)
+{
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Scoped environment override that restores the previous value.
+class env_guard {
+public:
+    env_guard(const char* name, const char* value) : name_(name)
+    {
+        const char* old = std::getenv(name);
+        if (old != nullptr) {
+            had_old_ = true;
+            old_ = old;
+        }
+        if (value != nullptr) {
+            ::setenv(name, value, 1);
+        } else {
+            ::unsetenv(name);
+        }
+    }
+    ~env_guard()
+    {
+        if (had_old_) {
+            ::setenv(name_, old_.c_str(), 1);
+        } else {
+            ::unsetenv(name_);
+        }
+    }
+
+private:
+    const char* name_;
+    bool had_old_ = false;
+    std::string old_;
+};
+
+}  // namespace
+
+TEST(ShardRegistry, CanonicalNamesAndParsing)
+{
+    EXPECT_EQ(shard::canonical_device_name("pvc1s"), "PVC-1S");
+    EXPECT_EQ(shard::canonical_device_name("PVC-1S"), "PVC-1S");
+    EXPECT_EQ(shard::canonical_device_name("pvc_2s"), "PVC-2S");
+    EXPECT_EQ(shard::canonical_device_name("A100"), "A100");
+    EXPECT_EQ(shard::canonical_device_name("h100"), "H100");
+    EXPECT_THROW(shard::canonical_device_name("mi300"), bl::error);
+
+    const std::vector<std::string> names =
+        shard::parse_device_list("pvc1s, pvc2s,a100");
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "PVC-1S");
+    EXPECT_EQ(names[1], "PVC-2S");
+    EXPECT_EQ(names[2], "A100");
+    EXPECT_THROW(shard::parse_device_list(""), bl::error);
+    EXPECT_THROW(shard::parse_device_list("pvc1s,bogus"), bl::error);
+}
+
+TEST(ShardRegistry, UniformEnumerationKeepsBasePolicyVerbatim)
+{
+    const xpu::exec_policy base = xpu::make_sycl_policy();
+    const shard::registry reg = shard::registry::uniform(3, "pvc1s", base);
+    ASSERT_EQ(reg.size(), 3);
+    for (index_type s = 0; s < reg.size(); ++s) {
+        const shard::device_entry& e = reg.at(s);
+        EXPECT_EQ(e.id, s);
+        EXPECT_EQ(e.spec.name, "PVC-1S");
+        EXPECT_FALSE(e.explicit_device);
+        // Uniform shards must behave exactly like the unsharded service:
+        // no launch-cost emulation is grafted on.
+        EXPECT_DOUBLE_EQ(e.policy.emulated_launch_us,
+                         base.emulated_launch_us);
+        EXPECT_DOUBLE_EQ(e.policy.emulated_replay_us,
+                         base.emulated_replay_us);
+    }
+    EXPECT_THROW(reg.at(3), bl::error);
+    EXPECT_THROW(reg.at(-1), bl::error);
+}
+
+TEST(ShardRegistry, FromNamesAppliesDeviceLaunchCosts)
+{
+    const xpu::exec_policy base = xpu::make_sycl_policy();
+    shard::registry reg =
+        shard::registry::from_names({"pvc1s", "pvc2s"}, base);
+    ASSERT_EQ(reg.size(), 2);
+    const perf::device_spec p1 = perf::pvc_1s();
+    const perf::device_spec p2 = perf::pvc_2s();
+    EXPECT_TRUE(reg.at(0).explicit_device);
+    EXPECT_EQ(reg.at(0).spec.name, p1.name);
+    EXPECT_DOUBLE_EQ(reg.at(0).policy.emulated_launch_us,
+                     p1.kernel_launch_us);
+    EXPECT_DOUBLE_EQ(reg.at(0).policy.emulated_replay_us,
+                     p1.graph_replay_us);
+    EXPECT_DOUBLE_EQ(reg.at(0).policy.emulated_record_us,
+                     p1.graph_finalize_us);
+    EXPECT_EQ(reg.at(1).spec.name, p2.name);
+    EXPECT_DOUBLE_EQ(reg.at(1).policy.emulated_launch_us,
+                     p2.kernel_launch_us);
+    // Kernel-behavior fields stay the base policy's — the bit-identity
+    // guarantee across placements.
+    EXPECT_EQ(reg.at(0).policy.allowed_sub_group_sizes,
+              base.allowed_sub_group_sizes);
+    EXPECT_EQ(reg.at(1).policy.allowed_sub_group_sizes,
+              base.allowed_sub_group_sizes);
+
+    // The standalone per-shard queue is lazily built, then stable.
+    xpu::queue& q0 = reg.queue(0);
+    EXPECT_EQ(&q0, &reg.queue(0));
+    EXPECT_NE(&q0, &reg.queue(1));
+}
+
+TEST(ShardRegistry, EnvOverridesParse)
+{
+    {
+        env_guard guard("BATCHLIN_SHARDS", "4");
+        const auto count = shard::shards_from_env();
+        ASSERT_TRUE(count.has_value());
+        EXPECT_EQ(*count, 4);
+    }
+    {
+        env_guard guard("BATCHLIN_SHARDS", nullptr);
+        EXPECT_FALSE(shard::shards_from_env().has_value());
+    }
+    {
+        env_guard guard("BATCHLIN_SHARDS", "zero");
+        EXPECT_THROW(shard::shards_from_env(), bl::error);
+    }
+    {
+        env_guard guard("BATCHLIN_SHARD_DEVICES", "pvc1s,pvc1s");
+        const auto devices = shard::shard_devices_from_env();
+        ASSERT_TRUE(devices.has_value());
+        ASSERT_EQ(devices->size(), 2u);
+        EXPECT_EQ((*devices)[0], "PVC-1S");
+    }
+}
+
+TEST(ShardRegistry, ServiceAppliesEnvOverrideToDefaultConfigOnly)
+{
+    env_guard devices_guard("BATCHLIN_SHARD_DEVICES", nullptr);
+    env_guard guard("BATCHLIN_SHARDS", "3");
+    {
+        serve::solve_service service(xpu::make_sycl_policy(), {});
+        EXPECT_EQ(service.devices().size(), 3);
+        EXPECT_EQ(service.config().shards, 3);
+    }
+    {
+        serve::service_config cfg;
+        cfg.shards = 2;
+        serve::solve_service service(xpu::make_sycl_policy(), cfg);
+        EXPECT_EQ(service.devices().size(), 2);
+    }
+}
+
+TEST(ShardRouter, DeterministicForEqualCostShards)
+{
+    const shard::router router({perf::pvc_1s(), perf::pvc_1s()});
+    const std::vector<std::int64_t> idle = {0, 0};
+    bool hit_shard[2] = {false, false};
+    for (std::uint64_t key = 1; key <= 64; ++key) {
+        const shard::decision first = router.route(key, 4, 16, 46, idle);
+        for (int repeat = 0; repeat < 3; ++repeat) {
+            const shard::decision again =
+                router.route(key, 4, 16, 46, idle);
+            EXPECT_EQ(again.shard, first.shard);
+            EXPECT_EQ(again.cost_ns, first.cost_ns);
+        }
+        hit_shard[first.shard] = true;
+        // Equal specs price the request equally on both shards.
+        EXPECT_EQ(first.cost_ns,
+                  shard::router::estimate_cost_ns(perf::pvc_1s(), 4, 16,
+                                                  46));
+    }
+    // Rendezvous hashing spreads distinct keys over both shards.
+    EXPECT_TRUE(hit_shard[0]);
+    EXPECT_TRUE(hit_shard[1]);
+}
+
+TEST(ShardRouter, CostModelTracksDeviceBandwidthAndLaunchCost)
+{
+    // Large batches are bandwidth-bound: the two-stack part must price
+    // them toward the paper's 1.8-1.9x stack scaling (§4.2), not the
+    // ideal 2x. The shape must stream milliseconds of bytes to dominate
+    // PVC-2S's 75us implicit-scaling launch overhead.
+    const std::int64_t big_1s =
+        shard::router::estimate_cost_ns(perf::pvc_1s(), 16384, 256, 768);
+    const std::int64_t big_2s =
+        shard::router::estimate_cost_ns(perf::pvc_2s(), 16384, 256, 768);
+    const double ratio =
+        static_cast<double>(big_1s) / static_cast<double>(big_2s);
+    EXPECT_GT(ratio, 1.6);
+    EXPECT_LT(ratio, 1.95);
+
+    // A single tiny system is launch-bound: the implicit-scaling split
+    // overhead makes the two-stack part the *worse* home for it.
+    EXPECT_LT(shard::router::estimate_cost_ns(perf::pvc_1s(), 1, 8, 22),
+              shard::router::estimate_cost_ns(perf::pvc_2s(), 1, 8, 22));
+
+    // Faster devices win proportionally more keys at equal backlog.
+    const shard::router mixed({perf::pvc_1s(), perf::pvc_2s()});
+    const std::vector<std::int64_t> idle = {0, 0};
+    int won_by_2s = 0;
+    for (std::uint64_t key = 1; key <= 512; ++key) {
+        if (mixed.route(key, 16384, 256, 768, idle).shard == 1) {
+            ++won_by_2s;
+        }
+    }
+    EXPECT_GT(won_by_2s, 256);
+}
+
+TEST(ShardRouter, SpillsToLeastLoadedPastHysteresis)
+{
+    const shard::router router({perf::pvc_1s(), perf::pvc_1s()});
+    const std::uint64_t key = 1234;
+    const shard::decision affine = router.route(key, 1, 16, 46, {0, 0});
+    const index_type other = affine.shard == 0 ? 1 : 0;
+
+    // Backlog below the one-batch hysteresis margin keeps the key home
+    // (same-key bursts must stay together and coalesce).
+    std::vector<std::int64_t> small_backlog = {0, 0};
+    small_backlog[affine.shard] = affine.cost_ns * 8;
+    EXPECT_EQ(router.route(key, 1, 16, 46, small_backlog).shard,
+              affine.shard);
+
+    // Far past the margin, the request spills to the least loaded shard.
+    std::vector<std::int64_t> heavy_backlog = {0, 0};
+    heavy_backlog[affine.shard] = affine.cost_ns * 100;
+    EXPECT_EQ(router.route(key, 1, 16, 46, heavy_backlog).shard, other);
+}
+
+TEST(ShardBreaker, TripsAndCoolsDownIndependently)
+{
+    shard::breaker brk;
+    // Two healthy observations, then a faulted window: 2/4 = 0.5 ratio.
+    EXPECT_FALSE(brk.observe(false, 0.5, 4, 3));
+    EXPECT_FALSE(brk.observe(false, 0.5, 4, 3));
+    EXPECT_FALSE(brk.observe(true, 0.5, 4, 3));
+    EXPECT_TRUE(brk.observe(true, 0.5, 4, 3));
+    EXPECT_TRUE(brk.active());
+    EXPECT_TRUE(brk.suspended.load());
+    EXPECT_EQ(brk.trips, 1u);
+    // Cooldown counts down one launch per observation, window frozen.
+    EXPECT_FALSE(brk.observe(true, 0.5, 4, 3));
+    EXPECT_FALSE(brk.observe(false, 0.5, 4, 3));
+    EXPECT_TRUE(brk.active());
+    EXPECT_FALSE(brk.observe(false, 0.5, 4, 3));
+    EXPECT_FALSE(brk.active());
+    EXPECT_FALSE(brk.suspended.load());
+    // A healthy window after recovery does not re-trip.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_FALSE(brk.observe(false, 0.5, 4, 3));
+    }
+    EXPECT_EQ(brk.trips, 1u);
+}
+
+TEST(ShardServe, BitIdenticalAcrossShardCounts)
+{
+    const std::vector<double> solo = run_request_mix(1);
+    const std::vector<double> two = run_request_mix(2);
+    const std::vector<double> four = run_request_mix(4);
+    ASSERT_FALSE(solo.empty());
+    EXPECT_TRUE(bit_identical(solo, two));
+    EXPECT_TRUE(bit_identical(solo, four));
+}
+
+TEST(ShardServe, BitIdenticalUnderInjectedPerShardFaults)
+{
+    const std::vector<double> clean = run_request_mix(2);
+    // Fault shard 0's workers on every even launch: every execution there
+    // faults once and recovers on retry. Replies must stay ok and
+    // bit-identical to the clean run.
+    std::vector<xpu::fault_plan> faults(1);
+    faults[0] = even_launch_faults(64);
+    const std::vector<double> faulted = run_request_mix(2, std::move(faults));
+    EXPECT_TRUE(bit_identical(clean, faulted));
+
+    std::vector<xpu::fault_plan> both(2);
+    both[0] = even_launch_faults(64);
+    both[1] = even_launch_faults(64);
+    const std::vector<double> faulted4 =
+        run_request_mix(4, std::move(both));
+    EXPECT_TRUE(bit_identical(clean, faulted4));
+}
+
+TEST(ShardServe, PerShardFaultsIsolateAndBreakerTripsAlone)
+{
+    serve::service_config probe_cfg;
+    probe_cfg.shards = 2;
+    probe_cfg.workers = 1;
+    serve::solve_service probe(xpu::make_sycl_policy(), probe_cfg);
+    const index_type faulty = affine_shard_for(probe, 16, 11);
+    // Find a second pattern living on the other shard, so the healthy
+    // shard demonstrably keeps serving while its neighbor faults.
+    index_type healthy_rows = 0;
+    for (index_type rows = 20; rows <= 96; rows += 4) {
+        if (affine_shard_for(probe, rows, 11) != faulty) {
+            healthy_rows = rows;
+            break;
+        }
+    }
+    ASSERT_GT(healthy_rows, 0) << "no pattern routed to the second shard";
+    probe.stop();
+
+    serve::service_config cfg;
+    cfg.shards = 2;
+    cfg.workers = 1;
+    cfg.breaker_window = 4;
+    cfg.breaker_cooldown = 4;
+    cfg.shard_faults.resize(2);
+    cfg.shard_faults[static_cast<std::size_t>(faulty)] =
+        even_launch_faults(64);
+    serve::solve_service service(xpu::make_sycl_policy(), cfg);
+
+    for (int i = 0; i < 12; ++i) {
+        serve::solve_reply<double> on_faulty =
+            service
+                .submit(make_request(work::stencil_3pt<double>(1, 16, 11),
+                                     cg_opts(), 900 + i))
+                .get();
+        EXPECT_EQ(on_faulty.status, serve::request_status::ok);
+        serve::solve_reply<double> on_healthy =
+            service
+                .submit(make_request(
+                    work::stencil_3pt<double>(1, healthy_rows, 11),
+                    cg_opts(), 950 + i))
+                .get();
+        EXPECT_EQ(on_healthy.status, serve::request_status::ok);
+    }
+
+    const serve::service_stats s = service.stats();
+    const auto f = static_cast<std::size_t>(faulty);
+    const std::size_t h = f == 0 ? 1 : 0;
+    EXPECT_GE(s.shards[f].launch_faults, 8u);
+    EXPECT_EQ(s.shards[h].launch_faults, 0u);
+    EXPECT_GE(s.shards[f].breaker_trips, 1u);
+    EXPECT_EQ(s.shards[h].breaker_trips, 0u);
+    EXPECT_GE(s.shards[h].completed_systems, 12u);
+    EXPECT_EQ(s.failed_requests, 0u);
+    // Globals aggregate the per-shard truth.
+    EXPECT_EQ(s.breaker_trips, s.shards[f].breaker_trips);
+    EXPECT_EQ(s.launch_faults,
+              s.shards[0].launch_faults + s.shards[1].launch_faults);
+}
+
+TEST(ShardServe, WorkStealingRebalancesAHotKey)
+{
+    serve::service_config cfg;
+    cfg.shards = 2;
+    cfg.workers = 1;
+    cfg.max_batch = 8;
+    cfg.steal_threshold = 4;
+    cfg.max_wait = microseconds(100);
+    cfg.max_queue_systems = 8192;
+    serve::solve_service service(xpu::make_sycl_policy(), cfg);
+
+    std::uint64_t total = 0;
+    std::uint64_t steals = 0;
+    for (int wave = 0; wave < 100 && steals == 0; ++wave) {
+        std::vector<serve::solve_ticket<double>> tickets;
+        tickets.reserve(64);
+        for (int i = 0; i < 64; ++i) {
+            tickets.push_back(service.submit(make_request(
+                work::stencil_3pt<double>(1, 16, 21), cg_opts(),
+                static_cast<std::uint64_t>(wave * 64 + i))));
+        }
+        for (serve::solve_ticket<double>& ticket : tickets) {
+            EXPECT_EQ(ticket.get().status, serve::request_status::ok);
+            ++total;
+        }
+        steals = service.stats().steals;
+    }
+    // Replies resolve before the workers' locked bookkeeping; drain
+    // settles the books before the consistency checks below.
+    service.drain();
+    const serve::service_stats s = service.stats();
+    EXPECT_GE(s.steals, 1u);
+    EXPECT_EQ(s.completed_systems, total);
+    // Every system completed exactly once, on whichever shard executed it
+    // (on a single host core the scheduler may let one shard's worker do
+    // all the executing — including the stolen work — so no claim is made
+    // about which shard ran what, only that the books balance).
+    EXPECT_EQ(s.shards[0].completed_systems + s.shards[1].completed_systems,
+              total);
+    EXPECT_EQ(s.shards[0].steals + s.shards[1].steals, s.steals);
+    EXPECT_GE(s.shards[0].stolen_systems + s.shards[1].stolen_systems, 1u);
+}
+
+TEST(ShardServe, PerShardStatsAreConsistentAfterDrain)
+{
+    serve::service_config cfg;
+    cfg.shards = 2;
+    cfg.workers = 1;
+    cfg.max_batch = 8;
+    serve::solve_service service(xpu::make_sycl_policy(), cfg);
+
+    std::vector<serve::solve_ticket<double>> tickets;
+    for (int i = 0; i < 20; ++i) {
+        const index_type rows = 16 + 8 * (i % 4);
+        tickets.push_back(service.submit(
+            make_request(work::stencil_3pt<double>(2, rows, 33), cg_opts(),
+                         static_cast<std::uint64_t>(i))));
+    }
+    for (serve::solve_ticket<double>& ticket : tickets) {
+        EXPECT_EQ(ticket.get().status, serve::request_status::ok);
+    }
+    service.drain();
+
+    const serve::service_stats s = service.stats();
+    ASSERT_EQ(s.shards.size(), 2u);
+    std::uint64_t routed_requests = 0;
+    std::uint64_t routed_systems = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t batches = 0;
+    for (const serve::shard_stats& ss : s.shards) {
+        EXPECT_EQ(ss.device, "PVC-1S");
+        EXPECT_EQ(ss.queue_depth_systems, 0u);
+        EXPECT_EQ(ss.backlog_ns, 0);
+        EXPECT_FALSE(ss.breaker_active);
+        routed_requests += ss.routed_requests;
+        routed_systems += ss.routed_systems;
+        completed += ss.completed_systems;
+        batches += ss.batches_launched;
+        if (ss.batches_launched > 0) {
+            EXPECT_GT(ss.modeled_busy_seconds, 0.0);
+        }
+    }
+    EXPECT_EQ(routed_requests, s.submitted_requests);
+    EXPECT_EQ(routed_systems, s.submitted_systems);
+    EXPECT_EQ(completed, s.completed_systems);
+    EXPECT_EQ(completed, 40u);
+    EXPECT_EQ(batches, s.batches_launched);
+    EXPECT_EQ(s.queue_depth_systems, 0u);
+}
+
+TEST(ShardServe, PersistentModeShardsServeAndStayConsistent)
+{
+    xpu::exec_policy policy = xpu::make_sycl_policy();
+    policy.launch_mode = xpu::launch_mode::persistent;
+    serve::service_config cfg;
+    cfg.shards = 2;
+    cfg.workers = 1;
+    cfg.max_batch = 16;
+    cfg.max_queue_systems = 8192;
+    serve::solve_service service(policy, cfg);
+    ASSERT_EQ(service.launch_mode(), xpu::launch_mode::persistent);
+
+    std::vector<serve::solve_ticket<double>> tickets;
+    for (int i = 0; i < 128; ++i) {
+        const index_type rows = (i % 2) == 0 ? 16 : 24;
+        tickets.push_back(service.submit(
+            make_request(work::stencil_3pt<double>(1, rows, 44), cg_opts(),
+                         static_cast<std::uint64_t>(i))));
+    }
+    for (serve::solve_ticket<double>& ticket : tickets) {
+        EXPECT_EQ(ticket.get().status, serve::request_status::ok);
+    }
+    service.drain();
+
+    const serve::service_stats s = service.stats();
+    ASSERT_EQ(s.shards.size(), 2u);
+    EXPECT_EQ(s.completed_systems, 128u);
+    EXPECT_EQ(s.shards[0].completed_systems + s.shards[1].completed_systems,
+              128u);
+    EXPECT_EQ(s.queue_depth_systems, 0u);
+    EXPECT_EQ(s.shards[0].backlog_ns, 0);
+    EXPECT_EQ(s.shards[1].backlog_ns, 0);
+    service.stop();
+}

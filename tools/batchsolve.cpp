@@ -49,6 +49,9 @@ struct cli_options {
     int serve_workers = 2;
     index_type serve_batch = 64;
     long serve_wait_us = 200;
+    index_type shards = 1;
+    /// Comma-separated device list ("pvc1s,pvc2s"); overrides --shards.
+    std::string shard_devices;
 };
 
 [[noreturn]] void usage(const char* argv0, int code)
@@ -82,7 +85,11 @@ struct cli_options {
         "  --launch-mode M     direct|graph_replay|persistent [direct]\n"
         "  --serve-workers N   worker threads                [2]\n"
         "  --serve-batch N     max systems per fused launch  [64]\n"
-        "  --serve-wait-us N   batching window in usec       [200]\n",
+        "  --serve-wait-us N   batching window in usec       [200]\n"
+        "  --shards N          logical device shards to serve across [1]\n"
+        "  --shard-devices L   per-shard device list, e.g. pvc1s,pvc1s\n"
+        "                      (overrides --shards; emulates each device's\n"
+        "                      launch costs)\n",
         argv0);
     std::exit(code);
 }
@@ -147,6 +154,10 @@ cli_options parse(int argc, char** argv)
             o.serve_batch = std::atoi(next());
         } else if (arg == "--serve-wait-us") {
             o.serve_wait_us = std::atol(next());
+        } else if (arg == "--shards") {
+            o.shards = std::atoi(next());
+        } else if (arg == "--shard-devices") {
+            o.shard_devices = next();
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0], 2);
@@ -222,6 +233,10 @@ log::batch_log solve_via_service(const cli_options& o,
     cfg.max_wait = std::chrono::microseconds(o.serve_wait_us);
     cfg.max_queue_systems =
         std::max<size_type>(static_cast<size_type>(items), 1);
+    cfg.shards = o.shards;
+    if (!o.shard_devices.empty()) {
+        cfg.shard_devices = shard::parse_device_list(o.shard_devices);
+    }
     xpu::exec_policy policy = perf::device_by_name(o.device).make_policy();
     policy.launch_mode = xpu::parse_launch_mode(o.launch_mode);
     serve::solve_service service(policy, cfg);
@@ -259,6 +274,10 @@ log::batch_log solve_via_service(const cli_options& o,
         max_fused = std::max(max_fused, reply.fused_systems);
     }
 
+    // Every ticket has resolved, but a reply is fulfilled before the
+    // worker's locked bookkeeping runs; drain waits the books settled so
+    // the dump below balances.
+    service.drain();
     const serve::service_stats s = service.stats();
     if (!o.json) {
         std::printf("serve:    %d workers, window %ld us, %llu launches, "
@@ -282,6 +301,23 @@ log::batch_log solve_via_service(const cli_options& o,
                         static_cast<unsigned long long>(s.refined_batches),
                         static_cast<unsigned long long>(s.refine_sweeps),
                         static_cast<unsigned long long>(s.refine_fallbacks));
+        }
+        if (s.shards.size() > 1) {
+            for (const serve::shard_stats& ss : s.shards) {
+                std::printf(
+                    "shard %2d: %s, %llu routed / %llu solved systems, "
+                    "%llu launches, %llu steals, %llu faults, "
+                    "%llu trips%s, %.0f solves/sec\n",
+                    ss.shard, ss.device.c_str(),
+                    static_cast<unsigned long long>(ss.routed_systems),
+                    static_cast<unsigned long long>(ss.completed_systems),
+                    static_cast<unsigned long long>(ss.batches_launched),
+                    static_cast<unsigned long long>(ss.steals),
+                    static_cast<unsigned long long>(ss.launch_faults),
+                    static_cast<unsigned long long>(ss.breaker_trips),
+                    ss.breaker_active ? " (breaker open)" : "",
+                    ss.solves_per_sec);
+            }
         }
     }
     return log;
