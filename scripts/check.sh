@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Builds and tests the eight verification configs:
+# Builds and tests the nine verification configs:
 #  1. the default Release build (tier-1: what CI and users run),
 #  2. a Debug + ASan/UBSan build (BATCHLIN_SANITIZE=ON), which also keeps
 #     assertions alive so the debug-only workspace-binder name checks run,
@@ -34,7 +34,16 @@
 #     shards (cost-model routing, work stealing, per-shard breakers) in
 #     both the persistent and graph_replay launch modes: results must be
 #     bit-identical to the unsharded runs and the fault schedules must
-#     stay contained to the shard they strike.
+#     stay contained to the shard they strike, and
+#  9. a BATCHLIN_CONC_CHECK build running the conc:: concurrency model
+#     checker over the lock-free serve/shard protocols: the ring,
+#     reply-slot, doorbell, and lane-counter invariants are explored
+#     exhaustively at 2-3 threads plus >= 10k seeded random schedules at
+#     higher thread counts (the seed set is fixed inside the tests, so
+#     the run is reproducible), and the seeded mutant suite proves the
+#     detector catches each weakened memory order and dropped wake. The
+#     serve/shard unit suites also re-run in this build, proving the
+#     instrumented shims are transparent when no engine is driving.
 # The sanitizer passes are what prove the pooled launch resources, the
 # reused spill backing, the serving layer's locking, and the solver
 # kernels' SPMD discipline race- and UB-free.
@@ -46,29 +55,38 @@ JOBS=${1:-$(nproc)}
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$ROOT"
 
-echo "== config 1/8: Release (build/)"
+echo "== config 1/9: Release (build/)"
 cmake -B build -S . -G Ninja >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 2/8: Debug + ASan/UBSan (build-sanitize/)"
+echo "== config 2/9: Debug + ASan/UBSan (build-sanitize/)"
 cmake -B build-sanitize -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=ON >/dev/null
 cmake --build build-sanitize -j "$JOBS"
 ctest --test-dir build-sanitize -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 3/8: Debug + TSan, serve tests (build-tsan/)"
+echo "== config 3/9: Debug + TSan, serve + shard tests (build-tsan/)"
 cmake -B build-tsan -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_serve
+cmake --build build-tsan -j "$JOBS" --target test_serve test_shard
 # OMP_NUM_THREADS=1: libgomp is not TSan-instrumented, so its barriers
 # would report false positives. The serve-layer concurrency under test —
 # client threads vs worker threads vs stats readers — is plain std::thread
 # and stays fully exercised.
-OMP_NUM_THREADS=1 ctest --test-dir build-tsan -R '^(Serve|Assemble)\.' \
+OMP_NUM_THREADS=1 ctest --test-dir build-tsan \
+  -R '^(Serve|Assemble|Shard[A-Za-z]*)\.' \
+  -j "$JOBS" --output-on-failure | tail -3
+# The persistent launch mode swaps the mutex/condvar handoff for the
+# lock-free ring + futex doorbell + waiter-bit reply slots: re-run the
+# serve and shard suites with every default-config service forced onto
+# that path, so TSan watches the protocols the conc:: model checker
+# (config 9) explores.
+OMP_NUM_THREADS=1 BATCHLIN_LAUNCH_MODE=persistent ctest \
+  --test-dir build-tsan -R '^(Serve|Assemble|Shard[A-Za-z]*)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 4/8: xpu::check kernel portability sanitizer (build-check/)"
+echo "== config 4/9: xpu::check kernel portability sanitizer (build-check/)"
 cmake -B build-check -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_XPU_CHECK=ON >/dev/null
 cmake --build build-check -j "$JOBS"
@@ -77,7 +95,7 @@ cmake --build build-check -j "$JOBS"
 # shipped kernels lane-order independent.
 ctest --test-dir build-check -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 5/8: resilience fault soak under the checked build"
+echo "== config 5/9: resilience fault soak under the checked build"
 # Reuses build-check: the fault-injection fixtures, breakdown taxonomy
 # regressions, fallback-chain recovery, and the >= 1000-solve randomized
 # soak all run against the instrumented execution model.
@@ -85,7 +103,7 @@ ctest --test-dir build-check \
   -R '^(FaultPlan|FaultFixtures|BreakdownTaxonomy|ZeroRhs|Resilient|SingularSweep|FaultSoak|ServeResilience)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 6/8: serve + resilience under graph_replay launch mode"
+echo "== config 6/9: serve + resilience under graph_replay launch mode"
 # Same Release build, launch mode forced by environment override: the
 # serve-vs-solo bit-identity tests and the fault-recovery suites must not
 # notice that every fused solve now goes through a recorded command graph.
@@ -93,7 +111,7 @@ BATCHLIN_LAUNCH_MODE=graph_replay ctest --test-dir build \
   -R '^(Serve|Assemble|ServeResilience|Resilient|FaultPlan)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 7/8: serve + mixed precision under fp32 default storage"
+echo "== config 7/9: serve + mixed precision under fp32 default storage"
 # Same Release build, default storage precision flipped by environment
 # override: serve normalizes eligible requests onto fp32 storage, the
 # coalescing keys keep storage policies apart, and iterative refinement
@@ -102,7 +120,7 @@ BATCHLIN_STORAGE=fp32 ctest --test-dir build \
   -R '^(Serve|Assemble|MixedPrecision|Refine)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 8/8: serve + resilience across two device shards"
+echo "== config 8/9: serve + resilience across two device shards"
 # Same Release build, shard count forced by environment override onto
 # every default-config service: routing, stealing, and the per-shard
 # breakers must be invisible to the serve bit-identity and fault-recovery
@@ -115,4 +133,18 @@ BATCHLIN_SHARDS=2 BATCHLIN_LAUNCH_MODE=graph_replay ctest --test-dir build \
   -R '^(Serve|Assemble|Shard[A-Za-z]*|ServeResilience|Resilient|FaultPlan)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== all eight configs clean"
+echo "== config 9/9: conc:: concurrency model checker (build-conc/)"
+cmake -B build-conc -S . -G Ninja \
+  -DCMAKE_BUILD_TYPE=Release -DBATCHLIN_CONC_CHECK=ON >/dev/null
+cmake --build build-conc -j "$JOBS" --target test_conc test_serve test_shard
+# The model-check suite: exhaustive exploration + fixed-seed random walks
+# of the production ring/reply-slot/doorbell/lane protocols, and the
+# mutant suite proving the detector's teeth. The serve/shard suites then
+# re-run in the same build: off-engine, the shims must be invisible.
+ctest --test-dir build-conc -R '^Conc' \
+  -j "$JOBS" --output-on-failure | tail -3
+OMP_NUM_THREADS=1 ctest --test-dir build-conc \
+  -R '^(Serve|Assemble|Shard[A-Za-z]*)\.' \
+  -j "$JOBS" --output-on-failure | tail -3
+
+echo "== all nine configs clean"

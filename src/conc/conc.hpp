@@ -1,0 +1,12 @@
+#pragma once
+// Umbrella for the conc:: concurrency model-checking layer.
+//
+//   shim.hpp   — conc::atomic / conc::mutex / conc::futex_* vocabulary the
+//                production protocols compile against (aliases by default,
+//                instrumented under BATCHLIN_CONC_CHECK),
+//   engine.hpp — the exploring scheduler + race detector (always declared;
+//                only reachable through the shims in the checked build, or
+//                directly from model-check tests).
+
+#include "conc/engine.hpp"
+#include "conc/shim.hpp"

@@ -1,0 +1,312 @@
+#pragma once
+// conc::engine — deterministic cooperative scheduler + happens-before race
+// detector for model-checking the lock-free serve/shard protocols.
+//
+// The engine runs a test body under a baton discipline: every logical thread
+// is a real OS thread, but exactly one holds the baton (a binary semaphore)
+// at a time. Each instrumented operation (conc::atomic load/store/RMW,
+// conc::mutex lock/unlock, conc::futex_wait/wake, thread spawn/join)
+// announces itself, then the scheduler decides which thread executes next:
+//
+//  * exhaustive mode: depth-first enumeration of schedules with replay from
+//    a recorded decision path, sleep-set pruning (Godefroid-style DPOR-lite:
+//    a sibling branch already explored stays asleep until a dependent
+//    operation wakes it), and CHESS-style preemption bounding (schedules
+//    with more than `preemption_bound` involuntary switches are not
+//    enumerated — empirically almost all concurrency bugs need very few).
+//  * random mode: seeded uniform walks over the enabled threads, one rng
+//    seed per schedule, so a failure reports a reproducible seed.
+//
+// Layered on the same hooks is a FastTrack-style vector-clock race detector:
+// release stores publish the writer's clock on the atomic object, acquire
+// loads join it, and every conc::plain_read/plain_write on non-atomic data
+// is checked for a happens-before edge against the last conflicting access.
+// Races, lost wakes (deadlock: every thread blocked), user property failures
+// (conc::require) and exhausted op budgets abort the schedule and are
+// reported with both source sites plus the full decision trace.
+//
+// Values are always sequentially consistent (there is one true memory);
+// weak-memory effects are detected through *missing happens-before edges*,
+// not through stale values. DESIGN.md §13 spells out what that can and
+// cannot catch.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <semaphore>
+#include <source_location>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace batchlin::conc {
+
+inline constexpr int max_threads = 8;
+
+/// One component per logical thread; epochs tick on every scheduled op.
+struct vclock {
+    std::array<std::uint32_t, max_threads> c{};
+
+    void join(const vclock& o) {
+        for (int i = 0; i < max_threads; ++i) {
+            if (o.c[static_cast<std::size_t>(i)] > c[static_cast<std::size_t>(i)]) {
+                c[static_cast<std::size_t>(i)] = o.c[static_cast<std::size_t>(i)];
+            }
+        }
+    }
+    void clear() { c.fill(0); }
+};
+
+/// Lightweight capture of std::source_location (shims pass call sites down).
+struct site {
+    const char* file = "?";
+    unsigned line = 0;
+};
+
+inline site to_site(const std::source_location& loc) {
+    return site{loc.file_name(), loc.line()};
+}
+
+enum class op_kind : std::uint8_t {
+    none,
+    atomic_load,
+    atomic_store,
+    atomic_rmw,
+    mutex_lock,
+    mutex_unlock,
+    futex_wait,
+    futex_wake,
+    thread_spawn,
+    thread_join,
+    thread_start,
+    resume,
+    yield,
+};
+
+struct op_desc {
+    op_kind kind = op_kind::none;
+    const void* obj = nullptr;
+    site where{};
+};
+
+/// Thrown to unwind a logical thread when the current schedule is abandoned
+/// (failure found, or branch pruned as sleep-set-redundant).
+struct abort_execution {};
+
+enum class explore_mode : std::uint8_t { exhaustive, random };
+
+struct options {
+    explore_mode mode = explore_mode::exhaustive;
+    /// exhaustive: stop after this many schedules even if incomplete.
+    long max_schedules = 200000;
+    /// random: number of seeded walks.
+    long seeds = 1000;
+    std::uint64_t seed0 = 1;
+    /// Max involuntary context switches per schedule; <0 = unbounded.
+    int preemption_bound = 3;
+    /// Abort a schedule whose op count exceeds this (livelock guard).
+    long max_ops_per_run = 20000;
+    /// Spurious futex wakeups injected as scheduler choices, per thread per
+    /// schedule. 0 disables injection.
+    int spurious_wakeups = 1;
+};
+
+struct report {
+    bool ok = true;
+    /// exhaustive mode: true if the full (bounded) tree was enumerated.
+    bool complete = false;
+    long schedules = 0;
+    long pruned = 0;
+    std::string failure;  ///< empty when ok
+    std::string trace;    ///< decision trace of the failing schedule
+
+    std::string summary() const;
+};
+
+class engine {
+public:
+    explicit engine(const options& opts);
+    ~engine();
+
+    engine(const engine&) = delete;
+    engine& operator=(const engine&) = delete;
+
+    /// The engine driving the calling OS thread, or nullptr.
+    static engine* active();
+    /// Logical thread id of the calling OS thread (0 = root).
+    static int self();
+
+    bool aborting() const { return aborting_; }
+    bool failed() const { return failed_; }
+
+    // -- shim hooks (scheduled operations) ---------------------------------
+    void op_point(op_kind kind, const void* obj, const site& s);
+    void sync_acquire(const void* obj, std::memory_order mo);
+    void sync_store(const void* obj, std::memory_order mo);
+    void sync_rmw(const void* obj, std::memory_order mo);
+    void futex_wait(const void* obj, const std::atomic<std::uint32_t>& word,
+                    std::uint32_t expected, const site& s);
+    void futex_wake_all(const void* obj, const site& s);
+    void mutex_lock(const void* obj, const site& s);
+    bool mutex_try_lock(const void* obj, const site& s);
+    void mutex_unlock(const void* obj, const site& s);
+    void yield(const site& s);
+
+    // -- plain (non-atomic) data, race-checked, not scheduled --------------
+    void plain_read(const void* addr, const site& s);
+    void plain_write(const void* addr, const site& s);
+
+    // -- logical threads ---------------------------------------------------
+    int spawn(std::function<void()> body, const site& s);
+    void join_thread(int tid, const site& s);
+    void drain_unjoined(int tid);
+
+    // -- property failures -------------------------------------------------
+    /// Records the failure and aborts the schedule. Throws abort_execution
+    /// unless the calling thread is already unwinding one.
+    void fail(const std::string& what, const site& s);
+
+private:
+    friend report explore(const options& opts, const std::function<void()>& body);
+
+    enum class tstat : std::uint8_t {
+        runnable,
+        blocked_futex,
+        blocked_mutex,
+        blocked_join,
+        finished,
+    };
+
+    struct thread_rec {
+        int tid = 0;
+        tstat st = tstat::finished;
+        op_desc pending{};
+        vclock clock{};
+        vclock final_clock{};
+        std::binary_semaphore sem{0};
+        bool parked = false;
+        const void* wait_obj = nullptr;
+        site blocked_at{};
+        bool woke_spurious = false;
+        int spurious_credits = 0;
+        bool unwinding = false;
+        bool started = false;
+        bool os_joined = true;
+        std::thread os;
+        std::function<void()> body;
+    };
+
+    struct choice {
+        int tid = 0;
+        bool spurious = false;
+        bool operator==(const choice&) const = default;
+    };
+
+    struct node {
+        std::vector<choice> all;  ///< candidate branches, deterministic order
+        std::size_t next = 0;     ///< branch taken on the current replay
+    };
+
+    struct access_rec {
+        int tid = -1;
+        std::uint32_t epoch = 0;
+        site where{};
+    };
+
+    struct loc_state {
+        access_rec write{};
+        std::array<access_rec, max_threads> reads{};
+    };
+
+    // run lifecycle (driven by explore())
+    void begin_run();
+    void end_run();
+    bool advance();  ///< returns true when exploration is finished
+
+    void decide_and_switch(thread_rec& me, bool finishing);
+    choice choose(const std::vector<choice>& allowed, bool finishing);
+    void apply_spurious(const choice& ch);
+    void wrapper(int tid);
+    void finish_thread(int tid);
+    void deliver_abort(thread_rec& me);
+    void fail_nothrow(const std::string& what);
+    std::string deadlock_message() const;
+    static bool dependent(const op_desc& a, const op_desc& b);
+    thread_rec& cur() { return t_[static_cast<std::size_t>(cur_tid())]; }
+    static int cur_tid();
+    std::string trace_string() const;
+    static std::string describe(const op_desc& d);
+
+    options opts_;
+    std::array<thread_rec, max_threads> t_;
+    int nthreads_ = 1;
+
+    bool aborting_ = false;
+    bool pruned_flag_ = false;
+    bool failed_ = false;
+    std::string failure_;
+    std::string failure_trace_;
+
+    long ops_ = 0;
+    int preemptions_ = 0;
+    long schedules_ = 0;
+    long pruned_ = 0;
+
+    // exhaustive state
+    std::vector<node> path_;
+    std::size_t depth_ = 0;
+    std::uint32_t sleep_ = 0;  ///< bitmask of slept tids
+
+    // random state
+    std::mt19937_64 rng_;
+    long run_index_ = 0;
+
+    std::vector<choice> run_trace_;
+
+    std::unordered_map<const void*, vclock> sync_;
+    std::unordered_map<const void*, loc_state> mem_;
+    std::unordered_map<const void*, int> mutex_owner_;
+};
+
+/// Run `body` as logical thread 0 under every explored schedule.
+report explore(const options& opts, const std::function<void()>& body);
+
+/// Model-checked property assertion: failing records the schedule and aborts
+/// the exploration. Outside an engine, throws std::logic_error.
+void require(bool cond, const char* what,
+             const std::source_location& loc = std::source_location::current());
+
+/// Logical thread handle. Declare shared state *before* conc::thread objects
+/// so that abort-unwind joins children before the data they touch dies.
+class thread {
+public:
+    template <typename Fn>
+    explicit thread(Fn&& fn,
+                    const std::source_location& loc = std::source_location::current())
+        : tid_(engine::active()->spawn(std::function<void()>(std::forward<Fn>(fn)),
+                                       to_site(loc))) {}
+
+    thread(const thread&) = delete;
+    thread& operator=(const thread&) = delete;
+
+    void join(const std::source_location& loc = std::source_location::current()) {
+        engine::active()->join_thread(tid_, to_site(loc));
+        joined_ = true;
+    }
+
+    ~thread() {
+        if (!joined_) {
+            engine::active()->drain_unjoined(tid_);
+        }
+    }
+
+private:
+    int tid_;
+    bool joined_ = false;
+};
+
+}  // namespace batchlin::conc

@@ -10,42 +10,30 @@
 //
 // Memory ordering is carried entirely by the atomic word the caller
 // loads/stores around these calls — the futex is only a parking lot.
+//
+// The raw syscalls live in conc/shim.hpp now: these wrappers take the
+// conc::atomic words the serve protocols use, so the checked build
+// (BATCHLIN_CONC_CHECK) routes park/wake through the model checker's
+// futex model — same lost-wake semantics, deterministic schedules.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
-#if defined(__linux__)
-#include <climits>
-#include <linux/futex.h>
-#include <sys/syscall.h>
-#include <unistd.h>
-#endif
+#include "conc/shim.hpp"
 
 namespace batchlin::serve::detail {
 
 /// Blocks until `word` is woken or its value is observed != `expected`.
 /// May return spuriously; callers re-check the predicate in a loop.
-inline void futex_wait(std::atomic<std::uint32_t>& word,
-                       std::uint32_t expected)
+inline void futex_wait(conc::atomic<std::uint32_t>& word, std::uint32_t expected)
 {
-#if defined(__linux__)
-    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
-            FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
-#else
-    word.wait(expected, std::memory_order_acquire);
-#endif
+    conc::futex_wait(word, expected);
 }
 
 /// Wakes every thread blocked in futex_wait on `word`.
-inline void futex_wake_all(std::atomic<std::uint32_t>& word)
+inline void futex_wake_all(conc::atomic<std::uint32_t>& word)
 {
-#if defined(__linux__)
-    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
-            FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
-#else
-    word.notify_all();
-#endif
+    conc::futex_wake_all(word);
 }
 
 }  // namespace batchlin::serve::detail

@@ -9,8 +9,9 @@
 // MPMC queue of Dmitry Vyukov: one sequence counter per cell, a single
 // CAS per operation on the producer/consumer cursor, and acquire/release
 // ordering on the cell sequence so the payload handoff happens-before the
-// consumer's read (TSan-clean; scripts/check.sh config 4 runs the serve
-// suite under TSan with the persistent mode enabled).
+// consumer's read (TSan-clean; scripts/check.sh config 3 runs the serve
+// suite under TSan with the persistent mode enabled, and config 9 runs
+// the same code under the conc:: model checker).
 //
 // Semantics:
 //  - `try_push` / `try_pop` never block and never spuriously fail under
@@ -19,6 +20,13 @@
 //  - FIFO per producer; global order is the CAS order on the cursors.
 //  - The ring owns pushed elements: destruction drains and destroys any
 //    element never popped.
+//
+// The atomics are `conc::atomic` (std::atomic in the default build) so
+// the checked build model-checks this exact code, and the load-bearing
+// memory orders are named by the `Orders` traits parameter: production
+// code always uses the `ring_orders` defaults, while the conc:: mutant
+// suite (tests/test_conc.cpp) instantiates weakened traits to prove the
+// checker detects each ordering the algorithm actually relies on.
 #pragma once
 
 #include <atomic>
@@ -28,22 +36,44 @@
 #include <new>
 #include <utility>
 
+#include "conc/shim.hpp"
 #include "util/error.hpp"
 
 namespace batchlin::serve {
 
-template <typename T>
+/// The memory orders the Vyukov ring relies on. Each member is a property
+/// the model checker can refute when weakened:
+///  - `seq_load` (acquire): the payload write happens-before the consumer
+///    that observes the published sequence;
+///  - `publish` (release): ditto, producer side;
+///  - `retire` (release): the consumer's move-out happens-before the
+///    producer that reuses the cell a lap later.
+struct ring_orders {
+    static constexpr std::memory_order seq_load = std::memory_order_acquire;
+    static constexpr std::memory_order publish = std::memory_order_release;
+    static constexpr std::memory_order retire = std::memory_order_release;
+};
+
+template <typename T, typename Orders = ring_orders>
 class mpmc_ring {
 public:
     /// Capacity is rounded up to the next power of two (the cell index is
     /// a mask of the cursor); at least 2.
-    explicit mpmc_ring(std::size_t min_capacity)
+    explicit mpmc_ring(std::size_t min_capacity) : mpmc_ring(min_capacity, 0) {}
+
+    /// Test seam: start both cursors at `start_pos` so wraparound of the
+    /// position counter itself (start near SIZE_MAX) is exercisable
+    /// without 2^64 pushes. Production code always starts at 0.
+    mpmc_ring(std::size_t min_capacity, std::size_t start_pos)
         : capacity_(std::bit_ceil(min_capacity < 2 ? 2 : min_capacity)),
           mask_(capacity_ - 1),
-          cells_(new cell[capacity_])
+          cells_(new cell[capacity_]),
+          enqueue_pos_(start_pos),
+          dequeue_pos_(start_pos)
     {
         for (std::size_t i = 0; i < capacity_; ++i) {
-            cells_[i].seq.store(i, std::memory_order_relaxed);
+            cells_[(start_pos + i) & mask_].seq.store(start_pos + i,
+                                                      std::memory_order_relaxed);
         }
     }
 
@@ -66,7 +96,7 @@ public:
         std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
         for (;;) {
             c = &cells_[pos & mask_];
-            const std::size_t seq = c->seq.load(std::memory_order_acquire);
+            const std::size_t seq = c->seq.load(Orders::seq_load);
             const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
                                       static_cast<std::intptr_t>(pos);
             if (dif == 0) {
@@ -80,8 +110,9 @@ public:
                 pos = enqueue_pos_.load(std::memory_order_relaxed);
             }
         }
+        conc::plain_write(static_cast<const void*>(c->storage));
         ::new (static_cast<void*>(c->storage)) T(std::move(value));
-        c->seq.store(pos + 1, std::memory_order_release);
+        c->seq.store(pos + 1, Orders::publish);
         return true;
     }
 
@@ -92,7 +123,7 @@ public:
         std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
         for (;;) {
             c = &cells_[pos & mask_];
-            const std::size_t seq = c->seq.load(std::memory_order_acquire);
+            const std::size_t seq = c->seq.load(Orders::seq_load);
             const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
                                       static_cast<std::intptr_t>(pos + 1);
             if (dif == 0) {
@@ -106,10 +137,11 @@ public:
                 pos = dequeue_pos_.load(std::memory_order_relaxed);
             }
         }
+        conc::plain_write(static_cast<const void*>(c->storage));
         T* stored = std::launder(reinterpret_cast<T*>(c->storage));
         out = std::move(*stored);
         stored->~T();
-        c->seq.store(pos + mask_ + 1, std::memory_order_release);
+        c->seq.store(pos + mask_ + 1, Orders::retire);
         return true;
     }
 
@@ -129,15 +161,15 @@ private:
     /// between push and pop. Padded to a cache line so neighboring slots
     /// don't false-share under producer/consumer contention.
     struct alignas(64) cell {
-        std::atomic<std::size_t> seq{0};
+        conc::atomic<std::size_t> seq{0};
         alignas(T) unsigned char storage[sizeof(T)];
     };
 
     const std::size_t capacity_;
     const std::size_t mask_;
     cell* const cells_;
-    alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
-    alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+    alignas(64) conc::atomic<std::size_t> enqueue_pos_;
+    alignas(64) conc::atomic<std::size_t> dequeue_pos_;
 };
 
 }  // namespace batchlin::serve

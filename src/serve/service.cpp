@@ -54,6 +54,8 @@ struct stage_probe {
     std::atomic<std::uint64_t> batches{0};
     static bool on()
     {
+        // Read-only env lookup; nothing in batchlin calls setenv.
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
         static const bool v = std::getenv("BATCHLIN_SERVE_STAGE_PROBE");
         return v;
     }
@@ -133,6 +135,8 @@ solve_service::solve_service(xpu::exec_policy policy, service_config config)
     // selects a non-direct mode keeps it, so mode-specific tests stay
     // meaningful under a mode-sweeping harness.
     if (policy.launch_mode == xpu::launch_mode::direct) {
+        // Read-only env lookup; nothing in batchlin calls setenv.
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
         const char* env = std::getenv("BATCHLIN_LAUNCH_MODE");
         if (env != nullptr && *env != '\0') {
             policy.launch_mode = xpu::parse_launch_mode(env);
@@ -249,9 +253,10 @@ void solve_service::stop()
     }
     cv_work_.notify_all();
     cv_space_.notify_all();
-    // Ring the doorbell so parked resident workers observe stopping_.
-    ring_doorbell_.fetch_add(1, std::memory_order_release);
-    detail::futex_wake_all(ring_doorbell_);
+    // Ring unconditionally so parked resident workers observe stopping_:
+    // a worker parking concurrently with this bump sees the generation
+    // change in its `word == heard` re-check and does not sleep.
+    bell_.ring_always();
     for (std::thread& worker : workers_) {
         if (worker.joinable()) {
             worker.join();
@@ -674,21 +679,16 @@ void solve_service::persistent_loop(index_type shard_id, int local_id)
             // doorbell futex instead of burning the core in a poll loop
             // — an idle resident worker must cost nothing. The parked
             // registration is seq_cst against the producer's pending
-            // increment, so a push between the re-check and the wait is
-            // always answered by a doorbell bump.
+            // increment (serve/doorbell.hpp), so a push between the
+            // re-check and the wait is always answered by a bump.
             if (++idle < 4) {
                 std::this_thread::yield();
                 continue;
             }
-            const std::uint32_t heard =
-                ring_doorbell_.load(std::memory_order_acquire);
-            ring_parked_.fetch_add(1, std::memory_order_seq_cst);
-            if (ring_pending_.load(std::memory_order_seq_cst) == 0 &&
-                !stopping_.load(std::memory_order_acquire) &&
-                ring_doorbell_.load(std::memory_order_acquire) == heard) {
-                detail::futex_wait(ring_doorbell_, heard);
-            }
-            ring_parked_.fetch_sub(1, std::memory_order_seq_cst);
+            bell_.park([&] {
+                return ring_pending_.load(std::memory_order_seq_cst) != 0 ||
+                       stopping_.load(std::memory_order_acquire);
+            });
             continue;
         }
         idle = 0;
@@ -783,7 +783,7 @@ void solve_service::execute_typed(shard_lane& lane, xpu::queue& q,
     // path wakes immediately instead: staggered wakeups keep clients
     // refilling the mutex-guarded queue while the worker finishes its
     // bookkeeping, which is what keeps the next window full.
-    std::vector<std::atomic<std::uint32_t>*> wake_list;
+    std::vector<conc::atomic<std::uint32_t>*> wake_list;
     auto* const deferred_wakes =
         launch_mode_ == xpu::launch_mode::persistent ? &wake_list : nullptr;
     std::uint64_t ok_requests = 0;
@@ -1139,7 +1139,7 @@ void solve_service::execute_typed(shard_lane& lane, xpu::queue& q,
     // drains its whole window without another sleep. Only slots a waiter
     // actually parked on are in the list, so the sweep issues exactly
     // one syscall per sleeping client, not one per request.
-    for (std::atomic<std::uint32_t>* word : wake_list) {
+    for (conc::atomic<std::uint32_t>* word : wake_list) {
         detail::futex_wake_all(*word);
     }
     st.lap(7);  // wake sweep

@@ -50,7 +50,10 @@
 #include <variant>
 #include <vector>
 
+#include "conc/shim.hpp"
+#include "serve/doorbell.hpp"
 #include "serve/futex.hpp"
+#include "serve/reply_slot.hpp"
 #include "serve/ring.hpp"
 #include "serve/stats.hpp"
 #include "shard/lane.hpp"
@@ -304,50 +307,14 @@ index_type nnz_per_item(const solver::batch_matrix<T>& a)
         a);
 }
 
-/// Slot states. A slot starts `pending`; a blocking waiter CAS-es it to
-/// `pending_waiting` before sleeping on the futex; the resolver exchanges
-/// it to `ready` and wakes only if the old value carried the waiter bit.
-/// A resolution that nobody is sleeping on therefore costs one exchange
-/// and zero syscalls — the common case when a client's window of requests
-/// was fused into one batch and the client is asleep on the *first*
-/// ticket while the rest resolve.
-inline constexpr std::uint32_t slot_pending = 0;
-inline constexpr std::uint32_t slot_ready = 1;
-inline constexpr std::uint32_t slot_pending_waiting = 2;
-
-/// Completion slot a ticket waits on. This replaces `std::promise` so
-/// the worker controls *when* and *whether* waiters are woken: resolution
-/// stores the reply and publishes `state` (release); the futex wake is
-/// issued only for slots a waiter actually registered on, and in
-/// persistent mode it is further deferred until the whole batch is
-/// resolved. A client whose window of requests was fused into one launch
-/// then wakes exactly once and finds every ticket already ready, instead
-/// of being woken mid-batch and re-blocking on each subsequent ticket —
-/// on a host that time-shares clients and workers, those saved sleep/wake
-/// pairs are the difference between a launch-bound and a scheduler-bound
-/// service.
-template <typename T>
-struct reply_slot {
-    std::atomic<std::uint32_t> state{slot_pending};
-    solve_reply<T> reply;
-
-    /// Publishes the reply already stored in `reply`. Returns the futex
-    /// word to wake if a waiter registered before resolution, else null;
-    /// the caller wakes it immediately or defers to a batch sweep.
-    std::atomic<std::uint32_t>* resolve()
-    {
-        const std::uint32_t old =
-            state.exchange(slot_ready, std::memory_order_acq_rel);
-        return old == slot_pending_waiting ? &state : nullptr;
-    }
-};
-
 /// A queued request of one precision, with the slot its ticket waits
-/// on.
+/// on. The slot itself (waiter-bit states, resolve/wait protocol) lives
+/// in serve/reply_slot.hpp, generified over the payload so the conc::
+/// model checker exercises the same code.
 template <typename T>
 struct typed_pending {
     solve_request<T> request;
-    std::shared_ptr<reply_slot<T>> slot;
+    std::shared_ptr<reply_slot<solve_reply<T>>> slot;
 };
 
 struct pending_entry {
@@ -418,32 +385,10 @@ public:
     {
         BATCHLIN_ENSURE_MSG(slot_ != nullptr,
                             "get() on an empty or consumed ticket");
-        // Short spin first: under load the resolving batch is usually
-        // mid-flight, and catching the release store here skips a futex
-        // sleep/wake pair. Deliberately no sched_yield in the spin — on a
-        // loaded host each yield is a scheduler round-trip, and a chain
-        // of them per get() turns a batching service scheduler-bound.
-        std::uint32_t r = slot_->state.load(std::memory_order_acquire);
-        for (int spin = 0; r == detail::slot_pending && spin < 64; ++spin) {
-            r = slot_->state.load(std::memory_order_acquire);
-        }
-        while (r != detail::slot_ready) {
-            // Register as a waiter so the resolver knows to issue a wake,
-            // then park. The CAS failing with `ready` means resolution
-            // beat the registration; failing with `pending_waiting`
-            // means a spurious futex return left our registration in
-            // place — park again.
-            std::uint32_t expected = detail::slot_pending;
-            slot_->state.compare_exchange_strong(
-                expected, detail::slot_pending_waiting,
-                std::memory_order_acq_rel, std::memory_order_acquire);
-            if (expected == detail::slot_ready) {
-                break;
-            }
-            detail::futex_wait(slot_->state, detail::slot_pending_waiting);
-            r = slot_->state.load(std::memory_order_acquire);
-        }
-        solve_reply<T> out = std::move(slot_->reply);
+        // The spin/register/park protocol lives with the slot
+        // (serve/reply_slot.hpp) — the same code the conc:: model
+        // checker drives in tests/test_conc.cpp.
+        solve_reply<T> out = slot_->wait_and_take();
         slot_.reset();
         return out;
     }
@@ -451,12 +396,13 @@ public:
 private:
     friend class solve_service;
 
-    explicit solve_ticket(std::shared_ptr<detail::reply_slot<T>> slot)
+    explicit solve_ticket(
+        std::shared_ptr<detail::reply_slot<solve_reply<T>>> slot)
         : slot_(std::move(slot))
     {
     }
 
-    std::shared_ptr<detail::reply_slot<T>> slot_;
+    std::shared_ptr<detail::reply_slot<solve_reply<T>>> slot_;
 };
 
 /// The dynamic-batching solve service. See the file comment for the
@@ -533,7 +479,7 @@ public:
 
         detail::typed_pending<T> typed{
             std::move(request),
-            std::make_shared<detail::reply_slot<T>>()};
+            std::make_shared<detail::reply_slot<solve_reply<T>>>()};
         ticket<T> fut{typed.slot};
 
         ++submitted_requests_;
@@ -633,7 +579,7 @@ private:
         reply.a = std::move(typed.request.a);
         reply.b = std::move(typed.request.b);
         reply.x = std::move(typed.request.x);
-        typed.slot->reply = std::move(reply);
+        typed.slot->store_reply(std::move(reply));
         if (auto* word = typed.slot->resolve()) {
             detail::futex_wake_all(*word);
         }
@@ -660,13 +606,13 @@ private:
     template <typename T>
     static bool try_reply(
         detail::typed_pending<T>& typed, solve_reply<T> reply,
-        std::vector<std::atomic<std::uint32_t>*>* deferred_wakes = nullptr)
+        std::vector<conc::atomic<std::uint32_t>*>* deferred_wakes = nullptr)
     {
         if (typed.slot->state.load(std::memory_order_relaxed) ==
             detail::slot_ready) {
             return false;  // already resolved
         }
-        typed.slot->reply = std::move(reply);
+        typed.slot->store_reply(std::move(reply));
         if (auto* word = typed.slot->resolve()) {
             if (deferred_wakes != nullptr) {
                 deferred_wakes->push_back(word);
@@ -740,10 +686,7 @@ private:
             // admission budget at one system per entry.
             std::this_thread::yield();
         }
-        if (ring_parked_.load(std::memory_order_seq_cst) > 0) {
-            ring_doorbell_.fetch_add(1, std::memory_order_release);
-            detail::futex_wake_all(ring_doorbell_);
-        }
+        bell_.ring();
     }
 
     /// Routes one request against the current lane backlogs (lock-free
@@ -806,15 +749,17 @@ private:
     size_type queued_systems_ = 0;
     std::size_t in_flight_entries_ = 0;
     /// Atomic (not merely mu_-guarded): the persistent admission path
-    /// reads these without the mutex.
-    std::atomic<bool> accepting_{true};
-    std::atomic<bool> stopping_{false};
+    /// reads these without the mutex. conc::atomic (= std::atomic in the
+    /// default build) so the checked build model-checks the protocols
+    /// they participate in.
+    conc::atomic<bool> accepting_{true};
+    conc::atomic<bool> stopping_{false};
 
     /// Submission-side counters are atomic — bumped on the submitter's
     /// thread before admission, outside the mutex.
-    std::atomic<std::uint64_t> submitted_requests_{0};
-    std::atomic<std::uint64_t> submitted_systems_{0};
-    std::atomic<std::uint64_t> rejected_requests_{0};
+    conc::atomic<std::uint64_t> submitted_requests_{0};
+    conc::atomic<std::uint64_t> submitted_systems_{0};
+    conc::atomic<std::uint64_t> rejected_requests_{0};
     std::uint64_t completed_requests_ = 0;
     std::uint64_t completed_systems_ = 0;
     std::uint64_t expired_requests_ = 0;
@@ -843,16 +788,15 @@ private:
     /// dropping pending, so `pending == 0 && in_flight == 0` never holds
     /// transiently while an entry changes hands — that predicate is the
     /// drain/shutdown condition.
-    std::atomic<size_type> ring_systems_{0};
-    std::atomic<std::uint64_t> ring_pending_{0};
-    std::atomic<std::uint64_t> ring_in_flight_{0};
+    conc::atomic<size_type> ring_systems_{0};
+    conc::atomic<std::uint64_t> ring_pending_{0};
+    conc::atomic<std::uint64_t> ring_in_flight_{0};
     /// Parking protocol of the resident workers: a worker that finds the
-    /// ring empty registers in `ring_parked_` (seq_cst), re-checks
-    /// `ring_pending_`, and sleeps on `ring_doorbell_`; a producer rings
-    /// the doorbell after its push only when someone is parked, so the
-    /// loaded steady state pays no wake syscalls at all.
-    std::atomic<std::uint32_t> ring_doorbell_{0};
-    std::atomic<int> ring_parked_{0};
+    /// ring empty registers as parked, re-checks `ring_pending_`, and
+    /// sleeps on the doorbell word; a producer rings after its push only
+    /// when someone is parked, so the loaded steady state pays no wake
+    /// syscalls at all. Protocol and rationale: serve/doorbell.hpp.
+    doorbell bell_;
 
     // Resilience counters (guarded by mu_). Circuit-breaker state is per
     // lane (`shard::breaker`) — a faulting shard trips and cools down

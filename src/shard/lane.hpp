@@ -20,6 +20,7 @@
 #include <deque>
 #include <memory>
 
+#include "conc/shim.hpp"
 #include "perfmodel/device_spec.hpp"
 #include "serve/ring.hpp"
 #include "util/math.hpp"
@@ -41,7 +42,7 @@ struct breaker {
     /// coalescing on this shard.
     std::uint32_t remaining = 0;
     std::uint64_t trips = 0;
-    std::atomic<bool> suspended{false};
+    conc::atomic<bool> suspended{false};
 
     bool active() const { return remaining > 0; }
 
@@ -96,23 +97,25 @@ struct lane {
     /// Persistent-mode admission ring (null in the windowed modes) and
     /// its system count — the steal-victim depth signal.
     std::unique_ptr<serve::mpmc_ring<EntryPtr>> ring;
-    std::atomic<size_type> ring_systems{0};
+    conc::atomic<size_type> ring_systems{0};
 
     /// Estimated nanoseconds of routed-but-uncompleted work (the router
     /// cost model); read lock-free by the router, moved between lanes
-    /// when work is stolen.
-    std::atomic<std::int64_t> backlog_ns{0};
+    /// when work is stolen. conc::atomic (= std::atomic in the default
+    /// build): the backlog books-balance property in tests/test_conc.cpp
+    /// model-checks the submit/steal/retire transfers on these counters.
+    conc::atomic<std::int64_t> backlog_ns{0};
 
     breaker brk;
 
     /// Submission-side counters (atomic: bumped on submitter threads,
     /// outside the service mutex in persistent mode).
-    std::atomic<std::uint64_t> routed_requests{0};
-    std::atomic<std::uint64_t> routed_systems{0};
+    conc::atomic<std::uint64_t> routed_requests{0};
+    conc::atomic<std::uint64_t> routed_systems{0};
     /// Steals this lane's workers performed as the thief (atomic: the
     /// persistent loop bumps them outside the mutex).
-    std::atomic<std::uint64_t> steals{0};
-    std::atomic<std::uint64_t> stolen_systems{0};
+    conc::atomic<std::uint64_t> steals{0};
+    conc::atomic<std::uint64_t> stolen_systems{0};
 
     /// Completion-side counters, guarded by the service mutex (updated
     /// in the workers' post-batch bookkeeping).

@@ -71,6 +71,8 @@ std::vector<std::string> parse_device_list(const std::string& list)
 
 std::optional<index_type> shards_from_env()
 {
+    // Read-only env lookup; nothing in batchlin calls setenv.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("BATCHLIN_SHARDS");
     if (env == nullptr || *env == '\0') {
         return std::nullopt;
@@ -86,6 +88,8 @@ std::optional<index_type> shards_from_env()
 
 std::optional<std::vector<std::string>> shard_devices_from_env()
 {
+    // Read-only env lookup; nothing in batchlin calls setenv.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("BATCHLIN_SHARD_DEVICES");
     if (env == nullptr || *env == '\0') {
         return std::nullopt;

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -931,6 +932,94 @@ TEST(Serve, RingSurvivesConcurrentProducersAndConsumers)
     const long long n = static_cast<long long>(kProducers) * kPerProducer;
     EXPECT_EQ(popped.load(), n);
     EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(Serve, RingCapacityOneRoundsUpToTwo)
+{
+    // The cell index is a mask of the cursor, so capacity is clamped to a
+    // power of two >= 2; the degenerate request must still yield a working
+    // ring, not a zero-mask one.
+    serve::mpmc_ring<int> ring(1);
+    EXPECT_EQ(ring.capacity(), 2u);
+    int a = 10;
+    int b = 20;
+    int c = 30;
+    EXPECT_TRUE(ring.try_push(a));
+    EXPECT_TRUE(ring.try_push(b));
+    EXPECT_FALSE(ring.try_push(c));
+    EXPECT_EQ(c, 30);
+    int v = 0;
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, 10);
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, 20);
+    EXPECT_FALSE(ring.try_pop(v));
+    // A zero-capacity request degrades the same way.
+    serve::mpmc_ring<int> zero(0);
+    EXPECT_EQ(zero.capacity(), 2u);
+}
+
+TEST(Serve, RingWrapsAroundAtIndexOverflow)
+{
+    // The cursors are raw size_t positions; the seq/pos discrimination is
+    // done in differences, so the counters overflowing SIZE_MAX must be
+    // invisible. The test seam starts both cursors just below the wrap.
+    const std::size_t start = std::numeric_limits<std::size_t>::max() - 2;
+    serve::mpmc_ring<int> ring(4, start);
+    // Fill across the wrap point, drain, and lap a few more times.
+    for (int lap = 0; lap < 3; ++lap) {
+        for (int i = 0; i < 4; ++i) {
+            int value = lap * 10 + i;
+            ASSERT_TRUE(ring.try_push(value));
+        }
+        int overflow = 99;
+        EXPECT_FALSE(ring.try_push(overflow));
+        for (int i = 0; i < 4; ++i) {
+            int v = -1;
+            ASSERT_TRUE(ring.try_pop(v));
+            EXPECT_EQ(v, lap * 10 + i);  // FIFO across the wrap
+        }
+        int v = -1;
+        EXPECT_FALSE(ring.try_pop(v));
+        EXPECT_TRUE(ring.empty());
+    }
+}
+
+TEST(Serve, RingFullProducerBacksOffUntilConsumerDrains)
+{
+    // A full ring rejects without damaging the value; the producer's
+    // backoff loop (exactly what submit_to_ring does) makes progress as
+    // soon as the consumer frees a cell.
+    constexpr int kItems = 1000;
+    serve::mpmc_ring<int> ring(2);
+    std::atomic<int> rejections{0};
+    std::thread producer([&] {
+        for (int i = 0; i < kItems; ++i) {
+            int value = i;
+            while (!ring.try_push(value)) {
+                EXPECT_EQ(value, i);  // failed push leaves the value intact
+                rejections.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::yield();
+            }
+        }
+    });
+    std::vector<int> got;
+    got.reserve(kItems);
+    while (static_cast<int>(got.size()) < kItems) {
+        int v = -1;
+        if (ring.try_pop(v)) {
+            got.push_back(v);
+        } else {
+            std::this_thread::yield();
+        }
+    }
+    producer.join();
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(kItems));
+    for (int i = 0; i < kItems; ++i) {
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+    }
+    int leftover = -1;
+    EXPECT_FALSE(ring.try_pop(leftover));
 }
 
 TEST(ServeResilience, FaultedReplayReRecordsInsteadOfReplayingPoisonedGraph)
