@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Builds and tests the nine verification configs:
+# Builds and tests the ten verification configs:
 #  1. the default Release build (tier-1: what CI and users run),
 #  2. a Debug + ASan/UBSan build (BATCHLIN_SANITIZE=ON), which also keeps
 #     assertions alive so the debug-only workspace-binder name checks run,
@@ -43,7 +43,15 @@
 #     the run is reproducible), and the seeded mutant suite proves the
 #     detector catches each weakened memory order and dropped wake. The
 #     serve/shard unit suites also re-run in this build, proving the
-#     instrumented shims are transparent when no engine is driving.
+#     instrumented shims are transparent when no engine is driving, and
+# 10. the failover and chaos-soak suites (device-loss fault model, lane
+#     eviction + queue migration, hang watchdog, half-open probes,
+#     priority shedding, brownout) at two shards: a bounded-runtime
+#     seeded soak mixing shard death/revival, a kernel hang, NaN poison,
+#     and open-loop overload, asserting zero lost tickets, balanced
+#     backlog books after drain, and bit-identity of successful solves
+#     against solo references — in the Release build and again under the
+#     instrumented checked build.
 # The sanitizer passes are what prove the pooled launch resources, the
 # reused spill backing, the serving layer's locking, and the solver
 # kernels' SPMD discipline race- and UB-free.
@@ -55,18 +63,18 @@ JOBS=${1:-$(nproc)}
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$ROOT"
 
-echo "== config 1/9: Release (build/)"
+echo "== config 1/10: Release (build/)"
 cmake -B build -S . -G Ninja >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 2/9: Debug + ASan/UBSan (build-sanitize/)"
+echo "== config 2/10: Debug + ASan/UBSan (build-sanitize/)"
 cmake -B build-sanitize -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=ON >/dev/null
 cmake --build build-sanitize -j "$JOBS"
 ctest --test-dir build-sanitize -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 3/9: Debug + TSan, serve + shard tests (build-tsan/)"
+echo "== config 3/10: Debug + TSan, serve + shard tests (build-tsan/)"
 cmake -B build-tsan -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_serve test_shard
@@ -86,7 +94,7 @@ OMP_NUM_THREADS=1 BATCHLIN_LAUNCH_MODE=persistent ctest \
   --test-dir build-tsan -R '^(Serve|Assemble|Shard[A-Za-z]*)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 4/9: xpu::check kernel portability sanitizer (build-check/)"
+echo "== config 4/10: xpu::check kernel portability sanitizer (build-check/)"
 cmake -B build-check -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug -DBATCHLIN_XPU_CHECK=ON >/dev/null
 cmake --build build-check -j "$JOBS"
@@ -95,7 +103,7 @@ cmake --build build-check -j "$JOBS"
 # shipped kernels lane-order independent.
 ctest --test-dir build-check -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 5/9: resilience fault soak under the checked build"
+echo "== config 5/10: resilience fault soak under the checked build"
 # Reuses build-check: the fault-injection fixtures, breakdown taxonomy
 # regressions, fallback-chain recovery, and the >= 1000-solve randomized
 # soak all run against the instrumented execution model.
@@ -103,7 +111,7 @@ ctest --test-dir build-check \
   -R '^(FaultPlan|FaultFixtures|BreakdownTaxonomy|ZeroRhs|Resilient|SingularSweep|FaultSoak|ServeResilience)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 6/9: serve + resilience under graph_replay launch mode"
+echo "== config 6/10: serve + resilience under graph_replay launch mode"
 # Same Release build, launch mode forced by environment override: the
 # serve-vs-solo bit-identity tests and the fault-recovery suites must not
 # notice that every fused solve now goes through a recorded command graph.
@@ -111,7 +119,7 @@ BATCHLIN_LAUNCH_MODE=graph_replay ctest --test-dir build \
   -R '^(Serve|Assemble|ServeResilience|Resilient|FaultPlan)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 7/9: serve + mixed precision under fp32 default storage"
+echo "== config 7/10: serve + mixed precision under fp32 default storage"
 # Same Release build, default storage precision flipped by environment
 # override: serve normalizes eligible requests onto fp32 storage, the
 # coalescing keys keep storage policies apart, and iterative refinement
@@ -120,7 +128,7 @@ BATCHLIN_STORAGE=fp32 ctest --test-dir build \
   -R '^(Serve|Assemble|MixedPrecision|Refine)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 8/9: serve + resilience across two device shards"
+echo "== config 8/10: serve + resilience across two device shards"
 # Same Release build, shard count forced by environment override onto
 # every default-config service: routing, stealing, and the per-shard
 # breakers must be invisible to the serve bit-identity and fault-recovery
@@ -133,7 +141,7 @@ BATCHLIN_SHARDS=2 BATCHLIN_LAUNCH_MODE=graph_replay ctest --test-dir build \
   -R '^(Serve|Assemble|Shard[A-Za-z]*|ServeResilience|Resilient|FaultPlan)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== config 9/9: conc:: concurrency model checker (build-conc/)"
+echo "== config 9/10: conc:: concurrency model checker (build-conc/)"
 cmake -B build-conc -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=Release -DBATCHLIN_CONC_CHECK=ON >/dev/null
 cmake --build build-conc -j "$JOBS" --target test_conc test_serve test_shard
@@ -147,4 +155,20 @@ OMP_NUM_THREADS=1 ctest --test-dir build-conc \
   -R '^(Serve|Assemble|Shard[A-Za-z]*)\.' \
   -j "$JOBS" --output-on-failure | tail -3
 
-echo "== all nine configs clean"
+echo "== config 10/10: failover + chaos soak at two shards"
+# The robustness layer end to end: the sticky device-loss and hang fault
+# kinds, eviction/migration/half-open probing, the hang watchdog,
+# priority shedding, the brownout ladder, and the seeded chaos soak
+# (death + revival + hang + poison + open-loop overload, >= 1000 solves)
+# — first in the Release build, then under the instrumented checked
+# build so the fault injector and the failover paths themselves run with
+# the execution-model sanitizer watching. Every fault plan is fixed, so
+# both runs are bounded and reproducible.
+ctest --test-dir build \
+  -R '^(FaultPlan|LaneGuard|Failover|Shedding|ChaosSoak)\.' \
+  -j "$JOBS" --output-on-failure | tail -3
+ctest --test-dir build-check \
+  -R '^(FaultPlan|LaneGuard|Failover|Shedding|ChaosSoak)\.' \
+  -j "$JOBS" --output-on-failure | tail -3
+
+echo "== all ten configs clean"

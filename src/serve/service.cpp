@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "solver/refined.hpp"
+#include "workload/stencil.hpp"
 #include "xpu/fault.hpp"
 
 namespace batchlin::serve {
@@ -162,6 +163,16 @@ solve_service::solve_service(xpu::exec_policy policy, service_config config)
             config_.shards = *count;
         }
     }
+    // Failover override (same escape-hatch contract): a config still at
+    // the default picks up BATCHLIN_FAILOVER=1; an explicit setting wins.
+    if (!config_.failover) {
+        // Read-only env lookup; nothing in batchlin calls setenv.
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
+        const char* env = std::getenv("BATCHLIN_FAILOVER");
+        if (env != nullptr && *env != '\0' && *env != '0') {
+            config_.failover = true;
+        }
+    }
     registry_ = config_.shard_devices.empty()
                     ? shard::registry::uniform(config_.shards, "PVC-1S",
                                                policy)
@@ -217,6 +228,14 @@ solve_service::solve_service(xpu::exec_policy policy, service_config config)
             }
         }
     }
+    // The hang watchdog only earns its thread when it can actually act:
+    // failover on, a nonzero scan interval, and somewhere to fail over
+    // to. Worker-side eviction (retry exhaustion) runs regardless.
+    if (config_.failover && lanes_.size() > 1 &&
+        config_.watchdog_interval.count() > 0 &&
+        config_.hang_timeout.count() > 0) {
+        watchdog_ = std::thread([this] { watchdog_loop(); });
+    }
 }
 
 solve_service::~solve_service() { stop(); }
@@ -262,6 +281,9 @@ void solve_service::stop()
             worker.join();
         }
     }
+    if (watchdog_.joinable()) {
+        watchdog_.join();
+    }
     if (stage_probe::on()) {
         const double n = std::max<double>(
             1.0, static_cast<double>(g_stage_probe.batches.load()));
@@ -294,6 +316,28 @@ void solve_service::stop()
             reply_without_solving(*leftover, request_status::rejected);
         }
     }
+    // Windowed flavor of the same sweep: an evicted lane whose workers
+    // exited mid-failover (or a submit racing stop) may leave queued
+    // entries behind; no ticket may be orphaned.
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (shard_lane& lane : lanes_) {
+            while (!lane.queue.empty()) {
+                detail::pending_ptr leftover =
+                    std::move(lane.queue.front());
+                lane.queue.pop_front();
+                const auto items =
+                    static_cast<size_type>(leftover->items);
+                lane.queued_systems -= items;
+                queued_systems_ -= items;
+                lane.backlog_ns.fetch_sub(leftover->cost_ns,
+                                          std::memory_order_relaxed);
+                ++rejected_requests_;
+                reply_without_solving(*leftover,
+                                      request_status::rejected);
+            }
+        }
+    }
 }
 
 service_stats solve_service::stats() const
@@ -305,8 +349,9 @@ service_stats solve_service::stats() const
     s.completed_requests = completed_requests_;
     s.completed_systems = completed_systems_;
     s.rejected_requests = rejected_requests_;
-    s.expired_requests = expired_requests_;
-    s.failed_requests = failed_requests_;
+    s.expired_requests =
+        expired_requests_.load(std::memory_order_relaxed);
+    s.failed_requests = failed_requests_.load(std::memory_order_relaxed);
     s.batches_launched = batches_launched_;
     s.launch_faults = launch_faults_;
     s.launch_retries = launch_retries_;
@@ -318,6 +363,17 @@ service_stats solve_service::stats() const
     s.refined_batches = refined_batches_;
     s.refine_sweeps = refine_sweeps_;
     s.refine_fallbacks = refine_fallbacks_;
+    s.watchdog_evictions =
+        watchdog_evictions_.load(std::memory_order_relaxed);
+    s.migrations = migrations_.load(std::memory_order_relaxed);
+    s.migrated_systems = migrated_systems_.load(std::memory_order_relaxed);
+    s.shed_requests = shed_requests_.load(std::memory_order_relaxed);
+    s.brownout_level =
+        static_cast<int>(brownout_level_.load(std::memory_order_relaxed));
+    s.brownout_max =
+        static_cast<int>(brownout_max_.load(std::memory_order_relaxed));
+    s.brownout_batches =
+        brownout_batches_.load(std::memory_order_relaxed);
     if (launch_mode_ == xpu::launch_mode::persistent) {
         s.queue_depth_requests =
             ring_pending_.load(std::memory_order_acquire);
@@ -350,6 +406,27 @@ service_stats solve_service::stats() const
         ss.launch_faults = lane.launch_faults;
         ss.breaker_trips = lane.brk.trips;
         ss.breaker_active = lane.brk.active();
+        switch (lane.guard.current()) {
+        case shard::lane_state::healthy:
+            ss.state = "healthy";
+            break;
+        case shard::lane_state::evicted:
+            ss.state = "evicted";
+            break;
+        case shard::lane_state::probing:
+            ss.state = "probing";
+            break;
+        }
+        ss.evictions =
+            lane.guard.evictions.load(std::memory_order_relaxed);
+        ss.probes = lane.guard.probes.load(std::memory_order_relaxed);
+        ss.probe_successes =
+            lane.guard.probe_successes.load(std::memory_order_relaxed);
+        ss.migrated_requests =
+            lane.migrated_requests.load(std::memory_order_relaxed);
+        ss.migrated_systems =
+            lane.migrated_systems.load(std::memory_order_relaxed);
+        ss.heartbeat = lane.heartbeat.load(std::memory_order_relaxed);
         ss.queue_depth_systems =
             launch_mode_ == xpu::launch_mode::persistent
                 ? static_cast<std::uint64_t>(
@@ -366,6 +443,9 @@ service_stats solve_service::stats() const
         s.steals += ss.steals;
         s.breaker_trips += ss.breaker_trips;
         s.breaker_active = s.breaker_active || ss.breaker_active;
+        s.evictions += ss.evictions;
+        s.probes += ss.probes;
+        s.probe_successes += ss.probe_successes;
         s.shards.push_back(std::move(ss));
     }
     s.batch_size_histogram = batch_histogram_;
@@ -386,17 +466,287 @@ service_stats solve_service::stats() const
 shard::decision solve_service::route_request(std::uint64_t key,
                                              index_type items,
                                              index_type rows,
-                                             index_type nnz) const
+                                             index_type nnz,
+                                             index_type exclude) const
 {
     if (lanes_.size() == 1) {
         return router_.route(key, items, rows, nnz, {});
     }
     std::vector<std::int64_t> backlog;
     backlog.reserve(lanes_.size());
+    std::vector<char> alive;
+    alive.reserve(lanes_.size());
+    bool any_dead = false;
     for (const shard_lane& lane : lanes_) {
         backlog.push_back(lane.backlog_ns.load(std::memory_order_relaxed));
+        const bool routable =
+            lane.guard.available() && lane.id != exclude;
+        alive.push_back(routable ? 1 : 0);
+        any_dead = any_dead || !routable;
     }
-    return router_.route(key, items, rows, nnz, backlog);
+    return router_.route(key, items, rows, nnz, backlog,
+                         any_dead ? &alive : nullptr);
+}
+
+std::int64_t solve_service::steady_now_ns()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+index_type solve_service::alive_lanes_excluding(index_type except) const
+{
+    index_type alive = 0;
+    for (const shard_lane& lane : lanes_) {
+        if (lane.id != except && lane.guard.available()) {
+            ++alive;
+        }
+    }
+    return alive;
+}
+
+bool solve_service::evict_lane(shard_lane& lane, bool by_watchdog)
+{
+    if (!lane.guard.try_evict()) {
+        return false;
+    }
+    lane.evicted_at_ns.store(steady_now_ns(), std::memory_order_release);
+    if (by_watchdog) {
+        watchdog_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+}
+
+void solve_service::migrate_entry(shard_lane& from,
+                                  detail::pending_ptr entry)
+{
+    // Precondition: the entry is fully off-books — not on any queue or
+    // ring, its backlog charge retired, and (persistent mode) its global
+    // admission budget released. Called without mu_ held.
+    const auto items = static_cast<size_type>(entry->items);
+    // Deadline checkpoint 5 of 5 (failover re-queue): a request that
+    // outlived its deadline while its shard died expires instead of
+    // riding the migration.
+    if (entry->deadline <= std::chrono::steady_clock::now()) {
+        expired_requests_.fetch_add(1, std::memory_order_relaxed);
+        reply_without_solving(*entry, request_status::expired);
+        return;
+    }
+    const index_type cap = config_.max_migrations > 0
+                               ? config_.max_migrations
+                               : config_.shards;
+    if (entry->migrations >= cap ||
+        alive_lanes_excluding(from.id) == 0) {
+        failed_requests_.fetch_add(1, std::memory_order_relaxed);
+        reply_without_solving(
+            *entry, request_status::failed,
+            "failover: no healthy shard left to migrate to");
+        return;
+    }
+    const auto [rows, nnz] = std::visit(
+        [](const auto& typed) {
+            return std::make_pair(
+                std::visit([](const auto& m) { return m.rows(); },
+                           typed.request.a),
+                detail::nnz_per_item(typed.request.a));
+        },
+        entry->body);
+    const shard::decision where =
+        route_request(entry->key, entry->items, rows, nnz, from.id);
+    shard_lane& target = lanes_[static_cast<std::size_t>(where.shard)];
+    entry->shard = where.shard;
+    entry->cost_ns = where.cost_ns;
+    ++entry->migrations;
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+    migrated_systems_.fetch_add(static_cast<std::uint64_t>(items),
+                                std::memory_order_relaxed);
+    from.migrated_requests.fetch_add(1, std::memory_order_relaxed);
+    from.migrated_systems.fetch_add(static_cast<std::uint64_t>(items),
+                                    std::memory_order_relaxed);
+    target.backlog_ns.fetch_add(where.cost_ns, std::memory_order_relaxed);
+    if (launch_mode_ == xpu::launch_mode::persistent) {
+        // Re-reserve the global budget the pop released. Unconditional:
+        // already-admitted work must not be dropped because new arrivals
+        // filled the budget meanwhile — the transient overshoot is
+        // bounded by one batch and drains with the backlog.
+        ring_systems_.fetch_add(items, std::memory_order_acq_rel);
+        target.ring_systems.fetch_add(items, std::memory_order_relaxed);
+        ring_pending_.fetch_add(1, std::memory_order_seq_cst);
+        while (!target.ring->try_push(entry)) {
+            std::this_thread::yield();
+        }
+        bell_.ring();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        target.queue.push_back(std::move(entry));
+        target.queued_systems += items;
+        queued_systems_ += items;
+    }
+    cv_work_.notify_all();
+}
+
+void solve_service::failover_drain(shard_lane& lane)
+{
+    if (launch_mode_ == xpu::launch_mode::persistent) {
+        detail::pending_ptr entry;
+        while (lane.ring->try_pop(entry)) {
+            // Same in_flight-before-pending order as pop_from: the drain
+            // predicate must never observe the entry in neither counter.
+            ring_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+            ring_pending_.fetch_sub(1, std::memory_order_acq_rel);
+            const auto items = static_cast<size_type>(entry->items);
+            ring_systems_.fetch_sub(items, std::memory_order_acq_rel);
+            lane.ring_systems.fetch_sub(items, std::memory_order_relaxed);
+            lane.backlog_ns.fetch_sub(entry->cost_ns,
+                                      std::memory_order_relaxed);
+            migrate_entry(lane, std::move(entry));
+            ring_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        return;
+    }
+    std::vector<detail::pending_ptr> drained;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        while (!lane.queue.empty()) {
+            detail::pending_ptr entry = std::move(lane.queue.front());
+            lane.queue.pop_front();
+            const auto items = static_cast<size_type>(entry->items);
+            lane.queued_systems -= items;
+            queued_systems_ -= items;
+            // Booked in-flight for the handoff so drain() cannot observe
+            // a transient "all quiet" while entries sit in the local
+            // vector.
+            ++in_flight_entries_;
+            lane.backlog_ns.fetch_sub(entry->cost_ns,
+                                      std::memory_order_relaxed);
+            drained.push_back(std::move(entry));
+        }
+    }
+    if (drained.empty()) {
+        return;
+    }
+    cv_space_.notify_all();
+    const std::size_t count = drained.size();
+    for (detail::pending_ptr& entry : drained) {
+        migrate_entry(lane, std::move(entry));
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        in_flight_entries_ -= count;
+        if (queued_systems_ == 0 && in_flight_entries_ == 0) {
+            cv_idle_.notify_all();
+        }
+    }
+}
+
+bool solve_service::send_probe(xpu::queue& q) const
+{
+    // Synthetic probe batch: a single 4-row SPD tridiagonal CG solve
+    // built by the service — client data never rides a suspect device.
+    // The probe advances the queue's launch counter like any launch, so
+    // a device-lost schedule with a revival index is eventually escaped.
+    try {
+        solver::batch_matrix<double> a{
+            work::stencil_3pt<double>(1, 4, 0x9b0be5eedULL)};
+        mat::batch_dense<double> b = work::random_rhs<double>(1, 4, 7);
+        mat::batch_dense<double> x(1, 4, 1);
+        solver::solve_options opts;
+        opts.solver = solver::solver_type::cg;
+        opts.criterion = batchlin::stop::relative(1e-8, 64);
+        std::vector<solver::assembly_part<double>> part;
+        part.push_back({&a, &b, &x});
+        (void)solver::solve_coalesced<double>(q, part, opts);
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+bool solve_service::maybe_probe(shard_lane& lane, xpu::queue& q)
+{
+    if (lane.guard.available()) {
+        return true;
+    }
+    const std::int64_t cooldown_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            config_.probe_interval)
+            .count();
+    if (steady_now_ns() -
+            lane.evicted_at_ns.load(std::memory_order_acquire) <
+        cooldown_ns) {
+        return false;
+    }
+    if (!lane.guard.try_begin_probe()) {
+        return false;
+    }
+    if (send_probe(q)) {
+        lane.consecutive_exhausted.store(0, std::memory_order_relaxed);
+        lane.guard.probe_succeeded();
+        // Routing weight is restored; wake windowed workers (and
+        // submitters parked on backpressure) into the healthy path.
+        cv_work_.notify_all();
+        cv_space_.notify_all();
+        return true;
+    }
+    lane.evicted_at_ns.store(steady_now_ns(), std::memory_order_release);
+    lane.guard.probe_failed();
+    return false;
+}
+
+void solve_service::watchdog_loop()
+{
+    const std::int64_t timeout_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            config_.hang_timeout)
+            .count();
+    while (!stopping_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(config_.watchdog_interval);
+        if (stopping_.load(std::memory_order_acquire)) {
+            return;
+        }
+        for (shard_lane& lane : lanes_) {
+            const std::int64_t started =
+                lane.launch_started_ns.load(std::memory_order_acquire);
+            if (started == 0 ||
+                steady_now_ns() - started < timeout_ns) {
+                continue;
+            }
+            if (alive_lanes_excluding(lane.id) == 0) {
+                continue;  // nowhere to fail over to
+            }
+            if (evict_lane(lane, /*by_watchdog=*/true)) {
+                // The wedged batch itself is finished by its worker when
+                // the launch returns or throws; everything still queued
+                // behind it is drained onto the survivors now.
+                failover_drain(lane);
+                cv_work_.notify_all();
+                bell_.ring_always();
+            }
+        }
+    }
+}
+
+int solve_service::brownout_for_depth(size_type depth_systems) const
+{
+    if (!config_.brownout) {
+        return 0;
+    }
+    const double frac =
+        static_cast<double>(depth_systems) /
+        static_cast<double>(config_.max_queue_systems);
+    if (frac >= config_.brownout_high) {
+        return 3;
+    }
+    if (frac >= config_.brownout_mid) {
+        return 2;
+    }
+    if (frac >= config_.brownout_low) {
+        return 1;
+    }
+    return 0;
 }
 
 size_type solve_service::steal_threshold_systems() const
@@ -473,10 +823,35 @@ void solve_service::worker_loop(index_type shard_id, int local_id)
     shard_lane& own = lanes_[static_cast<std::size_t>(shard_id)];
     std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
+        own.heartbeat.fetch_add(1, std::memory_order_relaxed);
         cv_work_.wait(lk, [&] {
             return stopping_ || !own.queue.empty() ||
-                   steal_victim_locked(shard_id) >= 0;
+                   steal_victim_locked(shard_id) >= 0 ||
+                   (config_.failover && !own.guard.available());
         });
+        if (config_.failover && !own.guard.available()) {
+            // Evicted lane: this worker must not execute client batches.
+            // Drain anything still queued here onto the survivors, then
+            // spend the idle time half-open probing for revival.
+            lk.unlock();
+            failover_drain(own);
+            if (stopping_.load(std::memory_order_acquire)) {
+                lk.lock();
+                if (own.queue.empty() &&
+                    steal_victim_locked(shard_id) < 0) {
+                    return;
+                }
+                continue;
+            }
+            if (!maybe_probe(own, q)) {
+                // Still dead: sleep out the probe cooldown off-mutex so
+                // an evicted lane costs no CPU (stop() interrupts via
+                // the stopping_ check above on the next pass).
+                std::this_thread::sleep_for(config_.probe_interval);
+            }
+            lk.lock();
+            continue;
+        }
         bool stolen = false;
         shard_lane* src = &own;
         if (own.queue.empty()) {
@@ -497,7 +872,7 @@ void solve_service::worker_loop(index_type shard_id, int local_id)
         if (batch.front()->deadline <= now) {
             // Already dead on arrival at the worker: complete it without
             // opening a batching window for it.
-            ++expired_requests_;
+            expired_requests_.fetch_add(1, std::memory_order_relaxed);
             --in_flight_entries_;
             detail::pending_ptr dead = std::move(batch.front());
             src->backlog_ns.fetch_sub(dead->cost_ns,
@@ -512,6 +887,12 @@ void solve_service::worker_loop(index_type shard_id, int local_id)
         }
 
         index_type total = batch.front()->items;
+        // Brownout level from the admission depth at dequeue: level 1+
+        // shrinks the batching window so backlog drains sooner; levels
+        // 2/3 additionally cap per-request work inside execute().
+        const int brownout = brownout_for_depth(queued_systems_);
+        const auto effective_wait =
+            brownout >= 1 ? config_.max_wait / 4 : config_.max_wait;
         // A tripped breaker suspends coalescing on this shard: the leader
         // launches solo, so a fault pattern tied to batch composition
         // stops taking whole batches of unrelated requests down with it —
@@ -534,7 +915,7 @@ void solve_service::worker_loop(index_type shard_id, int local_id)
                 }
             } else {
                 const auto window_end =
-                    batch.front()->enqueued + config_.max_wait;
+                    batch.front()->enqueued + effective_wait;
                 for (;;) {
                     // Gather everything compatible already queued here.
                     for (std::size_t i = 0;
@@ -596,7 +977,7 @@ void solve_service::worker_loop(index_type shard_id, int local_id)
         const std::size_t popped = batch.size();
         lk.unlock();
         try {
-            execute(own, q, cache, std::move(batch));
+            execute(own, q, cache, std::move(batch), brownout);
         } catch (...) {
             // execute() fails tickets individually; anything that still
             // escapes would terminate the worker thread (and with it the
@@ -622,6 +1003,21 @@ void solve_service::persistent_loop(index_type shard_id, int local_id)
     shard_lane& own = lanes_[static_cast<std::size_t>(shard_id)];
     int idle = 0;
     for (;;) {
+        own.heartbeat.fetch_add(1, std::memory_order_relaxed);
+        if (config_.failover && !own.guard.available()) {
+            // Evicted lane, resident flavor: push queued work to the
+            // survivors and spend the idle time half-open probing. The
+            // worker keeps running so a successful probe can resume it.
+            failover_drain(own);
+            if (stopping_.load(std::memory_order_acquire) &&
+                ring_pending_.load(std::memory_order_acquire) == 0) {
+                return;
+            }
+            if (!maybe_probe(own, q)) {
+                std::this_thread::sleep_for(config_.probe_interval);
+            }
+            continue;
+        }
         // Gather a chunk without blocking — own ring first, then (when
         // idle) the deepest neighbor past the steal threshold. No
         // batching window: the resident loop launches whatever has
@@ -693,6 +1089,8 @@ void solve_service::persistent_loop(index_type shard_id, int local_id)
         }
         idle = 0;
         st.lap(0);  // pop
+        const int brownout = brownout_for_depth(
+            ring_systems_.load(std::memory_order_acquire));
 
         // Group the chunk into compatible fused launches. FIFO arrivals
         // of one coalescing key are usually adjacent, so the quadratic
@@ -724,7 +1122,7 @@ void solve_service::persistent_loop(index_type shard_id, int local_id)
             const std::size_t popped = group.size();
             st.lap(1);  // group
             try {
-                execute(own, q, cache, std::move(group));
+                execute(own, q, cache, std::move(group), brownout);
             } catch (...) {
                 // execute() resolves tickets individually; see
                 // worker_loop for why nothing may escape.
@@ -737,22 +1135,53 @@ void solve_service::persistent_loop(index_type shard_id, int local_id)
 
 void solve_service::execute(shard_lane& lane, xpu::queue& q,
                             detail::graph_cache& cache,
-                            std::vector<detail::pending_ptr> batch)
+                            std::vector<detail::pending_ptr> batch,
+                            int brownout)
 {
     if (batch.front()->body.index() == 0) {
-        execute_typed<double>(lane, q, cache, std::move(batch));
+        execute_typed<double>(lane, q, cache, std::move(batch), brownout);
     } else {
-        execute_typed<float>(lane, q, cache, std::move(batch));
+        execute_typed<float>(lane, q, cache, std::move(batch), brownout);
     }
 }
+
+/// RAII publisher of this worker's in-flight launch age: the watchdog
+/// reads `launch_started_ns` to spot wedged lanes. One slot per lane is
+/// enough — any wedged worker pins a nonzero age, and CAS keeps
+/// concurrent workers of one lane from clearing each other's stamp.
+namespace {
+struct launch_age_scope {
+    conc::atomic<std::int64_t>& slot;
+    std::int64_t stamp = 0;
+    launch_age_scope(conc::atomic<std::int64_t>& s, std::int64_t now)
+        : slot(s)
+    {
+        std::int64_t expected = 0;
+        if (slot.compare_exchange_strong(expected, now,
+                                         std::memory_order_acq_rel)) {
+            stamp = now;
+        }
+    }
+    ~launch_age_scope()
+    {
+        if (stamp != 0) {
+            std::int64_t expected = stamp;
+            slot.compare_exchange_strong(expected, 0,
+                                         std::memory_order_acq_rel);
+        }
+    }
+};
+}  // namespace
 
 template <typename T>
 void solve_service::execute_typed(shard_lane& lane, xpu::queue& q,
                                   detail::graph_cache& cache,
-                                  std::vector<detail::pending_ptr> batch)
+                                  std::vector<detail::pending_ptr> batch,
+                                  int brownout)
 {
     stage_timer st;
     const auto launch_time = std::chrono::steady_clock::now();
+    launch_age_scope age(lane.launch_started_ns, steady_now_ns());
     std::vector<detail::pending_ptr> live;
     std::vector<detail::pending_ptr> expired;
     for (detail::pending_ptr& entry : batch) {
@@ -838,6 +1267,17 @@ void solve_service::execute_typed(shard_lane& lane, xpu::queue& q,
                     .request.opts;
             if (config_.skip_spill_zeroing) {
                 opts.zero_spill = false;
+            }
+            // Brownout levels 2/3 trade per-request quality for drain
+            // rate (opt-in via `service_config::brownout`; they change
+            // numerics, see DESIGN.md §14): level 2 strips refinement
+            // down to one sweep, level 3 additionally shortens the GMRES
+            // basis. CG/BiCGSTAB requests only feel level 2.
+            if (brownout >= 2 && opts.refine_sweeps > 1) {
+                opts.refine_sweeps = 1;
+            }
+            if (brownout >= 3 && opts.gmres_restart > 10) {
+                opts.gmres_restart = 10;
             }
 
             // Graph launch modes solve through a cached recording:
@@ -985,6 +1425,10 @@ void solve_service::execute_typed(shard_lane& lane, xpu::queue& q,
                 attempt_with_retries(parts, total, fused_attempts);
             st.lap(4);  // solve (rebind+replay or eager)
             if (combined) {
+                if (config_.failover) {
+                    lane.consecutive_exhausted.store(
+                        0, std::memory_order_relaxed);
+                }
                 const auto done = std::chrono::steady_clock::now();
                 launch_sizes.push_back(total);
                 index_type offset = 0;
@@ -1014,6 +1458,30 @@ void solve_service::execute_typed(shard_lane& lane, xpu::queue& q,
                         ++recovered;
                     }
                 }
+            } else if (config_.failover &&
+                       alive_lanes_excluding(lane.id) > 0 &&
+                       lane.consecutive_exhausted.fetch_add(
+                           1, std::memory_order_acq_rel) +
+                               1 >=
+                           static_cast<std::uint32_t>(
+                               config_.evict_after_exhausted) &&
+                       (evict_lane(lane, /*by_watchdog=*/false) ||
+                        !lane.guard.available())) {
+                // Retry exhaustion with failover on and somewhere to go:
+                // declare the lane lost instead of grinding through solo
+                // degradation on a device that keeps faulting. The
+                // batch's entries migrate to survivors (their tickets
+                // resolve over there), and everything still queued
+                // behind them drains right after. `evict_lane` may lose
+                // the CAS to the watchdog — the lane is equally dead
+                // either way, so the migration proceeds.
+                for (detail::pending_ptr& entry : live) {
+                    lane.backlog_ns.fetch_sub(entry->cost_ns,
+                                              std::memory_order_relaxed);
+                    migrate_entry(lane, std::move(entry));
+                }
+                live.clear();
+                failover_drain(lane);
             } else {
                 // The fused launch keeps faulting: degrade to per-request
                 // solo solves so only the requests that genuinely cannot
@@ -1088,10 +1556,12 @@ void solve_service::execute_typed(shard_lane& lane, xpu::queue& q,
 
     {
         std::lock_guard<std::mutex> lk(mu_);
-        expired_requests_ += static_cast<std::uint64_t>(expired.size());
+        expired_requests_.fetch_add(
+            static_cast<std::uint64_t>(expired.size()),
+            std::memory_order_relaxed);
         completed_requests_ += ok_requests;
         completed_systems_ += ok_systems;
-        failed_requests_ += failed;
+        failed_requests_.fetch_add(failed, std::memory_order_relaxed);
         launch_faults_ += faults;
         launch_retries_ += retries;
         recovered_requests_ += recovered;
@@ -1103,6 +1573,19 @@ void solve_service::execute_typed(shard_lane& lane, xpu::queue& q,
         refine_fallbacks_ += refine_fallback_count;
         if (degraded) {
             ++degraded_launches_;
+        }
+        // Brownout telemetry (all writers hold mu_ here, so plain
+        // load/store is race-free; the fields stay atomic for the
+        // lock-free readers in stats()).
+        brownout_level_.store(static_cast<std::uint32_t>(brownout),
+                              std::memory_order_relaxed);
+        if (brownout > 0) {
+            brownout_batches_.fetch_add(1, std::memory_order_relaxed);
+            if (brownout_max_.load(std::memory_order_relaxed) <
+                static_cast<std::uint32_t>(brownout)) {
+                brownout_max_.store(static_cast<std::uint32_t>(brownout),
+                                    std::memory_order_relaxed);
+            }
         }
         lane.completed_systems += ok_systems;
         lane.launch_faults += faults;
@@ -1148,9 +1631,9 @@ void solve_service::execute_typed(shard_lane& lane, xpu::queue& q,
 
 template void solve_service::execute_typed<double>(
     shard_lane&, xpu::queue&, detail::graph_cache&,
-    std::vector<detail::pending_ptr>);
+    std::vector<detail::pending_ptr>, int);
 template void solve_service::execute_typed<float>(
     shard_lane&, xpu::queue&, detail::graph_cache&,
-    std::vector<detail::pending_ptr>);
+    std::vector<detail::pending_ptr>, int);
 
 }  // namespace batchlin::serve

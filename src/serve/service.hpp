@@ -92,8 +92,16 @@ struct solve_request {
     mat::batch_dense<T> b;
     mat::batch_dense<T> x;
     solver::solve_options opts{};
-    /// Relative deadline measured from submit; zero means none.
+    /// Relative deadline measured from submit; zero means none. A
+    /// negative deadline (a caller computing it from a stale clock) is
+    /// already expired and resolves `request_status::expired` at
+    /// admission, before routing.
     std::chrono::microseconds deadline{0};
+    /// Admission priority under overload shedding: requests with
+    /// priority <= 0 are shed once the queue sits above
+    /// `service_config::shed_watermark`; positive priorities are only
+    /// refused by the hard queue bound. Ignored when shedding is off.
+    int priority = 0;
     /// Optional scratch the reply's `log` is built in. Leave empty and
     /// the service allocates; move the previous reply's `log` back in
     /// (like `a`/`b`/`x`) and a high-rate caller recycles the log
@@ -209,6 +217,51 @@ struct service_config {
     double breaker_fault_ratio = 0.5;
     std::uint32_t breaker_window = 16;
     std::uint32_t breaker_cooldown = 32;
+
+    /// --- Failover (PR 10) ---
+    /// Master switch for device-loss failover: lane eviction when retries
+    /// exhaust on a device error, queue/ring drain + migration to
+    /// surviving shards, the hang watchdog, and half-open probing. Off by
+    /// default: eviction changes *where* a persistently-faulting batch
+    /// completes, and the PR 5 resilience suites pin down the
+    /// degrade-in-place counts. A config still at the default picks up
+    /// the BATCHLIN_FAILOVER environment override. Only meaningful with
+    /// at least two shards (a lone lane has nowhere to fail over to).
+    bool failover = false;
+    /// Consecutive fused executions that exhausted their launch retries
+    /// with a device error before a worker declares the shard lost.
+    std::uint32_t evict_after_exhausted = 1;
+    /// Watchdog scan period; zero disables the watchdog thread (worker-
+    /// side eviction still runs).
+    std::chrono::microseconds watchdog_interval{500};
+    /// In-flight launch age past which the watchdog declares the lane
+    /// wedged and evicts it (the hung batch itself is handled by its
+    /// worker when the launch finally returns or throws).
+    std::chrono::microseconds hang_timeout{20'000};
+    /// Cooldown between an eviction (or a failed probe) and the next
+    /// half-open probe on that lane.
+    std::chrono::microseconds probe_interval{1'000};
+    /// How many times one entry may be migrated off dying lanes before
+    /// it fails with a structured error; 0 = one round over the fleet
+    /// (the shard count).
+    index_type max_migrations = 0;
+
+    /// --- Overload degradation (PR 10) ---
+    /// Queue-depth fraction of `max_queue_systems` at which admission
+    /// sheds priority <= 0 requests (status `rejected`, structured
+    /// "shed" error, `shed_requests` counter); >= 1 disables shedding.
+    double shed_watermark = 1.0;
+    /// Brownout ladder driven by queue-depth watermarks (fractions of
+    /// `max_queue_systems`): level 1 (>= brownout_low) shrinks the
+    /// coalescing window to a quarter of `max_wait`, level 2
+    /// (>= brownout_mid) additionally caps refinement at one sweep, and
+    /// level 3 (>= brownout_high) additionally caps the GMRES restart at
+    /// 10. Levels 2 and 3 trade accuracy/iteration count for time — they
+    /// change numerics by design, so the ladder is opt-in.
+    bool brownout = false;
+    double brownout_low = 0.50;
+    double brownout_mid = 0.75;
+    double brownout_high = 0.90;
 };
 
 namespace detail {
@@ -328,6 +381,10 @@ struct pending_entry {
     /// Router cost estimate; retired from the shard's backlog when the
     /// entry completes, expires, or is rejected at stop.
     std::int64_t cost_ns = 0;
+    /// How many times failover moved this entry off a dead lane; capped
+    /// by `service_config::max_migrations` so an entry cannot ping-pong
+    /// across a fleet that keeps dying under it.
+    index_type migrations = 0;
 };
 
 /// Entries travel the admission queue / ring / batch pipeline by pointer:
@@ -469,10 +526,12 @@ public:
         }
 
         const auto now = std::chrono::steady_clock::now();
+        const bool expired_at_admission = request.deadline.count() < 0;
         const auto deadline =
             request.deadline.count() > 0
                 ? now + request.deadline
                 : std::chrono::steady_clock::time_point::max();
+        const int priority = request.priority;
         const std::uint64_t key =
             detail::coalesce_key<T>(request.a, request.opts);
         const index_type nnz = detail::nnz_per_item<T>(request.a);
@@ -485,6 +544,15 @@ public:
         ++submitted_requests_;
         submitted_systems_ += static_cast<std::uint64_t>(items);
 
+        // Deadline checkpoint 1 of 5 (admission): a deadline already in
+        // the past expires here, before routing — it must never be
+        // queued, and never silently read as "no deadline".
+        if (expired_at_admission) {
+            expired_requests_.fetch_add(1, std::memory_order_relaxed);
+            reply_without_solving(typed, request_status::expired);
+            return fut;
+        }
+
         // Placement: coalesce-key affinity with cost-model spill (see
         // shard/router.hpp). Reads the lane backlogs lock-free.
         const shard::decision where = route_request(key, items, rows, nnz);
@@ -493,7 +561,7 @@ public:
             // Lock-free admission: the resident workers poll the rings,
             // so no mutex is taken and nobody needs a wakeup.
             submit_to_ring(std::move(typed), key, now, deadline, items,
-                           where);
+                           priority, where);
             return fut;
         }
 
@@ -504,6 +572,21 @@ public:
             reply_without_solving(typed, request_status::rejected);
             return fut;
         }
+        // Watermark shedding: above the soft watermark only positive-
+        // priority requests are admitted; everything else is refused
+        // *before* it can deepen the backlog the brownout ladder and the
+        // hard bound are already fighting.
+        if (priority <= 0 &&
+            queued_systems_ >= shed_threshold_systems() &&
+            queued_systems_ + static_cast<size_type>(items) >
+                shed_threshold_systems()) {
+            ++rejected_requests_;
+            shed_requests_.fetch_add(1, std::memory_order_relaxed);
+            lk.unlock();
+            reply_without_solving(typed, request_status::rejected,
+                                  kShedError);
+            return fut;
+        }
         if (queued_systems_ + static_cast<size_type>(items) >
             config_.max_queue_systems) {
             if (config_.on_full == overflow_policy::reject) {
@@ -512,11 +595,28 @@ public:
                 reply_without_solving(typed, request_status::rejected);
                 return fut;
             }
-            cv_space_.wait(lk, [&] {
+            const auto space_ok = [&] {
                 return !accepting_ ||
                        queued_systems_ + static_cast<size_type>(items) <=
                            config_.max_queue_systems;
-            });
+            };
+            bool have_space = true;
+            if (deadline ==
+                std::chrono::steady_clock::time_point::max()) {
+                cv_space_.wait(lk, space_ok);
+            } else {
+                // Deadline checkpoint 1b (blocked admission): a request
+                // whose deadline passes while its submitter is parked on
+                // backpressure expires instead of occupying the queue it
+                // can no longer use.
+                have_space = cv_space_.wait_until(lk, deadline, space_ok);
+            }
+            if (!have_space) {
+                expired_requests_.fetch_add(1, std::memory_order_relaxed);
+                lk.unlock();
+                reply_without_solving(typed, request_status::expired);
+                return fut;
+            }
             if (!accepting_) {
                 ++rejected_requests_;
                 lk.unlock();
@@ -567,15 +667,25 @@ public:
     const shard::registry& devices() const { return registry_; }
 
 private:
-    /// Completes a request without solving it (rejected / expired) and
-    /// wakes the waiter immediately — these paths resolve one request,
-    /// not a batch, so there is nothing to defer for.
+    /// Structured error message of a watermark-shed reply — asserted on
+    /// by the chaos harness, so callers can tell a shed from a
+    /// queue-full rejection.
+    static constexpr const char* kShedError =
+        "shed: admission queue past the overload watermark";
+
+    /// Completes a request without solving it (rejected / expired /
+    /// shed) and wakes the waiter immediately — these paths resolve one
+    /// request, not a batch, so there is nothing to defer for.
     template <typename T>
     static void reply_without_solving(detail::typed_pending<T>& typed,
-                                      request_status status)
+                                      request_status status,
+                                      const char* error = nullptr)
     {
         solve_reply<T> reply;
         reply.status = status;
+        if (error != nullptr) {
+            reply.error = error;
+        }
         reply.a = std::move(typed.request.a);
         reply.b = std::move(typed.request.b);
         reply.x = std::move(typed.request.x);
@@ -586,10 +696,28 @@ private:
     }
 
     static void reply_without_solving(detail::pending_entry& entry,
-                                      request_status status)
+                                      request_status status,
+                                      const char* error = nullptr)
     {
-        std::visit([&](auto& typed) { reply_without_solving(typed, status); },
-                   entry.body);
+        std::visit(
+            [&](auto& typed) {
+                reply_without_solving(typed, status, error);
+            },
+            entry.body);
+    }
+
+    /// Systems depth at which the shed watermark engages; past
+    /// max_queue_systems when shedding is disabled.
+    size_type shed_threshold_systems() const
+    {
+        if (config_.shed_watermark >= 1.0) {
+            return config_.max_queue_systems + 1;
+        }
+        const double frac = config_.shed_watermark < 0.0
+                                ? 0.0
+                                : config_.shed_watermark;
+        return static_cast<size_type>(
+            frac * static_cast<double>(config_.max_queue_systems));
     }
 
     /// Resolves a slot exactly once: a second set (e.g. the failure
@@ -632,13 +760,28 @@ private:
     void submit_to_ring(detail::typed_pending<T> typed, std::uint64_t key,
                         std::chrono::steady_clock::time_point now,
                         std::chrono::steady_clock::time_point deadline,
-                        index_type items, shard::decision where)
+                        index_type items, int priority,
+                        shard::decision where)
     {
         if (!accepting_.load(std::memory_order_acquire) ||
             static_cast<size_type>(items) > config_.max_queue_systems) {
             ++rejected_requests_;
             reply_without_solving(typed, request_status::rejected);
             return;
+        }
+        // Watermark shedding (lock-free mirror of the windowed check).
+        if (priority <= 0) {
+            const size_type depth =
+                ring_systems_.load(std::memory_order_acquire);
+            const size_type mark = shed_threshold_systems();
+            if (depth >= mark &&
+                depth + static_cast<size_type>(items) > mark) {
+                ++rejected_requests_;
+                shed_requests_.fetch_add(1, std::memory_order_relaxed);
+                reply_without_solving(typed, request_status::rejected,
+                                      kShedError);
+                return;
+            }
         }
         const auto budget = static_cast<size_type>(items);
         size_type prev = ring_systems_.fetch_add(
@@ -655,6 +798,16 @@ private:
                 if (!accepting_.load(std::memory_order_acquire)) {
                     ++rejected_requests_;
                     reply_without_solving(typed, request_status::rejected);
+                    return;
+                }
+                // Deadline checkpoint 1b (blocked admission), persistent
+                // flavor: give up once the deadline passes mid-spin.
+                if (deadline !=
+                        std::chrono::steady_clock::time_point::max() &&
+                    std::chrono::steady_clock::now() >= deadline) {
+                    expired_requests_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    reply_without_solving(typed, request_status::expired);
                     return;
                 }
                 prev = ring_systems_.load(std::memory_order_acquire);
@@ -690,9 +843,57 @@ private:
     }
 
     /// Routes one request against the current lane backlogs (lock-free
-    /// reads; staleness degrades balance, never correctness).
+    /// reads; staleness degrades balance, never correctness). Evicted /
+    /// probing lanes carry zero routing weight; `exclude` (when >= 0)
+    /// additionally bars one lane — the failover migration uses it so a
+    /// dead lane never re-routes work to itself.
     shard::decision route_request(std::uint64_t key, index_type items,
-                                  index_type rows, index_type nnz) const;
+                                  index_type rows, index_type nnz,
+                                  index_type exclude = -1) const;
+
+    /// steady_clock now in integer nanoseconds (the watchdog/probe time
+    /// base — comparable with `lane.launch_started_ns`).
+    static std::int64_t steady_now_ns();
+
+    /// Routable lanes other than `except` (-1 excludes none).
+    index_type alive_lanes_excluding(index_type except) const;
+
+    /// Declares `lane` lost on behalf of `who` ("worker" or "watchdog").
+    /// Returns whether this call won the eviction CAS; the winner drains
+    /// the lane's queued work.
+    bool evict_lane(shard_lane& lane, bool by_watchdog);
+
+    /// Re-routes one already-admitted entry off dead `from` onto a
+    /// surviving lane (queue or ring per launch mode), re-charging the
+    /// backlog books on both sides. Entries past their deadline expire
+    /// here (deadline checkpoint 5: failover re-queue); entries past the
+    /// migration cap, or with no surviving lane, fail with a structured
+    /// error. Ring pushes re-reserve the global budget themselves.
+    void migrate_entry(shard_lane& from, detail::pending_ptr entry);
+
+    /// Drains everything queued on an evicted lane and migrates it:
+    /// windowed run-queue under mu_, persistent MPMC ring lock-free.
+    void failover_drain(shard_lane& lane);
+
+    /// Sends one synthetic half-open probe batch (a tiny CG solve built
+    /// by the service, never client data) through `q`. Returns whether
+    /// the probe solved cleanly.
+    bool send_probe(xpu::queue& q) const;
+
+    /// Half-open probing driven by an evicted lane's own worker: honors
+    /// the probe cooldown, admits one probe at a time (lane_guard CAS),
+    /// and restores or re-trips the lane. Returns whether the lane is
+    /// routable again.
+    bool maybe_probe(shard_lane& lane, xpu::queue& q);
+
+    /// Periodic scan for wedged lanes: an in-flight launch older than
+    /// `hang_timeout` evicts its lane (the hung batch is finished by its
+    /// worker when the launch returns).
+    void watchdog_loop();
+
+    /// Brownout ladder level for the given queue depth (0 when the
+    /// ladder is disabled).
+    int brownout_for_depth(size_type depth_systems) const;
 
     /// Victim depth below which nothing is stolen (config, 0 = max_batch).
     size_type steal_threshold_systems() const;
@@ -720,12 +921,13 @@ private:
 
     void execute(shard_lane& lane, xpu::queue& q,
                  detail::graph_cache& cache,
-                 std::vector<detail::pending_ptr> batch);
+                 std::vector<detail::pending_ptr> batch, int brownout);
 
     template <typename T>
     void execute_typed(shard_lane& lane, xpu::queue& q,
                        detail::graph_cache& cache,
-                       std::vector<detail::pending_ptr> batch);
+                       std::vector<detail::pending_ptr> batch,
+                       int brownout);
 
     service_config config_;
     /// Snapshot of the policy's launch mode (possibly overridden by the
@@ -762,8 +964,13 @@ private:
     conc::atomic<std::uint64_t> rejected_requests_{0};
     std::uint64_t completed_requests_ = 0;
     std::uint64_t completed_systems_ = 0;
-    std::uint64_t expired_requests_ = 0;
-    std::uint64_t failed_requests_ = 0;
+    /// Atomic: the lock-free admission paths (negative deadline, blocked
+    /// submit timing out, failover migration) expire requests without
+    /// holding mu_.
+    conc::atomic<std::uint64_t> expired_requests_{0};
+    /// Atomic for the same reason: failover migration fails entries with
+    /// no surviving target from whatever thread drained them.
+    conc::atomic<std::uint64_t> failed_requests_{0};
     std::uint64_t batches_launched_ = 0;
     std::uint64_t batched_systems_sum_ = 0;
     std::vector<std::uint64_t> batch_histogram_;
@@ -806,6 +1013,18 @@ private:
     std::uint64_t degraded_launches_ = 0;
     std::uint64_t recovered_requests_ = 0;
 
+    /// Failover / degradation counters (PR 10; atomic — bumped from
+    /// worker loops, the watchdog, and lock-free admission). Eviction
+    /// and probe totals live on the lane guards; these are the
+    /// service-level aggregates that have no per-lane home.
+    conc::atomic<std::uint64_t> watchdog_evictions_{0};
+    conc::atomic<std::uint64_t> migrations_{0};
+    conc::atomic<std::uint64_t> migrated_systems_{0};
+    conc::atomic<std::uint64_t> shed_requests_{0};
+    conc::atomic<std::uint32_t> brownout_level_{0};
+    conc::atomic<std::uint32_t> brownout_max_{0};
+    conc::atomic<std::uint64_t> brownout_batches_{0};
+
     /// One queue per worker, flat-indexed `shard * config_.workers +
     /// local` (deque: xpu::queue is not movable in debug builds).
     /// Constructed before, and outliving, the worker threads.
@@ -814,6 +1033,9 @@ private:
     /// thread (deque for address stability, like the queues).
     std::deque<detail::graph_cache> graph_caches_;
     std::vector<std::thread> workers_;
+    /// Hang watchdog (joinable only when failover is on, the interval is
+    /// nonzero, and there are at least two lanes to fail over between).
+    std::thread watchdog_;
 };
 
 }  // namespace batchlin::serve

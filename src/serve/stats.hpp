@@ -34,6 +34,20 @@ struct shard_stats {
     /// the others keep coalescing).
     std::uint64_t breaker_trips = 0;
     bool breaker_active = false;
+    /// Failover state machine (PR 10): "healthy", "evicted", "probing".
+    std::string state = "healthy";
+    /// Times this shard was declared lost (worker retry exhaustion or the
+    /// watchdog's launch-age signal).
+    std::uint64_t evictions = 0;
+    /// Half-open probes sent after an eviction, and how they resolved.
+    std::uint64_t probes = 0;
+    std::uint64_t probe_successes = 0;
+    /// Requests/systems failover migrated OFF this shard.
+    std::uint64_t migrated_requests = 0;
+    std::uint64_t migrated_systems = 0;
+    /// Worker-loop liveness counter (stalls while work is queued mean a
+    /// wedged lane).
+    std::uint64_t heartbeat = 0;
     /// Current run-queue depth of this shard, in systems.
     std::uint64_t queue_depth_systems = 0;
     /// Estimated not-yet-completed work (router cost model) — what the
@@ -108,6 +122,34 @@ struct service_stats {
     /// resilient solve.
     std::uint64_t refine_fallbacks = 0;
 
+    /// Failover counters (PR 10; all zero unless `config.failover`).
+    /// Lane evictions (sum over shards) and the subset declared by the
+    /// watchdog's launch-age signal rather than a worker's retry
+    /// exhaustion.
+    std::uint64_t evictions = 0;
+    std::uint64_t watchdog_evictions = 0;
+    /// Requests/systems drained off a dead lane and re-routed to a
+    /// surviving one.
+    std::uint64_t migrations = 0;
+    std::uint64_t migrated_systems = 0;
+    /// Half-open probes sent by evicted lanes and the successes that
+    /// restored routing weight.
+    std::uint64_t probes = 0;
+    std::uint64_t probe_successes = 0;
+
+    /// Overload-degradation counters (PR 10). Sheds are the subset of
+    /// `rejected_requests` refused by the watermark policy (priority <= 0
+    /// while the queue sits above `shed_watermark`) rather than by a hard
+    /// queue-full.
+    std::uint64_t shed_requests = 0;
+    /// Brownout ladder: current level (0 = off, 1 = shrunk coalescing
+    /// window, 2 = + capped refinement sweeps, 3 = + capped GMRES
+    /// restart), the highest level reached, and how many fused launches
+    /// executed at level > 0.
+    int brownout_level = 0;
+    int brownout_max = 0;
+    std::uint64_t brownout_batches = 0;
+
     /// Current admission queue depth (all shards).
     std::uint64_t queue_depth_requests = 0;
     std::uint64_t queue_depth_systems = 0;
@@ -135,6 +177,11 @@ struct service_stats {
     /// Mean fused-launch size in systems; zero before the first launch.
     double mean_batch_size = 0.0;
     double uptime_seconds = 0.0;
+
+    /// Machine-readable dump: one JSON object with every counter above
+    /// plus a "shards" array, so CI and the chaos harness assert on
+    /// parsed counters instead of scraping human-readable text.
+    std::string to_json() const;
 };
 
 /// Fixed-size sliding window of recent latency samples. Percentiles are

@@ -78,6 +78,91 @@ struct breaker {
     }
 };
 
+/// Health of a lane in the failover state machine (PR 10). Values are
+/// ordered so lock-free readers can treat anything != healthy as
+/// "do not route here".
+enum class lane_state : std::uint32_t {
+    /// Serving normally; full weight in rendezvous routing.
+    healthy = 0,
+    /// Declared lost (exhausted retries on a device error, or the
+    /// watchdog saw a wedged launch). No routing, queue drained and
+    /// migrated; workers send half-open probes on a cooldown.
+    evicted = 1,
+    /// A single half-open probe is in flight; other workers keep
+    /// treating the lane as evicted until the probe resolves.
+    probing = 2,
+};
+
+/// Lock-free eviction/probe state machine of one lane — the shard-level
+/// analogue of the coalescing breaker above, but with a half-open state:
+/// evicted -> probing admits exactly one synthetic probe batch (CAS), a
+/// success restores full routing weight, a failure re-trips the eviction
+/// and re-arms the probe cooldown. All transitions are CAS/store on one
+/// atomic word so workers, the watchdog, and submitters never need the
+/// service mutex to ask "is this lane alive?".
+struct lane_guard {
+    conc::atomic<std::uint32_t> state{
+        static_cast<std::uint32_t>(lane_state::healthy)};
+    conc::atomic<std::uint64_t> evictions{0};
+    conc::atomic<std::uint64_t> probes{0};
+    conc::atomic<std::uint64_t> probe_successes{0};
+    conc::atomic<std::uint64_t> probe_failures{0};
+
+    lane_state current() const
+    {
+        return static_cast<lane_state>(
+            state.load(std::memory_order_acquire));
+    }
+
+    /// Routable: healthy lanes only (a probing lane is still suspect).
+    bool available() const { return current() == lane_state::healthy; }
+
+    /// healthy -> evicted. Exactly one caller wins when workers and the
+    /// watchdog race to declare the same lane lost.
+    bool try_evict()
+    {
+        std::uint32_t expected =
+            static_cast<std::uint32_t>(lane_state::healthy);
+        if (state.compare_exchange_strong(
+                expected, static_cast<std::uint32_t>(lane_state::evicted),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+            evictions.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    /// evicted -> probing. Admits exactly one half-open probe at a time.
+    bool try_begin_probe()
+    {
+        std::uint32_t expected =
+            static_cast<std::uint32_t>(lane_state::evicted);
+        if (state.compare_exchange_strong(
+                expected, static_cast<std::uint32_t>(lane_state::probing),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+            probes.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    /// probing -> healthy: the probe solved cleanly, restore full weight.
+    void probe_succeeded()
+    {
+        probe_successes.fetch_add(1, std::memory_order_relaxed);
+        state.store(static_cast<std::uint32_t>(lane_state::healthy),
+                    std::memory_order_release);
+    }
+
+    /// probing -> evicted: the device is still gone; re-arm the cooldown.
+    void probe_failed()
+    {
+        probe_failures.fetch_add(1, std::memory_order_relaxed);
+        state.store(static_cast<std::uint32_t>(lane_state::evicted),
+                    std::memory_order_release);
+    }
+};
+
 /// Runtime state of one shard. Not movable (atomics); the service keeps
 /// lanes in a deque for address stability.
 template <typename EntryPtr>
@@ -107,6 +192,29 @@ struct lane {
     conc::atomic<std::int64_t> backlog_ns{0};
 
     breaker brk;
+
+    /// Failover state machine (PR 10): eviction + half-open probing.
+    lane_guard guard;
+    /// steady_clock nanoseconds at which the currently-executing launch
+    /// started, 0 when no launch is in flight. The watchdog compares it
+    /// against the hang timeout to detect a wedged device. With one
+    /// worker per lane this is exact; with several it tracks the oldest
+    /// still-running launch (first CAS from 0 wins, cleared by the owner).
+    conc::atomic<std::int64_t> launch_started_ns{0};
+    /// Liveness heartbeat: bumped once per worker-loop iteration; a lane
+    /// whose heartbeat stalls while work is queued is wedged in a way the
+    /// launch-age signal alone cannot see. Exposed in stats.
+    conc::atomic<std::uint64_t> heartbeat{0};
+    /// steady_clock nanoseconds of the eviction (or last failed probe);
+    /// the probe cooldown is measured from here.
+    conc::atomic<std::int64_t> evicted_at_ns{0};
+    /// Consecutive fused executions that exhausted their launch retries
+    /// with a device error (reset on any success). Reaching
+    /// `service_config::evict_after_exhausted` declares the shard lost.
+    conc::atomic<std::uint32_t> consecutive_exhausted{0};
+    /// Requests/systems migrated OFF this lane by failover drains.
+    conc::atomic<std::uint64_t> migrated_requests{0};
+    conc::atomic<std::uint64_t> migrated_systems{0};
 
     /// Submission-side counters (atomic: bumped on submitter threads,
     /// outside the service mutex in persistent mode).

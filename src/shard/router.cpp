@@ -73,6 +73,14 @@ decision router::route(std::uint64_t key, index_type items, index_type rows,
                        index_type nnz_per_item,
                        const std::vector<std::int64_t>& backlog_ns) const
 {
+    return route(key, items, rows, nnz_per_item, backlog_ns, nullptr);
+}
+
+decision router::route(std::uint64_t key, index_type items, index_type rows,
+                       index_type nnz_per_item,
+                       const std::vector<std::int64_t>& backlog_ns,
+                       const std::vector<char>* alive) const
+{
     const std::size_t n = specs_.size();
     BATCHLIN_ENSURE_MSG(n > 0, "route on an empty router");
     if (n == 1) {
@@ -80,6 +88,19 @@ decision router::route(std::uint64_t key, index_type items, index_type rows,
     }
     BATCHLIN_ENSURE_DIMS(backlog_ns.size() == n,
                          "backlog vector must cover every shard");
+    if (alive != nullptr) {
+        BATCHLIN_ENSURE_DIMS(alive->size() == n,
+                             "alive mask must cover every shard");
+        const bool any_alive =
+            std::any_of(alive->begin(), alive->end(),
+                        [](char a) { return a != 0; });
+        if (!any_alive) {
+            alive = nullptr;
+        }
+    }
+    const auto routable = [&](std::size_t i) {
+        return alive == nullptr || (*alive)[i] != 0;
+    };
 
     std::vector<std::int64_t> cost(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -88,13 +109,16 @@ decision router::route(std::uint64_t key, index_type items, index_type rows,
 
     // Weighted rendezvous: score = -ln(u) * cost (the cheaper the shard,
     // the smaller its typical score); the minimum wins. Deterministic in
-    // (key, specs), independent of backlog.
-    std::size_t affine = 0;
-    double best = -std::log(hash01(key, 0)) * static_cast<double>(cost[0]);
-    for (std::size_t i = 1; i < n; ++i) {
+    // (key, specs, mask), independent of backlog.
+    std::size_t affine = n;
+    double best = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!routable(i)) {
+            continue;
+        }
         const double score =
             -std::log(hash01(key, i)) * static_cast<double>(cost[i]);
-        if (score < best) {
+        if (affine == n || score < best) {
             best = score;
             affine = i;
         }
@@ -102,11 +126,14 @@ decision router::route(std::uint64_t key, index_type items, index_type rows,
 
     // Spill guard: projected completion on the affine shard vs. the least
     // loaded one, with one-batch hysteresis.
-    std::size_t least = 0;
-    std::int64_t least_load = backlog_ns[0] + cost[0];
-    for (std::size_t i = 1; i < n; ++i) {
+    std::size_t least = n;
+    std::int64_t least_load = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!routable(i)) {
+            continue;
+        }
         const std::int64_t load = backlog_ns[i] + cost[i];
-        if (load < least_load) {
+        if (least == n || load < least_load) {
             least_load = load;
             least = i;
         }

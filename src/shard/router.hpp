@@ -69,6 +69,18 @@ public:
                    index_type nnz_per_item,
                    const std::vector<std::int64_t>& backlog_ns) const;
 
+    /// Failover-aware routing: shards whose `alive` byte is zero are
+    /// skipped in both the rendezvous draw and the spill scan, so an
+    /// evicted lane keeps zero weight until its half-open probe restores
+    /// it. A null or all-dead mask degrades to the unmasked policy (the
+    /// caller has nowhere better to send the work anyway). The rendezvous
+    /// draw for a given (key, shard) pair is unchanged by the mask, so
+    /// keys return to their affine shard the moment it revives.
+    decision route(std::uint64_t key, index_type items, index_type rows,
+                   index_type nnz_per_item,
+                   const std::vector<std::int64_t>& backlog_ns,
+                   const std::vector<char>* alive) const;
+
 private:
     std::vector<perf::device_spec> specs_;
 };

@@ -130,6 +130,10 @@ std::string to_string(fault_kind kind)
         return "alloc_fail";
     case fault_kind::poison:
         return "poison";
+    case fault_kind::device_lost:
+        return "device_lost";
+    case fault_kind::hang:
+        return "hang";
     }
     return "?";
 }

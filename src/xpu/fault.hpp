@@ -42,6 +42,17 @@ enum class fault_kind {
     /// A workspace region of the chosen group is poisoned at a chosen
     /// barrier phase — the analogue of a transient device memory fault.
     poison,
+    /// Sticky device loss: every launch in [`launch`, `revive`) throws
+    /// `device_error` before any group executes (revive == 0 means the
+    /// device never comes back). The analogue of a stack dropping off the
+    /// bus: retries on the same queue keep failing until the device is
+    /// revived, which is what forces the serve layer to fail over.
+    device_lost,
+    /// The launch wedges: `run_batch` blocks for `hang_us` microseconds
+    /// and then throws `device_error`. The bounded sleep keeps test
+    /// runtimes finite while still tripping any watchdog whose timeout is
+    /// shorter than the hang.
+    hang,
 };
 
 /// Which memory a `poison` event corrupts.
@@ -75,6 +86,12 @@ struct fault_event {
     index_type phase = 1;
     fault_target target = fault_target::slm;
     poison_mode mode = poison_mode::nan;
+    /// device_lost: first launch index at which the device works again
+    /// (0 = lost forever). Probe launches advance the same counter, so a
+    /// revival schedule composes with serve-side half-open probing.
+    std::uint64_t revive = 0;
+    /// hang: how long the wedged launch blocks before failing.
+    std::uint32_t hang_us = 0;
 
     friend bool operator==(const fault_event&,
                            const fault_event&) = default;

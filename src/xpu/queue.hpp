@@ -18,9 +18,11 @@
 #include <omp.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <exception>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -186,8 +188,32 @@ private:
         std::vector<const fault_event*> launch_faults;
         if (!policy_.faults.empty()) {
             for (const fault_event& ev : policy_.faults.events) {
+                if (ev.kind == fault_kind::device_lost) {
+                    // Sticky interval [launch, revive): the device stays
+                    // dead across retries, which only the counter itself
+                    // (spent launches, e.g. serve-side probes) escapes.
+                    if (ev.launch <= launch_id &&
+                        (ev.revive == 0 || launch_id < ev.revive)) {
+                        throw device_error(
+                            __FILE__, __LINE__,
+                            "injected fault: device lost "
+                            "(xpu::fault_kind::device_lost)");
+                    }
+                    continue;
+                }
                 if (ev.launch != launch_id) {
                     continue;
+                }
+                if (ev.kind == fault_kind::hang) {
+                    // Bounded wedge: block long enough to trip a watchdog
+                    // whose timeout is below hang_us, then fail the launch
+                    // like the runtime timing out a lost kernel.
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(ev.hang_us));
+                    throw device_error(
+                        __FILE__, __LINE__,
+                        "injected fault: kernel hang timed out "
+                        "(xpu::fault_kind::hang)");
                 }
                 if (ev.kind == fault_kind::launch_fail) {
                     throw device_error(

@@ -667,6 +667,82 @@ TEST(ConcShard, BreakerSuspendedFlagIsMonotoneOverCooldown)
     EXPECT_TRUE(rep.complete) << rep.summary();
 }
 
+TEST(ConcShard, RacingEvictionsHaveExactlyOneWinner)
+{
+    // A worker exhausting its retries and the hang watchdog can race to
+    // declare the same lane lost. The eviction CAS must admit exactly one
+    // winner under every interleaving — the winner drains and migrates the
+    // lane's queue, the loser must see `available()` already false and
+    // back off — and the eviction counter must count the event once.
+    const conc::report rep = conc::explore(exhaustive(), [] {
+        shard::lane_guard guard;
+        int winners = 0;
+        conc::mutex m;
+        auto contender = [&] {
+            const bool won = guard.try_evict();
+            m.lock();
+            if (won) {
+                ++winners;
+            }
+            m.unlock();
+            conc::require(won || !guard.available(),
+                          "loser observes the lane as already evicted");
+        };
+        conc::thread worker(contender);
+        conc::thread watchdog(contender);
+        worker.join();
+        watchdog.join();
+        conc::require(winners == 1, "exactly one eviction winner");
+        conc::require(guard.evictions.load() == 1,
+                      "the race counts as one eviction");
+        conc::require(guard.current() == shard::lane_state::evicted,
+                      "lane ends evicted");
+    });
+    EXPECT_TRUE(rep.ok) << rep.summary();
+    EXPECT_TRUE(rep.complete) << rep.summary();
+}
+
+TEST(ConcShard, HalfOpenProbeAdmitsOneProberAcrossSchedules)
+{
+    // Two evicted-lane workers race for the half-open probe slot while a
+    // third keeps asking "is this lane alive?" lock-free. Exactly one
+    // prober wins; after its failed probe the lane is evicted again and
+    // the next claim succeeds — the re-trip path of the half-open state.
+    const conc::report rep = conc::explore(exhaustive(1), [] {
+        shard::lane_guard guard;
+        conc::require(guard.try_evict(), "setup eviction");
+        int probers = 0;
+        conc::mutex m;
+        auto claimant = [&] {
+            if (guard.try_begin_probe()) {
+                m.lock();
+                ++probers;
+                m.unlock();
+            }
+        };
+        conc::thread p1(claimant);
+        conc::thread p2(claimant);
+        conc::thread reader([&] {
+            conc::require(!guard.available(),
+                          "evicted/probing lane never reads available");
+        });
+        p1.join();
+        p2.join();
+        reader.join();
+        conc::require(probers == 1, "one half-open probe at a time");
+        guard.probe_failed();
+        conc::require(guard.current() == shard::lane_state::evicted,
+                      "failed probe re-trips the eviction");
+        conc::require(guard.try_begin_probe(),
+                      "cooldown re-arms: next claim admitted");
+        guard.probe_succeeded();
+        conc::require(guard.available(),
+                      "successful probe restores routing weight");
+    });
+    EXPECT_TRUE(rep.ok) << rep.summary();
+    EXPECT_TRUE(rep.complete) << rep.summary();
+}
+
 // ---------------------------------------------------------------------------
 // ConcMutant: seeded defects the checker must catch (detector teeth).
 // ---------------------------------------------------------------------------

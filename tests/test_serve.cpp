@@ -319,6 +319,44 @@ TEST(Serve, ExpiredRequestsAreNeverSolved)
     EXPECT_EQ(service.stats().expired_requests, 1u);
 }
 
+TEST(Serve, AlreadyExpiredDeadlineIsRefusedAtAdmission)
+{
+    // Deadline checkpoint 1: a caller computing a relative deadline from
+    // a stale clock can submit one that is already negative. It must
+    // resolve `expired` at admission — before routing, before the queue —
+    // and never be read as "no deadline" (the zero sentinel next door).
+    serve::service_config cfg;
+    cfg.workers = 1;
+    serve::solve_service service(bl::xpu::make_sycl_policy(), cfg);
+
+    auto stale_req = make_request(work::stencil_3pt<double>(2, 16, 53),
+                                  cg_opts(), 303);
+    stale_req.deadline = microseconds(-1);
+    const auto stale_reply = service.submit(std::move(stale_req)).get();
+    EXPECT_EQ(stale_reply.status, serve::request_status::expired);
+    EXPECT_TRUE(stale_reply.log.all_iterations().empty());
+    for (const double v : stale_reply.x.values()) {
+        EXPECT_EQ(v, 0.0);
+    }
+    // The zero default still means "no deadline", not "expired now".
+    const auto ok_reply =
+        service
+            .submit(make_request(work::stencil_3pt<double>(2, 16, 53),
+                                 cg_opts(), 303))
+            .get();
+    EXPECT_EQ(ok_reply.status, serve::request_status::ok);
+    service.drain();
+    const auto s = service.stats();
+    EXPECT_EQ(s.expired_requests, 1u);
+    EXPECT_EQ(s.completed_requests, 1u);
+    // The admission refusal was accounted before routing: no shard saw it.
+    std::uint64_t routed = 0;
+    for (const auto& ss : s.shards) {
+        routed += ss.routed_requests;
+    }
+    EXPECT_EQ(routed, 1u);
+}
+
 TEST(Serve, BoundedQueueRejectsWhenFull)
 {
     serve::service_config cfg;

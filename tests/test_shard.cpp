@@ -383,6 +383,39 @@ TEST(ShardBreaker, TripsAndCoolsDownIndependently)
     EXPECT_EQ(brk.trips, 1u);
 }
 
+TEST(ShardBreaker, CooldownFreezesTheWindowAgainstReTrips)
+{
+    // Design contract: faults observed DURING cooldown never re-trip or
+    // extend it — the window is frozen, each observation only counts the
+    // cooldown down. A breaker that re-armed on in-cooldown faults could
+    // latch a shard into solo mode forever off one bad burst. Re-tripping
+    // requires a fresh post-cooldown window to fault on its own.
+    shard::breaker brk;
+    // Trip on a fully faulted 2-wide window at ratio 0.6, cooldown 3.
+    EXPECT_FALSE(brk.observe(true, 0.6, 2, 3));
+    EXPECT_TRUE(brk.observe(true, 0.6, 2, 3));
+    EXPECT_EQ(brk.trips, 1u);
+    // Every in-cooldown observation faults; none re-trips, none extends.
+    EXPECT_FALSE(brk.observe(true, 0.6, 2, 3));
+    EXPECT_FALSE(brk.observe(true, 0.6, 2, 3));
+    EXPECT_TRUE(brk.active());
+    EXPECT_FALSE(brk.observe(true, 0.6, 2, 3));
+    EXPECT_FALSE(brk.active());
+    EXPECT_EQ(brk.trips, 1u);
+    // The frozen window carried nothing over: the post-cooldown window
+    // closes at 1/2 = 0.5 < 0.6 and does NOT re-trip. Had the three
+    // in-cooldown faults leaked into it, 4/5 = 0.8 would have.
+    EXPECT_FALSE(brk.observe(true, 0.6, 2, 3));
+    EXPECT_FALSE(brk.observe(false, 0.6, 2, 3));
+    EXPECT_FALSE(brk.active());
+    EXPECT_EQ(brk.trips, 1u);
+    // A fresh window faulting on its own re-trips legitimately.
+    EXPECT_FALSE(brk.observe(true, 0.6, 2, 3));
+    EXPECT_TRUE(brk.observe(true, 0.6, 2, 3));
+    EXPECT_EQ(brk.trips, 2u);
+    EXPECT_TRUE(brk.active());
+}
+
 TEST(ShardServe, BitIdenticalAcrossShardCounts)
 {
     const std::vector<double> solo = run_request_mix(1);

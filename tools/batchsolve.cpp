@@ -52,6 +52,15 @@ struct cli_options {
     index_type shards = 1;
     /// Comma-separated device list ("pvc1s,pvc2s"); overrides --shards.
     std::string shard_devices;
+    /// Nonzero derives a seeded per-shard chaos fault schedule and turns
+    /// failover on.
+    std::uint64_t chaos_seed = 0;
+    /// Per-launch fault probability of the chaos schedule.
+    double fault_rate = 0.05;
+    /// Shard to device-lose permanently from launch 0 (-1 = none).
+    int kill_shard = -1;
+    /// Dump the serve stats snapshot as one JSON line.
+    bool serve_stats = false;
 };
 
 [[noreturn]] void usage(const char* argv0, int code)
@@ -89,7 +98,19 @@ struct cli_options {
         "  --shards N          logical device shards to serve across [1]\n"
         "  --shard-devices L   per-shard device list, e.g. pvc1s,pvc1s\n"
         "                      (overrides --shards; emulates each device's\n"
-        "                      launch costs)\n",
+        "                      launch costs)\n"
+        "  --chaos-seed S      derive a seeded chaos schedule (sticky\n"
+        "                      device loss with revival, kernel hangs,\n"
+        "                      NaN poison) per shard and serve through it\n"
+        "                      with failover on; shard 0 is spared device\n"
+        "                      loss so the run always finishes [0 = off]\n"
+        "  --fault-rate X      per-launch fault probability of the chaos\n"
+        "                      schedule                      [0.05]\n"
+        "  --kill-shard N      permanently device-lose shard N from its\n"
+        "                      first launch (failover migrates its work;\n"
+        "                      requires --shards >= 2)       [-1 = none]\n"
+        "  --serve-stats       dump the serve::service_stats snapshot as\n"
+        "                      one JSON line (see serve/stats.hpp)\n",
         argv0);
     std::exit(code);
 }
@@ -158,6 +179,14 @@ cli_options parse(int argc, char** argv)
             o.shards = std::atoi(next());
         } else if (arg == "--shard-devices") {
             o.shard_devices = next();
+        } else if (arg == "--chaos-seed") {
+            o.chaos_seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--fault-rate") {
+            o.fault_rate = std::atof(next());
+        } else if (arg == "--kill-shard") {
+            o.kill_shard = std::atoi(next());
+        } else if (arg == "--serve-stats") {
+            o.serve_stats = true;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0], 2);
@@ -237,6 +266,72 @@ log::batch_log solve_via_service(const cli_options& o,
     if (!o.shard_devices.empty()) {
         cfg.shard_devices = shard::parse_device_list(o.shard_devices);
     }
+    const index_type nshards =
+        cfg.shard_devices.empty()
+            ? cfg.shards
+            : static_cast<index_type>(cfg.shard_devices.size());
+    if (o.kill_shard >= 0 || o.chaos_seed != 0) {
+        cfg.failover = true;
+        cfg.shard_faults.resize(static_cast<std::size_t>(nshards));
+    }
+    if (o.kill_shard >= 0) {
+        BATCHLIN_ENSURE_MSG(o.kill_shard < nshards,
+                            "--kill-shard is out of range");
+        BATCHLIN_ENSURE_MSG(nshards >= 2,
+                            "--kill-shard needs --shards >= 2 so a "
+                            "survivor can absorb the migrated work");
+        xpu::fault_event lost;
+        lost.kind = xpu::fault_kind::device_lost;
+        lost.launch = 0;
+        lost.revive = 0;  // never comes back
+        cfg.shard_faults[static_cast<std::size_t>(o.kill_shard)]
+            .events.push_back(lost);
+    }
+    if (o.chaos_seed != 0) {
+        // One deterministic schedule per (seed, shard): walk the first 64
+        // launch slots and fault each with probability --fault-rate,
+        // cycling device loss (with revival a few launches later, so the
+        // half-open probes restore the lane), a short hang, and a NaN
+        // poison strike. Shard 0 is spared device loss: a schedule that
+        // can momentarily lose every lane would fail requests with "no
+        // healthy shard", which is chaos past what a demo tool should
+        // default to.
+        for (index_type s = 0; s < nshards; ++s) {
+            rng chaos(o.chaos_seed * 1000003ULL +
+                      static_cast<std::uint64_t>(s));
+            for (std::uint64_t launch = 0; launch < 64; ++launch) {
+                if (chaos.uniform(0.0, 1.0) >= o.fault_rate) {
+                    continue;
+                }
+                xpu::fault_event ev;
+                switch (chaos.uniform_int(0, s == 0 ? 1 : 2)) {
+                case 0:
+                    ev.kind = xpu::fault_kind::hang;
+                    ev.launch = launch;
+                    ev.hang_us = static_cast<std::uint32_t>(
+                        chaos.uniform_int(500, 2500));
+                    break;
+                case 1:
+                    ev.kind = xpu::fault_kind::poison;
+                    ev.launch = launch;
+                    ev.group = 0;
+                    ev.phase = 1;
+                    ev.target = xpu::fault_target::slm;
+                    ev.mode = xpu::poison_mode::nan;
+                    break;
+                default:
+                    ev.kind = xpu::fault_kind::device_lost;
+                    ev.launch = launch;
+                    ev.revive = launch + 2 +
+                                static_cast<std::uint64_t>(
+                                    chaos.uniform_int(0, 8));
+                    break;
+                }
+                cfg.shard_faults[static_cast<std::size_t>(s)]
+                    .events.push_back(ev);
+            }
+        }
+    }
     xpu::exec_policy policy = perf::device_by_name(o.device).make_policy();
     policy.launch_mode = xpu::parse_launch_mode(o.launch_mode);
     serve::solve_service service(policy, cfg);
@@ -279,6 +374,12 @@ log::batch_log solve_via_service(const cli_options& o,
     // the dump below balances.
     service.drain();
     const serve::service_stats s = service.stats();
+    if (o.serve_stats) {
+        // One self-contained JSON line (serve::service_stats::to_json),
+        // greppable out of mixed output; the chaos soak in scripts/
+        // parses the same shape.
+        std::printf("%s\n", s.to_json().c_str());
+    }
     if (!o.json) {
         std::printf("serve:    %d workers, window %ld us, %llu launches, "
                     "mean batch %.1f, max fused %d\n",
@@ -305,10 +406,10 @@ log::batch_log solve_via_service(const cli_options& o,
         if (s.shards.size() > 1) {
             for (const serve::shard_stats& ss : s.shards) {
                 std::printf(
-                    "shard %2d: %s, %llu routed / %llu solved systems, "
-                    "%llu launches, %llu steals, %llu faults, "
+                    "shard %2d: %s [%s], %llu routed / %llu solved "
+                    "systems, %llu launches, %llu steals, %llu faults, "
                     "%llu trips%s, %.0f solves/sec\n",
-                    ss.shard, ss.device.c_str(),
+                    ss.shard, ss.device.c_str(), ss.state.c_str(),
                     static_cast<unsigned long long>(ss.routed_systems),
                     static_cast<unsigned long long>(ss.completed_systems),
                     static_cast<unsigned long long>(ss.batches_launched),
@@ -318,6 +419,17 @@ log::batch_log solve_via_service(const cli_options& o,
                     ss.breaker_active ? " (breaker open)" : "",
                     ss.solves_per_sec);
             }
+        }
+        if (s.evictions > 0 || s.migrations > 0 || s.probes > 0) {
+            std::printf(
+                "chaos:    %llu evictions (%llu by watchdog), %llu "
+                "migrations (%llu systems), %llu probes (%llu ok)\n",
+                static_cast<unsigned long long>(s.evictions),
+                static_cast<unsigned long long>(s.watchdog_evictions),
+                static_cast<unsigned long long>(s.migrations),
+                static_cast<unsigned long long>(s.migrated_systems),
+                static_cast<unsigned long long>(s.probes),
+                static_cast<unsigned long long>(s.probe_successes));
         }
     }
     return log;
